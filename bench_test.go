@@ -1,0 +1,233 @@
+package calib_test
+
+// One benchmark per reproduced artifact (Figures 1-3, experiments
+// T1-T14 of DESIGN.md). Each benchmark runs its experiment at reduced
+// scale; `go test -bench=. -benchmem` therefore re-derives every
+// figure and table of the reproduction, while `cmd/isebench` prints
+// them at full scale. The experiment bodies contain hard assertions
+// (they panic if a proven bound is violated), so these benches double
+// as continuous bound checks.
+
+import (
+	"math/rand"
+	"testing"
+
+	"calib"
+	"calib/internal/exp"
+	"calib/internal/lp"
+	"calib/internal/tise"
+	"calib/internal/workload"
+)
+
+var benchCfg = exp.Config{Trials: 2, Quick: true}
+
+func BenchmarkFig1Transform(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.Figure1(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig2Rounding(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = exp.Figure2()
+	}
+}
+
+func BenchmarkFig3Assignment(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.Figure3(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkT1LongWindow(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = exp.T1LongWindow(benchCfg)
+	}
+}
+
+func BenchmarkT2SpeedTrade(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = exp.T2SpeedTrade(benchCfg)
+	}
+}
+
+func BenchmarkT3ShortWindow(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = exp.T3ShortWindow(benchCfg)
+	}
+}
+
+func BenchmarkT4EndToEnd(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = exp.T4EndToEnd(benchCfg)
+	}
+}
+
+func BenchmarkT5UnitBaseline(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = exp.T5UnitBaselines(benchCfg)
+	}
+}
+
+func BenchmarkT6LPEngines(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = exp.T6LPEngines(benchCfg)
+	}
+}
+
+func BenchmarkT7Crossing(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = exp.T7Crossing(benchCfg)
+	}
+}
+
+func BenchmarkT8Scaling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = exp.T8Scaling(benchCfg)
+	}
+}
+
+func BenchmarkT9Practical(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = exp.T9Practical(benchCfg)
+	}
+}
+
+func BenchmarkT10IntegralityGap(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = exp.T10IntegralityGap(benchCfg)
+	}
+}
+
+func BenchmarkT11GammaSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = exp.T11GammaSweep(benchCfg)
+	}
+}
+
+func BenchmarkT12Utilization(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = exp.T12Utilization(benchCfg)
+	}
+}
+
+func BenchmarkT13HeuristicAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = exp.T13HeuristicAblation(benchCfg)
+	}
+}
+
+func BenchmarkT14Online(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = exp.T14Online(benchCfg)
+	}
+}
+
+// Component micro-benchmarks: the stages T8 aggregates.
+
+func benchInstance(n int) *calib.Instance {
+	rng := rand.New(rand.NewSource(int64(n)))
+	inst, _ := workload.Mixed(rng, n, 2, 10, 0.5)
+	return inst
+}
+
+func BenchmarkSolveMixedN12(b *testing.B) {
+	inst := benchInstance(12)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := calib.Solve(inst, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSolveMixedN24(b *testing.B) {
+	inst := benchInstance(24)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := calib.Solve(inst, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTISELPBuildSolve(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	inst, _ := workload.Long(rng, 10, 1, 10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tise.SolveLP(inst, 3, tise.Float64); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSimplexDense(b *testing.B) {
+	// A moderately sized random LP (feasible, bounded by construction).
+	rng := rand.New(rand.NewSource(12))
+	const nv, nc = 60, 40
+	p := lp.NewProblem()
+	vars := make([]int, nv)
+	for v := 0; v < nv; v++ {
+		vars[v] = p.AddVar("x", float64(1+rng.Intn(5)))
+	}
+	for c := 0; c < nc; c++ {
+		var terms []lp.Term
+		rhs := 0.0
+		for v := 0; v < nv; v++ {
+			if coef := rng.Intn(4); coef != 0 {
+				terms = append(terms, lp.Term{Var: vars[v], Coeff: float64(coef)})
+				rhs += float64(coef * rng.Intn(3))
+			}
+		}
+		p.AddConstraint(lp.LE, rhs, terms...)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := lp.Solve(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExactOPTN7(b *testing.B) {
+	rng := rand.New(rand.NewSource(31))
+	inst, _ := workload.Planted(rng, workload.PlantedConfig{
+		Machines: 1, T: 8, CalibrationsPerMachine: 2, Window: workload.AnyWindow,
+	})
+	if inst.N() > 7 {
+		inst.Jobs = inst.Jobs[:7]
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := calib.SolveExact(inst, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTISELPLargeDense(b *testing.B) {
+	rng := rand.New(rand.NewSource(77))
+	inst, _ := workload.Long(rng, 24, 2, 10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tise.SolveLPWith(inst, 6, tise.Float64, tise.Direct); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTISELPLargeRevised(b *testing.B) {
+	rng := rand.New(rand.NewSource(77))
+	inst, _ := workload.Long(rng, 24, 2, 10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tise.SolveLPWith(inst, 6, tise.Revised, tise.Direct); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,313 @@
+// Package calib is a Go implementation of calibration-minimizing
+// scheduling: the Integrated Stockpile Evaluation (ISE) problem of
+// Bender et al. (SPAA 2013) for general processing times, as solved by
+// Fineman & Sheridan, "Scheduling Non-Unit Jobs to Minimize
+// Calibrations" (SPAA 2015).
+//
+// # The problem
+//
+// n jobs, each with a release time, a deadline, and a processing time
+// p_j <= T, must run nonpreemptively on identical machines. A machine
+// is usable only during a calibrated interval [t, t+T); calibrations
+// are instantaneous but expensive, and the goal is to finish every job
+// by its deadline using as few calibrations as possible.
+//
+// # The algorithm
+//
+// Solve partitions jobs by window length (Definition 1 of the paper):
+// long-window jobs (d_j - r_j >= 2T) go through an LP relaxation of
+// the trimmed-ISE problem, greedy calibration rounding, and EDF
+// assignment (Section 3, Theorem 12); short-window jobs go through
+// time partitioning and a machine-minimization black box (Section 4,
+// Theorem 20). With an alpha-approximate MM box the result is an
+// O(alpha)-approximation on O(alpha) times the machines (Theorem 1).
+//
+// # Quick start
+//
+//	inst := calib.NewInstance(10, 1) // T=10, one machine
+//	inst.AddJob(0, 40, 5)
+//	inst.AddJob(30, 40, 8)
+//	sol, err := calib.Solve(inst, nil)
+//	if err != nil { ... }
+//	fmt.Println(sol.Calibrations, sol.Schedule.Calibrations)
+//
+// Schedules returned by every solver in this module are verified
+// feasible by calib.Validate, which checks the four ISE feasibility
+// properties exactly (integer arithmetic throughout).
+package calib
+
+import (
+	"fmt"
+
+	"calib/internal/bounds"
+	"calib/internal/core"
+	"calib/internal/exact"
+	"calib/internal/heur"
+	"calib/internal/improve"
+	"calib/internal/ise"
+	"calib/internal/mm"
+	"calib/internal/online"
+	"calib/internal/tise"
+	"calib/internal/unitise"
+)
+
+// Time is the integer tick type for all schedule quantities.
+type Time = ise.Time
+
+// Job is a single job: window [Release, Deadline), processing time
+// Processing <= T.
+type Job = ise.Job
+
+// Instance is an ISE problem instance; create with NewInstance and
+// populate with AddJob.
+type Instance = ise.Instance
+
+// Schedule is a solution: calibrations plus one placement per job.
+type Schedule = ise.Schedule
+
+// Calibration and Placement are the schedule components.
+type (
+	Calibration = ise.Calibration
+	Placement   = ise.Placement
+)
+
+// NewInstance returns an empty instance with calibration length T and
+// m machines (the count OPT is compared on; the solver may use more —
+// machine augmentation — per the paper's guarantees).
+func NewInstance(T Time, m int) *Instance { return ise.NewInstance(T, m) }
+
+// MMBox selects the machine-minimization black box used for
+// short-window jobs (Theorem 1 is generic over this choice).
+type MMBox int
+
+// Available MM black boxes.
+const (
+	// MMGreedy is earliest-deadline list scheduling with increasing
+	// machine count: fast, always succeeds, empirically near-optimal.
+	MMGreedy MMBox = iota
+	// MMExact is complete branch-and-bound: alpha = 1, exponential
+	// time; use for small instances.
+	MMExact
+	// MMLPRound is a time-indexed LP with randomized rounding, in the
+	// spirit of the Raghavan–Thompson approximation the paper cites.
+	MMLPRound
+)
+
+func (b MMBox) String() string {
+	switch b {
+	case MMGreedy:
+		return "greedy"
+	case MMExact:
+		return "exact"
+	case MMLPRound:
+		return "lp-round"
+	default:
+		return fmt.Sprintf("MMBox(%d)", int(b))
+	}
+}
+
+func (b MMBox) solver() mm.Solver {
+	switch b {
+	case MMExact:
+		return mm.Exact{}
+	case MMLPRound:
+		return mm.LPRound{}
+	default:
+		return mm.Greedy{}
+	}
+}
+
+// Options configures Solve. The zero value (or nil) selects the
+// paper-faithful defaults: greedy MM box, float64 LP engine, no
+// trimming.
+type Options struct {
+	// MMBox selects the short-window black box.
+	MMBox MMBox
+	// ExactLP switches the long-window LP to exact rational
+	// arithmetic (slower; bit-exact objective).
+	ExactLP bool
+	// TrimIdleCalibrations drops short-window calibrations that host
+	// no job — a feasibility-preserving optimization beyond the paper.
+	TrimIdleCalibrations bool
+	// CompactMachines recolors the final schedule onto the minimum
+	// machines its calibrations allow (optimal interval coloring).
+	// The algorithms allocate their worst-case machine budget (18m
+	// for the long-window pipeline); compaction recovers the unused
+	// part without changing any times.
+	CompactMachines bool
+	// LocalSearch post-processes the schedule with calibration-
+	// elimination local search (internal/improve): never worse,
+	// feasibility re-verified, typically strips most of the worst-case
+	// padding. Beyond the paper; the approximation guarantee is
+	// unaffected (the result only gets better).
+	LocalSearch bool
+}
+
+// Solution is the result of Solve.
+type Solution struct {
+	// Schedule is the feasible schedule found.
+	Schedule *Schedule
+	// Calibrations is the objective value len(Schedule.Calibrations).
+	Calibrations int
+	// MachinesUsed counts distinct machines with work or calibrations.
+	MachinesUsed int
+	// LongJobs and ShortJobs are the Definition 1 partition sizes.
+	LongJobs, ShortJobs int
+	// LowerBound is a combinatorial lower bound on OPT's calibrations
+	// (work, cluster, and Lemma 18 interval bounds).
+	LowerBound int
+	// LPObjective is the long-window LP optimum (0 if no long jobs);
+	// OPT on the long sub-instance is at least LPObjective/3.
+	LPObjective float64
+}
+
+// Solve runs the full Fineman–Sheridan algorithm and returns a
+// feasible schedule. It returns an error when the long-window LP
+// proves the long jobs infeasible on 3m machines (which implies the
+// instance is infeasible on m machines), or when the instance is
+// malformed.
+func Solve(inst *Instance, opts *Options) (*Solution, error) {
+	var o Options
+	if opts != nil {
+		o = *opts
+	}
+	engine := tise.Float64
+	if o.ExactLP {
+		engine = tise.Rational
+	}
+	res, err := core.Solve(inst, core.Options{
+		MM:       o.MMBox.solver(),
+		Engine:   engine,
+		TrimIdle: o.TrimIdleCalibrations,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if o.LocalSearch {
+		improved, ierr := improve.Run(inst, res.Schedule)
+		if ierr != nil {
+			return nil, ierr
+		}
+		res.Schedule = improved.Schedule
+	}
+	if o.CompactMachines {
+		compacted, cerr := ise.Compact(inst, res.Schedule)
+		if cerr != nil {
+			return nil, cerr
+		}
+		res.Schedule = compacted
+	}
+	sol := &Solution{
+		Schedule:     res.Schedule,
+		Calibrations: res.Schedule.NumCalibrations(),
+		MachinesUsed: res.Schedule.MachinesUsed(),
+		LongJobs:     res.LongJobs,
+		ShortJobs:    res.ShortJobs,
+		LowerBound:   bounds.Calibrations(inst),
+	}
+	if res.Long != nil {
+		sol.LPObjective = res.Long.LP.Objective
+	}
+	return sol, nil
+}
+
+// SpeedSolution is the result of SolveWithSpeed (Theorem 14).
+type SpeedSolution struct {
+	// Scaled is the instance the schedule is expressed in: every time
+	// quantity of the input multiplied by 36 (the transformation needs
+	// 2c | T with c = 18). It is equivalent to the input instance.
+	Scaled *Instance
+	// Schedule uses at most inst.M machines at Speed 36.
+	Schedule *Schedule
+	// Calibrations is the objective value.
+	Calibrations int
+}
+
+// SolveWithSpeed solves a long-window-only instance with the paper's
+// machines→speed transformation (Theorem 14): at most inst.M machines,
+// each 36x faster, and at most 12 times the optimal number of
+// calibrations. All jobs must have long windows (d_j - r_j >= 2T).
+func SolveWithSpeed(inst *Instance, opts *Options) (*SpeedSolution, error) {
+	var o Options
+	if opts != nil {
+		o = *opts
+	}
+	engine := tise.Float64
+	if o.ExactLP {
+		engine = tise.Rational
+	}
+	res, err := tise.SolveWithSpeed(inst, tise.Options{Engine: engine})
+	if err != nil {
+		return nil, err
+	}
+	return &SpeedSolution{
+		Scaled:       res.Scaled,
+		Schedule:     res.Schedule,
+		Calibrations: res.Schedule.NumCalibrations(),
+	}, nil
+}
+
+// Validate checks full ISE feasibility of s for inst: every job placed
+// exactly once inside its window, entirely within a calibration on its
+// machine, with no job or calibration overlaps. It returns nil for
+// feasible schedules and a descriptive error otherwise.
+func Validate(inst *Instance, s *Schedule) error { return ise.Validate(inst, s) }
+
+// LowerBound returns the best available combinatorial lower bound on
+// the optimal number of calibrations for inst.
+func LowerBound(inst *Instance) int { return bounds.Calibrations(inst) }
+
+// Compact recolors a feasible schedule onto the fewest machines its
+// calibrations allow, preserving all times and the calibration count.
+func Compact(inst *Instance, s *Schedule) (*Schedule, error) { return ise.Compact(inst, s) }
+
+// Improve runs calibration-elimination local search on a feasible
+// unit-speed schedule: jobs of lightly loaded calibrations are
+// relocated into other calibrations' free space and emptied
+// calibrations are dropped. The result is feasible and never has more
+// calibrations than the input.
+func Improve(inst *Instance, s *Schedule) (*Schedule, error) {
+	res, err := improve.Run(inst, s)
+	if err != nil {
+		return nil, err
+	}
+	return res.Schedule, nil
+}
+
+// SolveExact finds a provably minimum-calibration schedule on inst.M
+// machines by branch and bound. Exponential time: intended for small
+// instances (n up to ~8). maxNodes = 0 uses a default cap; see
+// internal/exact for semantics when the cap is hit.
+func SolveExact(inst *Instance, maxNodes int) (*Schedule, int, error) {
+	res, err := exact.Solve(inst, exact.Options{MaxNodes: maxNodes})
+	if err != nil {
+		return nil, 0, err
+	}
+	return res.Schedule, res.Calibrations, nil
+}
+
+// SolveLazy runs the practical greedy heuristic (beyond the paper):
+// jobs in deadline order, fitted into existing calibrations' free
+// space, with new calibrations opened as late as the deadline allows.
+// No approximation guarantee, but fast and frugal with machines; pass
+// maxMachines = 0 to let it use as many machines as it needs.
+func SolveLazy(inst *Instance, maxMachines int) (*Schedule, error) {
+	return heur.Lazy(inst, heur.Options{MaxMachines: maxMachines})
+}
+
+// SolveOnline schedules the instance with the online lazy policy
+// (extension beyond the paper): jobs are revealed at their release
+// times, decisions are irrevocable, and calibrations can only start at
+// or after the decision moment. Always feasible; experiment T14
+// measures the premium over offline scheduling.
+func SolveOnline(inst *Instance) (*Schedule, error) { return online.Lazy(inst) }
+
+// LazyBinning runs the unit-job baseline from Bender et al. (SPAA
+// 2013): optimal on a single machine, a greedy 2-approximation-style
+// baseline on several. All jobs must have Processing == 1.
+func LazyBinning(inst *Instance) (*Schedule, error) { return unitise.LazyBinning(inst) }
+
+// NaiveGrid runs the always-calibrated straw man: every machine
+// calibrated back-to-back across the whole horizon, jobs EDF-filled.
+// Useful as the "what if we never stopped calibrating" comparison.
+func NaiveGrid(inst *Instance) (*Schedule, error) { return unitise.NaiveGrid(inst) }

@@ -1,0 +1,94 @@
+// Command isebatch evaluates the standard policy set (paper pipeline,
+// trimmed+compacted pipeline, lazy heuristic, naive grid) over a
+// directory of instance JSON files, in parallel, and prints a
+// comparison table plus a per-instance winner summary.
+//
+// Usage:
+//
+//	isebatch [-workers N] [-csv out.csv] dir/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+
+	"calib/internal/batch"
+	"calib/internal/exp"
+	"calib/internal/ise"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "isebatch:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("isebatch", flag.ContinueOnError)
+	workers := fs.Int("workers", runtime.NumCPU(), "parallel workers")
+	csvPath := fs.String("csv", "", "also write the full report as CSV")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: isebatch [flags] dir/")
+	}
+	files, err := filepath.Glob(filepath.Join(fs.Arg(0), "*.json"))
+	if err != nil {
+		return err
+	}
+	if len(files) == 0 {
+		return fmt.Errorf("no *.json instances under %s", fs.Arg(0))
+	}
+	sort.Strings(files)
+	var items []batch.Item
+	for _, f := range files {
+		fh, err := os.Open(f)
+		if err != nil {
+			return err
+		}
+		inst, err := ise.ReadInstance(fh)
+		fh.Close()
+		if err != nil {
+			return fmt.Errorf("%s: %w", f, err)
+		}
+		items = append(items, batch.Item{Name: filepath.Base(f), Instance: inst})
+	}
+
+	rep := batch.Run(items, batch.DefaultPolicies(), *workers)
+	table := exp.NewTable(fmt.Sprintf("batch report — %d instances x %d policies", len(items), len(batch.DefaultPolicies())),
+		"instance", "policy", "n", "cals", "LB", "machines", "util", "ms", "error")
+	for _, row := range rep.Rows {
+		table.Add(row.Item, row.Policy, row.N, row.Calibrations, row.LowerBound,
+			row.Machines, row.Utilization, row.Millis, row.Err)
+	}
+	table.Fprint(stdout)
+
+	best := rep.Best()
+	names := make([]string, 0, len(best))
+	for name := range best {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fmt.Fprintln(stdout, "winners (fewest calibrations):")
+	for _, name := range names {
+		b := best[name]
+		fmt.Fprintf(stdout, "  %-24s %-20s %d calibrations (LB %d)\n", name, b.Policy, b.Calibrations, b.LowerBound)
+	}
+
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			return err
+		}
+		table.CSV(f)
+		return f.Close()
+	}
+	return nil
+}

@@ -1,0 +1,57 @@
+package main
+
+import (
+	"bytes"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"calib/internal/ise"
+	"calib/internal/workload"
+)
+
+func TestRunBatchDirectory(t *testing.T) {
+	dir := t.TempDir()
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 3; i++ {
+		inst, _ := workload.Mixed(rng, 8, 1, 10, 0.5)
+		f, err := os.Create(filepath.Join(dir, string(rune('a'+i))+".json"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ise.WriteInstance(f, inst); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+	}
+	csv := filepath.Join(dir, "report.csv")
+	var out bytes.Buffer
+	if err := run([]string{"-workers", "4", "-csv", csv, dir}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"batch report", "winners", "lazy", "paper"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+	data, err := os.ReadFile(csv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "instance,policy") {
+		t.Errorf("CSV missing header:\n%s", data)
+	}
+}
+
+func TestRunBatchErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(nil, &out); err == nil {
+		t.Error("missing dir accepted")
+	}
+	if err := run([]string{t.TempDir()}, &out); err == nil {
+		t.Error("empty dir accepted")
+	}
+}

@@ -1,0 +1,140 @@
+// Command isebench regenerates every figure and experiment table of
+// the reproduction (see DESIGN.md's per-experiment index): Figures 1-3
+// as executable ASCII constructions and experiments T1-T14 as aligned
+// tables. With -csv DIR, tables are also written as CSV files.
+//
+// Usage:
+//
+//	isebench [-trials 5] [-quick] [-only T3] [-csv out/]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"calib/internal/exp"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "isebench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("isebench", flag.ContinueOnError)
+	trials := fs.Int("trials", 5, "random instances per table cell")
+	quick := fs.Bool("quick", false, "shrink sweeps for a fast run")
+	only := fs.String("only", "", "run a single experiment (T1..T12) or figure (F1..F3)")
+	csvDir := fs.String("csv", "", "also write each table as CSV into this directory")
+	parallel := fs.Int("parallel", 0, "run experiments concurrently with this many workers (0 = sequential)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := exp.Config{Trials: *trials, Quick: *quick}
+	runFigure := func(id string) error {
+		var out string
+		var err error
+		switch id {
+		case "F1":
+			out, err = exp.Figure1()
+		case "F2":
+			out = exp.Figure2()
+		case "F3":
+			out, err = exp.Figure3()
+		default:
+			return fmt.Errorf("unknown figure %q", id)
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(stdout, out)
+		return nil
+	}
+	table := func(id string) *exp.Table {
+		switch id {
+		case "T1":
+			return exp.T1LongWindow(cfg)
+		case "T2":
+			return exp.T2SpeedTrade(cfg)
+		case "T3":
+			return exp.T3ShortWindow(cfg)
+		case "T4":
+			return exp.T4EndToEnd(cfg)
+		case "T5":
+			return exp.T5UnitBaselines(cfg)
+		case "T6":
+			return exp.T6LPEngines(cfg)
+		case "T7":
+			return exp.T7Crossing(cfg)
+		case "T8":
+			return exp.T8Scaling(cfg)
+		case "T9":
+			return exp.T9Practical(cfg)
+		case "T10":
+			return exp.T10IntegralityGap(cfg)
+		case "T11":
+			return exp.T11GammaSweep(cfg)
+		case "T12":
+			return exp.T12Utilization(cfg)
+		case "T13":
+			return exp.T13HeuristicAblation(cfg)
+		case "T14":
+			return exp.T14Online(cfg)
+		}
+		return nil
+	}
+	emit := func(id string, t *exp.Table) error {
+		if t == nil {
+			return fmt.Errorf("unknown experiment %q", id)
+		}
+		t.Fprint(stdout)
+		if *csvDir != "" {
+			if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+				return err
+			}
+			f, err := os.Create(filepath.Join(*csvDir, strings.ToLower(id)+".csv"))
+			if err != nil {
+				return err
+			}
+			t.CSV(f)
+			return f.Close()
+		}
+		return nil
+	}
+
+	if *only != "" {
+		id := strings.ToUpper(*only)
+		if strings.HasPrefix(id, "F") {
+			return runFigure(id)
+		}
+		return emit(id, table(id))
+	}
+	for _, id := range []string{"F1", "F2", "F3"} {
+		if err := runFigure(id); err != nil {
+			return err
+		}
+	}
+	ids := []string{"T1", "T2", "T3", "T4", "T5", "T6", "T7", "T8", "T9", "T10", "T11", "T12", "T13", "T14"}
+	if *parallel > 0 {
+		tables := exp.AllParallel(cfg, *parallel)
+		for i, t := range tables {
+			if err := emit(ids[i], t); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for _, id := range ids {
+		if err := emit(id, table(id)); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,72 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunSingleFigure(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-only", "F2"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "Figure 2") {
+		t.Errorf("missing figure output:\n%s", out.String())
+	}
+}
+
+func TestRunSingleTableWithCSV(t *testing.T) {
+	dir := t.TempDir()
+	var out bytes.Buffer
+	if err := run([]string{"-only", "T5", "-trials", "2", "-quick", "-csv", dir}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "T5") {
+		t.Errorf("missing table output:\n%s", out.String())
+	}
+	csv, err := os.ReadFile(filepath.Join(dir, "t5.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(csv), "OPT") {
+		t.Errorf("CSV lacks headers:\n%s", csv)
+	}
+}
+
+// TestRunFullSuiteQuick exercises the default all-figures-all-tables
+// path at the smallest scale, sequentially and in parallel.
+func TestRunFullSuiteQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full suite")
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-quick", "-trials", "1"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"Figure 1", "Figure 2", "Figure 3", "T1 —", "T14 —"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+	var pout bytes.Buffer
+	if err := run([]string{"-quick", "-trials", "1", "-parallel", "4"}, &pout); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(pout.String(), "T14 —") {
+		t.Error("parallel run incomplete")
+	}
+}
+
+func TestRunUnknownIDs(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-only", "T99"}, &out); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+	if err := run([]string{"-only", "F9"}, &out); err == nil {
+		t.Error("unknown figure accepted")
+	}
+}

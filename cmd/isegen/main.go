@@ -1,0 +1,74 @@
+// Command isegen generates random ISE instances (JSON on stdout) from
+// the workload families used in the experiments.
+//
+// Usage:
+//
+//	isegen [-family mixed|long|short|unit|stockpile|partition|crossing|poisson]
+//	       [-n 20] [-m 2] [-t 10] [-seed 1] [-long-prob 0.5]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+
+	"calib/internal/ise"
+	"calib/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "isegen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("isegen", flag.ContinueOnError)
+	family := fs.String("family", "mixed", "workload family: mixed, long, short, unit, stockpile, partition, crossing, poisson")
+	n := fs.Int("n", 20, "approximate number of jobs")
+	m := fs.Int("m", 2, "machines")
+	T := fs.Int64("t", 10, "calibration length")
+	seed := fs.Int64("seed", 1, "random seed")
+	longProb := fs.Float64("long-prob", 0.5, "long-window probability (mixed family)")
+	describe := fs.Bool("describe", false, "print instance statistics to stderr")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	rng := rand.New(rand.NewSource(*seed))
+	var inst *ise.Instance
+	switch *family {
+	case "mixed":
+		inst, _ = workload.Mixed(rng, *n, *m, *T, *longProb)
+	case "long":
+		inst, _ = workload.Long(rng, *n, *m, *T)
+	case "short":
+		inst, _ = workload.Short(rng, *n, *m, *T)
+	case "unit":
+		inst, _ = workload.Unit(rng, *n, *m, *T)
+	case "stockpile":
+		batch := *n / 4
+		if batch < 1 {
+			batch = 1
+		}
+		inst = workload.Stockpile(rng, 4, batch, *m, *T, 3**T)
+	case "partition":
+		inst = workload.PartitionHard(rng, *n, *T)
+	case "crossing":
+		inst = workload.CrossingAdversarial(rng, *n, *m, *T)
+	case "poisson":
+		inst = workload.Poisson(rng, *n, *m, *T, float64(*T))
+	default:
+		return fmt.Errorf("unknown family %q", *family)
+	}
+	if err := inst.Validate(); err != nil {
+		return fmt.Errorf("generated invalid instance: %w", err)
+	}
+	if *describe {
+		fmt.Fprint(os.Stderr, inst.Stats())
+	}
+	return ise.WriteInstance(stdout, inst)
+}

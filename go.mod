@@ -1,0 +1,3 @@
+module calib
+
+go 1.22

@@ -1,0 +1,118 @@
+package batch
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"calib/internal/ise"
+	"calib/internal/workload"
+)
+
+func testItems(t *testing.T, n int) []Item {
+	t.Helper()
+	rng := rand.New(rand.NewSource(1))
+	var items []Item
+	for i := 0; i < n; i++ {
+		inst, _ := workload.Mixed(rng, 10, 1, 10, 0.5)
+		items = append(items, Item{Name: string(rune('a' + i)), Instance: inst})
+	}
+	return items
+}
+
+func TestRunProducesAllRows(t *testing.T) {
+	items := testItems(t, 3)
+	pols := DefaultPolicies()
+	rep := Run(items, pols, 4)
+	if len(rep.Rows) != len(items)*len(pols) {
+		t.Fatalf("rows = %d, want %d", len(rep.Rows), len(items)*len(pols))
+	}
+	for _, row := range rep.Rows {
+		if row.Err != "" {
+			// naive-grid may legitimately fail on tight instances; all
+			// other policies must succeed.
+			if row.Policy != "naive-grid" {
+				t.Errorf("%s/%s failed: %s", row.Item, row.Policy, row.Err)
+			}
+			continue
+		}
+		if row.Calibrations < row.LowerBound {
+			t.Errorf("%s/%s: calibrations %d below lower bound %d",
+				row.Item, row.Policy, row.Calibrations, row.LowerBound)
+		}
+		if row.Utilization <= 0 || row.Utilization > 1 {
+			t.Errorf("%s/%s: utilization %v out of range", row.Item, row.Policy, row.Utilization)
+		}
+	}
+}
+
+// TestRunDeterministicAcrossWorkers: worker count must not change
+// results or ordering.
+func TestRunDeterministicAcrossWorkers(t *testing.T) {
+	items := testItems(t, 3)
+	pols := DefaultPolicies()
+	a := Run(items, pols, 1)
+	b := Run(items, pols, 8)
+	if len(a.Rows) != len(b.Rows) {
+		t.Fatal("row count differs")
+	}
+	for i := range a.Rows {
+		ra, rb := a.Rows[i], b.Rows[i]
+		ra.Millis, rb.Millis = 0, 0 // timing may differ
+		if !reflect.DeepEqual(ra, rb) {
+			t.Errorf("row %d differs: %+v vs %+v", i, ra, rb)
+		}
+	}
+}
+
+func TestBestPicksMinimum(t *testing.T) {
+	items := testItems(t, 2)
+	rep := Run(items, DefaultPolicies(), 2)
+	best := rep.Best()
+	for item, row := range best {
+		for _, other := range rep.Rows {
+			if other.Item == item && other.Err == "" && other.Calibrations < row.Calibrations {
+				t.Errorf("best for %s is %d but %s achieved %d", item, row.Calibrations, other.Policy, other.Calibrations)
+			}
+		}
+	}
+}
+
+func TestRunRecordsErrors(t *testing.T) {
+	in := ise.NewInstance(10, 1)
+	in.AddJob(0, 10, 10)
+	in.AddJob(0, 10, 10) // needs 2 machines
+	pols := []Policy{{
+		Name: "budget-1",
+		Solve: func(inst *ise.Instance) (*ise.Schedule, error) {
+			return nil, errTest
+		},
+	}}
+	rep := Run([]Item{{Name: "x", Instance: in}}, pols, 1)
+	if rep.Rows[0].Err == "" {
+		t.Error("error not recorded")
+	}
+}
+
+var errTest = &testErr{}
+
+type testErr struct{}
+
+func (*testErr) Error() string { return "boom" }
+
+func TestRunRejectsInfeasibleSchedules(t *testing.T) {
+	in := ise.NewInstance(10, 1)
+	in.AddJob(0, 20, 5)
+	pols := []Policy{{
+		Name: "broken",
+		Solve: func(inst *ise.Instance) (*ise.Schedule, error) {
+			s := ise.NewSchedule(1)
+			s.Place(0, 0, 0) // no calibration: infeasible
+			return s, nil
+		},
+	}}
+	rep := Run([]Item{{Name: "x", Instance: in}}, pols, 1)
+	if rep.Rows[0].Err == "" {
+		t.Error("infeasible schedule accepted by batch runner")
+	}
+}

@@ -1,0 +1,27 @@
+package batch_test
+
+import (
+	"fmt"
+	"math/rand"
+
+	"calib/internal/batch"
+	"calib/internal/workload"
+)
+
+// Example compares the standard policy set over two instances with a
+// worker pool.
+func Example() {
+	rng := rand.New(rand.NewSource(7))
+	var items []batch.Item
+	for i := 0; i < 2; i++ {
+		inst, _ := workload.Mixed(rng, 8, 1, 10, 0.5)
+		items = append(items, batch.Item{Name: fmt.Sprintf("inst%d", i), Instance: inst})
+	}
+	rep := batch.Run(items, batch.DefaultPolicies(), 4)
+	fmt.Println("rows:", len(rep.Rows))
+	best := rep.Best()
+	fmt.Println("winner for inst0:", best["inst0"].Policy)
+	// Output:
+	// rows: 10
+	// winner for inst0: paper+improve
+}

@@ -1,0 +1,126 @@
+// Package bounds computes combinatorial lower bounds on the number of
+// calibrations (and machines) an ISE instance requires. The experiment
+// harness uses these when the exact solver is out of reach, so
+// approximation ratios can still be reported as alg/LB (an upper bound
+// on the true ratio's denominator quality).
+package bounds
+
+import (
+	"sort"
+
+	"calib/internal/ise"
+	"calib/internal/mm"
+)
+
+// WorkBound returns ceil(total work / T): every calibration provides
+// at most T units of processing.
+func WorkBound(inst *ise.Instance) int {
+	if inst.N() == 0 {
+		return 0
+	}
+	return int((inst.TotalWork() + inst.T - 1) / inst.T)
+}
+
+// ClusterBound partitions jobs into clusters whose window hulls are
+// separated by at least T (no calibration can serve two different
+// clusters: a calibration hosting a job of the earlier cluster starts
+// before that cluster's last deadline, so it ends more than T before
+// the later cluster's first release... it ends at most T-1 after the
+// earlier hull, strictly before the later hull begins), and sums each
+// cluster's work bound.
+func ClusterBound(inst *ise.Instance) int {
+	if inst.N() == 0 {
+		return 0
+	}
+	jobs := append([]ise.Job(nil), inst.Jobs...)
+	sort.Slice(jobs, func(a, b int) bool { return jobs[a].Release < jobs[b].Release })
+	total := 0
+	var work ise.Time
+	hullEnd := jobs[0].Deadline
+	flush := func() {
+		total += int((work + inst.T - 1) / inst.T)
+		work = 0
+	}
+	for i, j := range jobs {
+		if i > 0 && j.Release >= hullEnd+inst.T {
+			flush()
+			hullEnd = j.Deadline
+		}
+		work += j.Processing
+		if j.Deadline > hullEnd {
+			hullEnd = j.Deadline
+		}
+	}
+	flush()
+	return total
+}
+
+// IntervalMMBound implements the Lemma 18 lower bound: partition time
+// into length-2*gamma*T intervals (gamma = 2) at a fixed offset; jobs
+// nested in intervals that are pairwise more than T apart cannot share
+// calibrations, and each such interval i needs at least w_i* >=
+// mm.LowerBound calibrations. Taking every other interval (even or
+// odd) gives two valid bounds; the result is the best over offsets
+// {0, gamma*T} and parities.
+func IntervalMMBound(inst *ise.Instance) int {
+	if inst.N() == 0 {
+		return 0
+	}
+	const gamma = 2
+	span := 2 * gamma * inst.T
+	best := 0
+	for _, offset := range []ise.Time{0, gamma * inst.T} {
+		// Collect per-interval nested jobs.
+		groups := map[ise.Time][]ise.Job{}
+		for _, j := range inst.Jobs {
+			if j.Release < offset {
+				continue
+			}
+			k := (j.Release - offset) / span
+			t := offset + k*span
+			if j.Deadline <= t+span {
+				groups[k] = append(groups[k], j)
+			}
+		}
+		var even, odd int
+		for k, jobs := range groups {
+			sub := ise.NewInstance(inst.T, inst.M)
+			for _, j := range jobs {
+				sub.AddJob(j.Release, j.Deadline, j.Processing)
+			}
+			w := mm.LowerBound(sub)
+			if k%2 == 0 {
+				even += w
+			} else {
+				odd += w
+			}
+		}
+		if even > best {
+			best = even
+		}
+		if odd > best {
+			best = odd
+		}
+	}
+	return best
+}
+
+// Calibrations returns the best lower bound on the optimal calibration
+// count available without exact search.
+func Calibrations(inst *ise.Instance) int {
+	lb := WorkBound(inst)
+	if b := ClusterBound(inst); b > lb {
+		lb = b
+	}
+	if b := IntervalMMBound(inst); b > lb {
+		lb = b
+	}
+	return lb
+}
+
+// Machines returns a lower bound on the number of machines any
+// feasible schedule needs (the MM density bound; calibrations cannot
+// reduce it).
+func Machines(inst *ise.Instance) int {
+	return mm.LowerBound(inst)
+}

@@ -1,0 +1,90 @@
+package bounds
+
+import (
+	"math/rand"
+	"testing"
+
+	"calib/internal/exact"
+	"calib/internal/ise"
+	"calib/internal/workload"
+)
+
+func TestWorkBound(t *testing.T) {
+	in := ise.NewInstance(10, 1)
+	in.AddJob(0, 30, 7)
+	in.AddJob(0, 30, 7)
+	if got := WorkBound(in); got != 2 { // ceil(14/10)
+		t.Errorf("WorkBound = %d, want 2", got)
+	}
+	if got := WorkBound(ise.NewInstance(10, 1)); got != 0 {
+		t.Errorf("WorkBound(empty) = %d, want 0", got)
+	}
+}
+
+func TestClusterBound(t *testing.T) {
+	in := ise.NewInstance(10, 1)
+	// Two clusters far apart, each needing one calibration: work bound
+	// alone says ceil(4/10) + ... = 1, cluster bound says 2.
+	in.AddJob(0, 20, 2)
+	in.AddJob(100, 120, 2)
+	if got := ClusterBound(in); got != 2 {
+		t.Errorf("ClusterBound = %d, want 2", got)
+	}
+	if got := WorkBound(in); got != 1 {
+		t.Errorf("WorkBound = %d, want 1", got)
+	}
+	// Overlapping windows: one cluster.
+	in2 := ise.NewInstance(10, 1)
+	in2.AddJob(0, 20, 2)
+	in2.AddJob(5, 25, 2)
+	if got := ClusterBound(in2); got != 1 {
+		t.Errorf("ClusterBound = %d, want 1", got)
+	}
+}
+
+func TestIntervalMMBound(t *testing.T) {
+	const T = 10
+	in := ise.NewInstance(T, 3)
+	// Two parallel tight jobs nested in [0, 40): need 2 machines.
+	in.AddJob(0, 10, 10)
+	in.AddJob(0, 10, 10)
+	if got := IntervalMMBound(in); got < 2 {
+		t.Errorf("IntervalMMBound = %d, want >= 2", got)
+	}
+}
+
+// TestBoundsNeverExceedOPT is the soundness property: every lower
+// bound must be <= the exact optimum on random feasible instances.
+func TestBoundsNeverExceedOPT(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	for trial := 0; trial < 25; trial++ {
+		inst, _ := workload.Planted(rng, workload.PlantedConfig{
+			Machines:               1 + rng.Intn(2),
+			T:                      8,
+			CalibrationsPerMachine: 1 + rng.Intn(2),
+			Window:                 workload.AnyWindow,
+		})
+		if inst.N() == 0 || inst.N() > 7 {
+			continue
+		}
+		opt, err := exact.Solve(inst, exact.Options{})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if lb := Calibrations(inst); lb > opt.Calibrations {
+			t.Errorf("trial %d: lower bound %d > OPT %d (unsound!)", trial, lb, opt.Calibrations)
+		}
+		if lb := Machines(inst); lb > opt.Schedule.MachinesUsed() && lb > inst.M {
+			t.Errorf("trial %d: machine bound %d > machines used and > M", trial, lb)
+		}
+	}
+}
+
+func TestCalibrationsTakesBest(t *testing.T) {
+	in := ise.NewInstance(10, 1)
+	in.AddJob(0, 20, 2)
+	in.AddJob(100, 120, 2)
+	if got, want := Calibrations(in), 2; got != want {
+		t.Errorf("Calibrations = %d, want %d", got, want)
+	}
+}

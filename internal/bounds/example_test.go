@@ -1,0 +1,22 @@
+package bounds_test
+
+import (
+	"fmt"
+
+	"calib/internal/bounds"
+	"calib/internal/ise"
+)
+
+// Example computes the cluster lower bound on a two-burst campaign.
+func Example() {
+	inst := ise.NewInstance(10, 1)
+	inst.AddJob(0, 20, 4)
+	inst.AddJob(500, 520, 4) // too far away to share a calibration
+	fmt.Println("work bound:", bounds.WorkBound(inst))
+	fmt.Println("cluster bound:", bounds.ClusterBound(inst))
+	fmt.Println("best:", bounds.Calibrations(inst))
+	// Output:
+	// work bound: 1
+	// cluster bound: 2
+	// best: 2
+}

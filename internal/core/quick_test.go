@@ -1,0 +1,35 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"calib/internal/ise"
+	"calib/internal/workload"
+)
+
+// TestQuickSolveAlwaysFeasible: for arbitrary planted configurations
+// and gamma thresholds, the combined pipeline must produce a feasible
+// schedule covering every job.
+func TestQuickSolveAlwaysFeasible(t *testing.T) {
+	prop := func(seed int64, mRaw, TRaw, winRaw, gRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		inst, _ := workload.Planted(rng, workload.PlantedConfig{
+			Machines:               1 + int(mRaw%3),
+			T:                      ise.Time(3 + TRaw%12),
+			CalibrationsPerMachine: 1 + rng.Intn(2),
+			Window:                 workload.WindowKind(winRaw % 3),
+		})
+		gamma := 2 + int(gRaw%3)
+		res, err := Solve(inst, Options{Gamma: gamma})
+		if err != nil {
+			return false
+		}
+		return ise.Validate(inst, res.Schedule) == nil &&
+			res.LongJobs+res.ShortJobs == inst.N()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

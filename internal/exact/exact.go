@@ -1,0 +1,328 @@
+// Package exact implements an exact branch-and-bound solver for the
+// ISE problem: it finds a schedule with the true minimum number of
+// calibrations on inst.M machines, or proves infeasibility. It is the
+// OPT oracle for the approximation-ratio experiments and a correctness
+// reference for the baselines; expect exponential time and keep n
+// small (up to ~8 jobs).
+//
+// Search space: a solution's combinatorial structure is, per machine,
+// an ordered list of calibration groups, each an ordered list of jobs.
+// Given the structure, the minimal-time placement (jobs left-packed,
+// each calibration started as early as its contents and the previous
+// calibration allow) is feasible iff any placement is, so feasibility
+// of a structure is decided greedily in linear time. The solver
+// enumerates structures by inserting jobs one at a time (in deadline
+// order) at every possible position, with branch-and-bound on the
+// calibration count and monotone infeasibility pruning.
+package exact
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync/atomic"
+
+	"calib/internal/heur"
+	"calib/internal/ise"
+)
+
+// ErrInfeasible is returned when no feasible schedule exists on inst.M
+// machines (proven, if the node cap was not hit).
+var ErrInfeasible = errors.New("exact: instance infeasible on the given machines")
+
+// Options configures the solver.
+type Options struct {
+	// MaxNodes caps the search tree size; 0 means 3e6. If the cap is
+	// hit, the best schedule found so far is returned with
+	// Proven=false (or ErrInfeasible with Proven=false if none was
+	// found).
+	MaxNodes int
+	// WarmStart seeds the incumbent bound with the lazy heuristic's
+	// solution (when it fits inst.M machines), typically shrinking the
+	// search tree substantially. The result is still exactly optimal:
+	// the incumbent only prunes branches that cannot improve on it.
+	WarmStart bool
+}
+
+// Result is the outcome of Solve.
+type Result struct {
+	// Schedule is an optimal (or, if !Proven, best-found) schedule.
+	Schedule *ise.Schedule
+	// Calibrations is the schedule's calibration count.
+	Calibrations int
+	// Proven reports whether the search ran to completion, making
+	// Calibrations provably optimal.
+	Proven bool
+	// Nodes is the number of search nodes expanded.
+	Nodes int
+}
+
+// machine is one machine's ordered calibration groups.
+type machine struct {
+	groups [][]int // job IDs in execution order per calibration
+}
+
+type searcher struct {
+	inst     *ise.Instance
+	order    []int // job IDs in insertion (deadline) order
+	machines []machine
+	bestC    int
+	best     []machine // deep copy of best structure
+	nodes    int
+	maxNodes int
+	capHit   bool
+	// shared, when non-nil, is the incumbent bound shared between
+	// parallel workers (see SolveParallel): it is read to tighten the
+	// local bound and lowered whenever this worker improves it.
+	shared *atomic.Int64
+}
+
+// Solve finds a minimum-calibration schedule on inst.M machines.
+func Solve(inst *ise.Instance, opts Options) (*Result, error) {
+	if err := inst.Validate(); err != nil {
+		return nil, err
+	}
+	if inst.N() == 0 {
+		return &Result{Schedule: ise.NewSchedule(inst.M), Proven: true}, nil
+	}
+	s := &searcher{
+		inst:     inst,
+		machines: make([]machine, inst.M),
+		bestC:    inst.N() + 1, // sentinel: any solution beats it
+		maxNodes: opts.MaxNodes,
+	}
+	if s.maxNodes == 0 {
+		s.maxNodes = 3_000_000
+	}
+	var warm *ise.Schedule
+	if opts.WarmStart {
+		if ws, err := heur.Lazy(inst, heur.Options{MaxMachines: inst.M}); err == nil {
+			if ise.Validate(inst, ws) == nil {
+				warm = ws
+				s.bestC = ws.NumCalibrations()
+			}
+		}
+	}
+	s.order = make([]int, inst.N())
+	for i := range s.order {
+		s.order[i] = i
+	}
+	sort.Slice(s.order, func(a, b int) bool {
+		ja, jb := inst.Jobs[s.order[a]], inst.Jobs[s.order[b]]
+		if ja.Deadline != jb.Deadline {
+			return ja.Deadline < jb.Deadline
+		}
+		return ja.ID < jb.ID
+	})
+	s.dfs(0, 0)
+	if s.best == nil {
+		if warm != nil {
+			// The search could not beat the warm incumbent, so the
+			// incumbent is optimal (when the search completed).
+			return &Result{Schedule: warm, Calibrations: warm.NumCalibrations(), Proven: !s.capHit, Nodes: s.nodes}, nil
+		}
+		if s.capHit {
+			return &Result{Proven: false, Nodes: s.nodes}, fmt.Errorf("exact: node cap hit without a solution: %w", ErrInfeasible)
+		}
+		return &Result{Proven: true, Nodes: s.nodes}, ErrInfeasible
+	}
+	sched, err := buildSchedule(inst, s.best)
+	if err != nil {
+		return nil, err // cannot happen: best structures are feasible
+	}
+	return &Result{Schedule: sched, Calibrations: s.bestC, Proven: !s.capHit, Nodes: s.nodes}, nil
+}
+
+// dfs inserts the job at position depth of the insertion order into
+// every feasible position.
+func (s *searcher) dfs(depth, cals int) {
+	if s.shared != nil {
+		if g := int(s.shared.Load()); g < s.bestC {
+			s.bestC = g
+		}
+	}
+	if cals >= s.bestC {
+		return
+	}
+	if depth == len(s.order) {
+		s.bestC = cals
+		s.best = deepCopy(s.machines)
+		if s.shared != nil {
+			publishBest(s.shared, cals)
+		}
+		return
+	}
+	s.nodes++
+	if s.nodes > s.maxNodes {
+		s.capHit = true
+		return
+	}
+	// Bound: remaining work needs at least this many extra
+	// calibrations beyond the free capacity of existing groups.
+	var remaining ise.Time
+	for _, id := range s.order[depth:] {
+		remaining += s.inst.Jobs[id].Processing
+	}
+	var free ise.Time
+	for mi := range s.machines {
+		for _, g := range s.machines[mi].groups {
+			var used ise.Time
+			for _, id := range g {
+				used += s.inst.Jobs[id].Processing
+			}
+			free += s.inst.T - used
+		}
+	}
+	if extra := remaining - free; extra > 0 {
+		need := int((extra + s.inst.T - 1) / s.inst.T)
+		if cals+need >= s.bestC {
+			return
+		}
+	}
+
+	id := s.order[depth]
+	usedEmpty := false
+	for mi := range s.machines {
+		m := &s.machines[mi]
+		if len(m.groups) == 0 {
+			// Symmetry break: identical machines — only the first
+			// empty machine may receive its first group.
+			if usedEmpty {
+				continue
+			}
+			usedEmpty = true
+		}
+		// Insert into an existing group at every position.
+		for gi := range m.groups {
+			g := m.groups[gi]
+			for pos := 0; pos <= len(g); pos++ {
+				ng := make([]int, 0, len(g)+1)
+				ng = append(ng, g[:pos]...)
+				ng = append(ng, id)
+				ng = append(ng, g[pos:]...)
+				old := m.groups[gi]
+				m.groups[gi] = ng
+				if s.feasibleMachine(m) {
+					s.dfs(depth+1, cals)
+				}
+				m.groups[gi] = old
+				if s.capHit {
+					return
+				}
+			}
+		}
+		// New group at every position in the machine's group order.
+		if cals+1 < s.bestC {
+			for pos := 0; pos <= len(m.groups); pos++ {
+				ng := make([][]int, 0, len(m.groups)+1)
+				ng = append(ng, m.groups[:pos]...)
+				ng = append(ng, []int{id})
+				ng = append(ng, m.groups[pos:]...)
+				old := m.groups
+				m.groups = ng
+				if s.feasibleMachine(m) {
+					s.dfs(depth+1, cals+1)
+				}
+				m.groups = old
+				if s.capHit {
+					return
+				}
+			}
+		}
+	}
+}
+
+// feasibleMachine checks the machine's structure under minimal-time
+// placement: calibration g starts at
+//
+//	t_g = max(t_{g-1} + T, max_i (r_i + suffixWork_i) - T)
+//
+// with jobs left-packed; feasible iff every group's work fits in T and
+// every job meets its deadline.
+func (s *searcher) feasibleMachine(m *machine) bool {
+	T := s.inst.T
+	prev := ise.Time(-1 << 62)
+	for _, g := range m.groups {
+		t, ok := groupStart(s.inst, g, prev, T)
+		if !ok {
+			return false
+		}
+		// Left-pack and check deadlines.
+		cur := t
+		for _, id := range g {
+			j := s.inst.Jobs[id]
+			if cur < j.Release {
+				cur = j.Release
+			}
+			cur += j.Processing
+			if cur > j.Deadline {
+				return false
+			}
+		}
+		prev = t
+	}
+	return true
+}
+
+// groupStart computes the minimal feasible calibration start for the
+// ordered group given the previous calibration start, or ok=false if
+// the group's total work exceeds T.
+func groupStart(inst *ise.Instance, g []int, prevStart, T ise.Time) (ise.Time, bool) {
+	var total ise.Time
+	for _, id := range g {
+		total += inst.Jobs[id].Processing
+	}
+	if total > T {
+		return 0, false
+	}
+	t := prevStart + T
+	suffix := total
+	for _, id := range g {
+		j := inst.Jobs[id]
+		if v := j.Release + suffix - T; v > t {
+			t = v
+		}
+		suffix -= j.Processing
+	}
+	// The i=0 suffix constraint keeps t finite (>= r_0 + total - T)
+	// even on a machine's first group, where prevStart is a sentinel.
+	return t, true
+}
+
+func deepCopy(ms []machine) []machine {
+	out := make([]machine, len(ms))
+	for i, m := range ms {
+		out[i].groups = make([][]int, len(m.groups))
+		for gi, g := range m.groups {
+			out[i].groups[gi] = append([]int(nil), g...)
+		}
+	}
+	return out
+}
+
+// buildSchedule materializes the minimal-time placement of a feasible
+// structure.
+func buildSchedule(inst *ise.Instance, ms []machine) (*ise.Schedule, error) {
+	s := ise.NewSchedule(len(ms))
+	for mi, m := range ms {
+		prev := ise.Time(-1 << 62)
+		for _, g := range m.groups {
+			t, ok := groupStart(inst, g, prev, inst.T)
+			if !ok {
+				return nil, fmt.Errorf("exact: internal error: infeasible best structure")
+			}
+			s.Calibrate(mi, t)
+			cur := t
+			for _, id := range g {
+				j := inst.Jobs[id]
+				if cur < j.Release {
+					cur = j.Release
+				}
+				s.Place(id, mi, cur)
+				cur += j.Processing
+			}
+			prev = t
+		}
+	}
+	return s, nil
+}

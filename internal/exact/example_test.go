@@ -1,0 +1,40 @@
+package exact_test
+
+import (
+	"fmt"
+
+	"calib/internal/exact"
+	"calib/internal/ise"
+)
+
+// Example finds the provably optimal schedule for the canonical
+// "delay the calibration" instance.
+func Example() {
+	inst := ise.NewInstance(10, 1)
+	inst.AddJob(0, 100, 5)  // flexible
+	inst.AddJob(90, 100, 5) // forced late
+	res, err := exact.Solve(inst, exact.Options{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("optimal calibrations:", res.Calibrations)
+	fmt.Println("proven:", res.Proven)
+	// Output:
+	// optimal calibrations: 1
+	// proven: true
+}
+
+// ExampleSolveParallel splits the branch-and-bound across workers.
+func ExampleSolveParallel() {
+	inst := ise.NewInstance(10, 2)
+	for _, p := range []ise.Time{3, 7, 4, 6} {
+		inst.AddJob(0, 10, p)
+	}
+	res, err := exact.SolveParallel(inst, exact.Options{}, 4)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("optimal calibrations:", res.Calibrations)
+	// Output:
+	// optimal calibrations: 2
+}

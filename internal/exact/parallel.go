@@ -1,0 +1,219 @@
+package exact
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"calib/internal/ise"
+)
+
+// SolveParallel is Solve with a parallel branch-and-bound: the search
+// tree is expanded breadth-first until the frontier is wide enough,
+// then frontier subtrees are searched depth-first by a worker pool
+// sharing the incumbent bound through an atomic. Determinism of the
+// *optimum* is preserved (it is the exact minimum either way); the
+// returned schedule may differ between runs when multiple optima
+// exist.
+func SolveParallel(inst *ise.Instance, opts Options, workers int) (*Result, error) {
+	if err := inst.Validate(); err != nil {
+		return nil, err
+	}
+	if workers <= 1 {
+		return Solve(inst, opts)
+	}
+	if inst.N() == 0 {
+		return &Result{Schedule: ise.NewSchedule(inst.M), Proven: true}, nil
+	}
+	maxNodes := opts.MaxNodes
+	if maxNodes == 0 {
+		maxNodes = 3_000_000
+	}
+
+	order := make([]int, inst.N())
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ja, jb := inst.Jobs[order[a]], inst.Jobs[order[b]]
+		if ja.Deadline != jb.Deadline {
+			return ja.Deadline < jb.Deadline
+		}
+		return ja.ID < jb.ID
+	})
+
+	// Expand breadth-first until the frontier is comfortably wider
+	// than the worker pool (or the instance is exhausted).
+	type state struct {
+		machines []machine
+		depth    int
+		cals     int
+	}
+	frontier := []state{{machines: make([]machine, inst.M)}}
+	for len(frontier) < 4*workers {
+		if frontier[0].depth == len(order) {
+			break
+		}
+		var next []state
+		grew := false
+		for _, st := range frontier {
+			if st.depth == len(order) {
+				next = append(next, st)
+				continue
+			}
+			s := &searcher{inst: inst, order: order, machines: st.machines, bestC: inst.N() + 1, maxNodes: 1 << 30}
+			for _, child := range s.expand(st.depth, st.cals) {
+				next = append(next, state{machines: child.machines, depth: st.depth + 1, cals: child.cals})
+				grew = true
+			}
+		}
+		frontier = next
+		if !grew || len(frontier) == 0 {
+			break
+		}
+	}
+	if len(frontier) == 0 {
+		return &Result{Proven: true}, ErrInfeasible
+	}
+
+	// Shared incumbent and node budget.
+	var sharedBest atomic.Int64
+	sharedBest.Store(int64(inst.N() + 1))
+	var nodesUsed atomic.Int64
+	var mu sync.Mutex
+	var best []machine
+	bestC := inst.N() + 1
+	capHit := false
+
+	var wg sync.WaitGroup
+	work := make(chan state)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for st := range work {
+				budget := maxNodes/len(frontier) + 1024
+				s := &searcher{
+					inst:     inst,
+					order:    order,
+					machines: st.machines,
+					maxNodes: budget,
+					shared:   &sharedBest,
+					bestC:    int(sharedBest.Load()),
+				}
+				s.dfs(st.depth, st.cals)
+				nodesUsed.Add(int64(s.nodes))
+				mu.Lock()
+				if s.best != nil && s.bestC < bestC {
+					bestC = s.bestC
+					best = s.best
+				}
+				if s.capHit {
+					capHit = true
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	// Completed frontier states (depth == n) are solutions themselves.
+	for _, st := range frontier {
+		if st.depth == len(order) {
+			mu.Lock()
+			if st.cals < bestC {
+				bestC = st.cals
+				best = deepCopy(st.machines)
+				publishBest(&sharedBest, st.cals)
+			}
+			mu.Unlock()
+			continue
+		}
+		work <- st
+	}
+	close(work)
+	wg.Wait()
+
+	res := &Result{Nodes: int(nodesUsed.Load()), Proven: !capHit}
+	if best == nil {
+		if capHit {
+			return res, ErrInfeasible
+		}
+		return res, ErrInfeasible
+	}
+	sched, err := buildSchedule(inst, best)
+	if err != nil {
+		return nil, err
+	}
+	res.Schedule = sched
+	res.Calibrations = bestC
+	return res, nil
+}
+
+// publishBest lowers the shared incumbent to v if it improves it.
+func publishBest(shared *atomic.Int64, v int) {
+	for {
+		cur := shared.Load()
+		if int64(v) >= cur {
+			return
+		}
+		if shared.CompareAndSwap(cur, int64(v)) {
+			return
+		}
+	}
+}
+
+// child is one feasible single-step expansion of a search state.
+type child struct {
+	machines []machine
+	cals     int
+}
+
+// expand returns every feasible insertion of the job at position depth
+// as an independent deep-copied state (the breadth-first analogue of
+// one dfs level).
+func (s *searcher) expand(depth, cals int) []child {
+	id := s.order[depth]
+	var out []child
+	usedEmpty := false
+	for mi := range s.machines {
+		m := &s.machines[mi]
+		if len(m.groups) == 0 {
+			if usedEmpty {
+				continue
+			}
+			usedEmpty = true
+		}
+		for gi := range m.groups {
+			g := m.groups[gi]
+			for pos := 0; pos <= len(g); pos++ {
+				ng := make([]int, 0, len(g)+1)
+				ng = append(ng, g[:pos]...)
+				ng = append(ng, id)
+				ng = append(ng, g[pos:]...)
+				old := m.groups[gi]
+				m.groups[gi] = ng
+				if s.feasibleMachine(m) {
+					out = append(out, child{machines: deepCopy(s.machines), cals: cals})
+				}
+				m.groups[gi] = old
+			}
+		}
+		for pos := 0; pos <= len(m.groups); pos++ {
+			ng := make([][]int, 0, len(m.groups)+1)
+			ng = append(ng, m.groups[:pos]...)
+			ng = append(ng, []int{id})
+			ng = append(ng, m.groups[pos:]...)
+			old := m.groups
+			m.groups = ng
+			if s.feasibleMachine(m) {
+				out = append(out, child{machines: deepCopy(s.machines), cals: cals + 1})
+			}
+			m.groups = old
+		}
+	}
+	return out
+}
+
+// DefaultWorkers returns the worker count used by the parallel solver
+// when the caller passes 0: the machine's CPU count.
+func DefaultWorkers() int { return runtime.NumCPU() }

@@ -1,0 +1,80 @@
+package exact
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"calib/internal/ise"
+	"calib/internal/workload"
+)
+
+// TestParallelMatchesSequential is the core property: parallel and
+// sequential branch-and-bound must agree on the optimum (schedules may
+// differ; both must be feasible with the same calibration count).
+func TestParallelMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(404))
+	trials := 0
+	for trials < 15 {
+		inst, _ := workload.Planted(rng, workload.PlantedConfig{
+			Machines:               1 + rng.Intn(2),
+			T:                      8,
+			CalibrationsPerMachine: 1 + rng.Intn(2),
+			Window:                 workload.AnyWindow,
+		})
+		if inst.N() == 0 || inst.N() > 7 {
+			continue
+		}
+		trials++
+		seq, err := Solve(inst, Options{})
+		if err != nil {
+			t.Fatalf("seq: %v", err)
+		}
+		par, err := SolveParallel(inst, Options{}, 4)
+		if err != nil {
+			t.Fatalf("par: %v", err)
+		}
+		if par.Calibrations != seq.Calibrations {
+			t.Errorf("parallel optimum %d != sequential %d (n=%d)", par.Calibrations, seq.Calibrations, inst.N())
+		}
+		if err := ise.Validate(inst, par.Schedule); err != nil {
+			t.Errorf("parallel schedule infeasible: %v", err)
+		}
+		if !par.Proven {
+			t.Error("parallel search did not prove optimality")
+		}
+	}
+}
+
+func TestParallelInfeasible(t *testing.T) {
+	in := ise.NewInstance(10, 1)
+	in.AddJob(0, 10, 10)
+	in.AddJob(0, 10, 10)
+	_, err := SolveParallel(in, Options{}, 4)
+	if !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("error = %v, want ErrInfeasible", err)
+	}
+}
+
+func TestParallelDegeneratesToSequential(t *testing.T) {
+	in := ise.NewInstance(10, 1)
+	in.AddJob(0, 20, 5)
+	res, err := SolveParallel(in, Options{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Calibrations != 1 {
+		t.Errorf("calibrations = %d, want 1", res.Calibrations)
+	}
+	empty := ise.NewInstance(10, 1)
+	res, err = SolveParallel(empty, Options{}, 8)
+	if err != nil || res.Calibrations != 0 {
+		t.Errorf("empty: %v %+v", err, res)
+	}
+}
+
+func TestDefaultWorkers(t *testing.T) {
+	if DefaultWorkers() < 1 {
+		t.Error("DefaultWorkers < 1")
+	}
+}

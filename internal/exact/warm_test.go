@@ -1,0 +1,79 @@
+package exact
+
+import (
+	"math/rand"
+	"testing"
+
+	"calib/internal/ise"
+	"calib/internal/workload"
+)
+
+// TestWarmStartMatchesCold: warm-started search must return the same
+// optimum (it only prunes non-improving branches) while expanding no
+// more nodes.
+func TestWarmStartMatchesCold(t *testing.T) {
+	rng := rand.New(rand.NewSource(808))
+	trials, warmWins := 0, 0
+	for trials < 15 {
+		inst, _ := workload.Planted(rng, workload.PlantedConfig{
+			Machines:               1 + rng.Intn(2),
+			T:                      8,
+			CalibrationsPerMachine: 1 + rng.Intn(2),
+			Window:                 workload.AnyWindow,
+		})
+		if inst.N() == 0 || inst.N() > 7 {
+			continue
+		}
+		trials++
+		cold, err := Solve(inst, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		warm, err := Solve(inst, Options{WarmStart: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if warm.Calibrations != cold.Calibrations {
+			t.Errorf("trial %d: warm %d != cold %d", trials, warm.Calibrations, cold.Calibrations)
+		}
+		if err := ise.Validate(inst, warm.Schedule); err != nil {
+			t.Errorf("trial %d: warm schedule infeasible: %v", trials, err)
+		}
+		if !warm.Proven {
+			t.Errorf("trial %d: warm search not proven", trials)
+		}
+		if warm.Nodes <= cold.Nodes {
+			warmWins++
+		}
+	}
+	if warmWins < trials/2 {
+		t.Errorf("warm start enlarged the tree on %d/%d trials — incumbent not helping", trials-warmWins, trials)
+	}
+}
+
+// TestWarmStartWhenHeuristicIsOptimal: if the lazy solution is already
+// optimal, the search proves it without finding anything better.
+func TestWarmStartWhenHeuristicIsOptimal(t *testing.T) {
+	in := ise.NewInstance(10, 1)
+	in.AddJob(0, 100, 5)
+	in.AddJob(90, 100, 5)
+	res, err := Solve(in, Options{WarmStart: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Calibrations != 1 || !res.Proven {
+		t.Errorf("result %+v, want proven 1", res)
+	}
+	if err := ise.Validate(in, res.Schedule); err != nil {
+		t.Errorf("infeasible: %v", err)
+	}
+}
+
+func TestWarmStartOnInfeasible(t *testing.T) {
+	in := ise.NewInstance(10, 1)
+	in.AddJob(0, 10, 10)
+	in.AddJob(0, 10, 10)
+	if _, err := Solve(in, Options{WarmStart: true}); err == nil {
+		t.Error("infeasible instance not detected with warm start")
+	}
+}

@@ -1,0 +1,97 @@
+package exp
+
+import (
+	"fmt"
+
+	"calib/internal/bounds"
+	"calib/internal/core"
+	"calib/internal/exact"
+	"calib/internal/heur"
+	"calib/internal/ise"
+	"calib/internal/sim"
+)
+
+// CrossCheck runs every solver and oracle in the module on one
+// instance and verifies the full consistency web:
+//
+//   - every produced schedule passes the validator AND the independent
+//     replay simulator;
+//   - lower bound <= exact optimum (when computable);
+//   - exact optimum <= lazy heuristic <= (nothing: the pipeline may
+//     beat or lose to lazy, but both are >= OPT);
+//   - exact optimum <= planted witness, when a witness is supplied.
+//
+// It returns a one-line summary, or an error naming the first broken
+// relation. Tests and the fuzzing harness drive it with random
+// instances; it is exported from exp so cmd tooling can offer it too.
+func CrossCheck(inst *ise.Instance, witness *ise.Schedule) (string, error) {
+	if err := inst.Validate(); err != nil {
+		return "", fmt.Errorf("instance invalid: %w", err)
+	}
+	check := func(name string, s *ise.Schedule) error {
+		if err := ise.Validate(inst, s); err != nil {
+			return fmt.Errorf("%s: validator rejected: %w", name, err)
+		}
+		if rep := sim.Replay(inst, s); !rep.Feasible {
+			return fmt.Errorf("%s: simulator rejected: %s", name, rep.Violation)
+		}
+		return nil
+	}
+	lb := bounds.Calibrations(inst)
+
+	if witness != nil {
+		if err := check("witness", witness); err != nil {
+			return "", err
+		}
+	}
+
+	pipe, err := core.Solve(inst, core.Options{})
+	if err != nil {
+		return "", fmt.Errorf("pipeline: %w", err)
+	}
+	if err := check("pipeline", pipe.Schedule); err != nil {
+		return "", err
+	}
+	if lb > pipe.Schedule.NumCalibrations() {
+		return "", fmt.Errorf("lower bound %d exceeds pipeline %d", lb, pipe.Schedule.NumCalibrations())
+	}
+
+	lazy, err := heur.Lazy(inst, heur.Options{})
+	if err != nil {
+		return "", fmt.Errorf("lazy: %w", err)
+	}
+	if err := check("lazy", lazy); err != nil {
+		return "", err
+	}
+	if lb > lazy.NumCalibrations() {
+		return "", fmt.Errorf("lower bound %d exceeds lazy %d", lb, lazy.NumCalibrations())
+	}
+
+	optStr := "opt=?"
+	if inst.N() <= 7 {
+		opt, err := exact.Solve(inst, exact.Options{WarmStart: true})
+		if err != nil {
+			return "", fmt.Errorf("exact: %w (but pipeline found a feasible schedule)", err)
+		}
+		if err := check("exact", opt.Schedule); err != nil {
+			return "", err
+		}
+		if lb > opt.Calibrations {
+			return "", fmt.Errorf("lower bound %d exceeds OPT %d", lb, opt.Calibrations)
+		}
+		if opt.Proven {
+			if opt.Calibrations > lazy.NumCalibrations() {
+				return "", fmt.Errorf("OPT %d exceeds lazy %d", opt.Calibrations, lazy.NumCalibrations())
+			}
+			if opt.Calibrations > pipe.Schedule.NumCalibrations() {
+				return "", fmt.Errorf("OPT %d exceeds pipeline %d", opt.Calibrations, pipe.Schedule.NumCalibrations())
+			}
+			if witness != nil && opt.Calibrations > witness.NumCalibrations() {
+				return "", fmt.Errorf("OPT %d exceeds witness %d", opt.Calibrations, witness.NumCalibrations())
+			}
+		}
+		optStr = fmt.Sprintf("opt=%d", opt.Calibrations)
+	}
+	return fmt.Sprintf("n=%d lb=%d %s lazy=%d pipeline=%d",
+		inst.N(), lb, optStr, lazy.NumCalibrations(), pipe.Schedule.NumCalibrations()), nil
+}

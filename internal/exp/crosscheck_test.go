@@ -1,0 +1,107 @@
+package exp
+
+import (
+	"encoding/binary"
+	"math/rand"
+	"testing"
+
+	"calib/internal/ise"
+	"calib/internal/workload"
+)
+
+// TestCrossCheckPlanted drives the full consistency web with planted
+// (feasible) instances across workload families.
+func TestCrossCheckPlanted(t *testing.T) {
+	rng := rand.New(rand.NewSource(606))
+	for trial := 0; trial < 20; trial++ {
+		inst, witness := workload.Planted(rng, workload.PlantedConfig{
+			Machines:               1 + rng.Intn(2),
+			T:                      ise.Time(4 + rng.Intn(10)),
+			CalibrationsPerMachine: 1 + rng.Intn(2),
+			Window:                 workload.WindowKind(rng.Intn(3)),
+			UnitJobs:               rng.Intn(4) == 0,
+		})
+		summary, err := CrossCheck(inst, witness)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if summary == "" {
+			t.Fatalf("trial %d: empty summary", trial)
+		}
+	}
+}
+
+func TestCrossCheckRejectsInvalidInstance(t *testing.T) {
+	in := ise.NewInstance(1, 1)
+	in.AddJob(0, 5, 1)
+	if _, err := CrossCheck(in, nil); err == nil {
+		t.Error("invalid instance accepted")
+	}
+}
+
+func TestCrossCheckRejectsBadWitness(t *testing.T) {
+	in := ise.NewInstance(10, 1)
+	in.AddJob(0, 20, 5)
+	w := ise.NewSchedule(1) // no placement: infeasible witness
+	if _, err := CrossCheck(in, w); err == nil {
+		t.Error("bad witness accepted")
+	}
+}
+
+// decodeInstance derives a well-formed instance from fuzz bytes.
+func decodeInstance(data []byte) *ise.Instance {
+	next := func() int64 {
+		if len(data) < 2 {
+			return 0
+		}
+		v := int64(binary.LittleEndian.Uint16(data[:2]))
+		data = data[2:]
+		return v
+	}
+	T := 2 + next()%14
+	inst := ise.NewInstance(T, 1+int(next()%3))
+	n := int(next() % 7)
+	for i := 0; i < n; i++ {
+		p := 1 + next()%T
+		r := next() % 60
+		d := r + p + next()%50
+		inst.AddJob(r, d, p)
+	}
+	return inst
+}
+
+// FuzzCrossCheck runs the full consistency web on fuzz-derived
+// instances. The only accepted failure is the exact solver reporting
+// infeasibility while the pipeline succeeded — impossible, so any
+// error fails the fuzz run.
+func FuzzCrossCheck(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{8, 0, 1, 0, 3, 0, 2, 0, 5, 0, 30, 0, 4, 0, 0, 0, 8, 0})
+	f.Add(make([]byte, 48))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		inst := decodeInstance(data)
+		if inst.Validate() != nil {
+			return
+		}
+		if _, err := CrossCheck(inst, nil); err != nil {
+			// Some fuzz instances are genuinely infeasible; the
+			// pipeline then errors. Only relation violations are
+			// bugs — those are phrased as "exceeds"/"rejected".
+			msg := err.Error()
+			for _, fatal := range []string{"exceeds", "rejected"} {
+				if contains(msg, fatal) {
+					t.Fatalf("consistency violation: %v", err)
+				}
+			}
+		}
+	})
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,126 @@
+package exp
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"calib/internal/ise"
+)
+
+// jobGlyph returns the single-character label of a job ID: 0-9 then
+// a-z then '#'.
+func jobGlyph(id int) byte {
+	switch {
+	case id < 10:
+		return byte('0' + id)
+	case id < 36:
+		return byte('a' + id - 10)
+	default:
+		return '#'
+	}
+}
+
+// Windows renders the job windows of inst as one line per job — the
+// (A) panel of Figure 1. Each line shows [r_j, d_j) as a dashed span
+// with the job's glyph at the release tick.
+func Windows(inst *ise.Instance) string {
+	lo, hi := inst.Span()
+	if hi == lo {
+		return "(no jobs)\n"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "windows (t = %d..%d, T = %d):\n", lo, hi, inst.T)
+	for _, j := range inst.Jobs {
+		line := make([]byte, hi-lo)
+		for i := range line {
+			line[i] = ' '
+		}
+		for t := j.Release; t < j.Deadline; t++ {
+			line[t-lo] = '-'
+		}
+		line[j.Release-lo] = jobGlyph(j.ID)
+		fmt.Fprintf(&b, "  job %-2d p=%-3d |%s|\n", j.ID, j.Processing, string(line))
+	}
+	return b.String()
+}
+
+// Gantt renders a schedule as one line per used machine: '=' marks
+// calibrated ticks, job glyphs mark execution, '.' marks dead time —
+// the (B)/(C) panels of Figure 1.
+func Gantt(inst *ise.Instance, s *ise.Schedule) string {
+	lo, hi := inst.Span()
+	for _, c := range s.Calibrations {
+		if c.Start < lo {
+			lo = c.Start
+		}
+		if c.Start+inst.T > hi {
+			hi = c.Start + inst.T
+		}
+	}
+	if hi <= lo {
+		return "(empty schedule)\n"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "schedule (t = %d..%d, %d calibrations, speed %d):\n", lo, hi, s.NumCalibrations(), s.Speed)
+	machines := make([]int, 0, s.Machines)
+	seen := map[int]bool{}
+	for _, c := range s.Calibrations {
+		if !seen[c.Machine] {
+			seen[c.Machine] = true
+			machines = append(machines, c.Machine)
+		}
+	}
+	for _, p := range s.Placements {
+		if !seen[p.Machine] {
+			seen[p.Machine] = true
+			machines = append(machines, p.Machine)
+		}
+	}
+	sort.Ints(machines)
+	for _, m := range machines {
+		line := make([]byte, hi-lo)
+		for i := range line {
+			line[i] = '.'
+		}
+		for _, c := range s.Calibrations {
+			if c.Machine != m {
+				continue
+			}
+			for t := c.Start; t < c.Start+inst.T && t < hi; t++ {
+				if t >= lo {
+					line[t-lo] = '='
+				}
+			}
+		}
+		for _, p := range s.Placements {
+			if p.Machine != m {
+				continue
+			}
+			dur := inst.Jobs[p.Job].Processing / s.Speed
+			for t := p.Start; t < p.Start+dur; t++ {
+				if t >= lo && t < hi {
+					line[t-lo] = jobGlyph(p.Job)
+				}
+			}
+		}
+		fmt.Fprintf(&b, "  m%-3d |%s|\n", m, string(line))
+	}
+	return b.String()
+}
+
+// Profile renders a fractional calibration profile (the bars of
+// Figure 2): one line per point with a bar of '#' proportional to the
+// fractional calibration mass.
+func Profile(points []ise.Time, c []float64) string {
+	var b strings.Builder
+	b.WriteString("fractional calibrations C_t:\n")
+	for i, t := range points {
+		if c[i] == 0 {
+			continue
+		}
+		bar := strings.Repeat("#", int(c[i]*20+0.5))
+		fmt.Fprintf(&b, "  t=%-6d %5.2f %s\n", t, c[i], bar)
+	}
+	return b.String()
+}

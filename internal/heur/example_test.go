@@ -1,0 +1,25 @@
+package heur_test
+
+import (
+	"fmt"
+
+	"calib/internal/heur"
+	"calib/internal/ise"
+)
+
+// Example shows the lazy heuristic sharing one late calibration.
+func Example() {
+	inst := ise.NewInstance(10, 1)
+	inst.AddJob(0, 100, 5)
+	inst.AddJob(90, 100, 5)
+	s, err := heur.Lazy(inst, heur.Options{})
+	if err != nil {
+		panic(err)
+	}
+	s.SortCanonical()
+	fmt.Println("calibrations:", s.NumCalibrations())
+	fmt.Println("calibrated at:", s.Calibrations[0].Start)
+	// Output:
+	// calibrations: 1
+	// calibrated at: 90
+}

@@ -1,0 +1,321 @@
+// Package heur implements a practical greedy heuristic for the
+// general ISE problem, beyond the paper's analysis: Lazy generalizes
+// the lazy-binning idea of Bender et al. (2013) from unit jobs to
+// arbitrary processing times. It carries no approximation guarantee —
+// the experiments measure its quality against the exact oracle and
+// the paper's algorithm — but it is fast, uses few machines, and is
+// the solver a practitioner would reach for first.
+package heur
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"calib/internal/ise"
+)
+
+// ErrInfeasible reports that the heuristic could not place a job
+// within the machine budget. The instance itself may still be
+// feasible; Lazy is a heuristic, not a decision procedure.
+var ErrInfeasible = errors.New("heur: could not place every job within the machine budget")
+
+// Order selects the job processing order of the greedy loop.
+type Order int
+
+// Job orders.
+const (
+	// DeadlineOrder (EDF) is the default and usually the best.
+	DeadlineOrder Order = iota
+	// ReleaseOrder processes jobs by release time.
+	ReleaseOrder
+	// SlackOrder processes the tightest jobs (d - r - p) first.
+	SlackOrder
+)
+
+func (o Order) String() string {
+	switch o {
+	case DeadlineOrder:
+		return "deadline"
+	case ReleaseOrder:
+		return "release"
+	case SlackOrder:
+		return "slack"
+	default:
+		return fmt.Sprintf("Order(%d)", int(o))
+	}
+}
+
+// Opening selects where new calibrations are opened.
+type Opening int
+
+// Calibration opening policies.
+const (
+	// LazyOpening (default) opens at d_j - T: as late as useful, so
+	// the calibration's tail serves later jobs.
+	LazyOpening Opening = iota
+	// EagerOpening opens at the job's release — the "calibrate when
+	// work shows up" instinct; the ablation (T13) quantifies how much
+	// it wastes.
+	EagerOpening
+)
+
+func (o Opening) String() string {
+	switch o {
+	case LazyOpening:
+		return "lazy"
+	case EagerOpening:
+		return "eager"
+	default:
+		return fmt.Sprintf("Opening(%d)", int(o))
+	}
+}
+
+// Options configures Lazy.
+type Options struct {
+	// MaxMachines caps the machine count; 0 means grow as needed.
+	MaxMachines int
+	// Order is the job processing order (default DeadlineOrder).
+	Order Order
+	// Opening is the calibration opening policy (default LazyOpening).
+	Opening Opening
+}
+
+// calibration is an open calibration with its occupied sub-intervals.
+type calibration struct {
+	start ise.Time
+	runs  []run // sorted by start
+}
+
+type run struct {
+	job        int
+	start, end ise.Time
+}
+
+// machine is one machine's calibrations, sorted by start.
+type machine struct {
+	cals []*calibration
+}
+
+// Lazy schedules inst greedily: jobs in the configured order (default
+// earliest deadline); each job is first fitted into the free space of
+// an existing calibration; failing that, a new calibration is opened
+// per the Opening policy (default: start d_j - T, pulled earlier only
+// to avoid same-machine conflicts), so that the calibration covers the
+// maximal usable span before the deadline and its head remains
+// available to other jobs.
+func Lazy(inst *ise.Instance, opts Options) (*ise.Schedule, error) {
+	if err := inst.Validate(); err != nil {
+		return nil, err
+	}
+	order := make([]int, inst.N())
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ja, jb := inst.Jobs[order[a]], inst.Jobs[order[b]]
+		var ka, kb ise.Time
+		switch opts.Order {
+		case ReleaseOrder:
+			ka, kb = ja.Release, jb.Release
+		case SlackOrder:
+			ka, kb = ja.Slack(), jb.Slack()
+		default:
+			ka, kb = ja.Deadline, jb.Deadline
+		}
+		if ka != kb {
+			return ka < kb
+		}
+		if ja.Deadline != jb.Deadline {
+			return ja.Deadline < jb.Deadline
+		}
+		return ja.ID < jb.ID
+	})
+	var machines []*machine
+	place := make(map[int]ise.Placement, inst.N())
+
+	for _, id := range order {
+		j := inst.Jobs[id]
+		// 1) Try the free space of existing calibrations; prefer the
+		// placement that starts latest (stay lazy, keep early space
+		// for nothing — later space serves later jobs anyway, so any
+		// fit avoids a new calibration; we pick the tightest fit by
+		// latest feasible start).
+		bestM, bestC := -1, -1
+		var bestStart ise.Time
+		for mi, m := range machines {
+			for ci, c := range m.cals {
+				if s, ok := fitInCalibration(inst.T, c, j); ok {
+					if bestM < 0 || s > bestStart {
+						bestM, bestC, bestStart = mi, ci, s
+					}
+				}
+			}
+		}
+		if bestM >= 0 {
+			c := machines[bestM].cals[bestC]
+			insertRun(c, run{job: id, start: bestStart, end: bestStart + j.Processing})
+			place[id] = ise.Placement{Job: id, Machine: bestM, Start: bestStart}
+			continue
+		}
+		// 2) Open a new calibration. The laziest useful start is
+		// d_j - T: the calibration then covers the maximal usable
+		// prefix before the deadline, and the job sits at its latest
+		// position inside, leaving the head of the calibration free
+		// for other jobs. Any start in [r_j + p_j - T, d_j - p_j] can
+		// host the job, so starts past d_j - T are kept as a fallback
+		// when machine spacing blocks the preferred range.
+		lo := j.Release + j.Processing - inst.T
+		preferred := j.Deadline - inst.T
+		if opts.Opening == EagerOpening {
+			preferred = j.Release
+		}
+		fallbackHi := j.Deadline - j.Processing
+		calM, calS := -1, ise.Time(0)
+		for mi, m := range machines {
+			if s, ok := latestCalStart(inst.T, m, lo, preferred); ok {
+				if calM < 0 || s > calS {
+					calM, calS = mi, s
+				}
+			}
+		}
+		if calM < 0 {
+			for mi, m := range machines {
+				if s, ok := latestCalStart(inst.T, m, lo, fallbackHi); ok {
+					if calM < 0 || s > calS {
+						calM, calS = mi, s
+					}
+				}
+			}
+		}
+		if calM < 0 {
+			if opts.MaxMachines > 0 && len(machines) >= opts.MaxMachines {
+				return nil, fmt.Errorf("heur: %v: %w", j, ErrInfeasible)
+			}
+			machines = append(machines, &machine{})
+			calM, calS = len(machines)-1, preferred
+		}
+		c := &calibration{start: calS}
+		m := machines[calM]
+		m.cals = append(m.cals, c)
+		sort.Slice(m.cals, func(a, b int) bool { return m.cals[a].start < m.cals[b].start })
+		// Latest feasible position within the calibration and window
+		// (earliest under eager opening).
+		var jobStart ise.Time
+		if opts.Opening == EagerOpening {
+			jobStart = calS
+			if jobStart < j.Release {
+				jobStart = j.Release
+			}
+		} else {
+			jobStart = calS + inst.T
+			if j.Deadline < jobStart {
+				jobStart = j.Deadline
+			}
+			jobStart -= j.Processing
+			if jobStart < j.Release {
+				jobStart = j.Release
+			}
+		}
+		insertRun(c, run{job: id, start: jobStart, end: jobStart + j.Processing})
+		place[id] = ise.Placement{Job: id, Machine: calM, Start: jobStart}
+	}
+
+	out := ise.NewSchedule(maxInt(len(machines), 1))
+	for mi, m := range machines {
+		for _, c := range m.cals {
+			out.Calibrate(mi, c.start)
+		}
+	}
+	for id := 0; id < inst.N(); id++ {
+		p := place[id]
+		out.Place(p.Job, p.Machine, p.Start)
+	}
+	return out, nil
+}
+
+// fitInCalibration returns the latest feasible start for job j inside
+// calibration c's free space, honoring the job's window.
+func fitInCalibration(T ise.Time, c *calibration, j ise.Job) (ise.Time, bool) {
+	lo := c.start
+	if j.Release > lo {
+		lo = j.Release
+	}
+	hi := c.start + T
+	if j.Deadline < hi {
+		hi = j.Deadline
+	}
+	if hi-lo < j.Processing {
+		return 0, false
+	}
+	// Scan gaps between runs from the back (prefer the latest start).
+	prevStart := hi
+	for k := len(c.runs) - 1; k >= -1; k-- {
+		gapEnd := prevStart
+		var gapStart ise.Time
+		if k >= 0 {
+			gapStart = c.runs[k].end
+			prevStart = c.runs[k].start
+		} else {
+			gapStart = lo
+		}
+		if gapStart < lo {
+			gapStart = lo
+		}
+		if gapEnd > hi {
+			gapEnd = hi
+		}
+		if gapEnd-gapStart >= j.Processing {
+			return gapEnd - j.Processing, true
+		}
+		if k >= 0 && c.runs[k].start <= lo {
+			break
+		}
+	}
+	return 0, false
+}
+
+// insertRun inserts r keeping c.runs sorted by start.
+func insertRun(c *calibration, r run) {
+	c.runs = append(c.runs, r)
+	sort.Slice(c.runs, func(a, b int) bool { return c.runs[a].start < c.runs[b].start })
+}
+
+// latestCalStart returns the latest start in [lo, hi] at which a new
+// calibration can be opened on m without coming within T of an
+// existing calibration.
+func latestCalStart(T ise.Time, m *machine, lo, hi ise.Time) (ise.Time, bool) {
+	// Candidate positions: hi itself, or just before each existing
+	// calibration (start - T), scanned from the latest.
+	feasible := func(s ise.Time) bool {
+		for _, c := range m.cals {
+			d := s - c.start
+			if d < 0 {
+				d = -d
+			}
+			if d < T {
+				return false
+			}
+		}
+		return true
+	}
+	if feasible(hi) {
+		return hi, true
+	}
+	best, ok := ise.Time(0), false
+	for _, c := range m.cals {
+		for _, s := range []ise.Time{c.start - T, c.start + T} {
+			if s >= lo && s <= hi && feasible(s) && (!ok || s > best) {
+				best, ok = s, true
+			}
+		}
+	}
+	return best, ok
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

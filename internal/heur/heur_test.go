@@ -1,0 +1,144 @@
+package heur_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"calib/internal/exact"
+	"calib/internal/heur"
+	"calib/internal/ise"
+	"calib/internal/workload"
+)
+
+func TestLazyDelaysCalibration(t *testing.T) {
+	in := ise.NewInstance(10, 1)
+	in.AddJob(0, 100, 5)
+	in.AddJob(90, 100, 5)
+	s, err := heur.Lazy(in, heur.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ise.Validate(in, s); err != nil {
+		t.Fatalf("infeasible: %v", err)
+	}
+	if s.NumCalibrations() != 1 {
+		t.Errorf("calibrations = %d, want 1 (share the late calibration)", s.NumCalibrations())
+	}
+}
+
+func TestLazyPacksExistingCalibrations(t *testing.T) {
+	in := ise.NewInstance(10, 1)
+	// Three jobs, total work 9 <= T, overlapping windows.
+	in.AddJob(0, 30, 3)
+	in.AddJob(0, 30, 3)
+	in.AddJob(0, 30, 3)
+	s, err := heur.Lazy(in, heur.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ise.Validate(in, s); err != nil {
+		t.Fatalf("infeasible: %v", err)
+	}
+	if s.NumCalibrations() != 1 {
+		t.Errorf("calibrations = %d, want 1", s.NumCalibrations())
+	}
+}
+
+func TestLazyMachineBudget(t *testing.T) {
+	in := ise.NewInstance(10, 1)
+	// Two full-size jobs with identical tight windows need 2 machines.
+	in.AddJob(0, 10, 10)
+	in.AddJob(0, 10, 10)
+	if _, err := heur.Lazy(in, heur.Options{MaxMachines: 1}); err == nil {
+		t.Error("budget violation not reported")
+	}
+	s, err := heur.Lazy(in, heur.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ise.Validate(in, s); err != nil {
+		t.Fatalf("infeasible: %v", err)
+	}
+	if s.MachinesUsed() != 2 {
+		t.Errorf("machines = %d, want 2", s.MachinesUsed())
+	}
+}
+
+// TestLazyFeasibleOnRandom checks feasibility across workload families
+// and measures the ratio against the exact oracle on small instances.
+func TestLazyFeasibleOnRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	worst := 0.0
+	for trial := 0; trial < 40; trial++ {
+		inst, _ := workload.Planted(rng, workload.PlantedConfig{
+			Machines:               1 + rng.Intn(2),
+			T:                      8,
+			CalibrationsPerMachine: 1 + rng.Intn(3),
+			Window:                 workload.AnyWindow,
+		})
+		s, err := heur.Lazy(inst, heur.Options{})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if err := ise.Validate(inst, s); err != nil {
+			t.Fatalf("trial %d: infeasible: %v", trial, err)
+		}
+		if inst.N() <= 7 && inst.N() > 0 {
+			opt, err := exact.Solve(inst, exact.Options{})
+			if err != nil {
+				t.Fatalf("trial %d: %v", trial, err)
+			}
+			r := float64(s.NumCalibrations()) / float64(opt.Calibrations)
+			if r > worst {
+				worst = r
+			}
+			if r < 1 {
+				t.Errorf("trial %d: heuristic %d beats 'optimal' %d — oracle bug!",
+					trial, s.NumCalibrations(), opt.Calibrations)
+			}
+		}
+	}
+	t.Logf("worst lazy/OPT ratio observed: %.2f", worst)
+}
+
+func TestLazyUnitMatchesSpirit(t *testing.T) {
+	// On unit jobs the general heuristic should stay close to the
+	// specialised lazy binning (both delay calibrations).
+	rng := rand.New(rand.NewSource(66))
+	for trial := 0; trial < 15; trial++ {
+		inst, _ := workload.Planted(rng, workload.PlantedConfig{
+			Machines:               1,
+			T:                      6,
+			CalibrationsPerMachine: 2,
+			UnitJobs:               true,
+			Fill:                   0.5,
+			Window:                 workload.AnyWindow,
+		})
+		if inst.N() == 0 || inst.N() > 7 {
+			continue
+		}
+		s, err := heur.Lazy(inst, heur.Options{})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if err := ise.Validate(inst, s); err != nil {
+			t.Fatalf("trial %d: infeasible: %v", trial, err)
+		}
+		opt, err := exact.Solve(inst, exact.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.NumCalibrations() > 2*opt.Calibrations {
+			t.Errorf("trial %d: lazy %d > 2*OPT %d on unit jobs",
+				trial, s.NumCalibrations(), 2*opt.Calibrations)
+		}
+	}
+}
+
+func TestLazyEmpty(t *testing.T) {
+	in := ise.NewInstance(10, 1)
+	s, err := heur.Lazy(in, heur.Options{})
+	if err != nil || s.NumCalibrations() != 0 {
+		t.Errorf("empty: %v %+v", err, s)
+	}
+}

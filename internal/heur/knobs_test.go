@@ -1,0 +1,69 @@
+package heur_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"calib/internal/heur"
+	"calib/internal/ise"
+	"calib/internal/workload"
+)
+
+// TestQuickAllKnobCombosFeasible: every (order, opening) configuration
+// must produce feasible schedules on arbitrary planted instances.
+func TestQuickAllKnobCombosFeasible(t *testing.T) {
+	prop := func(seed int64, ordRaw, openRaw, mRaw, TRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		inst, _ := workload.Planted(rng, workload.PlantedConfig{
+			Machines:               1 + int(mRaw%3),
+			T:                      ise.Time(3 + TRaw%12),
+			CalibrationsPerMachine: 1 + rng.Intn(2),
+			Window:                 workload.WindowKind(rng.Intn(3)),
+		})
+		s, err := heur.Lazy(inst, heur.Options{
+			Order:   heur.Order(ordRaw % 3),
+			Opening: heur.Opening(openRaw % 2),
+		})
+		if err != nil {
+			return false
+		}
+		return ise.Validate(inst, s) == nil
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestLazinessWinsWhenItMatters: the canonical sparse long-window case
+// where eager opening provably pays double.
+func TestLazinessWinsWhenItMatters(t *testing.T) {
+	in := ise.NewInstance(10, 1)
+	in.AddJob(0, 100, 5)
+	in.AddJob(90, 100, 5)
+	lazy, err := heur.Lazy(in, heur.Options{Opening: heur.LazyOpening})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eager, err := heur.Lazy(in, heur.Options{Opening: heur.EagerOpening})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lazy.NumCalibrations() != 1 || eager.NumCalibrations() != 2 {
+		t.Errorf("lazy %d (want 1), eager %d (want 2)",
+			lazy.NumCalibrations(), eager.NumCalibrations())
+	}
+}
+
+func TestKnobStrings(t *testing.T) {
+	for _, o := range []heur.Order{heur.DeadlineOrder, heur.ReleaseOrder, heur.SlackOrder, heur.Order(9)} {
+		if o.String() == "" {
+			t.Errorf("empty Order string for %d", int(o))
+		}
+	}
+	for _, o := range []heur.Opening{heur.LazyOpening, heur.EagerOpening, heur.Opening(9)} {
+		if o.String() == "" {
+			t.Errorf("empty Opening string for %d", int(o))
+		}
+	}
+}

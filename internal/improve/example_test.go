@@ -1,0 +1,27 @@
+package improve_test
+
+import (
+	"fmt"
+
+	"calib/internal/improve"
+	"calib/internal/ise"
+)
+
+// Example merges two mergeable calibrations into one.
+func Example() {
+	inst := ise.NewInstance(10, 2)
+	inst.AddJob(0, 30, 3)
+	inst.AddJob(0, 30, 4)
+	s := ise.NewSchedule(2)
+	s.Calibrate(0, 0)
+	s.Calibrate(1, 0)
+	s.Place(0, 0, 0)
+	s.Place(1, 1, 0)
+	res, err := improve.Run(inst, s)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("calibrations:", s.NumCalibrations(), "->", res.Schedule.NumCalibrations())
+	// Output:
+	// calibrations: 2 -> 1
+}

@@ -1,0 +1,125 @@
+package improve
+
+import (
+	"math/rand"
+	"testing"
+
+	"calib/internal/core"
+	"calib/internal/heur"
+	"calib/internal/ise"
+	"calib/internal/workload"
+)
+
+func TestRunMergesMergeable(t *testing.T) {
+	// Two calibrations whose jobs all fit into one.
+	in := ise.NewInstance(10, 2)
+	in.AddJob(0, 30, 3)
+	in.AddJob(0, 30, 4)
+	s := ise.NewSchedule(2)
+	s.Calibrate(0, 0)
+	s.Calibrate(1, 0)
+	s.Place(0, 0, 0)
+	s.Place(1, 1, 0)
+	res, err := Run(in, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Schedule.NumCalibrations() != 1 {
+		t.Errorf("calibrations = %d, want 1", res.Schedule.NumCalibrations())
+	}
+	if res.Removed != 1 {
+		t.Errorf("removed = %d, want 1", res.Removed)
+	}
+}
+
+func TestRunKeepsUnmergeable(t *testing.T) {
+	// Two full calibrations: nothing to remove.
+	in := ise.NewInstance(10, 2)
+	in.AddJob(0, 10, 10)
+	in.AddJob(0, 10, 10)
+	s := ise.NewSchedule(2)
+	s.Calibrate(0, 0)
+	s.Calibrate(1, 0)
+	s.Place(0, 0, 0)
+	s.Place(1, 1, 0)
+	res, err := Run(in, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Schedule.NumCalibrations() != 2 || res.Removed != 0 {
+		t.Errorf("result %+v, want 2 calibrations kept", res)
+	}
+}
+
+func TestRunRejectsInfeasibleInput(t *testing.T) {
+	in := ise.NewInstance(10, 1)
+	in.AddJob(0, 20, 5)
+	s := ise.NewSchedule(1) // missing placement
+	if _, err := Run(in, s); err == nil {
+		t.Error("infeasible input accepted")
+	}
+}
+
+// TestRunImprovesPipelineOutputs: on random mixed workloads, improving
+// the paper pipeline's schedule must keep feasibility, never increase
+// calibrations, and usually strip a lot of padding.
+func TestRunImprovesPipelineOutputs(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	totalBefore, totalAfter := 0, 0
+	for trial := 0; trial < 8; trial++ {
+		inst, _ := workload.Mixed(rng, 12, 1, 10, 0.5)
+		pr, err := core.Solve(inst, core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Run(inst, pr.Schedule)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if err := ise.Validate(inst, res.Schedule); err != nil {
+			t.Fatalf("trial %d: infeasible: %v", trial, err)
+		}
+		before, after := pr.Schedule.NumCalibrations(), res.Schedule.NumCalibrations()
+		if after > before {
+			t.Errorf("trial %d: improvement increased calibrations (%d > %d)", trial, after, before)
+		}
+		totalBefore += before
+		totalAfter += after
+	}
+	if totalAfter >= totalBefore {
+		t.Errorf("no improvement at all across trials (%d -> %d); local search inert", totalBefore, totalAfter)
+	}
+	t.Logf("calibrations %d -> %d (-%d%%)", totalBefore, totalAfter, 100*(totalBefore-totalAfter)/totalBefore)
+}
+
+// TestRunOnLazyOutputs: improving an already-good schedule should be
+// safe (and often a no-op).
+func TestRunOnLazyOutputs(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 8; trial++ {
+		inst, _ := workload.Mixed(rng, 12, 1, 10, 0.5)
+		ls, err := heur.Lazy(inst, heur.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Run(inst, ls)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if res.Schedule.NumCalibrations() > ls.NumCalibrations() {
+			t.Errorf("trial %d: got worse", trial)
+		}
+	}
+}
+
+func TestRunRejectsSpeedSchedules(t *testing.T) {
+	in := ise.NewInstance(10, 1)
+	in.AddJob(0, 20, 4)
+	s := ise.NewSchedule(1)
+	s.Speed = 2
+	s.Calibrate(0, 0)
+	s.Place(0, 0, 0)
+	if _, err := Run(in, s); err == nil {
+		t.Error("speed schedule accepted")
+	}
+}

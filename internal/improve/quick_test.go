@@ -1,0 +1,44 @@
+package improve
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"calib/internal/ise"
+	"calib/internal/workload"
+)
+
+// TestQuickImproveSafety: for arbitrary feasible inputs (planted
+// witnesses), local search keeps feasibility and never increases the
+// calibration count, and a second application is a no-op (fixpoint).
+func TestQuickImproveSafety(t *testing.T) {
+	prop := func(seed int64, mRaw, TRaw, winRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		inst, witness := workload.Planted(rng, workload.PlantedConfig{
+			Machines:               1 + int(mRaw%3),
+			T:                      ise.Time(3 + TRaw%12),
+			CalibrationsPerMachine: 1 + rng.Intn(3),
+			Window:                 workload.WindowKind(winRaw % 3),
+		})
+		res, err := Run(inst, witness)
+		if err != nil {
+			return false
+		}
+		if ise.Validate(inst, res.Schedule) != nil {
+			return false
+		}
+		if res.Schedule.NumCalibrations() > witness.NumCalibrations() {
+			return false
+		}
+		again, err := Run(inst, res.Schedule)
+		if err != nil {
+			return false
+		}
+		return again.Removed == 0 &&
+			again.Schedule.NumCalibrations() == res.Schedule.NumCalibrations()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,146 @@
+package ise
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func randNew(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+func TestCompactMergesSparseMachines(t *testing.T) {
+	in := NewInstance(10, 1)
+	in.AddJob(0, 20, 5)
+	in.AddJob(20, 40, 5)
+	// Wasteful schedule: two machines for calibrations that don't
+	// overlap.
+	s := NewSchedule(5)
+	s.Calibrate(0, 0)
+	s.Calibrate(3, 20)
+	s.Place(0, 0, 0)
+	s.Place(1, 3, 20)
+	if err := Validate(in, s); err != nil {
+		t.Fatal(err)
+	}
+	c, err := Compact(in, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(in, c); err != nil {
+		t.Fatalf("compacted schedule infeasible: %v", err)
+	}
+	if c.Machines != 1 {
+		t.Errorf("machines = %d, want 1", c.Machines)
+	}
+	if c.NumCalibrations() != 2 {
+		t.Errorf("calibrations = %d, want 2 (unchanged)", c.NumCalibrations())
+	}
+}
+
+func TestCompactKeepsOverlapsApart(t *testing.T) {
+	in := NewInstance(10, 2)
+	in.AddJob(0, 15, 5)
+	in.AddJob(0, 15, 5)
+	s := NewSchedule(4)
+	s.Calibrate(1, 0)
+	s.Calibrate(3, 5) // overlaps [0,10): must stay on another machine
+	s.Place(0, 1, 0)
+	s.Place(1, 3, 5)
+	if err := Validate(in, s); err != nil {
+		t.Fatal(err)
+	}
+	c, err := Compact(in, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(in, c); err != nil {
+		t.Fatalf("compacted schedule infeasible: %v", err)
+	}
+	if c.Machines != 2 {
+		t.Errorf("machines = %d, want 2 (calibrations overlap)", c.Machines)
+	}
+}
+
+func TestCompactEmptyAndErrors(t *testing.T) {
+	in := NewInstance(10, 1)
+	s := NewSchedule(3)
+	c, err := Compact(in, s)
+	if err != nil || c.Machines != 1 {
+		t.Errorf("empty compact: %v %+v", err, c)
+	}
+	// Placement without a containing calibration is rejected.
+	in2 := NewInstance(10, 1)
+	in2.AddJob(0, 20, 5)
+	bad := NewSchedule(1)
+	bad.Place(0, 0, 0)
+	if _, err := Compact(in2, bad); err == nil {
+		t.Error("compact accepted a placement with no calibration")
+	}
+}
+
+func TestCompactPreservesSpeed(t *testing.T) {
+	in := NewInstance(10, 1)
+	in.AddJob(0, 20, 6)
+	s := NewSchedule(2)
+	s.Speed = 2
+	s.Calibrate(1, 0)
+	s.Place(0, 1, 0) // runs [0,3)
+	if err := Validate(in, s); err != nil {
+		t.Fatal(err)
+	}
+	c, err := Compact(in, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Speed != 2 {
+		t.Errorf("speed = %d, want 2", c.Speed)
+	}
+	if err := Validate(in, c); err != nil {
+		t.Fatalf("compacted speed schedule infeasible: %v", err)
+	}
+}
+
+// TestCompactIsOptimal: first-fit by start time on interval graphs is
+// optimal, so the compacted machine count must equal the maximum
+// number of calibrations alive at any instant (the clique number).
+func TestCompactIsOptimal(t *testing.T) {
+	quickProp := func(seed int64) bool {
+		rng := randNew(seed)
+		T := Time(3 + rng.Intn(10))
+		in := NewInstance(T, 1)
+		s := NewSchedule(12)
+		n := 1 + rng.Intn(8)
+		for i := 0; i < n; i++ {
+			start := Time(rng.Intn(40))
+			in.AddJob(start, start+T, 1)
+			s.Calibrate(i, start) // one calibration per machine: no overlap issues
+			s.Place(i, i, start)
+		}
+		s.Machines = n
+		if Validate(in, s) != nil {
+			return true // skip rare invalid constructions
+		}
+		c, err := Compact(in, s)
+		if err != nil || Validate(in, c) != nil {
+			return false
+		}
+		// Clique number: max calibrations covering one instant.
+		clique := 0
+		for _, a := range s.Calibrations {
+			cover := 0
+			for _, b := range s.Calibrations {
+				if b.Start <= a.Start && a.Start < b.Start+T {
+					cover++
+				}
+			}
+			if cover > clique {
+				clique = cover
+			}
+		}
+		return c.Machines == clique
+	}
+	for seed := int64(0); seed < 60; seed++ {
+		if !quickProp(seed) {
+			t.Fatalf("compaction not optimal for seed %d", seed)
+		}
+	}
+}

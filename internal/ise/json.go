@@ -1,0 +1,49 @@
+package ise
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// WriteInstance encodes inst as indented JSON to w.
+func WriteInstance(w io.Writer, inst *Instance) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(inst); err != nil {
+		return fmt.Errorf("ise: encoding instance: %w", err)
+	}
+	return nil
+}
+
+// ReadInstance decodes a JSON instance from r and validates it.
+func ReadInstance(r io.Reader) (*Instance, error) {
+	var inst Instance
+	if err := json.NewDecoder(r).Decode(&inst); err != nil {
+		return nil, fmt.Errorf("ise: decoding instance: %w", err)
+	}
+	if err := inst.Validate(); err != nil {
+		return nil, err
+	}
+	return &inst, nil
+}
+
+// WriteSchedule encodes s as indented JSON to w.
+func WriteSchedule(w io.Writer, s *Schedule) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(s); err != nil {
+		return fmt.Errorf("ise: encoding schedule: %w", err)
+	}
+	return nil
+}
+
+// ReadSchedule decodes a JSON schedule from r. Feasibility is not
+// checked here; pass the result to Validate.
+func ReadSchedule(r io.Reader) (*Schedule, error) {
+	var s Schedule
+	if err := json.NewDecoder(r).Decode(&s); err != nil {
+		return nil, fmt.Errorf("ise: decoding schedule: %w", err)
+	}
+	return &s, nil
+}

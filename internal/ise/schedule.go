@@ -1,0 +1,175 @@
+package ise
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Calibration is a single calibration event: machine Machine becomes
+// usable during [Start, Start+T).
+type Calibration struct {
+	Machine int  `json:"machine"`
+	Start   Time `json:"start"`
+}
+
+// Placement records where a job executes: job Job starts at tick Start
+// on machine Machine and runs for its (speed-adjusted) processing time.
+type Placement struct {
+	Job     int  `json:"job"`
+	Machine int  `json:"machine"`
+	Start   Time `json:"start"`
+}
+
+// Schedule is a complete ISE solution: a set of calibrations and a
+// placement for every job, on Machines machines running at Speed times
+// unit speed.
+//
+// At speed s, a job with processing time p occupies p/s ticks; the
+// validator requires s to divide every placed job's processing time so
+// that the schedule stays exact (algorithms that use speed augmentation
+// scale the instance first to guarantee divisibility).
+type Schedule struct {
+	// Machines is the number of machines the schedule may use; all
+	// machine indices must lie in [0, Machines).
+	Machines int `json:"machines"`
+	// Speed is the speed-augmentation factor s >= 1.
+	Speed int64 `json:"speed"`
+	// Calibrations lists every calibration performed. Minimizing
+	// len(Calibrations) is the ISE objective.
+	Calibrations []Calibration `json:"calibrations"`
+	// Placements lists one execution per job.
+	Placements []Placement `json:"placements"`
+}
+
+// NewSchedule returns an empty unit-speed schedule on m machines.
+func NewSchedule(m int) *Schedule {
+	return &Schedule{Machines: m, Speed: 1}
+}
+
+// Calibrate records a calibration of machine at start.
+func (s *Schedule) Calibrate(machine int, start Time) {
+	s.Calibrations = append(s.Calibrations, Calibration{Machine: machine, Start: start})
+}
+
+// Place records that job starts at start on machine.
+func (s *Schedule) Place(job, machine int, start Time) {
+	s.Placements = append(s.Placements, Placement{Job: job, Machine: machine, Start: start})
+}
+
+// NumCalibrations returns the objective value of the schedule.
+func (s *Schedule) NumCalibrations() int { return len(s.Calibrations) }
+
+// MachinesUsed returns the number of distinct machines that have at
+// least one calibration or placement.
+func (s *Schedule) MachinesUsed() int {
+	used := map[int]struct{}{}
+	for _, c := range s.Calibrations {
+		used[c.Machine] = struct{}{}
+	}
+	for _, p := range s.Placements {
+		used[p.Machine] = struct{}{}
+	}
+	return len(used)
+}
+
+// Duration returns the execution length of a job with processing time
+// p under the schedule's speed. It panics if the speed does not divide
+// p; Validate reports the same condition as an error.
+func (s *Schedule) Duration(p Time) Time {
+	if p%s.Speed != 0 {
+		panic(fmt.Sprintf("ise: processing time %d not divisible by speed %d", p, s.Speed))
+	}
+	return p / s.Speed
+}
+
+// Clone returns a deep copy of the schedule.
+func (s *Schedule) Clone() *Schedule {
+	out := &Schedule{Machines: s.Machines, Speed: s.Speed}
+	out.Calibrations = append(out.Calibrations, s.Calibrations...)
+	out.Placements = append(out.Placements, s.Placements...)
+	return out
+}
+
+// Merge combines other into s, mapping other's machine i to machine
+// offset+i. Placements keep their job IDs, so the caller is
+// responsible for job-ID consistency (use RenumberJobs for partitioned
+// sub-instances). Speeds must match.
+func (s *Schedule) Merge(other *Schedule, offset int) {
+	if other.Speed != s.Speed {
+		panic(fmt.Sprintf("ise: merging schedules with speeds %d and %d", s.Speed, other.Speed))
+	}
+	if offset+other.Machines > s.Machines {
+		s.Machines = offset + other.Machines
+	}
+	for _, c := range other.Calibrations {
+		s.Calibrate(c.Machine+offset, c.Start)
+	}
+	for _, p := range other.Placements {
+		s.Place(p.Job, p.Machine+offset, p.Start)
+	}
+}
+
+// RenumberJobs rewrites each placement's job ID through ids, which maps
+// the sub-instance's contiguous job IDs back to the parent instance's
+// IDs (as produced by Instance.Partition).
+func (s *Schedule) RenumberJobs(ids []int) {
+	for i := range s.Placements {
+		s.Placements[i].Job = ids[s.Placements[i].Job]
+	}
+}
+
+// SortCanonical sorts calibrations and placements by (machine, start,
+// job) so schedules compare deterministically in tests and output.
+func (s *Schedule) SortCanonical() {
+	sort.Slice(s.Calibrations, func(a, b int) bool {
+		ca, cb := s.Calibrations[a], s.Calibrations[b]
+		if ca.Machine != cb.Machine {
+			return ca.Machine < cb.Machine
+		}
+		return ca.Start < cb.Start
+	})
+	sort.Slice(s.Placements, func(a, b int) bool {
+		pa, pb := s.Placements[a], s.Placements[b]
+		if pa.Machine != pb.Machine {
+			return pa.Machine < pb.Machine
+		}
+		if pa.Start != pb.Start {
+			return pa.Start < pb.Start
+		}
+		return pa.Job < pb.Job
+	})
+}
+
+// CalibrationsByMachine groups calibration start times per machine,
+// sorted ascending.
+func (s *Schedule) CalibrationsByMachine() map[int][]Time {
+	byM := map[int][]Time{}
+	for _, c := range s.Calibrations {
+		byM[c.Machine] = append(byM[c.Machine], c.Start)
+	}
+	for m := range byM {
+		ts := byM[m]
+		sort.Slice(ts, func(a, b int) bool { return ts[a] < ts[b] })
+	}
+	return byM
+}
+
+// Stats summarizes a schedule for experiment tables.
+type Stats struct {
+	Calibrations int   // total calibrations (objective)
+	Machines     int   // distinct machines used
+	Speed        int64 // speed factor
+	MaxBusy      Time  // latest completion time across placements
+}
+
+// Stat computes summary statistics for the schedule against inst.
+func (s *Schedule) Stat(inst *Instance) Stats {
+	st := Stats{Calibrations: s.NumCalibrations(), Machines: s.MachinesUsed(), Speed: s.Speed}
+	for _, p := range s.Placements {
+		end := p.Start + s.Duration(inst.Jobs[p.Job].Processing)
+		if end > st.MaxBusy {
+			st.MaxBusy = end
+		}
+	}
+	return st
+}

@@ -1,0 +1,86 @@
+package ise
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// InstanceStats summarizes an instance for tooling and reports.
+type InstanceStats struct {
+	N          int
+	T          Time
+	M          int
+	TotalWork  Time
+	SpanLo     Time
+	SpanHi     Time
+	LongJobs   int // window >= 2T (Definition 1)
+	ShortJobs  int
+	UnitJobs   bool // every processing time is 1
+	MinProc    Time
+	MaxProc    Time
+	MedianWin  Time
+	MaxWindow  Time
+	MinSlack   Time
+	WorkPerTSu float64 // total work / span, a crude load measure
+}
+
+// Stats computes descriptive statistics for the instance.
+func (in *Instance) Stats() InstanceStats {
+	st := InstanceStats{N: in.N(), T: in.T, M: in.M, UnitJobs: in.N() > 0}
+	if in.N() == 0 {
+		return st
+	}
+	st.SpanLo, st.SpanHi = in.Span()
+	st.MinProc, st.MaxProc = in.Jobs[0].Processing, in.Jobs[0].Processing
+	st.MinSlack = in.Jobs[0].Slack()
+	windows := make([]Time, 0, in.N())
+	for _, j := range in.Jobs {
+		st.TotalWork += j.Processing
+		if j.IsLong(in.T) {
+			st.LongJobs++
+		} else {
+			st.ShortJobs++
+		}
+		if j.Processing != 1 {
+			st.UnitJobs = false
+		}
+		if j.Processing < st.MinProc {
+			st.MinProc = j.Processing
+		}
+		if j.Processing > st.MaxProc {
+			st.MaxProc = j.Processing
+		}
+		if s := j.Slack(); s < st.MinSlack {
+			st.MinSlack = s
+		}
+		w := j.WindowLength()
+		windows = append(windows, w)
+		if w > st.MaxWindow {
+			st.MaxWindow = w
+		}
+	}
+	sort.Slice(windows, func(a, b int) bool { return windows[a] < windows[b] })
+	st.MedianWin = windows[len(windows)/2]
+	if span := st.SpanHi - st.SpanLo; span > 0 {
+		st.WorkPerTSu = float64(st.TotalWork) / float64(span)
+	}
+	return st
+}
+
+// String renders the stats as a compact multi-line description.
+func (st InstanceStats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "n=%d T=%d m=%d span=[%d,%d)\n", st.N, st.T, st.M, st.SpanLo, st.SpanHi)
+	fmt.Fprintf(&b, "windows: %d long, %d short (median %d, max %d)\n", st.LongJobs, st.ShortJobs, st.MedianWin, st.MaxWindow)
+	fmt.Fprintf(&b, "processing: [%d, %d]%s, total work %d (load %.2f), min slack %d\n",
+		st.MinProc, st.MaxProc, unitTag(st.UnitJobs), st.TotalWork, st.WorkPerTSu, st.MinSlack)
+	return b.String()
+}
+
+func unitTag(unit bool) string {
+	if unit {
+		return " (unit jobs)"
+	}
+	return ""
+}

@@ -1,0 +1,88 @@
+package lp
+
+import (
+	"math"
+	"testing"
+)
+
+// decodeLP deterministically derives a small LP from fuzz bytes.
+// Coefficients stay small and integral so the exact rational engine is
+// a meaningful referee.
+func decodeLP(data []byte) *Problem {
+	next := func() int {
+		if len(data) == 0 {
+			return 0
+		}
+		v := int(data[0])
+		data = data[1:]
+		return v
+	}
+	p := NewProblem()
+	nv := 1 + next()%6
+	for v := 0; v < nv; v++ {
+		p.AddVar("x", float64(next()%9-4))
+	}
+	nc := next() % 6
+	for c := 0; c < nc; c++ {
+		var terms []Term
+		for v := 0; v < nv; v++ {
+			if coef := next()%7 - 3; coef != 0 {
+				terms = append(terms, Term{v, float64(coef)})
+			}
+		}
+		if len(terms) == 0 {
+			continue
+		}
+		rel := Rel(next() % 3)
+		rhs := float64(next()%21 - 10)
+		p.AddConstraint(rel, rhs, terms...)
+	}
+	// A box keeps everything bounded so "unbounded" cannot hinge on
+	// float round-off.
+	for v := 0; v < nv; v++ {
+		p.AddConstraint(LE, 50, Term{v, 1})
+	}
+	return p
+}
+
+// FuzzEnginesAgree checks that the dense, revised, and rational
+// engines agree on status and optimum for arbitrary small LPs, and
+// that none of them panic.
+func FuzzEnginesAgree(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{3, 1, 2, 3, 2, 1, 1, 0, 0, 5, 2, 2, 2, 1, 9})
+	f.Add(make([]byte, 40))
+	f.Add([]byte{5, 4, 3, 2, 1, 0, 4, 1, 1, 1, 1, 1, 2, 15, 2, 2, 0, 3, 1, 1, 7})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p := decodeLP(data)
+		dense, err := Solve(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		revised, err := SolveRevised(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rational, err := SolveRational(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rational.Status == IterLimit || dense.Status == IterLimit || revised.Status == IterLimit {
+			return // pathological; nothing to compare
+		}
+		if dense.Status != rational.Status || revised.Status != rational.Status {
+			t.Fatalf("status disagreement: dense=%v revised=%v rational=%v\n%s",
+				dense.Status, revised.Status, rational.Status, p)
+		}
+		if rational.Status == Optimal {
+			ro := rational.ObjectiveFloat()
+			tol := 1e-5 * (1 + math.Abs(ro))
+			if math.Abs(dense.Objective-ro) > tol {
+				t.Fatalf("dense objective %v != rational %v\n%s", dense.Objective, ro, p)
+			}
+			if math.Abs(revised.Objective-ro) > tol {
+				t.Fatalf("revised objective %v != rational %v\n%s", revised.Objective, ro, p)
+			}
+		}
+	})
+}

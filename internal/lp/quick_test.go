@@ -1,0 +1,128 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randFeasibleLP builds a feasible, bounded LP: b = A*x0 with x0 >= 0
+// guarantees feasibility; nonnegative costs guarantee boundedness.
+// It returns the problem and the planted point.
+func randFeasibleLP(seed int64) (*Problem, []float64) {
+	rng := rand.New(rand.NewSource(seed))
+	nv := 2 + rng.Intn(6)
+	nc := 1 + rng.Intn(6)
+	p := NewProblem()
+	for v := 0; v < nv; v++ {
+		p.AddVar("x", float64(rng.Intn(6)))
+	}
+	x0 := make([]float64, nv)
+	for v := range x0 {
+		x0[v] = float64(rng.Intn(5))
+	}
+	for c := 0; c < nc; c++ {
+		var terms []Term
+		rhs := 0.0
+		for v := 0; v < nv; v++ {
+			coef := float64(rng.Intn(4))
+			if coef != 0 {
+				terms = append(terms, Term{v, coef})
+				rhs += coef * x0[v]
+			}
+		}
+		if len(terms) == 0 {
+			continue
+		}
+		rel := LE
+		if rng.Intn(4) == 0 {
+			rel = EQ
+		}
+		p.AddConstraint(rel, rhs, terms...)
+	}
+	return p, x0
+}
+
+// TestQuickOptimumIsFeasibleAndDominates checks three properties of
+// every float solve: the returned point satisfies all constraints (to
+// tolerance), its objective matches c·x, and it is at least as good as
+// the planted feasible point.
+func TestQuickOptimumIsFeasibleAndDominates(t *testing.T) {
+	prop := func(seed int64) bool {
+		p, x0 := randFeasibleLP(seed)
+		sol, err := Solve(p)
+		if err != nil || sol.Status != Optimal {
+			return false
+		}
+		const tol = 1e-6
+		// Constraint satisfaction.
+		for _, r := range p.rows {
+			lhs := 0.0
+			for _, term := range r.terms {
+				lhs += term.Coeff * sol.X[term.Var]
+			}
+			switch r.rel {
+			case LE:
+				if lhs > r.rhs+tol {
+					return false
+				}
+			case GE:
+				if lhs < r.rhs-tol {
+					return false
+				}
+			case EQ:
+				if math.Abs(lhs-r.rhs) > tol {
+					return false
+				}
+			}
+		}
+		// Objective consistency.
+		obj := 0.0
+		for v, c := range p.obj {
+			if sol.X[v] < -tol {
+				return false
+			}
+			obj += c * sol.X[v]
+		}
+		if math.Abs(obj-sol.Objective) > tol*(1+math.Abs(obj)) {
+			return false
+		}
+		// Dominates the planted point.
+		planted := 0.0
+		for v, c := range p.obj {
+			planted += c * x0[v]
+		}
+		return sol.Objective <= planted+tol*(1+math.Abs(planted))
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickEnginesAgree cross-checks float and rational engines on
+// random feasible LPs.
+func TestQuickEnginesAgree(t *testing.T) {
+	prop := func(seed int64) bool {
+		p, _ := randFeasibleLP(seed)
+		f, err := Solve(p)
+		if err != nil {
+			return false
+		}
+		r, err := SolveRational(p)
+		if err != nil {
+			return false
+		}
+		if f.Status != r.Status {
+			return false
+		}
+		if f.Status != Optimal {
+			return true
+		}
+		ro := r.ObjectiveFloat()
+		return math.Abs(f.Objective-ro) <= 1e-6*(1+math.Abs(ro))
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,380 @@
+package lp
+
+import "math"
+
+// SolveRevised runs the two-phase revised simplex: the constraint
+// matrix is kept sparse by column and only a dense m x m basis inverse
+// is maintained (product-form updates). Compared to the dense tableau
+// of Solve, memory drops from O(m*n) to O(m^2 + nnz) and per-pivot
+// work from O(m*n) to O(m^2 + nnz), which matters for the TISE
+// relaxations whose column count far exceeds the row count.
+//
+// Both engines implement the same contract; the test suite
+// cross-checks them (and the exact rational engine) on every problem.
+func SolveRevised(p *Problem) (*Solution, error) {
+	t := buildSparse(p)
+	sol := &Solution{}
+	if t.nArt > 0 {
+		cost := make([]float64, t.n)
+		for j := t.artLo; j < t.n; j++ {
+			cost[j] = 1
+		}
+		st, iters := t.iterate(cost, true)
+		sol.Iterations += iters
+		if st != Optimal {
+			sol.Status = IterLimit
+			return sol, nil
+		}
+		w := 0.0
+		for i, b := range t.basis {
+			if b >= t.artLo {
+				w += t.xB[i]
+			}
+		}
+		if w > epsPhase1*(1+math.Abs(w)) {
+			sol.Status = Infeasible
+			return sol, nil
+		}
+		t.purgeArtificials()
+	}
+	cost := make([]float64, t.n)
+	copy(cost, p.obj)
+	st, iters := t.iterate(cost, false)
+	sol.Iterations += iters
+	sol.Status = st
+	if st != Optimal {
+		return sol, nil
+	}
+	sol.X = make([]float64, p.NumVars())
+	for i, b := range t.basis {
+		if b < p.NumVars() {
+			sol.X[b] = t.xB[i]
+		}
+	}
+	for v, x := range sol.X {
+		if x < 0 {
+			sol.X[v] = 0
+		}
+		sol.Objective += p.obj[v] * sol.X[v]
+	}
+	// Duals: y = cB^T * Binv in the normalized system, mapped back
+	// through the per-row flip signs.
+	sol.Dual = make([]float64, t.m)
+	for k, b := range t.basis {
+		cb := cost[b]
+		if cb == 0 {
+			continue
+		}
+		row := t.binv[k*t.m : (k+1)*t.m]
+		for i := 0; i < t.m; i++ {
+			sol.Dual[i] += cb * row[i]
+		}
+	}
+	for i := range sol.Dual {
+		sol.Dual[i] *= t.rowSign[i]
+	}
+	return sol, nil
+}
+
+// sparseCol is one column of the standard-form constraint matrix.
+type sparseCol struct {
+	idx []int32
+	val []float64
+}
+
+// revTableau is the revised-simplex state.
+type revTableau struct {
+	m, n  int
+	cols  []sparseCol
+	b     []float64
+	binv  []float64 // m x m row-major basis inverse
+	xB    []float64 // current basic solution values
+	basis []int
+	nvar  int
+	artLo int
+	nArt  int
+	// basisPrev is the variable that left the basis in the most
+	// recent pivot (used to maintain the nonbasic flags cheaply).
+	basisPrev int
+	// rowSign[i] is -1 when row i was normalized by flipping (rhs<0),
+	// used to map dual values back to the caller's row orientation.
+	rowSign []float64
+}
+
+// buildSparse converts p to sparse standard form (same normalization
+// as the dense build: rhs >= 0, slack per <=, surplus+artificial per
+// >=, artificial per =).
+func buildSparse(p *Problem) *revTableau {
+	m := p.NumRows()
+	nSlack, nArt := 0, 0
+	for _, r := range p.rows {
+		switch normalizedRel(r) {
+		case LE:
+			nSlack++
+		case GE:
+			nSlack++
+			nArt++
+		case EQ:
+			nArt++
+		}
+	}
+	n := p.NumVars() + nSlack + nArt
+	t := &revTableau{
+		m: m, n: n,
+		cols:    make([]sparseCol, n),
+		b:       make([]float64, m),
+		binv:    make([]float64, m*m),
+		xB:      make([]float64, m),
+		basis:   make([]int, m),
+		nvar:    p.NumVars(),
+		artLo:   p.NumVars() + nSlack,
+		nArt:    nArt,
+		rowSign: make([]float64, m),
+	}
+	// Structural columns: accumulate duplicate terms per (row, var).
+	type cell struct {
+		row int
+		v   float64
+	}
+	byVar := make([][]cell, p.NumVars())
+	for i, r := range p.rows {
+		sign := 1.0
+		rhs := r.rhs
+		if rhs < 0 {
+			sign, rhs = -1, -rhs
+		}
+		t.rowSign[i] = sign
+		t.b[i] = rhs
+		for _, term := range r.terms {
+			byVar[term.Var] = append(byVar[term.Var], cell{i, sign * term.Coeff})
+		}
+	}
+	for v, cells := range byVar {
+		sums := map[int]float64{}
+		for _, c := range cells {
+			sums[c.row] += c.v
+		}
+		col := &t.cols[v]
+		for _, c := range cells {
+			if s, ok := sums[c.row]; ok && s != 0 {
+				col.idx = append(col.idx, int32(c.row))
+				col.val = append(col.val, s)
+				delete(sums, c.row)
+			}
+		}
+	}
+	slack, art := p.NumVars(), t.artLo
+	for i, r := range p.rows {
+		switch normalizedRel(r) {
+		case LE:
+			t.cols[slack] = sparseCol{idx: []int32{int32(i)}, val: []float64{1}}
+			t.basis[i] = slack
+			slack++
+		case GE:
+			t.cols[slack] = sparseCol{idx: []int32{int32(i)}, val: []float64{-1}}
+			slack++
+			t.cols[art] = sparseCol{idx: []int32{int32(i)}, val: []float64{1}}
+			t.basis[i] = art
+			art++
+		case EQ:
+			t.cols[art] = sparseCol{idx: []int32{int32(i)}, val: []float64{1}}
+			t.basis[i] = art
+			art++
+		}
+	}
+	// Initial basis is the identity (all basic columns are +1 unit
+	// vectors), so Binv = I and xB = b.
+	for i := 0; i < m; i++ {
+		t.binv[i*m+i] = 1
+	}
+	copy(t.xB, t.b)
+	return t
+}
+
+// applyBinv computes w = Binv * A_col for a sparse column.
+func (t *revTableau) applyBinv(col *sparseCol, w []float64) {
+	for i := range w {
+		w[i] = 0
+	}
+	for k, ri := range col.idx {
+		v := col.val[k]
+		if v == 0 {
+			continue
+		}
+		c := int(ri)
+		for i := 0; i < t.m; i++ {
+			w[i] += t.binv[i*t.m+c] * v
+		}
+	}
+}
+
+// iterate runs revised-simplex pivots for the given costs.
+func (t *revTableau) iterate(cost []float64, phase1 bool) (Status, int) {
+	maxIters := 200*(t.m+t.n) + 20000
+	hi := t.n
+	if !phase1 {
+		hi = t.artLo
+	}
+	inBasis := make([]bool, t.n)
+	for _, b := range t.basis {
+		inBasis[b] = true
+	}
+	y := make([]float64, t.m)
+	w := make([]float64, t.m)
+	stall := 0
+	bland := false
+	lastObj := math.Inf(1)
+	for iter := 0; iter < maxIters; iter++ {
+		// Duals: y = cB^T * Binv.
+		for i := range y {
+			y[i] = 0
+		}
+		for k, b := range t.basis {
+			cb := cost[b]
+			if cb == 0 {
+				continue
+			}
+			row := t.binv[k*t.m : (k+1)*t.m]
+			for i := 0; i < t.m; i++ {
+				y[i] += cb * row[i]
+			}
+		}
+		// Pricing.
+		enter := -1
+		best := -epsReduced
+		for j := 0; j < hi; j++ {
+			if inBasis[j] {
+				continue
+			}
+			d := cost[j]
+			col := &t.cols[j]
+			for k, ri := range col.idx {
+				d -= y[ri] * col.val[k]
+			}
+			if bland {
+				if d < -epsReduced {
+					enter = j
+					break
+				}
+			} else if d < best {
+				best, enter = d, j
+			}
+		}
+		if enter < 0 {
+			return Optimal, iter
+		}
+		t.applyBinv(&t.cols[enter], w)
+		// Ratio test.
+		leave := -1
+		var bestRatio float64
+		for i := 0; i < t.m; i++ {
+			if w[i] <= epsPivot {
+				continue
+			}
+			ratio := t.xB[i] / w[i]
+			if leave < 0 || ratio < bestRatio-epsPivot ||
+				(ratio < bestRatio+epsPivot && t.basis[i] < t.basis[leave]) {
+				leave, bestRatio = i, ratio
+			}
+		}
+		if leave < 0 {
+			return Unbounded, iter
+		}
+		t.pivot(leave, enter, w, bestRatio)
+		inBasis[enter] = true
+		inBasis[t.basisPrev] = false // the leaving variable may re-enter
+		// Periodically recompute xB = Binv*b to shed incremental
+		// floating-point drift from the product-form updates.
+		if iter%64 == 63 {
+			for i := 0; i < t.m; i++ {
+				v := 0.0
+				row := t.binv[i*t.m : (i+1)*t.m]
+				for k := 0; k < t.m; k++ {
+					v += row[k] * t.b[k]
+				}
+				if v < 0 && v > -1e-9 {
+					v = 0
+				}
+				t.xB[i] = v
+			}
+		}
+		// Degeneracy watch.
+		obj := 0.0
+		for k, b := range t.basis {
+			obj += cost[b] * t.xB[k]
+		}
+		if obj < lastObj-1e-12 {
+			lastObj = obj
+			stall = 0
+		} else {
+			stall++
+			if stall > t.m+100 {
+				bland = true
+			}
+		}
+	}
+	return IterLimit, maxIters
+}
+
+// pivot applies the product-form update for entering column with
+// direction w and step theta, making it basic in row r.
+func (t *revTableau) pivot(r, enter int, w []float64, theta float64) {
+	t.basisPrev = t.basis[r]
+	inv := 1 / w[r]
+	// Update xB.
+	for i := 0; i < t.m; i++ {
+		t.xB[i] -= theta * w[i]
+		if t.xB[i] < 0 && t.xB[i] > -1e-11 {
+			t.xB[i] = 0
+		}
+	}
+	t.xB[r] = theta
+	// Update Binv: row r scaled, others eliminated.
+	rrow := t.binv[r*t.m : (r+1)*t.m]
+	for i := range rrow {
+		rrow[i] *= inv
+	}
+	for i := 0; i < t.m; i++ {
+		if i == r {
+			continue
+		}
+		f := w[i] // rrow is already scaled by 1/w[r]
+		if f == 0 {
+			continue
+		}
+		irow := t.binv[i*t.m : (i+1)*t.m]
+		for k := range irow {
+			irow[k] -= f * rrow[k]
+		}
+	}
+	t.basis[r] = enter
+}
+
+// purgeArtificials drives basic artificials out after phase 1 by
+// degenerate pivots on structural columns; redundant rows keep their
+// artificial basic at zero (phase 2 never prices artificials).
+func (t *revTableau) purgeArtificials() {
+	w := make([]float64, t.m)
+	for r := 0; r < t.m; r++ {
+		if t.basis[r] < t.artLo {
+			continue
+		}
+		for j := 0; j < t.artLo; j++ {
+			inB := false
+			for _, b := range t.basis {
+				if b == j {
+					inB = true
+					break
+				}
+			}
+			if inB {
+				continue
+			}
+			t.applyBinv(&t.cols[j], w)
+			if math.Abs(w[r]) > epsPivot {
+				t.pivot(r, j, w, t.xB[r]/w[r]) // (near-)degenerate step
+				break
+			}
+		}
+	}
+}

@@ -1,0 +1,99 @@
+package lp
+
+import "math"
+
+// SolveScaled equilibrates p — geometric-mean row and column scaling,
+// two rounds — solves the scaled problem with the dense engine, and
+// maps the solution back. Scaling changes nothing mathematically (the
+// optimum value and argmin correspond exactly) but compresses the
+// coefficient magnitude range, which keeps the fixed tolerances of the
+// float engine meaningful on badly scaled inputs.
+func SolveScaled(p *Problem) (*Solution, error) {
+	n := p.NumVars()
+	m := p.NumRows()
+	if n == 0 || m == 0 {
+		return Solve(p)
+	}
+	rowScale := make([]float64, m)
+	colScale := make([]float64, n)
+	for i := range rowScale {
+		rowScale[i] = 1
+	}
+	for j := range colScale {
+		colScale[j] = 1
+	}
+	// Two rounds of geometric-mean equilibration.
+	for round := 0; round < 2; round++ {
+		for i, r := range p.rows {
+			lo, hi := math.Inf(1), 0.0
+			for _, t := range r.terms {
+				v := math.Abs(t.Coeff * rowScale[i] * colScale[t.Var])
+				if v == 0 {
+					continue
+				}
+				if v < lo {
+					lo = v
+				}
+				if v > hi {
+					hi = v
+				}
+			}
+			if hi > 0 {
+				rowScale[i] /= math.Sqrt(lo * hi)
+			}
+		}
+		colMin := make([]float64, n)
+		colMax := make([]float64, n)
+		for j := range colMin {
+			colMin[j] = math.Inf(1)
+		}
+		for i, r := range p.rows {
+			for _, t := range r.terms {
+				v := math.Abs(t.Coeff * rowScale[i] * colScale[t.Var])
+				if v == 0 {
+					continue
+				}
+				if v < colMin[t.Var] {
+					colMin[t.Var] = v
+				}
+				if v > colMax[t.Var] {
+					colMax[t.Var] = v
+				}
+			}
+		}
+		for j := 0; j < n; j++ {
+			if colMax[j] > 0 {
+				colScale[j] /= math.Sqrt(colMin[j] * colMax[j])
+			}
+		}
+	}
+	// Build the scaled problem: x = colScale .* x'.
+	sp := NewProblem()
+	for j := 0; j < n; j++ {
+		sp.AddVar(p.names[j], p.obj[j]*colScale[j])
+	}
+	for i, r := range p.rows {
+		terms := make([]Term, len(r.terms))
+		for k, t := range r.terms {
+			terms[k] = Term{Var: t.Var, Coeff: t.Coeff * rowScale[i] * colScale[t.Var]}
+		}
+		sp.AddConstraint(r.rel, r.rhs*rowScale[i], terms...)
+	}
+	sol, err := Solve(sp)
+	if err != nil || sol.Status != Optimal {
+		return sol, err
+	}
+	out := &Solution{Status: Optimal, Iterations: sol.Iterations, X: make([]float64, n)}
+	for j := 0; j < n; j++ {
+		out.X[j] = sol.X[j] * colScale[j]
+		out.Objective += p.obj[j] * out.X[j]
+	}
+	// Duals scale by the row factors: y_orig = rowScale .* y_scaled.
+	if sol.Dual != nil {
+		out.Dual = make([]float64, m)
+		for i := range out.Dual {
+			out.Dual[i] = sol.Dual[i] * rowScale[i]
+		}
+	}
+	return out, nil
+}

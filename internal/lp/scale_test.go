@@ -1,0 +1,80 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestSolveScaledMatchesDirect(t *testing.T) {
+	rng := rand.New(rand.NewSource(404))
+	for trial := 0; trial < 40; trial++ {
+		p, _ := randFeasibleLP(rng.Int63())
+		direct, err := Solve(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		scaled, err := SolveScaled(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if direct.Status != scaled.Status {
+			t.Fatalf("trial %d: status %v vs %v", trial, direct.Status, scaled.Status)
+		}
+		if direct.Status == Optimal &&
+			math.Abs(direct.Objective-scaled.Objective) > 1e-6*(1+math.Abs(direct.Objective)) {
+			t.Fatalf("trial %d: objective %v vs %v\n%s", trial, direct.Objective, scaled.Objective, p)
+		}
+	}
+}
+
+func TestSolveScaledExtremeCoefficients(t *testing.T) {
+	// Coefficients across 12 orders of magnitude; equilibration keeps
+	// the engine inside its tolerance regime, and the rational engine
+	// referees.
+	p := NewProblem()
+	x := p.AddVar("x", 1e-8)
+	y := p.AddVar("y", 1e4)
+	p.AddConstraint(GE, 1e8, Term{x, 1e4}, Term{y, 1e-4})
+	p.AddConstraint(LE, 1e10, Term{x, 1e-2}, Term{y, 1e2})
+	scaled, err := SolveScaled(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := SolveRational(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scaled.Status != r.Status {
+		t.Fatalf("status %v vs rational %v", scaled.Status, r.Status)
+	}
+	if scaled.Status == Optimal {
+		ro := r.ObjectiveFloat()
+		if math.Abs(scaled.Objective-ro) > 1e-5*(1+math.Abs(ro)) {
+			t.Errorf("scaled %v vs rational %v", scaled.Objective, ro)
+		}
+	}
+}
+
+func TestSolveScaledDualsRescaled(t *testing.T) {
+	p := NewProblem()
+	x := p.AddVar("x", -1)
+	p.AddConstraint(LE, 4000, Term{x, 1000}) // x <= 4, scaled up
+	sol, err := SolveScaled(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Strong duality in original units: b'y = obj.
+	if math.Abs(4000*sol.Dual[0]-sol.Objective) > 1e-6 {
+		t.Errorf("duality: 4000*%v != %v", sol.Dual[0], sol.Objective)
+	}
+}
+
+func TestSolveScaledEmpty(t *testing.T) {
+	p := NewProblem()
+	p.AddVar("x", 1)
+	sol, err := SolveScaled(p)
+	if err != nil || sol.Status != Optimal {
+		t.Fatalf("%v %v", err, sol)
+	}
+}

@@ -1,0 +1,39 @@
+package mm_test
+
+import (
+	"fmt"
+
+	"calib/internal/ise"
+	"calib/internal/mm"
+)
+
+// Example solves a small machine-minimization instance with the exact
+// box and with the greedy heuristic.
+func Example() {
+	inst := ise.NewInstance(100, 1) // T is irrelevant for MM
+	inst.AddJob(0, 6, 4)
+	inst.AddJob(0, 6, 4) // two overlapping tight jobs: need 2 machines
+	inst.AddJob(6, 12, 4)
+
+	exact, _ := mm.Exact{}.Solve(inst)
+	greedy, _ := mm.Greedy{}.Solve(inst)
+	fmt.Println("lower bound:", mm.LowerBound(inst))
+	fmt.Println("exact machines:", exact.Machines)
+	fmt.Println("greedy machines:", greedy.Machines)
+	// Output:
+	// lower bound: 2
+	// exact machines: 2
+	// greedy machines: 2
+}
+
+// ExampleAsISE demonstrates the paper's introduction reduction:
+// with T spanning the whole horizon, calibrations equal machines.
+func ExampleAsISE() {
+	inst := ise.NewInstance(100, 1)
+	inst.AddJob(0, 6, 4)
+	inst.AddJob(0, 6, 4)
+	reduced := mm.AsISE(inst, 2)
+	fmt.Println("T becomes the span:", reduced.T)
+	// Output:
+	// T becomes the span: 6
+}

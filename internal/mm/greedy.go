@@ -1,0 +1,85 @@
+package mm
+
+import (
+	"fmt"
+	"sort"
+
+	"calib/internal/ise"
+)
+
+// Greedy is the default MM black box: for increasing machine counts
+// starting at the combinatorial lower bound, it attempts earliest-
+// deadline list scheduling and returns the first machine count that
+// succeeds. It always succeeds by m = n (each job alone on a machine
+// at its release time), so Solve never returns an error on a valid
+// instance.
+//
+// Greedy is a heuristic: its machine count is not provably within any
+// fixed factor of optimal, but the experiments (T3) measure its
+// empirical alpha against Exact and LowerBound.
+type Greedy struct{}
+
+// Name implements Solver.
+func (Greedy) Name() string { return "greedy-edf" }
+
+// Solve implements Solver.
+func (Greedy) Solve(inst *ise.Instance) (*Schedule, error) {
+	if err := inst.Validate(); err != nil {
+		return nil, err
+	}
+	n := inst.N()
+	if n == 0 {
+		return &Schedule{Machines: 1}, nil
+	}
+	for m := LowerBound(inst); m <= n; m++ {
+		if s, ok := tryListSchedule(inst, m); ok {
+			return s, nil
+		}
+	}
+	return nil, fmt.Errorf("mm: greedy failed even with %d machines (unreachable on valid instances)", n)
+}
+
+// tryListSchedule schedules jobs in earliest-deadline order, placing
+// each on the machine that allows the earliest start (max of machine
+// availability and the job's release). Fails if some job would miss
+// its deadline.
+func tryListSchedule(inst *ise.Instance, m int) (*Schedule, bool) {
+	order := make([]int, inst.N())
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ja, jb := inst.Jobs[order[a]], inst.Jobs[order[b]]
+		if ja.Deadline != jb.Deadline {
+			return ja.Deadline < jb.Deadline
+		}
+		if ja.Release != jb.Release {
+			return ja.Release < jb.Release
+		}
+		return ja.ID < jb.ID
+	})
+	avail := make([]ise.Time, m)
+	for k := range avail {
+		avail[k] = ise.Time(-1) << 60 // machines are free since forever
+	}
+	s := &Schedule{Machines: m}
+	for _, id := range order {
+		j := inst.Jobs[id]
+		best, bestStart := -1, ise.Time(0)
+		for k := 0; k < m; k++ {
+			start := avail[k]
+			if start < j.Release {
+				start = j.Release
+			}
+			if best < 0 || start < bestStart {
+				best, bestStart = k, start
+			}
+		}
+		if bestStart+j.Processing > j.Deadline {
+			return nil, false
+		}
+		avail[best] = bestStart + j.Processing
+		s.Placements = append(s.Placements, ise.Placement{Job: id, Machine: best, Start: bestStart})
+	}
+	return s, true
+}

@@ -1,0 +1,30 @@
+package mm
+
+import "calib/internal/ise"
+
+// AsISE implements the reduction from the paper's introduction: given
+// a machine-minimization instance, setting
+//
+//	T = max_j d_j - min_j r_j
+//
+// yields an ISE instance in which every machine needs exactly one
+// calibration, so the minimum number of calibrations equals the
+// minimum number of machines. This is the direction showing ISE
+// *generalizes* MM (and hence inherits its hardness and the necessity
+// of machine augmentation); the paper's contribution is the converse
+// reduction.
+//
+// The input's own T and M are ignored; the result carries the new T
+// and machines = m. T is clamped to the problem's minimum of 2.
+func AsISE(inst *ise.Instance, m int) *ise.Instance {
+	lo, hi := inst.Span()
+	T := hi - lo
+	if T < 2 {
+		T = 2
+	}
+	out := ise.NewInstance(T, m)
+	for _, j := range inst.Jobs {
+		out.AddJob(j.Release, j.Deadline, j.Processing)
+	}
+	return out
+}

@@ -1,0 +1,68 @@
+package mm
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"calib/internal/exact"
+	"calib/internal/ise"
+	"calib/internal/workload"
+)
+
+// TestReductionEquatesMachinesAndCalibrations couples the two exact
+// oracles through the paper's introduction reduction: with
+// T = span, optimal ISE calibrations == optimal MM machines.
+func TestReductionEquatesMachinesAndCalibrations(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	trials := 0
+	for trials < 12 {
+		inst, _ := workload.Planted(rng, workload.PlantedConfig{
+			Machines:               1 + rng.Intn(2),
+			T:                      6,
+			CalibrationsPerMachine: 1,
+			Window:                 workload.ShortWindow,
+		})
+		if inst.N() == 0 || inst.N() > 7 {
+			continue
+		}
+		trials++
+		mmOpt, err := Exact{}.Solve(inst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reduced := AsISE(inst, mmOpt.Machines)
+		if err := reduced.Validate(); err != nil {
+			t.Fatalf("reduced instance invalid: %v", err)
+		}
+		iseOpt, err := exact.Solve(reduced, exact.Options{})
+		if err != nil {
+			t.Fatalf("ISE exact on reduction: %v", err)
+		}
+		if iseOpt.Calibrations != mmOpt.Machines {
+			t.Errorf("trial %d: ISE OPT = %d calibrations, MM OPT = %d machines (must match)",
+				trials, iseOpt.Calibrations, mmOpt.Machines)
+		}
+		// One fewer machine must make the reduction infeasible.
+		if mmOpt.Machines > 1 {
+			tight := AsISE(inst, mmOpt.Machines-1)
+			_, err := exact.Solve(tight, exact.Options{})
+			if !errors.Is(err, exact.ErrInfeasible) {
+				t.Errorf("trial %d: reduction feasible on %d machines although MM needs %d",
+					trials, mmOpt.Machines-1, mmOpt.Machines)
+			}
+		}
+	}
+}
+
+func TestAsISEClampsT(t *testing.T) {
+	inst := ise.NewInstance(10, 1)
+	inst.AddJob(0, 1, 1) // span 1 < 2
+	out := AsISE(inst, 1)
+	if out.T != 2 {
+		t.Errorf("T = %d, want clamped 2", out.T)
+	}
+	if err := out.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,115 @@
+package mm
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+
+	"calib/internal/ise"
+)
+
+// UnitEDF solves MM exactly for unit processing times (the Bender et
+// al. 2013 setting): binary search on the machine count, with EDF
+// feasibility checking. For unit jobs, slot-by-slot EDF is an exact
+// feasibility test: delaying a unit job never helps (a standard
+// exchange argument), so if EDF misses a deadline no schedule on m
+// machines exists.
+type UnitEDF struct{}
+
+// Name implements Solver.
+func (UnitEDF) Name() string { return "unit-edf" }
+
+// Solve implements Solver. It returns an error if any job has
+// non-unit processing time.
+func (UnitEDF) Solve(inst *ise.Instance) (*Schedule, error) {
+	if err := inst.Validate(); err != nil {
+		return nil, err
+	}
+	for _, j := range inst.Jobs {
+		if j.Processing != 1 {
+			return nil, fmt.Errorf("mm: unit-edf requires unit jobs, %v", j)
+		}
+	}
+	n := inst.N()
+	if n == 0 {
+		return &Schedule{Machines: 1}, nil
+	}
+	lo, hi := 1, n
+	var best *Schedule
+	for lo <= hi {
+		mid := (lo + hi) / 2
+		if s, ok := unitEDFTry(inst, mid); ok {
+			best = s
+			hi = mid - 1
+		} else {
+			lo = mid + 1
+		}
+	}
+	if best == nil {
+		return nil, fmt.Errorf("mm: unit-edf failed with %d machines (unreachable)", n)
+	}
+	return best, nil
+}
+
+// unitEDFTry runs slot-synchronous EDF on m machines: at each tick,
+// run up to m released unfinished unit jobs with the earliest
+// deadlines.
+func unitEDFTry(inst *ise.Instance, m int) (*Schedule, bool) {
+	order := make([]int, inst.N())
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ja, jb := inst.Jobs[order[a]], inst.Jobs[order[b]]
+		if ja.Release != jb.Release {
+			return ja.Release < jb.Release
+		}
+		return ja.ID < jb.ID
+	})
+	h := &deadlineHeap{jobs: inst.Jobs}
+	s := &Schedule{Machines: m}
+	next := 0
+	t := inst.Jobs[order[0]].Release
+	for next < len(order) || h.Len() > 0 {
+		if h.Len() == 0 && inst.Jobs[order[next]].Release > t {
+			t = inst.Jobs[order[next]].Release
+		}
+		for next < len(order) && inst.Jobs[order[next]].Release <= t {
+			heap.Push(h, order[next])
+			next++
+		}
+		for k := 0; k < m && h.Len() > 0; k++ {
+			id := heap.Pop(h).(int)
+			if t+1 > inst.Jobs[id].Deadline {
+				return nil, false
+			}
+			s.Placements = append(s.Placements, ise.Placement{Job: id, Machine: k, Start: t})
+		}
+		t++
+	}
+	return s, true
+}
+
+// deadlineHeap orders job IDs by (deadline, ID).
+type deadlineHeap struct {
+	jobs []ise.Job
+	idx  []int
+}
+
+func (h *deadlineHeap) Len() int { return len(h.idx) }
+func (h *deadlineHeap) Less(a, b int) bool {
+	ja, jb := h.jobs[h.idx[a]], h.jobs[h.idx[b]]
+	if ja.Deadline != jb.Deadline {
+		return ja.Deadline < jb.Deadline
+	}
+	return ja.ID < jb.ID
+}
+func (h *deadlineHeap) Swap(a, b int) { h.idx[a], h.idx[b] = h.idx[b], h.idx[a] }
+func (h *deadlineHeap) Push(x any)    { h.idx = append(h.idx, x.(int)) }
+func (h *deadlineHeap) Pop() any {
+	old := h.idx
+	n := len(old)
+	v := old[n-1]
+	h.idx = old[:n-1]
+	return v
+}

@@ -1,0 +1,24 @@
+package online_test
+
+import (
+	"fmt"
+
+	"calib/internal/ise"
+	"calib/internal/online"
+)
+
+// Example runs the online policy: without knowing job 1 exists, the
+// scheduler defers job 0 to its last safe moment and the late
+// calibration it opens happens to serve neither job early.
+func Example() {
+	inst := ise.NewInstance(10, 1)
+	inst.AddJob(0, 20, 5)  // decided at t = 15
+	inst.AddJob(10, 24, 4) // decided at t = 20, fits the open calibration
+	s, err := online.Lazy(inst)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("calibrations:", s.NumCalibrations())
+	// Output:
+	// calibrations: 1
+}

@@ -1,0 +1,246 @@
+// Package online implements an online variant of calibration
+// scheduling, an extension beyond the paper (whose algorithms are
+// offline): jobs are revealed at their release times, and all
+// decisions — when to calibrate, where to place a job — are
+// irrevocable and may only use already-revealed information.
+// Calibrations can only be started at or after the current time (no
+// retroactive calibration).
+//
+// The implemented policy, Lazy, is the online analogue of the lazy
+// heuristic: every revealed job is deferred to its last safe decision
+// moment (the latest start among free slots of existing calibrations,
+// or d_j - p_j when a new calibration would be needed — opening it
+// exactly then is still feasible and maximally lazy). Deferring
+// maximizes the information available when the expensive decision is
+// made. Experiment T14 measures the price of not knowing the future
+// against the offline heuristic and the lower bound.
+package online
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+
+	"calib/internal/ise"
+)
+
+// calibration is an open calibration with its occupied intervals.
+type calibration struct {
+	machine int
+	start   ise.Time
+	runs    []run
+}
+
+type run struct {
+	job        int
+	start, end ise.Time
+}
+
+// state is the online scheduler's committed world.
+type state struct {
+	inst     *ise.Instance
+	machines [][]*calibration // per machine, sorted by start
+	sched    *ise.Schedule
+}
+
+// Lazy runs the online lazy policy over the instance's release
+// sequence and returns the resulting feasible schedule. Machines grow
+// as needed (the online setting cannot bound them in advance).
+func Lazy(inst *ise.Instance) (*ise.Schedule, error) {
+	if err := inst.Validate(); err != nil {
+		return nil, err
+	}
+	st := &state{inst: inst, sched: ise.NewSchedule(1)}
+
+	// Event queue: job releases, then per-job decision triggers.
+	releases := make([]int, inst.N())
+	for i := range releases {
+		releases[i] = i
+	}
+	sort.Slice(releases, func(a, b int) bool {
+		ja, jb := inst.Jobs[releases[a]], inst.Jobs[releases[b]]
+		if ja.Release != jb.Release {
+			return ja.Release < jb.Release
+		}
+		return ja.ID < jb.ID
+	})
+	next := 0
+	pending := &triggerHeap{}
+	for next < len(releases) || pending.Len() > 0 {
+		// Advance to the next event: a release or a trigger.
+		var now ise.Time
+		switch {
+		case pending.Len() == 0:
+			now = inst.Jobs[releases[next]].Release
+		case next == len(releases):
+			now = (*pending)[0].at
+		default:
+			now = inst.Jobs[releases[next]].Release
+			if t := (*pending)[0].at; t < now {
+				now = t
+			}
+		}
+		// Reveal newly released jobs and compute their triggers.
+		for next < len(releases) && inst.Jobs[releases[next]].Release <= now {
+			id := releases[next]
+			next++
+			j := inst.Jobs[id]
+			heap.Push(pending, trigger{job: id, at: j.Deadline - j.Processing})
+		}
+		// Fire all triggers due now (they are final: the decision
+		// deadline d_j - p_j never moves).
+		for pending.Len() > 0 && (*pending)[0].at <= now {
+			tg := heap.Pop(pending).(trigger)
+			if err := st.place(tg.job, now); err != nil {
+				return nil, err
+			}
+		}
+	}
+	st.sched.Machines = maxInt(len(st.machines), 1)
+	return st.sched, nil
+}
+
+// place commits job id at time now: into an existing calibration's
+// free space if possible (latest feasible start, but not before now),
+// otherwise into a freshly opened calibration starting now.
+func (st *state) place(id int, now ise.Time) error {
+	j := st.inst.Jobs[id]
+	// Try existing calibrations.
+	var bestCal *calibration
+	var bestStart ise.Time
+	for _, mc := range st.machines {
+		for _, c := range mc {
+			if s, ok := fit(st.inst.T, c, j, now); ok {
+				if bestCal == nil || s > bestStart {
+					bestCal, bestStart = c, s
+				}
+			}
+		}
+	}
+	if bestCal != nil {
+		insertRun(bestCal, run{job: id, start: bestStart, end: bestStart + j.Processing})
+		st.sched.Place(id, bestCal.machine, bestStart)
+		return nil
+	}
+	// Open a new calibration at now on a machine whose calibrations
+	// are at least T away, or a new machine.
+	calStart := now
+	machine := -1
+	for mi, mc := range st.machines {
+		ok := true
+		for _, c := range mc {
+			d := calStart - c.start
+			if d < 0 {
+				d = -d
+			}
+			if d < st.inst.T {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			machine = mi
+			break
+		}
+	}
+	if machine < 0 {
+		st.machines = append(st.machines, nil)
+		machine = len(st.machines) - 1
+	}
+	c := &calibration{machine: machine, start: calStart}
+	st.machines[machine] = append(st.machines[machine], c)
+	sort.Slice(st.machines[machine], func(a, b int) bool {
+		return st.machines[machine][a].start < st.machines[machine][b].start
+	})
+	st.sched.Calibrate(machine, calStart)
+	jobStart := calStart
+	if j.Release > jobStart {
+		jobStart = j.Release
+	}
+	if jobStart+j.Processing > j.Deadline || jobStart+j.Processing > calStart+st.inst.T {
+		return fmt.Errorf("online: job %d unschedulable at its decision deadline (t=%d)", id, now)
+	}
+	insertRun(c, run{job: id, start: jobStart, end: jobStart + j.Processing})
+	st.sched.Place(id, machine, jobStart)
+	return nil
+}
+
+// fit returns the latest feasible start (>= now) for job j in
+// calibration c's free space.
+func fit(T ise.Time, c *calibration, j ise.Job, now ise.Time) (ise.Time, bool) {
+	lo := c.start
+	if j.Release > lo {
+		lo = j.Release
+	}
+	if now > lo {
+		lo = now
+	}
+	hi := c.start + T
+	if j.Deadline < hi {
+		hi = j.Deadline
+	}
+	if hi-lo < j.Processing {
+		return 0, false
+	}
+	prevStart := hi
+	for k := len(c.runs) - 1; k >= -1; k-- {
+		gapEnd := prevStart
+		var gapStart ise.Time
+		if k >= 0 {
+			gapStart = c.runs[k].end
+			prevStart = c.runs[k].start
+		} else {
+			gapStart = lo
+		}
+		if gapStart < lo {
+			gapStart = lo
+		}
+		if gapEnd > hi {
+			gapEnd = hi
+		}
+		if gapEnd-gapStart >= j.Processing {
+			return gapEnd - j.Processing, true
+		}
+		if k >= 0 && c.runs[k].start <= lo {
+			break
+		}
+	}
+	return 0, false
+}
+
+func insertRun(c *calibration, r run) {
+	c.runs = append(c.runs, r)
+	sort.Slice(c.runs, func(a, b int) bool { return c.runs[a].start < c.runs[b].start })
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// trigger is a pending decision deadline.
+type trigger struct {
+	job int
+	at  ise.Time
+}
+
+type triggerHeap []trigger
+
+func (h triggerHeap) Len() int { return len(h) }
+func (h triggerHeap) Less(a, b int) bool {
+	if h[a].at != h[b].at {
+		return h[a].at < h[b].at
+	}
+	return h[a].job < h[b].job
+}
+func (h triggerHeap) Swap(a, b int) { h[a], h[b] = h[b], h[a] }
+func (h *triggerHeap) Push(x any)   { *h = append(*h, x.(trigger)) }
+func (h *triggerHeap) Pop() any {
+	old := *h
+	n := len(old)
+	v := old[n-1]
+	*h = old[:n-1]
+	return v
+}

@@ -1,0 +1,118 @@
+package online
+
+import (
+	"math/rand"
+	"testing"
+
+	"calib/internal/bounds"
+	"calib/internal/heur"
+	"calib/internal/ise"
+	"calib/internal/workload"
+)
+
+func TestLazySingleJob(t *testing.T) {
+	in := ise.NewInstance(10, 1)
+	in.AddJob(0, 20, 5)
+	s, err := Lazy(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ise.Validate(in, s); err != nil {
+		t.Fatalf("infeasible: %v", err)
+	}
+	if s.NumCalibrations() != 1 {
+		t.Errorf("calibrations = %d, want 1", s.NumCalibrations())
+	}
+	// The decision happens at d - p = 15: maximally deferred.
+	if s.Calibrations[0].Start != 15 {
+		t.Errorf("calibration at %d, want 15 (last safe moment)", s.Calibrations[0].Start)
+	}
+}
+
+func TestLazySharesLateCalibrations(t *testing.T) {
+	// Job 0 triggers at 15 and opens [15, 25); job 1 (d=30, p=4)
+	// triggers at 26 but its window overlaps the open calibration's
+	// tail [20, 25)... its trigger is 26 > 25 so it cannot fit.
+	// Use a job whose decision deadline falls inside the open
+	// calibration instead: d=24, p=4 -> trigger 20, fits [20, 24).
+	in := ise.NewInstance(10, 1)
+	in.AddJob(0, 20, 5)  // triggers at 15, opens [15, 25)
+	in.AddJob(10, 24, 4) // triggers at 20, fits in the tail
+	s, err := Lazy(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ise.Validate(in, s); err != nil {
+		t.Fatalf("infeasible: %v", err)
+	}
+	if s.NumCalibrations() != 1 {
+		t.Errorf("calibrations = %d, want 1 (share the tail)", s.NumCalibrations())
+	}
+}
+
+// TestLazyAlwaysFeasible is the core online guarantee: the policy
+// never misses a deadline, for any instance (it may use many machines
+// and calibrations, but never fails).
+func TestLazyAlwaysFeasible(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	for trial := 0; trial < 30; trial++ {
+		var inst *ise.Instance
+		switch trial % 3 {
+		case 0:
+			inst, _ = workload.Mixed(rng, 15, 2, 10, 0.5)
+		case 1:
+			inst = workload.Poisson(rng, 15, 2, 10, 6)
+		default:
+			inst = workload.CrossingAdversarial(rng, 10, 2, 10)
+		}
+		s, err := Lazy(inst)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if err := ise.Validate(inst, s); err != nil {
+			t.Fatalf("trial %d: infeasible: %v", trial, err)
+		}
+		if lb := bounds.Calibrations(inst); s.NumCalibrations() < lb {
+			t.Fatalf("trial %d: beat the lower bound?! %d < %d", trial, s.NumCalibrations(), lb)
+		}
+	}
+}
+
+// TestOnlinePremium quantifies the cost of not knowing the future:
+// online uses at least as many calibrations as the offline heuristic
+// on average, and the premium stays moderate.
+func TestOnlinePremium(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	onTotal, offTotal := 0, 0
+	for trial := 0; trial < 15; trial++ {
+		inst, _ := workload.Mixed(rng, 14, 1, 10, 0.5)
+		on, err := Lazy(inst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		off, err := heur.Lazy(inst, heur.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		onTotal += on.NumCalibrations()
+		offTotal += off.NumCalibrations()
+	}
+	t.Logf("online %d vs offline %d calibrations (premium %.0f%%)",
+		onTotal, offTotal, 100*float64(onTotal-offTotal)/float64(offTotal))
+	if onTotal > 4*offTotal {
+		t.Errorf("online premium implausibly high: %d vs %d", onTotal, offTotal)
+	}
+}
+
+func TestLazyEmptyAndInvalid(t *testing.T) {
+	empty := ise.NewInstance(10, 1)
+	s, err := Lazy(empty)
+	if err != nil || s.NumCalibrations() != 0 {
+		t.Errorf("empty: %v %+v", err, s)
+	}
+	bad := ise.NewInstance(1, 1)
+	bad.AddJob(0, 5, 1)
+	if _, err := Lazy(bad); err == nil {
+		t.Error("invalid instance accepted")
+	}
+}

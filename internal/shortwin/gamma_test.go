@@ -1,0 +1,63 @@
+package shortwin
+
+import (
+	"math/rand"
+	"testing"
+
+	"calib/internal/ise"
+	"calib/internal/workload"
+)
+
+func TestGammaRejectsBelowTwo(t *testing.T) {
+	in := ise.NewInstance(10, 1)
+	in.AddJob(0, 12, 3)
+	if _, err := Solve(in, Options{Gamma: 1}); err == nil {
+		t.Error("gamma=1 accepted")
+	}
+}
+
+func TestGammaThreeAcceptsMediumWindows(t *testing.T) {
+	in := ise.NewInstance(10, 1)
+	in.AddJob(0, 25, 5) // window 25 in [2T, 3T): long under gamma=2, short under gamma=3
+	if _, err := Solve(in, Options{}); err == nil {
+		t.Fatal("gamma=2 should reject a window >= 2T")
+	}
+	res, err := Solve(in, Options{Gamma: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ise.Validate(in, res.Schedule); err != nil {
+		t.Fatalf("infeasible: %v", err)
+	}
+}
+
+// TestGammaSweepFeasible runs the short-window algorithm at several
+// gammas over random instances whose windows fit each gamma.
+func TestGammaSweepFeasible(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	for _, gamma := range []int{2, 3, 4} {
+		for trial := 0; trial < 6; trial++ {
+			inst, _ := workload.Planted(rng, workload.PlantedConfig{
+				Machines:               1 + rng.Intn(2),
+				T:                      10,
+				CalibrationsPerMachine: 2,
+				Window:                 workload.ShortWindow, // windows < 2T <= gamma*T
+			})
+			res, err := Solve(inst, Options{Gamma: gamma})
+			if err != nil {
+				t.Fatalf("gamma=%d trial %d: %v", gamma, trial, err)
+			}
+			if err := ise.Validate(inst, res.Schedule); err != nil {
+				t.Fatalf("gamma=%d trial %d: infeasible: %v", gamma, trial, err)
+			}
+			// Lemma 19 accounting generalizes: <= 4*gamma*sum(w).
+			sumW := 0
+			for _, iv := range res.Intervals {
+				sumW += iv.MMMachines
+			}
+			if got := res.Schedule.NumCalibrations(); got > 4*gamma*sumW {
+				t.Errorf("gamma=%d: %d calibrations > 4*gamma*sumW = %d", gamma, got, 4*gamma*sumW)
+			}
+		}
+	}
+}

@@ -1,0 +1,41 @@
+package shortwin
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"calib/internal/ise"
+	"calib/internal/workload"
+)
+
+// TestQuickShortwinFeasibleWithinAccounting: for arbitrary planted
+// short-window instances and gammas, Algorithm 4+5 must produce a
+// feasible schedule within the Lemma 19 accounting.
+func TestQuickShortwinFeasibleWithinAccounting(t *testing.T) {
+	prop := func(seed int64, mRaw, TRaw, gRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		inst, _ := workload.Planted(rng, workload.PlantedConfig{
+			Machines:               1 + int(mRaw%3),
+			T:                      ise.Time(3 + TRaw%12),
+			CalibrationsPerMachine: 1 + rng.Intn(2),
+			Window:                 workload.ShortWindow,
+		})
+		gamma := 2 + int(gRaw%3)
+		res, err := Solve(inst, Options{Gamma: gamma})
+		if err != nil {
+			return false
+		}
+		if ise.Validate(inst, res.Schedule) != nil {
+			return false
+		}
+		sumW := 0
+		for _, iv := range res.Intervals {
+			sumW += iv.MMMachines
+		}
+		return res.Schedule.NumCalibrations() <= 4*gamma*sumW
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

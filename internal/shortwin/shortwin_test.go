@@ -1,0 +1,188 @@
+package shortwin
+
+import (
+	"math/rand"
+	"testing"
+
+	"calib/internal/ise"
+	"calib/internal/mm"
+	"calib/internal/workload"
+)
+
+func TestSolveRejectsLongJobs(t *testing.T) {
+	in := ise.NewInstance(10, 1)
+	in.AddJob(0, 20, 5) // window = 2T: long
+	if _, err := Solve(in, Options{}); err == nil {
+		t.Error("long-window job accepted")
+	}
+}
+
+func TestSolveEmpty(t *testing.T) {
+	in := ise.NewInstance(10, 1)
+	res, err := Solve(in, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Schedule.NumCalibrations() != 0 || len(res.Schedule.Placements) != 0 {
+		t.Errorf("empty instance produced non-empty schedule")
+	}
+}
+
+func TestSolveSingleInterval(t *testing.T) {
+	in := ise.NewInstance(10, 1)
+	in.AddJob(0, 15, 5)
+	in.AddJob(2, 18, 6)
+	in.AddJob(5, 20, 4)
+	res, err := Solve(in, Options{MM: mm.Exact{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ise.Validate(in, res.Schedule); err != nil {
+		t.Fatalf("schedule infeasible: %v", err)
+	}
+	if len(res.Intervals) == 0 {
+		t.Fatal("no interval stats")
+	}
+}
+
+// TestSolveEndToEnd is the main property test: on planted short-window
+// instances the algorithm must produce feasible schedules within the
+// accounting of Lemma 19 / Theorem 20.
+func TestSolveEndToEnd(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	boxes := []mm.Solver{mm.Greedy{}, mm.Exact{}}
+	for trial := 0; trial < 15; trial++ {
+		m := 1 + rng.Intn(3)
+		inst, _ := workload.Planted(rng, workload.PlantedConfig{
+			Machines:               m,
+			T:                      10,
+			CalibrationsPerMachine: 1 + rng.Intn(3),
+			Window:                 workload.ShortWindow,
+		})
+		if inst.N() > 10 {
+			// Keep Exact's search cheap: drop surplus jobs, keeping IDs
+			// contiguous.
+			inst.Jobs = inst.Jobs[:10]
+		}
+		for _, box := range boxes {
+			res, err := Solve(inst, Options{MM: box})
+			if err != nil {
+				t.Fatalf("trial %d %s: %v", trial, box.Name(), err)
+			}
+			if err := ise.Validate(inst, res.Schedule); err != nil {
+				t.Fatalf("trial %d %s: infeasible: %v", trial, box.Name(), err)
+			}
+			// Lemma 19 accounting: at most 4*gamma*w_i calibrations per
+			// interval on 3*w machines per pass.
+			sumW := 0
+			for _, iv := range res.Intervals {
+				sumW += iv.MMMachines
+			}
+			if got, bound := res.Schedule.NumCalibrations(), 4*Gamma*sumW; got > bound {
+				t.Errorf("trial %d %s: %d calibrations > 4*gamma*sum(w) = %d", trial, box.Name(), got, bound)
+			}
+			if got, bound := res.Schedule.Machines, 3*(res.MaxW[0]+res.MaxW[1]); got > bound && bound > 0 {
+				t.Errorf("trial %d %s: %d machines > %d", trial, box.Name(), got, bound)
+			}
+			// With the exact box, each interval's w_i <= m (the planted
+			// witness restricted to the interval is feasible on m
+			// machines), so machines <= 6m (Theorem 20 with alpha = 1).
+			if box.Name() == "exact-bb" {
+				if res.Schedule.Machines > 6*m {
+					t.Errorf("trial %d: %d machines > 6m = %d", trial, res.Schedule.Machines, 6*m)
+				}
+			}
+		}
+	}
+}
+
+func TestTrimIdleKeepsFeasibilityAndSaves(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	for trial := 0; trial < 10; trial++ {
+		inst, _ := workload.Planted(rng, workload.PlantedConfig{
+			Machines:               1 + rng.Intn(2),
+			T:                      10,
+			CalibrationsPerMachine: 2,
+			Window:                 workload.ShortWindow,
+		})
+		full, err := Solve(inst, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		trim, err := Solve(inst, Options{TrimIdle: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ise.Validate(inst, trim.Schedule); err != nil {
+			t.Fatalf("trial %d: trimmed schedule infeasible: %v", trial, err)
+		}
+		if trim.Schedule.NumCalibrations() > full.Schedule.NumCalibrations() {
+			t.Errorf("trial %d: trimming increased calibrations (%d > %d)",
+				trial, trim.Schedule.NumCalibrations(), full.Schedule.NumCalibrations())
+		}
+	}
+}
+
+func TestCrossingAdversarial(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	sawCrossing := false
+	for trial := 0; trial < 10; trial++ {
+		inst := workload.CrossingAdversarial(rng, 8, 2, 10)
+		res, err := Solve(inst, Options{})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if err := ise.Validate(inst, res.Schedule); err != nil {
+			t.Fatalf("trial %d: infeasible: %v", trial, err)
+		}
+		for _, iv := range res.Intervals {
+			if iv.Crossing > 0 {
+				sawCrossing = true
+			}
+		}
+	}
+	if !sawCrossing {
+		t.Error("adversarial workload never produced a crossing job; generator too weak")
+	}
+}
+
+func TestPartitionCoversBoundaryJobs(t *testing.T) {
+	// A job whose window straddles a grid boundary (a multiple of
+	// 2*gamma*T from the anchor, which is the earliest release) must
+	// land in the offset pass (Lemma 16).
+	const T = 10
+	in := ise.NewInstance(T, 1)
+	in.AddJob(0, 5, 2)                     // pins the anchor at 0
+	in.AddJob(2*Gamma*T-5, 2*Gamma*T+5, 3) // straddles 40
+	res, err := Solve(in, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ise.Validate(in, res.Schedule); err != nil {
+		t.Fatalf("infeasible: %v", err)
+	}
+	foundPass1 := false
+	for _, iv := range res.Intervals {
+		if iv.Pass == 1 {
+			foundPass1 = true
+		}
+	}
+	if !foundPass1 {
+		t.Errorf("boundary job not handled by pass 1: %+v", res.Intervals)
+	}
+}
+
+func TestNegativeReleasesSupported(t *testing.T) {
+	// The anchored grid must cope with negative times (the 0-anchored
+	// paper formulation could not).
+	in := ise.NewInstance(10, 1)
+	in.AddJob(-50, -35, 4)
+	in.AddJob(-20, -8, 5)
+	res, err := Solve(in, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ise.Validate(in, res.Schedule); err != nil {
+		t.Fatalf("infeasible: %v", err)
+	}
+}

@@ -1,0 +1,39 @@
+package sim_test
+
+import (
+	"fmt"
+
+	"calib/internal/ise"
+	"calib/internal/sim"
+)
+
+// Example replays a two-job schedule and reads the utilization.
+func Example() {
+	inst := ise.NewInstance(10, 1)
+	inst.AddJob(0, 20, 4)
+	inst.AddJob(0, 20, 6)
+	s := ise.NewSchedule(1)
+	s.Calibrate(0, 0)
+	s.Place(0, 0, 0)
+	s.Place(1, 0, 4)
+	rep := sim.Replay(inst, s)
+	fmt.Println("feasible:", rep.Feasible)
+	fmt.Println("jobs completed:", rep.JobsCompleted)
+	fmt.Printf("utilization: %.0f%%\n", 100*rep.Utilization)
+	for _, ev := range rep.Events {
+		fmt.Printf("t=%-3d %s", ev.Time, ev.Kind)
+		if ev.Job >= 0 {
+			fmt.Printf(" job %d", ev.Job)
+		}
+		fmt.Println()
+	}
+	// Output:
+	// feasible: true
+	// jobs completed: 2
+	// utilization: 100%
+	// t=0   calibrate
+	// t=0   start job 0
+	// t=4   finish job 0
+	// t=4   start job 1
+	// t=10  finish job 1
+}

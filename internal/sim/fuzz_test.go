@@ -1,0 +1,61 @@
+package sim
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"calib/internal/ise"
+)
+
+// decodeWorld deterministically derives an instance and a schedule
+// (often invalid — that is the point) from fuzz bytes.
+func decodeWorld(data []byte) (*ise.Instance, *ise.Schedule) {
+	next := func() int64 {
+		if len(data) < 2 {
+			return 0
+		}
+		v := int64(binary.LittleEndian.Uint16(data[:2]))
+		data = data[2:]
+		return v
+	}
+	T := 2 + next()%30
+	m := 1 + int(next()%4)
+	inst := ise.NewInstance(T, m)
+	nJobs := int(next() % 8)
+	for i := 0; i < nJobs; i++ {
+		p := 1 + next()%T
+		r := next() % 100
+		d := r + p + next()%40
+		inst.AddJob(r, d, p)
+	}
+	s := ise.NewSchedule(1 + int(next()%6))
+	nCals := int(next() % 8)
+	for i := 0; i < nCals; i++ {
+		s.Calibrate(int(next()%8), next()%120)
+	}
+	nPlace := int(next() % 10)
+	for i := 0; i < nPlace; i++ {
+		s.Place(int(next()%10), int(next()%8), next()%120)
+	}
+	return inst, s
+}
+
+// FuzzReplayAgreesWithValidator feeds arbitrary worlds to both
+// feasibility implementations: neither may panic, and they must agree.
+func FuzzReplayAgreesWithValidator(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{10, 0, 1, 0, 2, 0, 3, 0, 0, 0, 40, 0, 5, 0})
+	f.Add(make([]byte, 64))
+	f.Add([]byte{8, 0, 2, 0, 3, 0, 2, 0, 10, 0, 9, 0, 2, 0, 3, 0, 0, 0, 5, 0, 1, 0, 0, 0, 0, 0, 2, 0, 1, 0, 0, 0, 6, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		inst, s := decodeWorld(data)
+		if err := inst.Validate(); err != nil {
+			return // only well-formed instances are in scope
+		}
+		vErr := ise.Validate(inst, s)
+		rep := Replay(inst, s)
+		if (vErr == nil) != rep.Feasible {
+			t.Fatalf("disagreement: validator=%v, replay feasible=%v (%s)", vErr, rep.Feasible, rep.Violation)
+		}
+	})
+}

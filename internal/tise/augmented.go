@@ -1,0 +1,136 @@
+package tise
+
+import (
+	"fmt"
+
+	"calib/internal/ise"
+)
+
+// FracAssignment is a fractional placement of a job into a rounded
+// calibration, produced by the augmented rounding of Algorithm 3.
+type FracAssignment struct {
+	Job      int
+	Fraction float64
+}
+
+// RoundedCalibration is one calibration emitted by Algorithm 3
+// together with its fractional job assignments (Figure 3's buckets).
+type RoundedCalibration struct {
+	Time        ise.Time
+	Assignments []FracAssignment
+}
+
+// AugmentedResult is the outcome of AugmentedRound plus the measured
+// extremes of the Lemma 5 / Corollary 6 invariants, so tests can
+// assert them directly.
+type AugmentedResult struct {
+	Calibrations []RoundedCalibration
+	// MaxYMinusCarry is the maximum of y_j - carryover observed at any
+	// step; Lemma 5 asserts it is <= 0 (up to float noise).
+	MaxYMinusCarry float64
+	// MaxWorkMinusCarry is the maximum of sum_j y_j p_j - carryover*T
+	// observed at any step; Lemma 5 asserts it is <= 0.
+	MaxWorkMinusCarry float64
+	// Coverage[j] is the total fraction of job j assigned across all
+	// calibrations; Corollary 6 asserts Coverage[j] >= 1.
+	Coverage []float64
+	// MaxCalWork is the maximum total work (fraction * p_j) assigned
+	// to a single calibration; Corollary 6 asserts it is <= T.
+	MaxCalWork float64
+}
+
+// AugmentedRound runs Algorithm 3, the augmented calibration-rounding
+// procedure used in the proofs of Lemma 5 and Corollary 6: it emits
+// the same calibration schedule as Algorithm 1 while carrying the
+// delayed job fractions y_j and writing a 2*y_j fraction of each job
+// into the first TISE-feasible emitted calibration.
+//
+// The procedure exists in the paper only as an existence proof; it is
+// implemented here because its invariants are the correctness core of
+// the rounding step, which makes them ideal property-test subjects,
+// and because it reproduces Figure 3.
+func AugmentedRound(inst *ise.Instance, frac *Fractional) (*AugmentedResult, error) {
+	n := inst.N()
+	if len(frac.X) != n {
+		return nil, fmt.Errorf("tise: fractional solution has %d jobs, instance has %d", len(frac.X), n)
+	}
+	// Work on copies: Algorithm 3 mutates X.
+	x := make([][]float64, n)
+	for j := range x {
+		x[j] = append([]float64(nil), frac.X[j]...)
+	}
+	y := make([]float64, n)
+	res := &AugmentedResult{Coverage: make([]float64, n)}
+
+	carryover := 0.0
+	// The Lemma 5 invariants hold for jobs that are still TISE-
+	// schedulable at the current point (t <= d_j - T). Once a job
+	// expires, its carried fraction y_j is frozen forever — the LP
+	// assigns no mass at or beyond an infeasible point, so y_j never
+	// grows again — and Corollary 6's 2*y_j overscheduling is exactly
+	// what compensates for discarding it.
+	checkInvariants := func(t ise.Time) {
+		maxY := 0.0
+		work := 0.0
+		for j := range y {
+			if inst.Jobs[j].Deadline-inst.T < t {
+				continue // expired: y_j frozen and discarded
+			}
+			if y[j] > maxY {
+				maxY = y[j]
+			}
+			work += y[j] * float64(inst.Jobs[j].Processing)
+		}
+		if d := maxY - carryover; d > res.MaxYMinusCarry {
+			res.MaxYMinusCarry = d
+		}
+		if d := work - carryover*float64(inst.T); d > res.MaxWorkMinusCarry {
+			res.MaxWorkMinusCarry = d
+		}
+	}
+
+	for i, t := range frac.Points {
+		ct := frac.C[i]
+		for carryover+ct >= 0.5-halfEps {
+			cal := RoundedCalibration{Time: t}
+			var take float64 // fraction of the remaining C_t consumed
+			if ct > halfEps {
+				take = (0.5 - carryover) / ct
+				if take > 1 {
+					take = 1
+				}
+				if take < 0 {
+					take = 0
+				}
+			}
+			for j := range y {
+				y[j] += take * x[j][i]
+				x[j][i] -= take * x[j][i]
+			}
+			carryover += take * ct
+			ct -= take * ct
+			checkInvariants(t)
+			calWork := 0.0
+			for j := range y {
+				if y[j] > 0 && Feasible(inst.T, inst.Jobs[j], t) {
+					f := 2 * y[j]
+					cal.Assignments = append(cal.Assignments, FracAssignment{Job: j, Fraction: f})
+					res.Coverage[j] += f
+					calWork += f * float64(inst.Jobs[j].Processing)
+					y[j] = 0
+				}
+			}
+			if calWork > res.MaxCalWork {
+				res.MaxCalWork = calWork
+			}
+			carryover = 0
+			res.Calibrations = append(res.Calibrations, cal)
+		}
+		carryover += ct
+		for j := range y {
+			y[j] += x[j][i]
+		}
+		checkInvariants(t)
+	}
+	return res, nil
+}

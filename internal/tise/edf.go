@@ -1,0 +1,122 @@
+package tise
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+
+	"calib/internal/ise"
+)
+
+// UnscheduledError reports that Algorithm 2 could not place every job
+// on the given calibration schedule. Under the paper's guarantees this
+// cannot happen when the calibrations come from a feasible LP solution
+// rounded by Algorithm 1 and mirrored; seeing it on other inputs means
+// the calibration schedule genuinely lacks capacity.
+type UnscheduledError struct {
+	Jobs []int // IDs of jobs left unscheduled
+}
+
+func (e *UnscheduledError) Error() string {
+	return fmt.Sprintf("tise: EDF left %d job(s) unscheduled: %v", len(e.Jobs), e.Jobs)
+}
+
+// jobHeap orders job indices by (deadline, ID): the EDF priority with
+// the paper's tie-break by job number.
+type jobHeap struct {
+	jobs []ise.Job
+	idx  []int
+}
+
+func (h *jobHeap) Len() int { return len(h.idx) }
+func (h *jobHeap) Less(a, b int) bool {
+	ja, jb := h.jobs[h.idx[a]], h.jobs[h.idx[b]]
+	if ja.Deadline != jb.Deadline {
+		return ja.Deadline < jb.Deadline
+	}
+	return ja.ID < jb.ID
+}
+func (h *jobHeap) Swap(a, b int) { h.idx[a], h.idx[b] = h.idx[b], h.idx[a] }
+func (h *jobHeap) Push(x any)    { h.idx = append(h.idx, x.(int)) }
+func (h *jobHeap) Pop() any {
+	old := h.idx
+	n := len(old)
+	v := old[n-1]
+	h.idx = old[:n-1]
+	return v
+}
+
+// AssignJobsEDF runs Algorithm 2: it mirrors the calibration schedule
+// cal onto twice as many machines, scans all calibrations in
+// nondecreasing order of start time, and fills each greedily with the
+// earliest-deadline unscheduled job whose window TISE-contains the
+// calibration and whose processing time still fits.
+//
+// It returns a complete TISE schedule (calibrations plus placements)
+// or an *UnscheduledError listing the jobs that did not fit.
+func AssignJobsEDF(inst *ise.Instance, cal *ise.Schedule) (*ise.Schedule, error) {
+	out := MirrorCalibrations(cal)
+	cals := sortedCalibrations(out)
+
+	// Jobs sorted by release time feed the EDF heap as calibrations
+	// whose start passes their release are scanned. TISE eligibility
+	// also requires t <= d_j - T, checked on pop.
+	byRelease := make([]int, inst.N())
+	for i := range byRelease {
+		byRelease[i] = i
+	}
+	sort.Slice(byRelease, func(a, b int) bool {
+		ja, jb := inst.Jobs[byRelease[a]], inst.Jobs[byRelease[b]]
+		if ja.Release != jb.Release {
+			return ja.Release < jb.Release
+		}
+		return ja.ID < jb.ID
+	})
+
+	h := &jobHeap{jobs: inst.Jobs}
+	next := 0
+	scheduled := 0
+	for _, c := range cals {
+		t := c.Start
+		for next < len(byRelease) && inst.Jobs[byRelease[next]].Release <= t {
+			heap.Push(h, byRelease[next])
+			next++
+		}
+		used := ise.Time(0)
+		for h.Len() > 0 {
+			j := h.idx[0]
+			job := inst.Jobs[j]
+			if job.Deadline-inst.T < t {
+				// This job can never be TISE-placed at t, and
+				// calibration starts are nondecreasing, so it can
+				// never be placed later either: drop it permanently
+				// (reported at the end if it stays unscheduled).
+				heap.Pop(h)
+				continue
+			}
+			if used+job.Processing > inst.T {
+				// The earliest-deadline job does not fit; Algorithm 2
+				// finishes this calibration and moves on.
+				break
+			}
+			heap.Pop(h)
+			out.Place(j, c.Machine, t+used)
+			used += job.Processing
+			scheduled++
+		}
+	}
+	if scheduled != inst.N() {
+		err := &UnscheduledError{}
+		placed := make([]bool, inst.N())
+		for _, p := range out.Placements {
+			placed[p.Job] = true
+		}
+		for j, ok := range placed {
+			if !ok {
+				err.Jobs = append(err.Jobs, j)
+			}
+		}
+		return out, err
+	}
+	return out, nil
+}

@@ -1,0 +1,137 @@
+package tise
+
+import (
+	"math/rand"
+	"testing"
+
+	"calib/internal/ise"
+	"calib/internal/workload"
+)
+
+// TestSolveMinimalT exercises the smallest legal calibration length.
+func TestSolveMinimalT(t *testing.T) {
+	in := ise.NewInstance(2, 1)
+	in.AddJob(0, 4, 1) // window exactly 2T
+	in.AddJob(0, 5, 2)
+	res, err := Solve(in, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ise.ValidateTISE(in, res.Schedule); err != nil {
+		t.Fatalf("infeasible: %v", err)
+	}
+}
+
+// TestSolveFullLengthJobs: p_j = T jobs leave zero slack inside their
+// calibrations.
+func TestSolveFullLengthJobs(t *testing.T) {
+	in := ise.NewInstance(10, 2)
+	in.AddJob(0, 20, 10)
+	in.AddJob(0, 20, 10)
+	in.AddJob(5, 40, 10)
+	res, err := Solve(in, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ise.ValidateTISE(in, res.Schedule); err != nil {
+		t.Fatalf("infeasible: %v", err)
+	}
+}
+
+// TestSolveNegativeReleases: the model allows negative times.
+func TestSolveNegativeReleases(t *testing.T) {
+	in := ise.NewInstance(10, 1)
+	in.AddJob(-30, -5, 4)
+	in.AddJob(-10, 20, 6)
+	res, err := Solve(in, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ise.ValidateTISE(in, res.Schedule); err != nil {
+		t.Fatalf("infeasible: %v", err)
+	}
+}
+
+// TestSolveIdenticalJobs: many copies of one job stress the LP's
+// degenerate structure and the EDF tie-breaks.
+func TestSolveIdenticalJobs(t *testing.T) {
+	in := ise.NewInstance(10, 2)
+	for i := 0; i < 8; i++ {
+		in.AddJob(0, 50, 5)
+	}
+	res, err := Solve(in, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ise.ValidateTISE(in, res.Schedule); err != nil {
+		t.Fatalf("infeasible: %v", err)
+	}
+	// 8 jobs x 5 work = 40 = 4 calibrations at best; 12*OPT bound.
+	if res.Schedule.NumCalibrations() > 48 {
+		t.Errorf("calibrations = %d, way above 12*OPT", res.Schedule.NumCalibrations())
+	}
+}
+
+// TestSolveRevisedEngineEndToEnd runs the whole long-window pipeline on
+// the revised-simplex engine.
+func TestSolveRevisedEngineEndToEnd(t *testing.T) {
+	rng := rand.New(rand.NewSource(88))
+	for trial := 0; trial < 6; trial++ {
+		inst, _ := workload.Long(rng, 8, 1, 10)
+		res, err := Solve(inst, Options{Engine: Revised})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if err := ise.ValidateTISE(inst, res.Schedule); err != nil {
+			t.Fatalf("trial %d: infeasible: %v", trial, err)
+		}
+		// The revised engine must match the dense engine's optimum.
+		dense, err := Solve(inst, Options{Engine: Float64})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := res.LP.Objective - dense.LP.Objective; d > 1e-6 || d < -1e-6 {
+			t.Errorf("trial %d: LP objectives differ: revised %v, dense %v",
+				trial, res.LP.Objective, dense.LP.Objective)
+		}
+	}
+}
+
+// TestLazyCutsMatchesDirectOnSolve runs full pipelines under both row
+// strategies and compares the LP optima.
+func TestLazyCutsMatchesDirectOnSolve(t *testing.T) {
+	rng := rand.New(rand.NewSource(89))
+	inst, _ := workload.Long(rng, 8, 1, 10)
+	direct, err := SolveLPWith(inst, 3, Float64, Direct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lazy, err := SolveLPWith(inst, 3, Float64, LazyCuts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := direct.Objective - lazy.Objective; d > 1e-6 || d < -1e-6 {
+		t.Fatalf("objectives differ: direct %v, lazy %v", direct.Objective, lazy.Objective)
+	}
+	if lazy.CutRounds == 0 {
+		t.Error("lazy strategy recorded no cut rounds")
+	}
+	// The lazy final solution must satisfy every constraint (2) row.
+	for j := range lazy.X {
+		for i := range lazy.Points {
+			if lazy.X[j][i] > lazy.C[i]+1e-6 {
+				t.Fatalf("constraint (2) violated in lazy solution: X[%d][%d]=%v > C=%v",
+					j, i, lazy.X[j][i], lazy.C[i])
+			}
+		}
+	}
+}
+
+// TestStrategyString covers the enum printer.
+func TestStrategyString(t *testing.T) {
+	for _, s := range []Strategy{Direct, LazyCuts, Strategy(9)} {
+		if s.String() == "" {
+			t.Errorf("empty string for strategy %d", int(s))
+		}
+	}
+}

@@ -1,0 +1,59 @@
+package tise_test
+
+import (
+	"fmt"
+
+	"calib/internal/ise"
+	"calib/internal/tise"
+)
+
+// Example runs the complete long-window pipeline on a tiny instance
+// and reports Theorem 12's accounting.
+func Example() {
+	inst := ise.NewInstance(10, 1)
+	inst.AddJob(0, 40, 6)
+	inst.AddJob(5, 35, 4)
+	inst.AddJob(20, 60, 8)
+	res, err := tise.Solve(inst, tise.Options{})
+	if err != nil {
+		panic(err)
+	}
+	if err := ise.ValidateTISE(inst, res.Schedule); err != nil {
+		panic(err)
+	}
+	fmt.Printf("LP optimum: %.1f\n", res.LP.Objective)
+	fmt.Printf("rounded calibrations: %d (at most 2x the LP)\n", len(res.RoundedTimes))
+	fmt.Printf("schedule feasible: %v\n", true)
+	// The total work is 18 over T=10, so the LP needs 1.8 fractional
+	// calibrations; Algorithm 1 rounds that into 3 full ones.
+	// Output:
+	// LP optimum: 1.8
+	// rounded calibrations: 3 (at most 2x the LP)
+	// schedule feasible: true
+}
+
+// ExampleRoundCalibrations reproduces the Figure 2 rounding step.
+func ExampleRoundCalibrations() {
+	points := []ise.Time{0, 4, 7, 9}
+	frac := []float64{0.3, 0.4, 0.1, 0.9}
+	fmt.Println(tise.RoundCalibrations(points, frac))
+	// Output:
+	// [4 9 9]
+}
+
+// ExampleTransformToTISE applies the Lemma 2 construction.
+func ExampleTransformToTISE() {
+	inst := ise.NewInstance(10, 1)
+	inst.AddJob(0, 30, 5)
+	src := ise.NewSchedule(1)
+	src.Calibrate(0, 2)
+	src.Place(0, 0, 2)
+	out, err := tise.TransformToTISE(inst, src)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("calibrations %d -> %d, machines %d -> %d\n",
+		src.NumCalibrations(), out.NumCalibrations(), src.Machines, out.Machines)
+	// Output:
+	// calibrations 1 -> 3, machines 1 -> 3
+}

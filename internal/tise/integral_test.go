@@ -1,0 +1,97 @@
+package tise
+
+import (
+	"math/rand"
+	"testing"
+
+	"calib/internal/ise"
+	"calib/internal/workload"
+)
+
+func TestSolveIntegralLPSingleJob(t *testing.T) {
+	in := ise.NewInstance(10, 1)
+	in.AddJob(0, 20, 6)
+	res, err := SolveIntegralLP(in, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Found {
+		t.Fatal("no integer solution found")
+	}
+	if res.Objective != 1 {
+		t.Errorf("integral objective = %v, want 1", res.Objective)
+	}
+	if res.LPObjective > res.Objective+1e-9 {
+		t.Errorf("LP %v above ILP %v", res.LPObjective, res.Objective)
+	}
+}
+
+func TestSolveIntegralLPFractionalGap(t *testing.T) {
+	// Two jobs of work 7 sharing one window: LP = 1.4, integral >= 2.
+	in := ise.NewInstance(10, 2)
+	in.AddJob(0, 20, 7)
+	in.AddJob(0, 20, 7)
+	res, err := SolveIntegralLP(in, 6, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Found {
+		t.Fatal("no integer solution found")
+	}
+	if res.Objective < 2 {
+		t.Errorf("integral objective = %v, want >= 2", res.Objective)
+	}
+	if res.LPObjective > 1.4+1e-6 || res.LPObjective < 1.4-1e-6 {
+		t.Errorf("LP objective = %v, want 1.4", res.LPObjective)
+	}
+}
+
+// TestIntegralBetweenLPAndRounded: on random long instances,
+// LP <= ILP <= rounded calibration count (Lemma 7's 2x factor covers
+// the gap).
+func TestIntegralBetweenLPAndRounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	trials := 0
+	for trials < 6 {
+		inst, _ := workload.Planted(rng, workload.PlantedConfig{
+			Machines: 1, T: 8, CalibrationsPerMachine: 1,
+			Window: workload.LongWindow,
+		})
+		if inst.N() == 0 || inst.N() > 5 {
+			continue
+		}
+		trials++
+		res, err := SolveIntegralLP(inst, 3, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Found {
+			t.Logf("node cap hit on n=%d; skipping", inst.N())
+			continue
+		}
+		if res.LPObjective > res.Objective+1e-6 {
+			t.Errorf("LP %v > ILP %v", res.LPObjective, res.Objective)
+		}
+		long, err := Solve(inst, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if float64(len(long.RoundedTimes)) < res.Objective-1e-6 {
+			// The rounded schedule must provide at least the integral
+			// optimum's calibrations... not necessarily — rounding
+			// guarantees 2*LP >= rounded, and ILP >= LP, but rounded
+			// can be below ILP only if the rounding undershoots, which
+			// Algorithm 1 cannot (it still schedules all jobs
+			// fractionally). Flag for investigation if seen.
+			t.Logf("note: rounded %d < ILP %v (n=%d)", len(long.RoundedTimes), res.Objective, inst.N())
+		}
+	}
+}
+
+func TestSolveIntegralLPEmpty(t *testing.T) {
+	in := ise.NewInstance(10, 1)
+	res, err := SolveIntegralLP(in, 3, 0)
+	if err != nil || !res.Found || res.Objective != 0 {
+		t.Errorf("empty: %v %+v", err, res)
+	}
+}

@@ -1,0 +1,348 @@
+package tise
+
+import (
+	"fmt"
+
+	"calib/internal/ise"
+	"calib/internal/lp"
+)
+
+// Engine selects the LP solver backend.
+type Engine int
+
+// LP engines.
+const (
+	// Float64 uses the dense two-phase float tableau simplex (default).
+	Float64 Engine = iota
+	// Rational uses exact big.Rat simplex (slow; small instances and
+	// cross-validation only).
+	Rational
+	// Revised uses the sparse-column revised simplex with a dense
+	// basis inverse: same float64 arithmetic as Float64 but O(m^2+nnz)
+	// memory instead of the dense tableau's O(m*n).
+	Revised
+)
+
+func (e Engine) String() string {
+	switch e {
+	case Float64:
+		return "float64"
+	case Rational:
+		return "rational"
+	case Revised:
+		return "revised"
+	default:
+		return fmt.Sprintf("Engine(%d)", int(e))
+	}
+}
+
+// Fractional is a fractional TISE solution: the LP relaxation's
+// calibration profile and job assignment over the potential
+// calibration points.
+type Fractional struct {
+	// Points are the potential calibration points, sorted ascending.
+	Points []ise.Time
+	// C[i] is the (fractional) number of calibrations at Points[i].
+	C []float64
+	// X[j][i] is the fraction of job j assigned to Points[i]
+	// (0 for TISE-infeasible pairs).
+	X [][]float64
+	// Objective is the LP optimum, a lower bound on the number of
+	// calibrations of any TISE schedule on MPrime machines.
+	Objective float64
+	// MPrime is the machine bound m' the LP was solved for.
+	MPrime int
+	// Iterations counts simplex pivots (summed over cut rounds).
+	Iterations int
+	// CutRounds and CutsAdded describe the lazy-cut loop (zero under
+	// the Direct strategy): how many resolves happened and how many
+	// constraint (2) rows were ever materialized.
+	CutRounds, CutsAdded int
+	// MachinePrice[i] is the dual value of constraint (1) at Points[i]
+	// — the shadow price of the m' machine cap on the window ending at
+	// that point. Nonzero entries mark the congested stretches where
+	// one more machine would reduce the fractional calibration count.
+	// Populated by the float engines (Direct strategy); nil otherwise.
+	MachinePrice []float64
+}
+
+// InfeasibleError reports that the TISE LP relaxation (and hence the
+// TISE instance) is infeasible on the given number of machines.
+type InfeasibleError struct {
+	MPrime int
+}
+
+func (e *InfeasibleError) Error() string {
+	return fmt.Sprintf("tise: LP relaxation infeasible on %d machines", e.MPrime)
+}
+
+// BuildLP constructs the TISE LP relaxation of inst on mPrime machines
+// over the given calibration points (constraints (1)-(6) of the
+// paper). It returns the problem plus the variable index maps: cVar[i]
+// is the variable of C_{points[i]}, and xVar[j][i] is the variable of
+// X_{j,points[i]} or -1 for TISE-infeasible pairs.
+//
+// Constraint (2), X_jt <= C_t, contributes one row per feasible
+// (job, point) pair — by far the largest row family. BuildLP emits all
+// of them; BuildLPRelaxed omits them for the lazy-cut strategy of
+// SolveLP.
+func BuildLP(inst *ise.Instance, mPrime int, points []ise.Time) (p *lp.Problem, cVar []int, xVar [][]int) {
+	p, cVar, xVar = buildLP(inst, mPrime, points, true)
+	return p, cVar, xVar
+}
+
+// BuildLPRelaxed is BuildLP without the constraint (2) rows.
+func BuildLPRelaxed(inst *ise.Instance, mPrime int, points []ise.Time) (p *lp.Problem, cVar []int, xVar [][]int) {
+	p, cVar, xVar = buildLP(inst, mPrime, points, false)
+	return p, cVar, xVar
+}
+
+func buildLP(inst *ise.Instance, mPrime int, points []ise.Time, withPairRows bool) (p *lp.Problem, cVar []int, xVar [][]int) {
+	p = lp.NewProblem()
+	cVar = make([]int, len(points))
+	for i, t := range points {
+		cVar[i] = p.AddVar(fmt.Sprintf("C[%d]", t), 1)
+	}
+	xVar = make([][]int, inst.N())
+	for j := range inst.Jobs {
+		xVar[j] = make([]int, len(points))
+		for i := range points {
+			xVar[j][i] = -1
+		}
+	}
+	// Constraint (5) is enforced structurally: X variables exist only
+	// for TISE-feasible (job, point) pairs.
+	for jIdx, j := range inst.Jobs {
+		for i, t := range points {
+			if Feasible(inst.T, j, t) {
+				xVar[jIdx][i] = p.AddVar(fmt.Sprintf("X[%d,%d]", jIdx, t), 0)
+			}
+		}
+	}
+	// (1) at most m' calibrations overlap: for each point t, the
+	// calibrations started in (t-T, t] number at most m'.
+	lo := 0
+	for i, t := range points {
+		for points[lo] <= t-inst.T {
+			lo++
+		}
+		terms := make([]lp.Term, 0, i-lo+1)
+		for k := lo; k <= i; k++ {
+			terms = append(terms, lp.Term{Var: cVar[k], Coeff: 1})
+		}
+		p.AddConstraint(lp.LE, float64(mPrime), terms...)
+	}
+	// (2) X_jt <= C_t for each feasible pair.
+	if withPairRows {
+		for jIdx := range inst.Jobs {
+			for i := range points {
+				if v := xVar[jIdx][i]; v >= 0 {
+					p.AddConstraint(lp.LE, 0, lp.Term{Var: v, Coeff: 1}, lp.Term{Var: cVar[i], Coeff: -1})
+				}
+			}
+		}
+	}
+	// (3) work at a point fits in its calibrations:
+	// sum_j X_jt p_j <= C_t T.
+	for i := range points {
+		terms := []lp.Term{{Var: cVar[i], Coeff: -float64(inst.T)}}
+		for jIdx, j := range inst.Jobs {
+			if v := xVar[jIdx][i]; v >= 0 {
+				terms = append(terms, lp.Term{Var: v, Coeff: float64(j.Processing)})
+			}
+		}
+		if len(terms) > 1 {
+			p.AddConstraint(lp.LE, 0, terms...)
+		}
+	}
+	// (4) every job fully assigned.
+	for jIdx := range inst.Jobs {
+		var terms []lp.Term
+		for i := range points {
+			if v := xVar[jIdx][i]; v >= 0 {
+				terms = append(terms, lp.Term{Var: v, Coeff: 1})
+			}
+		}
+		p.AddConstraint(lp.EQ, 1, terms...)
+	}
+	return p, cVar, xVar
+}
+
+// Strategy selects how the constraint (2) row family is handled.
+type Strategy int
+
+// LP strategies.
+const (
+	// Direct builds every row up front. Measured default: at laptop
+	// scale most X_jt <= C_t rows bind, so cut separation materializes
+	// the majority of them anyway and pays for several from-scratch
+	// resolves (see experiment T6).
+	Direct Strategy = iota
+	// LazyCuts starts from the relaxation without the X_jt <= C_t
+	// rows and adds only the violated ones, resolving until clean.
+	// The final solution satisfies the full LP, so the optimum is
+	// identical to Direct's; worthwhile only when few rows bind.
+	LazyCuts
+)
+
+func (s Strategy) String() string {
+	switch s {
+	case LazyCuts:
+		return "lazy-cuts"
+	case Direct:
+		return "direct"
+	default:
+		return fmt.Sprintf("Strategy(%d)", int(s))
+	}
+}
+
+// cutViolationTol is the slack beyond which an X_jt <= C_t row counts
+// as violated during lazy-cut separation.
+const cutViolationTol = 1e-7
+
+// SolveLP builds and solves the TISE LP relaxation for inst on mPrime
+// machines using the Direct strategy. It returns an *InfeasibleError
+// when the relaxation is infeasible.
+func SolveLP(inst *ise.Instance, mPrime int, engine Engine) (*Fractional, error) {
+	return SolveLPWith(inst, mPrime, engine, Direct)
+}
+
+// SolveLPWith is SolveLP with an explicit row strategy.
+func SolveLPWith(inst *ise.Instance, mPrime int, engine Engine, strategy Strategy) (*Fractional, error) {
+	for _, j := range inst.Jobs {
+		if !j.IsLong(inst.T) {
+			return nil, fmt.Errorf("tise: %v is not a long-window job", j)
+		}
+	}
+	points := CalibrationPoints(inst)
+	if inst.N() == 0 {
+		return &Fractional{MPrime: mPrime}, nil
+	}
+
+	var prob *lp.Problem
+	var cVar []int
+	var xVar [][]int
+	if strategy == Direct {
+		prob, cVar, xVar = BuildLP(inst, mPrime, points)
+	} else {
+		prob, cVar, xVar = BuildLPRelaxed(inst, mPrime, points)
+	}
+
+	frac := &Fractional{MPrime: mPrime}
+	added := map[[2]int]bool{} // (job, point) rows already materialized
+	const maxRounds = 100
+	var xs []float64
+	var obj float64
+	var duals []float64
+	for round := 0; ; round++ {
+		status, solX, solObj, iters, solDuals, err := solveProblem(prob, engine)
+		if err != nil {
+			return nil, err
+		}
+		frac.Iterations += iters
+		switch status {
+		case lp.Optimal:
+		case lp.Infeasible:
+			return nil, &InfeasibleError{MPrime: mPrime}
+		default:
+			return nil, fmt.Errorf("tise: LP solve ended with status %v", status)
+		}
+		xs, obj = solX, solObj
+		duals = solDuals
+		if strategy == Direct {
+			break
+		}
+		// Separation: add every violated X_jt <= C_t row.
+		violated := 0
+		for j := range xVar {
+			for i := range points {
+				v := xVar[j][i]
+				if v < 0 || added[[2]int{j, i}] {
+					continue
+				}
+				if xs[v] > xs[cVar[i]]+cutViolationTol {
+					prob.AddConstraint(lp.LE, 0,
+						lp.Term{Var: v, Coeff: 1}, lp.Term{Var: cVar[i], Coeff: -1})
+					added[[2]int{j, i}] = true
+					violated++
+				}
+			}
+		}
+		frac.CutRounds = round + 1
+		frac.CutsAdded = len(added)
+		if violated == 0 {
+			break
+		}
+		if round >= maxRounds {
+			return nil, fmt.Errorf("tise: lazy-cut loop did not converge in %d rounds", maxRounds)
+		}
+	}
+
+	frac.Points = points
+	frac.Objective = obj
+	// BuildLP emits the constraint (1) rows first, one per point, so
+	// their duals are the leading prefix of the dual vector. The sign
+	// convention is <=-row duals <= 0; negate so congestion prices
+	// read as nonnegative.
+	if strategy == Direct && len(duals) >= len(points) {
+		frac.MachinePrice = make([]float64, len(points))
+		for i := range points {
+			frac.MachinePrice[i] = -duals[i]
+		}
+	}
+	frac.C = make([]float64, len(points))
+	frac.X = make([][]float64, inst.N())
+	for i := range points {
+		frac.C[i] = xs[cVar[i]]
+	}
+	for j := range frac.X {
+		frac.X[j] = make([]float64, len(points))
+		for i := range points {
+			if v := xVar[j][i]; v >= 0 {
+				frac.X[j][i] = xs[v]
+			}
+		}
+	}
+	return frac, nil
+}
+
+// solveProblem dispatches to the selected engine and normalizes the
+// result to float64. duals is nil for the rational engine.
+func solveProblem(prob *lp.Problem, engine Engine) (lp.Status, []float64, float64, int, []float64, error) {
+	switch engine {
+	case Rational:
+		sol, err := lp.SolveRational(prob)
+		if err != nil {
+			return 0, nil, 0, 0, nil, err
+		}
+		if sol.Status != lp.Optimal {
+			return sol.Status, nil, 0, sol.Iterations, nil, nil
+		}
+		xs := make([]float64, len(sol.X))
+		for i, r := range sol.X {
+			xs[i], _ = r.Float64()
+		}
+		return sol.Status, xs, sol.ObjectiveFloat(), sol.Iterations, nil, nil
+	case Revised:
+		sol, err := lp.SolveRevised(prob)
+		if err != nil {
+			return 0, nil, 0, 0, nil, err
+		}
+		return sol.Status, sol.X, sol.Objective, sol.Iterations, sol.Dual, nil
+	default:
+		sol, err := lp.Solve(prob)
+		if err != nil {
+			return 0, nil, 0, 0, nil, err
+		}
+		return sol.Status, sol.X, sol.Objective, sol.Iterations, sol.Dual, nil
+	}
+}
+
+// TotalCalibrations returns the fractional calibration mass sum(C_t).
+func (f *Fractional) TotalCalibrations() float64 {
+	var s float64
+	for _, c := range f.C {
+		s += c
+	}
+	return s
+}

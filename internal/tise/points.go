@@ -1,0 +1,75 @@
+// Package tise implements the long-window algorithm of Fineman &
+// Sheridan (SPAA 2015), Section 3: the trimmed-ISE (TISE) relaxation.
+//
+// The pipeline is:
+//
+//  1. enumerate the polynomially many potential calibration points
+//     (Lemma 3);
+//  2. solve the TISE linear-programming relaxation on m' = 3m machines
+//     (constraints (1)-(6) of the paper) via calib/internal/lp;
+//  3. round the fractional calibrations greedily (Algorithm 1),
+//     assigning them to 3m' machines round-robin (Lemma 4);
+//  4. assign jobs with earliest-deadline-first on the doubled
+//     calibration schedule (Algorithm 2, 6m' machines total).
+//
+// The result is a feasible TISE (hence ISE) schedule with at most
+// 12·C* calibrations on at most 18·m machines whenever the input is a
+// feasible long-window ISE instance on m machines (Theorem 12).
+//
+// The package also implements the ISE→TISE transformation of Lemma 2
+// (Figure 1), the proof-only augmented rounding of Algorithm 3 (used
+// here to property-test the Lemma 5 / Corollary 6 invariants, and to
+// reproduce Figure 3), and the machines→speed transformation of
+// Lemma 13 / Theorem 14.
+package tise
+
+import (
+	"sort"
+
+	"calib/internal/ise"
+)
+
+// CalibrationPoints returns the sorted set of potential calibration
+// points for inst (Lemma 3):
+//
+//	T = { r_j + k·T : j in J, k in 0..n },
+//
+// deduplicated, and pruned to points that at least one job can use
+// under the TISE restriction (a point t is useful only if some job j
+// has r_j <= t <= d_j - T; a calibration anywhere else is empty in an
+// optimal solution).
+func CalibrationPoints(inst *ise.Instance) []ise.Time {
+	n := ise.Time(inst.N())
+	set := make(map[ise.Time]struct{})
+	for _, j := range inst.Jobs {
+		for k := ise.Time(0); k <= n; k++ {
+			set[j.Release+k*inst.T] = struct{}{}
+		}
+	}
+	points := make([]ise.Time, 0, len(set))
+	for t := range set {
+		if usable(inst, t) {
+			points = append(points, t)
+		}
+	}
+	sort.Slice(points, func(a, b int) bool { return points[a] < points[b] })
+	return points
+}
+
+// usable reports whether a calibration starting at t can host at least
+// one job under the TISE restriction.
+func usable(inst *ise.Instance, t ise.Time) bool {
+	for _, j := range inst.Jobs {
+		if Feasible(inst.T, j, t) {
+			return true
+		}
+	}
+	return false
+}
+
+// Feasible reports the TISE constraint: job j may be assigned to a
+// calibration starting at t iff r_j <= t <= d_j - T, i.e. the
+// calibration [t, t+T) lies entirely inside j's window.
+func Feasible(T ise.Time, j ise.Job, t ise.Time) bool {
+	return j.Release <= t && t <= j.Deadline-T
+}

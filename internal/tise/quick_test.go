@@ -1,0 +1,117 @@
+package tise
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"calib/internal/ise"
+)
+
+// TestQuickRoundingCount verifies the counting identity behind
+// Lemma 7: Algorithm 1 emits exactly floor(2 * total fractional mass)
+// calibrations (up to float tolerance at the half-boundaries), at
+// nondecreasing times drawn from the input points.
+func TestQuickRoundingCount(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(20)
+		points := make([]ise.Time, n)
+		c := make([]float64, n)
+		cur := ise.Time(0)
+		total := 0.0
+		for i := range points {
+			cur += ise.Time(1 + rng.Int63n(10))
+			points[i] = cur
+			// Quarters keep half-boundary arithmetic exact in float64.
+			c[i] = float64(rng.Intn(8)) / 4
+			total += c[i]
+		}
+		out := RoundCalibrations(points, c)
+		want := int(2 * total * (1 + 1e-12))
+		if len(out) != want {
+			return false
+		}
+		prev := ise.Time(-1 << 62)
+		seen := map[ise.Time]bool{}
+		for _, p := range points {
+			seen[p] = true
+		}
+		for _, tt := range out {
+			if tt < prev || !seen[tt] {
+				return false
+			}
+			prev = tt
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickFeasiblePredicate checks the TISE constraint is exactly the
+// containment of the calibration in the window.
+func TestQuickFeasiblePredicate(t *testing.T) {
+	prop := func(r, winExtra, offRaw int16, TRaw, pRaw uint8) bool {
+		T := ise.Time(2 + TRaw%30)
+		p := ise.Time(1 + ise.Time(pRaw)%T)
+		j := ise.Job{Release: ise.Time(r), Processing: p}
+		j.Deadline = j.Release + p + ise.Time(winExtra&0x3ff)
+		t0 := j.Release + ise.Time(offRaw%200)
+		got := Feasible(T, j, t0)
+		want := j.Release <= t0 && t0+T <= j.Deadline
+		return got == want
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickTransformBounds re-checks Lemma 2's exact 3x accounting on
+// arbitrary feasible single-machine witnesses built from scratch (not
+// via the workload package).
+func TestQuickTransformBounds(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		T := ise.Time(4 + rng.Intn(8))
+		in := ise.NewInstance(T, 1)
+		s := ise.NewSchedule(1)
+		cur := ise.Time(rng.Int63n(20))
+		nCals := 1 + rng.Intn(3)
+		for k := 0; k < nCals; k++ {
+			s.Calibrate(0, cur)
+			used := ise.Time(0)
+			for used < T {
+				p := 1 + ise.Time(rng.Int63n(int64(T-used)))
+				start := cur + used
+				// Long window around the execution.
+				r := start - ise.Time(rng.Int63n(int64(2*T)))
+				d := start + p + ise.Time(rng.Int63n(int64(2*T)))
+				if d-r < 2*T {
+					d = r + 2*T
+				}
+				id := in.AddJob(r, d, p)
+				s.Place(id, 0, start)
+				used += p
+				if rng.Intn(2) == 0 {
+					break
+				}
+			}
+			cur += T + ise.Time(rng.Int63n(int64(T)))
+		}
+		if ise.Validate(in, s) != nil {
+			return true // skip rare invalid constructions
+		}
+		out, err := TransformToTISE(in, s)
+		if err != nil {
+			return false
+		}
+		return ise.ValidateTISE(in, out) == nil &&
+			out.NumCalibrations() == 3*s.NumCalibrations() &&
+			out.Machines == 3
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,87 @@
+package tise
+
+import (
+	"fmt"
+	"sort"
+
+	"calib/internal/ise"
+)
+
+// halfEps absorbs float noise when the running calibration total
+// crosses a multiple of 1/2 in Algorithm 1.
+const halfEps = 1e-7
+
+// RoundCalibrations performs the greedy rounding of Algorithm 1
+// (Figure 2): it scans the fractional calibrations C_t in time order,
+// keeping a running total, and emits one full calibration at the
+// current point each time the total reaches the next multiple of 1/2.
+//
+// The returned slice contains a calibration start time per emitted
+// calibration, nondecreasing, with duplicates when several
+// calibrations are emitted at the same point.
+func RoundCalibrations(points []ise.Time, c []float64) []ise.Time {
+	if len(points) != len(c) {
+		panic(fmt.Sprintf("tise: %d points but %d fractional values", len(points), len(c)))
+	}
+	var out []ise.Time
+	total := 0.0
+	emitted := 0
+	for i, t := range points {
+		total += c[i]
+		for total >= 0.5*float64(emitted+1)-halfEps {
+			out = append(out, t)
+			emitted++
+		}
+	}
+	return out
+}
+
+// AssignRoundRobin maps the rounded calibration times onto machines
+// round-robin (Lemma 4): calibration k goes to machine k mod machines.
+// When the fractional profile satisfied LP constraint (1) for m', any
+// window of length T holds at most 3m' = machines calibrations, so the
+// result has no same-machine overlap; this is verified and an error is
+// returned if violated (which would indicate a numerical pathology).
+func AssignRoundRobin(times []ise.Time, machines int, T ise.Time) (*ise.Schedule, error) {
+	if machines < 1 {
+		return nil, fmt.Errorf("tise: round-robin onto %d machines", machines)
+	}
+	s := ise.NewSchedule(machines)
+	last := make(map[int]ise.Time, machines)
+	for k, t := range times {
+		m := k % machines
+		if prev, ok := last[m]; ok && t-prev < T {
+			return nil, fmt.Errorf("tise: round-robin overlap on machine %d: calibrations at %d and %d with T=%d", m, prev, t, T)
+		}
+		last[m] = t
+		s.Calibrate(m, t)
+	}
+	return s, nil
+}
+
+// MirrorCalibrations returns a schedule with twice the machines of s
+// where every calibration of s also exists, shifted to the upper half
+// of the machine range (the "mirroring" step of Algorithm 2 /
+// Lemma 9). Placements are not copied.
+func MirrorCalibrations(s *ise.Schedule) *ise.Schedule {
+	out := ise.NewSchedule(2 * s.Machines)
+	for _, c := range s.Calibrations {
+		out.Calibrate(c.Machine, c.Start)
+		out.Calibrate(c.Machine+s.Machines, c.Start)
+	}
+	return out
+}
+
+// sortedCalibrations returns s's calibrations sorted by (start,
+// machine) — the nondecreasing-time scan order of Algorithm 2.
+func sortedCalibrations(s *ise.Schedule) []ise.Calibration {
+	cals := make([]ise.Calibration, len(s.Calibrations))
+	copy(cals, s.Calibrations)
+	sort.Slice(cals, func(a, b int) bool {
+		if cals[a].Start != cals[b].Start {
+			return cals[a].Start < cals[b].Start
+		}
+		return cals[a].Machine < cals[b].Machine
+	})
+	return cals
+}

@@ -1,0 +1,154 @@
+package tise
+
+import (
+	"fmt"
+	"sort"
+
+	"calib/internal/ise"
+)
+
+// SpeedTransform implements the machines→speed transformation of
+// Lemma 13: given a feasible TISE schedule src for inst on c*m unit-
+// speed machines, it produces a feasible ISE schedule on m machines
+// running at speed 2c, with at most as many calibrations as src.
+//
+// Machines are grouped c at a time; each group maps to one target
+// machine. The target machine's calibrations are chosen greedily so
+// that every calibrated tick of any source machine is calibrated on
+// the target; each source calibration is then mapped into a dedicated
+// size-T/(2c) slot of a target calibration half that fully contains
+// it, with the source jobs compacted into the slot in order at 2c
+// speed.
+//
+// Exactness requirements: src must have unit speed, src.Machines must
+// be divisible by c, and inst.T and every placed job's processing time
+// must be divisible by 2c (scale the instance with Instance.Scale(2c)
+// first — see SolveWithSpeed).
+func SpeedTransform(inst *ise.Instance, src *ise.Schedule, c int) (*ise.Schedule, error) {
+	if c < 1 {
+		return nil, fmt.Errorf("tise: group size c=%d, want >= 1", c)
+	}
+	if src.Speed != 1 {
+		return nil, fmt.Errorf("tise: SpeedTransform requires a unit-speed source, got %d", src.Speed)
+	}
+	if src.Machines%c != 0 {
+		return nil, fmt.Errorf("tise: %d machines not divisible by group size %d", src.Machines, c)
+	}
+	twoC := ise.Time(2 * c)
+	if inst.T%twoC != 0 {
+		return nil, fmt.Errorf("tise: T=%d not divisible by 2c=%d; scale the instance first", inst.T, twoC)
+	}
+	for _, j := range inst.Jobs {
+		if j.Processing%twoC != 0 {
+			return nil, fmt.Errorf("tise: %v processing not divisible by 2c=%d; scale the instance first", j, twoC)
+		}
+	}
+	groups := src.Machines / c
+	out := ise.NewSchedule(groups)
+	out.Speed = int64(twoC)
+
+	calsByM := src.CalibrationsByMachine()
+	// Placements per source machine, ordered by start.
+	placByM := make(map[int][]ise.Placement)
+	for _, p := range src.Placements {
+		placByM[p.Machine] = append(placByM[p.Machine], p)
+	}
+	for m := range placByM {
+		ps := placByM[m]
+		sort.Slice(ps, func(a, b int) bool { return ps[a].Start < ps[b].Start })
+	}
+
+	half := inst.T / 2
+	slot := inst.T / twoC
+	for g := 0; g < groups; g++ {
+		// All source calibrations in this group as (localMachine, start).
+		type srcCal struct {
+			local int
+			start ise.Time
+		}
+		var cals []srcCal
+		for i := 0; i < c; i++ {
+			for _, s := range calsByM[g*c+i] {
+				cals = append(cals, srcCal{local: i, start: s})
+			}
+		}
+		if len(cals) == 0 {
+			continue
+		}
+		sort.Slice(cals, func(a, b int) bool {
+			if cals[a].start != cals[b].start {
+				return cals[a].start < cals[b].start
+			}
+			return cals[a].local < cals[b].local
+		})
+		starts := make([]ise.Time, len(cals))
+		for i, sc := range cals {
+			starts[i] = sc.start
+		}
+		// Greedy target calibration times: if some source calibration
+		// covers tick t, calibrate the target at t and advance by T;
+		// otherwise jump to the next source calibration start.
+		var targets []ise.Time
+		t := starts[0]
+		for {
+			if covered(starts, t, inst.T) {
+				targets = append(targets, t)
+				out.Calibrate(g, t)
+				t += inst.T
+				continue
+			}
+			i := sort.Search(len(starts), func(i int) bool { return starts[i] > t })
+			if i == len(starts) {
+				break
+			}
+			t = starts[i]
+		}
+		// Map each source calibration to a (target, half) it fully
+		// contains, then compact its jobs into the machine's slot.
+		for _, sc := range cals {
+			tt, h, ok := findSlot(targets, sc.start, inst.T, half)
+			if !ok {
+				return nil, fmt.Errorf("tise: source calibration at %d (group %d) has no containing target half", sc.start, g)
+			}
+			slotStart := tt + ise.Time(h)*half + ise.Time(sc.local)*slot
+			cursor := slotStart
+			for _, p := range placByM[g*c+sc.local] {
+				j := inst.Jobs[p.Job]
+				if p.Start < sc.start || p.Start+j.Processing > sc.start+inst.T {
+					continue // belongs to a different calibration
+				}
+				out.Place(p.Job, g, cursor)
+				cursor += j.Processing / twoC
+			}
+			if cursor > slotStart+slot {
+				return nil, fmt.Errorf("tise: slot overflow at target %d group %d: %d > %d", tt, g, cursor, slotStart+slot)
+			}
+		}
+	}
+	return out, nil
+}
+
+// covered reports whether some source calibration [s, s+T) with s in
+// the sorted list contains tick t.
+func covered(starts []ise.Time, t, T ise.Time) bool {
+	i := sort.Search(len(starts), func(i int) bool { return starts[i] > t })
+	return i > 0 && starts[i-1]+T > t
+}
+
+// findSlot locates a target calibration tt such that the source
+// calibration [s, s+T) fully contains the first half (h=0, tt in
+// [s, s+T/2]) or the second half (h=1, tt in [s-T/2, s]) of
+// [tt, tt+T).
+func findSlot(targets []ise.Time, s, T, half ise.Time) (tt ise.Time, h int, ok bool) {
+	lo := sort.Search(len(targets), func(i int) bool { return targets[i] >= s-half })
+	for i := lo; i < len(targets) && targets[i] <= s+half; i++ {
+		t := targets[i]
+		if t >= s && t+half <= s+T {
+			return t, 0, true
+		}
+		if t+half >= s && t+T <= s+T {
+			return t, 1, true
+		}
+	}
+	return 0, 0, false
+}

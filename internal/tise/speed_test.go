@@ -1,0 +1,110 @@
+package tise
+
+import (
+	"testing"
+
+	"calib/internal/ise"
+)
+
+func TestCovered(t *testing.T) {
+	starts := []ise.Time{0, 20, 40}
+	const T = 10
+	cases := []struct {
+		t    ise.Time
+		want bool
+	}{
+		{0, true}, {9, true}, {10, false}, {19, false},
+		{20, true}, {29, true}, {30, false},
+		{-1, false}, {49, true}, {50, false},
+	}
+	for _, c := range cases {
+		if got := covered(starts, c.t, T); got != c.want {
+			t.Errorf("covered(%d) = %v, want %v", c.t, got, c.want)
+		}
+	}
+}
+
+func TestFindSlot(t *testing.T) {
+	const T, half = 10, 5
+	targets := []ise.Time{0, 20}
+	// Source calibration [0, 10): contains both halves of target 0.
+	if tt, h, ok := findSlot(targets, 0, T, half); !ok || tt != 0 || h != 0 {
+		t.Errorf("exact overlay: got (%d,%d,%v)", tt, h, ok)
+	}
+	// Source [17, 27): contains first half of target 20 ([20, 25)).
+	if tt, h, ok := findSlot(targets, 17, T, half); !ok || tt != 20 || h != 0 {
+		t.Errorf("first half: got (%d,%d,%v)", tt, h, ok)
+	}
+	// Source [13, 23): contains second half of target... target 20's
+	// halves are [20,25) and [25,30): neither inside [13,23). Target
+	// 0's halves are gone. No slot.
+	if _, _, ok := findSlot(targets, 13, T, half); ok {
+		t.Error("expected no slot for source at 13")
+	}
+	// Source [-5, 5): contains target 0's second half? [5,10) is not
+	// inside [-5, 5). First half [0,5) is. Yes: h=0? t>=s(-5) and
+	// t+half(5) <= s+T(5): ok.
+	if tt, h, ok := findSlot(targets, -5, T, half); !ok || tt != 0 || h != 1 {
+		// The second-half rule fires first? Check: for t=0: first-half
+		// needs t >= s: 0 >= -5 ok and t+half <= s+T: 5 <= 5 ok -> h=0.
+		if !ok || tt != 0 || h != 0 {
+			t.Errorf("source at -5: got (%d,%d,%v)", tt, h, ok)
+		}
+	}
+}
+
+func TestSpeedTransformRejects(t *testing.T) {
+	in := ise.NewInstance(10, 1)
+	in.AddJob(0, 20, 5)
+	s := ise.NewSchedule(4)
+	s.Calibrate(0, 0)
+	s.Place(0, 0, 0)
+
+	if _, err := SpeedTransform(in, s, 0); err == nil {
+		t.Error("c=0 accepted")
+	}
+	if _, err := SpeedTransform(in, s, 3); err == nil {
+		t.Error("machines not divisible by c accepted")
+	}
+	if _, err := SpeedTransform(in, s, 4); err == nil {
+		t.Error("T not divisible by 2c accepted")
+	}
+	fast := s.Clone()
+	fast.Speed = 2
+	if _, err := SpeedTransform(in, fast, 2); err == nil {
+		t.Error("non-unit-speed source accepted")
+	}
+}
+
+func TestSpeedTransformTiny(t *testing.T) {
+	// Two machines, group size 2: both calibrations at the same time
+	// fold into one target calibration with two slots.
+	const c = 2
+	in := ise.NewInstance(8, 1) // T = 8 = 2c * 2
+	in.AddJob(0, 20, 4)
+	in.AddJob(0, 20, 4)
+	src := ise.NewSchedule(2)
+	src.Calibrate(0, 0)
+	src.Calibrate(1, 0)
+	src.Place(0, 0, 0)
+	src.Place(1, 1, 0)
+	if err := ise.ValidateTISE(in, src); err != nil {
+		t.Fatal(err)
+	}
+	out, err := SpeedTransform(in, src, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Speed != 2*c {
+		t.Errorf("speed = %d, want %d", out.Speed, 2*c)
+	}
+	if err := ise.Validate(in, out); err != nil {
+		t.Fatalf("infeasible: %v", err)
+	}
+	if out.NumCalibrations() != 1 {
+		t.Errorf("calibrations = %d, want 1 (both sources share the target)", out.NumCalibrations())
+	}
+	if out.MachinesUsed() != 1 {
+		t.Errorf("machines used = %d, want 1", out.MachinesUsed())
+	}
+}

@@ -1,0 +1,325 @@
+// Package unitise implements baselines from the prior work the paper
+// builds on — Bender, Bunde, Leung, McCauley, Phillips, "Efficient
+// Scheduling to Minimize Calibrations" (SPAA 2013) — for the unit-
+// processing-time special case (p_j = 1), plus a naive always-
+// calibrated straw man. These are the comparison points for experiment
+// T5.
+//
+// LazyBinning reconstructs the 2013 lazy-binning idea: never calibrate
+// before you must. The "must" time is read off the latest-start
+// schedule (backward EDF): the first slot used by the lazy schedule is
+// the last moment a calibration can begin without losing feasibility.
+// Calibrations are opened there and greedily filled forward. On a
+// single machine this reproduces the 2013 optimal algorithm's behavior
+// (validated against the exact solver in tests); on multiple machines
+// it is the greedy baseline analogous to their 2-approximation.
+package unitise
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"sort"
+
+	"calib/internal/ise"
+)
+
+// ErrInfeasible reports that the unit-job instance admits no feasible
+// schedule on the given machine count.
+var ErrInfeasible = errors.New("unitise: infeasible on the given machines")
+
+// checkUnit validates the instance and that all jobs are unit length.
+func checkUnit(inst *ise.Instance) error {
+	if err := inst.Validate(); err != nil {
+		return err
+	}
+	for _, j := range inst.Jobs {
+		if j.Processing != 1 {
+			return fmt.Errorf("unitise: %v is not a unit job", j)
+		}
+	}
+	return nil
+}
+
+// latestSchedule computes the latest-start schedule of the unscheduled
+// unit jobs on capacity m: scanning slots backward from the maximum
+// deadline, each slot runs up to m jobs choosing those with the latest
+// releases (backward EDF, the mirror of forward EDF, and exact for
+// unit jobs). It returns the slot of every job, or ok=false if some
+// job cannot be placed (infeasible).
+func latestSchedule(inst *ise.Instance, ids []int, m int) (slots map[int]ise.Time, ok bool) {
+	if len(ids) == 0 {
+		return map[int]ise.Time{}, true
+	}
+	byDeadline := append([]int(nil), ids...)
+	sort.Slice(byDeadline, func(a, b int) bool {
+		ja, jb := inst.Jobs[byDeadline[a]], inst.Jobs[byDeadline[b]]
+		if ja.Deadline != jb.Deadline {
+			return ja.Deadline > jb.Deadline
+		}
+		return ja.ID > jb.ID
+	})
+	slots = make(map[int]ise.Time, len(ids))
+	h := &releaseHeap{jobs: inst.Jobs}
+	next := 0
+	var t ise.Time
+	for next < len(byDeadline) || h.Len() > 0 {
+		if h.Len() == 0 {
+			t = inst.Jobs[byDeadline[next]].Deadline - 1
+		}
+		for next < len(byDeadline) && inst.Jobs[byDeadline[next]].Deadline-1 >= t {
+			heap.Push(h, byDeadline[next])
+			next++
+		}
+		for k := 0; k < m && h.Len() > 0; k++ {
+			id := heap.Pop(h).(int)
+			if inst.Jobs[id].Release > t {
+				return nil, false
+			}
+			slots[id] = t
+		}
+		t--
+	}
+	return slots, true
+}
+
+// releaseHeap pops the job with the latest release first.
+type releaseHeap struct {
+	jobs []ise.Job
+	idx  []int
+}
+
+func (h *releaseHeap) Len() int { return len(h.idx) }
+func (h *releaseHeap) Less(a, b int) bool {
+	ja, jb := h.jobs[h.idx[a]], h.jobs[h.idx[b]]
+	if ja.Release != jb.Release {
+		return ja.Release > jb.Release
+	}
+	return ja.ID > jb.ID
+}
+func (h *releaseHeap) Swap(a, b int) { h.idx[a], h.idx[b] = h.idx[b], h.idx[a] }
+func (h *releaseHeap) Push(x any)    { h.idx = append(h.idx, x.(int)) }
+func (h *releaseHeap) Pop() any {
+	old := h.idx
+	n := len(old)
+	v := old[n-1]
+	h.idx = old[:n-1]
+	return v
+}
+
+// LazyBinning schedules a unit-job instance on inst.M machines,
+// delaying every calibration to the last feasible moment: the next
+// calibration opens only at the first slot used by the latest-start
+// (backward EDF) schedule of the remaining jobs. Jobs are then filled
+// forward greedily into all active calibrations (running a job inside
+// an already-paid-for calibration is free).
+func LazyBinning(inst *ise.Instance) (*ise.Schedule, error) {
+	if err := checkUnit(inst); err != nil {
+		return nil, err
+	}
+	m := inst.M
+	s := ise.NewSchedule(m)
+	unsched := make([]int, inst.N())
+	for i := range unsched {
+		unsched[i] = i
+	}
+	const farPast = ise.Time(-1) << 60
+	lastCal := make([]ise.Time, m)  // start of machine's latest calibration
+	nextFree := make([]ise.Time, m) // next tick the machine can run a job
+	for i := range lastCal {
+		lastCal[i] = farPast
+		nextFree[i] = farPast
+	}
+	for len(unsched) > 0 {
+		slots, ok := latestSchedule(inst, unsched, m)
+		if !ok {
+			return nil, ErrInfeasible
+		}
+		// Forced time: earliest slot of the lazy schedule, and how many
+		// jobs are forced to run there.
+		t0 := ise.Time(1) << 60
+		for _, t := range slots {
+			if t < t0 {
+				t0 = t
+			}
+		}
+		forced := 0
+		for _, t := range slots {
+			if t == t0 {
+				forced++
+			}
+		}
+		// Capacity already available at t0 from active calibrations.
+		have := 0
+		for mi := 0; mi < m; mi++ {
+			if lastCal[mi] <= t0 && t0 < lastCal[mi]+inst.T && nextFree[mi] <= t0 {
+				have++
+			}
+		}
+		// Open the missing calibrations at t0, lazily, on machines whose
+		// previous calibration has ended.
+		for mi := 0; mi < m && have < forced; mi++ {
+			if lastCal[mi]+inst.T <= t0 {
+				lastCal[mi] = t0
+				if nextFree[mi] < t0 {
+					nextFree[mi] = t0
+				}
+				s.Calibrate(mi, t0)
+				have++
+			}
+		}
+		if have < forced {
+			return nil, ErrInfeasible
+		}
+		// Fill forward with EDF into every active calibration until all
+		// current calibrations expire.
+		unsched = fillForward(inst, s, unsched, lastCal, nextFree, t0)
+	}
+	return s, nil
+}
+
+// fillForward runs forward EDF from t0 until every active calibration
+// expires: at each tick, each machine whose calibration covers the
+// tick and whose previous job has finished may run one unit job.
+// Returns the jobs that remain unscheduled.
+func fillForward(inst *ise.Instance, s *ise.Schedule, unsched []int, lastCal, nextFree []ise.Time, t0 ise.Time) []int {
+	horizon := t0
+	for _, lc := range lastCal {
+		if lc+inst.T > horizon {
+			horizon = lc + inst.T
+		}
+	}
+	byRelease := append([]int(nil), unsched...)
+	sort.Slice(byRelease, func(a, b int) bool {
+		ja, jb := inst.Jobs[byRelease[a]], inst.Jobs[byRelease[b]]
+		if ja.Release != jb.Release {
+			return ja.Release < jb.Release
+		}
+		return ja.ID < jb.ID
+	})
+	h := &deadlineHeap{jobs: inst.Jobs}
+	next := 0
+	placed := map[int]bool{}
+	for t := t0; t < horizon; t++ {
+		for next < len(byRelease) && inst.Jobs[byRelease[next]].Release <= t {
+			heap.Push(h, byRelease[next])
+			next++
+		}
+		for mi := range lastCal {
+			if !(lastCal[mi] <= t && t < lastCal[mi]+inst.T && nextFree[mi] <= t) {
+				continue
+			}
+			// Skip jobs whose deadline has passed; they wait for a
+			// later round (cannot happen when the lazy schedule was
+			// feasible, but be defensive).
+			for h.Len() > 0 && inst.Jobs[h.idx[0]].Deadline < t+1 {
+				heap.Pop(h)
+			}
+			if h.Len() == 0 {
+				break
+			}
+			id := heap.Pop(h).(int)
+			s.Place(id, mi, t)
+			nextFree[mi] = t + 1
+			placed[id] = true
+		}
+	}
+	var rest []int
+	for _, id := range unsched {
+		if !placed[id] {
+			rest = append(rest, id)
+		}
+	}
+	return rest
+}
+
+// deadlineHeap pops the job with the earliest deadline first.
+type deadlineHeap struct {
+	jobs []ise.Job
+	idx  []int
+}
+
+func (h *deadlineHeap) Len() int { return len(h.idx) }
+func (h *deadlineHeap) Less(a, b int) bool {
+	ja, jb := h.jobs[h.idx[a]], h.jobs[h.idx[b]]
+	if ja.Deadline != jb.Deadline {
+		return ja.Deadline < jb.Deadline
+	}
+	return ja.ID < jb.ID
+}
+func (h *deadlineHeap) Swap(a, b int) { h.idx[a], h.idx[b] = h.idx[b], h.idx[a] }
+func (h *deadlineHeap) Push(x any)    { h.idx = append(h.idx, x.(int)) }
+func (h *deadlineHeap) Pop() any {
+	old := h.idx
+	n := len(old)
+	v := old[n-1]
+	h.idx = old[:n-1]
+	return v
+}
+
+// NaiveGrid is the always-calibrated straw man: calibrate every
+// machine at 0, T, 2T, ... across the instance's span and EDF-fill.
+// It works for arbitrary (non-unit) processing times; jobs that would
+// cross a grid boundary wait for the next calibration. Returns
+// ErrInfeasible when even permanent calibration cannot meet the
+// deadlines on inst.M machines.
+func NaiveGrid(inst *ise.Instance) (*ise.Schedule, error) {
+	if err := inst.Validate(); err != nil {
+		return nil, err
+	}
+	m := inst.M
+	s := ise.NewSchedule(m)
+	if inst.N() == 0 {
+		return s, nil
+	}
+	lo, hi := inst.Span()
+	grid0 := (lo / inst.T) * inst.T
+	if grid0 > lo {
+		grid0 -= inst.T
+	}
+	for t := grid0; t < hi; t += inst.T {
+		for mi := 0; mi < m; mi++ {
+			s.Calibrate(mi, t)
+		}
+	}
+	// EDF list scheduling constrained to grid cells.
+	order := make([]int, inst.N())
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ja, jb := inst.Jobs[order[a]], inst.Jobs[order[b]]
+		if ja.Deadline != jb.Deadline {
+			return ja.Deadline < jb.Deadline
+		}
+		return ja.ID < jb.ID
+	})
+	avail := make([]ise.Time, m)
+	for i := range avail {
+		avail[i] = grid0
+	}
+	for _, id := range order {
+		j := inst.Jobs[id]
+		best, bestStart := -1, ise.Time(0)
+		for mi := 0; mi < m; mi++ {
+			start := avail[mi]
+			if start < j.Release {
+				start = j.Release
+			}
+			// Push past the grid boundary if the job would cross it.
+			cell := ((start - grid0) / inst.T)
+			if start+j.Processing > grid0+(cell+1)*inst.T {
+				start = grid0 + (cell+1)*inst.T
+			}
+			if best < 0 || start < bestStart {
+				best, bestStart = mi, start
+			}
+		}
+		if bestStart+j.Processing > j.Deadline {
+			return nil, ErrInfeasible
+		}
+		avail[best] = bestStart + j.Processing
+		s.Place(id, best, bestStart)
+	}
+	return s, nil
+}

@@ -1,0 +1,29 @@
+package workload_test
+
+import (
+	"fmt"
+	"math/rand"
+
+	"calib/internal/ise"
+	"calib/internal/workload"
+)
+
+// Example plants a feasible instance and shows that the witness
+// schedule really is feasible — the property every ratio experiment
+// builds on.
+func Example() {
+	rng := rand.New(rand.NewSource(1))
+	inst, witness := workload.Planted(rng, workload.PlantedConfig{
+		Machines:               2,
+		T:                      10,
+		CalibrationsPerMachine: 2,
+		Window:                 workload.LongWindow,
+	})
+	fmt.Println("instance valid:", inst.Validate() == nil)
+	fmt.Println("witness feasible:", ise.Validate(inst, witness) == nil)
+	fmt.Println("witness calibrations:", witness.NumCalibrations())
+	// Output:
+	// instance valid: true
+	// witness feasible: true
+	// witness calibrations: 4
+}

@@ -1,0 +1,331 @@
+// Package workload generates ISE problem instances for tests,
+// experiments, and benchmarks.
+//
+// The central generator is Planted: it first builds a random feasible
+// schedule (calibrations on m machines, jobs packed inside them) and
+// then derives the instance from it. Planted instances are feasible on
+// m machines by construction, and the planted schedule's calibration
+// count upper-bounds OPT — which is exactly what the approximation-
+// ratio experiments need. Specialized wrappers produce the workload
+// families used in the experiment suite (long-only, short-only, unit
+// jobs, stockpile batches, crossing-adversarial, partition-hard).
+//
+// All generators are deterministic functions of the provided
+// *rand.Rand.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"calib/internal/ise"
+)
+
+// WindowKind selects the window class of generated jobs.
+type WindowKind int
+
+// Window classes (Definition 1 of the paper).
+const (
+	// AnyWindow draws each job's class at random (per LongProb).
+	AnyWindow WindowKind = iota
+	// LongWindow forces d_j - r_j >= 2T for every job.
+	LongWindow
+	// ShortWindow forces d_j - r_j < 2T for every job.
+	ShortWindow
+)
+
+func (k WindowKind) String() string {
+	switch k {
+	case AnyWindow:
+		return "any"
+	case LongWindow:
+		return "long"
+	case ShortWindow:
+		return "short"
+	default:
+		return fmt.Sprintf("WindowKind(%d)", int(k))
+	}
+}
+
+// PlantedConfig configures Planted.
+type PlantedConfig struct {
+	// Machines is the number of machines of the planted schedule (and
+	// the instance's M). Must be >= 1.
+	Machines int
+	// T is the calibration length. Must be >= 2.
+	T ise.Time
+	// CalibrationsPerMachine is the number of calibrations planted on
+	// each machine. Must be >= 1.
+	CalibrationsPerMachine int
+	// Fill is the target fraction (0, 1] of each calibration occupied
+	// by planted jobs. Defaults to 0.75 when zero.
+	Fill float64
+	// MaxProc caps job processing times; defaults to T when zero.
+	MaxProc ise.Time
+	// Window selects the job window class.
+	Window WindowKind
+	// LongProb is the probability of a long window under AnyWindow
+	// (default 0.5 when zero).
+	LongProb float64
+	// UnitJobs forces p_j = 1 for every job (the Bender et al. special
+	// case); Fill then controls the number of unit jobs per
+	// calibration.
+	UnitJobs bool
+	// BackToBackProb is the probability that consecutive calibrations
+	// on a machine are exactly T apart (default 0.3 when zero).
+	BackToBackProb float64
+	// GapMax bounds the random extra gap between calibrations on a
+	// machine, in ticks (default 2T when zero).
+	GapMax ise.Time
+}
+
+func (c PlantedConfig) withDefaults() PlantedConfig {
+	if c.Fill == 0 {
+		c.Fill = 0.75
+	}
+	if c.MaxProc == 0 {
+		c.MaxProc = c.T
+	}
+	if c.LongProb == 0 {
+		c.LongProb = 0.5
+	}
+	if c.BackToBackProb == 0 {
+		c.BackToBackProb = 0.3
+	}
+	if c.GapMax == 0 {
+		c.GapMax = 2 * c.T
+	}
+	return c
+}
+
+// Planted generates an instance together with a feasible witness
+// schedule on cfg.Machines machines. The witness's calibration count
+// is an upper bound on OPT for the instance.
+func Planted(rng *rand.Rand, cfg PlantedConfig) (*ise.Instance, *ise.Schedule) {
+	cfg = cfg.withDefaults()
+	if cfg.Machines < 1 || cfg.T < 2 || cfg.CalibrationsPerMachine < 1 {
+		panic(fmt.Sprintf("workload: invalid PlantedConfig %+v", cfg))
+	}
+	inst := ise.NewInstance(cfg.T, cfg.Machines)
+	sched := ise.NewSchedule(cfg.Machines)
+	for m := 0; m < cfg.Machines; m++ {
+		t := ise.Time(rng.Int63n(int64(2 * cfg.T)))
+		for k := 0; k < cfg.CalibrationsPerMachine; k++ {
+			sched.Calibrate(m, t)
+			plantJobs(rng, cfg, inst, sched, m, t)
+			if rng.Float64() < cfg.BackToBackProb {
+				t += cfg.T
+			} else {
+				t += cfg.T + 1 + ise.Time(rng.Int63n(int64(cfg.GapMax)))
+			}
+		}
+	}
+	return inst, sched
+}
+
+// plantJobs packs random jobs into the calibration [t, t+T) on machine
+// m, adding them to inst and placing them in sched.
+func plantJobs(rng *rand.Rand, cfg PlantedConfig, inst *ise.Instance, sched *ise.Schedule, m int, t ise.Time) {
+	budget := ise.Time(cfg.Fill * float64(cfg.T))
+	if budget < 1 {
+		budget = 1
+	}
+	cursor := t
+	for budget > 0 {
+		var p ise.Time
+		if cfg.UnitJobs {
+			p = 1
+		} else {
+			max := cfg.MaxProc
+			if max > budget {
+				max = budget
+			}
+			p = 1 + ise.Time(rng.Int63n(int64(max)))
+		}
+		if p > budget {
+			break
+		}
+		start := cursor
+		end := start + p
+		r, d := window(rng, cfg, start, end)
+		id := inst.AddJob(r, d, p)
+		sched.Place(id, m, start)
+		cursor = end
+		budget -= p
+	}
+}
+
+// window draws a release/deadline pair around an execution [start,
+// end) respecting the configured window class. Releases are clamped at
+// 0.
+func window(rng *rand.Rand, cfg PlantedConfig, start, end ise.Time) (r, d ise.Time) {
+	T := cfg.T
+	p := end - start
+	long := false
+	switch cfg.Window {
+	case LongWindow:
+		long = true
+	case ShortWindow:
+		long = false
+	default:
+		long = rng.Float64() < cfg.LongProb
+	}
+	if long {
+		before := ise.Time(rng.Int63n(int64(2 * T)))
+		if before > start {
+			before = start
+		}
+		after := ise.Time(rng.Int63n(int64(2 * T)))
+		r = start - before
+		d = end + after
+		if d-r < 2*T {
+			d = r + 2*T
+		}
+		return r, d
+	}
+	// Short: window length in [p, 2T-1].
+	extra := ise.Time(rng.Int63n(int64(2*T - p)))
+	before := ise.Time(0)
+	if extra > 0 {
+		before = ise.Time(rng.Int63n(int64(extra + 1)))
+	}
+	if before > start {
+		before = start
+	}
+	after := extra - before
+	return start - before, end + after
+}
+
+// Long generates a long-window instance with roughly n jobs on m
+// machines (plus its witness schedule).
+func Long(rng *rand.Rand, n, m int, T ise.Time) (*ise.Instance, *ise.Schedule) {
+	return sized(rng, n, m, T, PlantedConfig{Window: LongWindow})
+}
+
+// Short generates a short-window instance with roughly n jobs on m
+// machines (plus its witness schedule).
+func Short(rng *rand.Rand, n, m int, T ise.Time) (*ise.Instance, *ise.Schedule) {
+	return sized(rng, n, m, T, PlantedConfig{Window: ShortWindow})
+}
+
+// Mixed generates an instance mixing long and short windows with the
+// given long probability.
+func Mixed(rng *rand.Rand, n, m int, T ise.Time, longProb float64) (*ise.Instance, *ise.Schedule) {
+	return sized(rng, n, m, T, PlantedConfig{Window: AnyWindow, LongProb: longProb})
+}
+
+// Unit generates a unit-job instance (the Bender et al. 2013 setting).
+func Unit(rng *rand.Rand, n, m int, T ise.Time) (*ise.Instance, *ise.Schedule) {
+	return sized(rng, n, m, T, PlantedConfig{Window: AnyWindow, UnitJobs: true, Fill: 0.5})
+}
+
+// sized adapts PlantedConfig to hit roughly n jobs by adjusting the
+// calibrations-per-machine count given the expected jobs per
+// calibration.
+func sized(rng *rand.Rand, n, m int, T ise.Time, cfg PlantedConfig) (*ise.Instance, *ise.Schedule) {
+	cfg.Machines = m
+	cfg.T = T
+	perCal := 2.0 // jobs per calibration under default fill and sizes
+	if cfg.UnitJobs {
+		f := cfg.Fill
+		if f == 0 {
+			f = 0.5
+		}
+		perCal = f * float64(T)
+	}
+	cals := int(float64(n)/(float64(m)*perCal) + 0.5)
+	if cals < 1 {
+		cals = 1
+	}
+	cfg.CalibrationsPerMachine = cals
+	return Planted(rng, cfg)
+}
+
+// Stockpile models the motivating ISE scenario: periodic batches of
+// weapon tests arriving every period ticks. Each batch releases
+// batchSize jobs with deadlines one period later (long windows when
+// period >= 2T) and varied test durations.
+func Stockpile(rng *rand.Rand, batches, batchSize, m int, T, period ise.Time) *ise.Instance {
+	inst := ise.NewInstance(T, m)
+	for b := 0; b < batches; b++ {
+		r := ise.Time(b) * period
+		for i := 0; i < batchSize; i++ {
+			p := 1 + ise.Time(rng.Int63n(int64(T)))
+			d := r + period
+			if d < r+p {
+				d = r + p
+			}
+			inst.AddJob(r, d, p)
+		}
+	}
+	return inst
+}
+
+// PartitionHard builds the NP-hardness gadget from the paper's
+// introduction: all jobs share the window [0, T), so deciding
+// feasibility on 2 machines encodes Partition. Weights are drawn in
+// [1, maxW] and the final job balances total weight to exactly 2T when
+// possible, making the instance feasible on 2 machines but hard to
+// pack.
+func PartitionHard(rng *rand.Rand, n int, T ise.Time) *ise.Instance {
+	inst := ise.NewInstance(T, 2)
+	var total ise.Time
+	for i := 0; i < n-1; i++ {
+		p := 1 + ise.Time(rng.Int63n(int64(T)/2))
+		if total+p > 2*T-1 {
+			break
+		}
+		inst.AddJob(0, T, p)
+		total += p
+	}
+	if rest := 2*T - total; rest >= 1 && rest <= T {
+		inst.AddJob(0, T, rest)
+	}
+	return inst
+}
+
+// Poisson generates n jobs arriving as a Poisson process with mean
+// inter-arrival gap meanGap ticks (exponentially distributed gaps,
+// rounded to ticks). Each job's window length is drawn uniformly from
+// [p_j, 4T), mixing short and long windows the way bursty real
+// arrivals do. Feasibility on m machines is not guaranteed; pair with
+// solvers that tolerate infeasibility or use generous m.
+func Poisson(rng *rand.Rand, n, m int, T ise.Time, meanGap float64) *ise.Instance {
+	inst := ise.NewInstance(T, m)
+	t := ise.Time(0)
+	for i := 0; i < n; i++ {
+		gap := ise.Time(rng.ExpFloat64() * meanGap)
+		t += gap
+		p := 1 + ise.Time(rng.Int63n(int64(T)))
+		win := p + ise.Time(rng.Int63n(int64(4*T)))
+		inst.AddJob(t, t+win, p)
+	}
+	return inst
+}
+
+// CrossingAdversarial builds short-window instances whose witness
+// schedule makes many jobs straddle the k·T calibration grid — the
+// hard case for Algorithm 5's crossing-job machinery. Jobs start at
+// kT - p/2 style offsets with tight windows.
+func CrossingAdversarial(rng *rand.Rand, n, m int, T ise.Time) *ise.Instance {
+	inst := ise.NewInstance(T, m)
+	for i := 0; i < n; i++ {
+		k := ise.Time(1 + rng.Int63n(8))
+		p := 2 + ise.Time(rng.Int63n(int64(T)-1))
+		start := k*T - p/2 // straddles kT
+		slack := ise.Time(rng.Int63n(int64(T) / 2))
+		r := start - slack
+		if r < 0 {
+			r = 0
+		}
+		d := start + p + slack
+		if d-r >= 2*T {
+			d = r + 2*T - 1
+		}
+		if d < start+p {
+			d = start + p
+		}
+		inst.AddJob(r, d, p)
+	}
+	return inst
+}

@@ -1,0 +1,160 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"calib/internal/ise"
+)
+
+// TestQuickPlantedAlwaysFeasible is the generator's core contract:
+// every planted instance is valid and its witness schedule is
+// feasible, for arbitrary configurations.
+func TestQuickPlantedAlwaysFeasible(t *testing.T) {
+	prop := func(seed int64, mRaw, TRaw, cpmRaw, winRaw uint8, unit bool) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cfg := PlantedConfig{
+			Machines:               1 + int(mRaw%4),
+			T:                      ise.Time(2 + TRaw%20),
+			CalibrationsPerMachine: 1 + int(cpmRaw%4),
+			Window:                 WindowKind(winRaw % 3),
+			UnitJobs:               unit,
+		}
+		inst, witness := Planted(rng, cfg)
+		if inst.Validate() != nil {
+			return false
+		}
+		if ise.Validate(inst, witness) != nil {
+			return false
+		}
+		// Window-class contract.
+		for _, j := range inst.Jobs {
+			switch cfg.Window {
+			case LongWindow:
+				if !j.IsLong(cfg.T) {
+					return false
+				}
+			case ShortWindow:
+				if j.IsLong(cfg.T) {
+					return false
+				}
+			}
+			if cfg.UnitJobs && j.Processing != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSizedGeneratorsRoughCount(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{5, 20, 60} {
+		inst, _ := Mixed(rng, n, 2, 10, 0.5)
+		if inst.N() < n/4 || inst.N() > n*4 {
+			t.Errorf("Mixed(%d) produced %d jobs (too far off)", n, inst.N())
+		}
+	}
+	inst, _ := Unit(rng, 30, 2, 10)
+	for _, j := range inst.Jobs {
+		if j.Processing != 1 {
+			t.Fatalf("Unit produced non-unit job %v", j)
+		}
+	}
+}
+
+func TestStockpileShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	inst := workloadStockpile(rng)
+	if err := inst.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if inst.N() != 12 {
+		t.Errorf("n = %d, want 12", inst.N())
+	}
+	// Batch releases at multiples of the period.
+	for i, j := range inst.Jobs {
+		if j.Release != ise.Time(i/3)*30 {
+			t.Errorf("job %d release %d", i, j.Release)
+		}
+		if j.Deadline-j.Release > 30 {
+			t.Errorf("job %d window exceeds period", i)
+		}
+	}
+}
+
+func workloadStockpile(rng *rand.Rand) *ise.Instance {
+	return Stockpile(rng, 4, 3, 2, 10, 30)
+}
+
+func TestPartitionHard(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	inst := PartitionHard(rng, 8, 10)
+	if err := inst.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if inst.M != 2 {
+		t.Errorf("M = %d, want 2", inst.M)
+	}
+	for _, j := range inst.Jobs {
+		if j.Release != 0 || j.Deadline != 10 {
+			t.Errorf("job %v not in [0, T)", j)
+		}
+	}
+	if inst.TotalWork() > 20 {
+		t.Errorf("total work %d exceeds 2T", inst.TotalWork())
+	}
+}
+
+func TestCrossingAdversarialValidAndShort(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 20; trial++ {
+		inst := CrossingAdversarial(rng, 10, 2, 10)
+		if err := inst.Validate(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for _, j := range inst.Jobs {
+			if j.IsLong(inst.T) {
+				t.Fatalf("trial %d: %v is long-window", trial, j)
+			}
+		}
+	}
+}
+
+func TestPoisson(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	inst := Poisson(rng, 30, 3, 10, 8)
+	if err := inst.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if inst.N() != 30 {
+		t.Errorf("n = %d, want 30", inst.N())
+	}
+	// Releases must be nondecreasing (arrival process).
+	for i := 1; i < inst.N(); i++ {
+		if inst.Jobs[i].Release < inst.Jobs[i-1].Release {
+			t.Fatalf("releases not nondecreasing at %d", i)
+		}
+	}
+}
+
+func TestWindowKindString(t *testing.T) {
+	for _, k := range []WindowKind{AnyWindow, LongWindow, ShortWindow, WindowKind(9)} {
+		if k.String() == "" {
+			t.Errorf("empty string for kind %d", int(k))
+		}
+	}
+}
+
+func TestPlantedPanicsOnBadConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on invalid config")
+		}
+	}()
+	Planted(rand.New(rand.NewSource(1)), PlantedConfig{Machines: 0, T: 10, CalibrationsPerMachine: 1})
+}

@@ -1,0 +1,102 @@
+package calib_test
+
+// Metamorphic tests: time scaling and time translation are similarity
+// transforms of the ISE problem — schedules correspond one-to-one —
+// so every solver's calibration count must be invariant under them.
+// These catch a whole class of bugs (hidden absolute-time assumptions,
+// off-by-one grid anchoring) that unit tests on fixed instances miss.
+
+import (
+	"math/rand"
+	"testing"
+
+	"calib"
+	"calib/internal/ise"
+	"calib/internal/workload"
+)
+
+type solverFn struct {
+	name string
+	run  func(*calib.Instance) (int, error)
+}
+
+func solvers() []solverFn {
+	return []solverFn{
+		{"pipeline", func(in *calib.Instance) (int, error) {
+			sol, err := calib.Solve(in, nil)
+			if err != nil {
+				return 0, err
+			}
+			return sol.Calibrations, nil
+		}},
+		{"lazy", func(in *calib.Instance) (int, error) {
+			s, err := calib.SolveLazy(in, 0)
+			if err != nil {
+				return 0, err
+			}
+			return s.NumCalibrations(), nil
+		}},
+		{"online", func(in *calib.Instance) (int, error) {
+			s, err := calib.SolveOnline(in)
+			if err != nil {
+				return 0, err
+			}
+			return s.NumCalibrations(), nil
+		}},
+		{"exact", func(in *calib.Instance) (int, error) {
+			if in.N() > 7 {
+				return -1, nil // skip marker
+			}
+			_, cals, err := calib.SolveExact(in, 0)
+			return cals, err
+		}},
+		{"lower-bound", func(in *calib.Instance) (int, error) {
+			return calib.LowerBound(in), nil
+		}},
+	}
+}
+
+func TestScalingInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(909))
+	for trial := 0; trial < 8; trial++ {
+		inst, _ := workload.Mixed(rng, 10, 1, 10, 0.5)
+		scaled := inst.Scale(3)
+		for _, sv := range solvers() {
+			a, err := sv.run(inst)
+			if err != nil {
+				t.Fatalf("trial %d %s: %v", trial, sv.name, err)
+			}
+			b, err := sv.run(scaled)
+			if err != nil {
+				t.Fatalf("trial %d %s (scaled): %v", trial, sv.name, err)
+			}
+			if a != b {
+				t.Errorf("trial %d: %s not scale-invariant: %d vs %d", trial, sv.name, a, b)
+			}
+		}
+	}
+}
+
+func TestTranslationInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(910))
+	for trial := 0; trial < 8; trial++ {
+		inst, _ := workload.Mixed(rng, 10, 1, 10, 0.5)
+		for _, delta := range []ise.Time{70, 1000} {
+			shifted := inst.Shift(delta)
+			for _, sv := range solvers() {
+				a, err := sv.run(inst)
+				if err != nil {
+					t.Fatalf("trial %d %s: %v", trial, sv.name, err)
+				}
+				b, err := sv.run(shifted)
+				if err != nil {
+					t.Fatalf("trial %d %s (shift %d): %v", trial, sv.name, delta, err)
+				}
+				if a != b {
+					t.Errorf("trial %d: %s not translation-invariant under +%d: %d vs %d",
+						trial, sv.name, delta, a, b)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,89 @@
+package calib_test
+
+// Golden regression corpus: fixed instances under testdata/ with the
+// recorded behavior of the default pipeline, the lazy heuristic, and
+// the lower bound. These guard against silent behavioral drift — an
+// intentional algorithm change should update the table (and say so in
+// the commit), an unintentional one should fail here first.
+//
+// Feasibility (not just counts) is asserted for every solver output,
+// and the invariant chain LB <= lazy <= paper-pipeline is checked
+// per fixture.
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"calib"
+	"calib/internal/ise"
+)
+
+var golden = []struct {
+	file         string
+	n            int
+	pipelineCals int
+	lazyCals     int
+	lowerBound   int
+}{
+	{"crossing_6.json", 10, 25, 9, 7},
+	{"long_3.json", 9, 20, 5, 4},
+	{"mixed_1.json", 21, 32, 8, 5},
+	{"mixed_2.json", 38, 54, 11, 9},
+	{"poisson_7.json", 16, 42, 13, 10},
+	{"short_4.json", 16, 17, 8, 6},
+	{"unit_5.json", 12, 16, 3, 2},
+}
+
+func loadFixture(t *testing.T, name string) *calib.Instance {
+	t.Helper()
+	f, err := os.Open(filepath.Join("testdata", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	inst, err := ise.ReadInstance(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inst
+}
+
+func TestGoldenRegression(t *testing.T) {
+	for _, g := range golden {
+		g := g
+		t.Run(g.file, func(t *testing.T) {
+			inst := loadFixture(t, g.file)
+			if inst.N() != g.n {
+				t.Fatalf("fixture has %d jobs, golden says %d", inst.N(), g.n)
+			}
+			sol, err := calib.Solve(inst, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := calib.Validate(inst, sol.Schedule); err != nil {
+				t.Fatalf("pipeline schedule infeasible: %v", err)
+			}
+			lz, err := calib.SolveLazy(inst, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := calib.Validate(inst, lz); err != nil {
+				t.Fatalf("lazy schedule infeasible: %v", err)
+			}
+			if sol.Calibrations != g.pipelineCals {
+				t.Errorf("pipeline calibrations = %d, golden %d", sol.Calibrations, g.pipelineCals)
+			}
+			if lz.NumCalibrations() != g.lazyCals {
+				t.Errorf("lazy calibrations = %d, golden %d", lz.NumCalibrations(), g.lazyCals)
+			}
+			if sol.LowerBound != g.lowerBound {
+				t.Errorf("lower bound = %d, golden %d", sol.LowerBound, g.lowerBound)
+			}
+			if sol.LowerBound > lz.NumCalibrations() || lz.NumCalibrations() > sol.Calibrations {
+				t.Errorf("invariant chain broken: LB %d <= lazy %d <= pipeline %d",
+					sol.LowerBound, lz.NumCalibrations(), sol.Calibrations)
+			}
+		})
+	}
+}
