@@ -11,8 +11,10 @@ package calib_test
 import (
 	"math/rand"
 	"testing"
+	"time"
 
 	"calib"
+	"calib/internal/core"
 	"calib/internal/exp"
 	"calib/internal/lp"
 	"calib/internal/tise"
@@ -47,6 +49,42 @@ func BenchmarkT1LongWindow(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		_ = exp.T1LongWindow(benchCfg)
 	}
+}
+
+// BenchmarkT1LongWindowN40 is the headline end-to-end comparison at
+// n=40: the seed pipeline (monolithic solve, dense tableau with the
+// full pair-row family) versus the hot path introduced by this
+// overhaul (time-component decomposition + bounded-variable revised
+// simplex with warm-started lazy cuts). The workload is T1-style —
+// long-window jobs planted around calibration clusters — at 4
+// clusters x 10 jobs. "HotPath" reports the end-to-end quotient as
+// "x-speedup"; scripts/bench.sh records both arms in BENCH_lp.json.
+func BenchmarkT1LongWindowN40(b *testing.B) {
+	inst, _ := workload.Clustered(rand.New(rand.NewSource(140)), 4, 10, 2, 10)
+	hot := core.Options{Engine: tise.Revised, Strategy: tise.Bounded, Parallelism: 4}
+	b.Run("Seed", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.Solve(inst, core.Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("HotPath", func(b *testing.B) {
+		var seed, fast time.Duration
+		for i := 0; i < b.N; i++ {
+			t0 := time.Now()
+			if _, err := core.Solve(inst, core.Options{}); err != nil {
+				b.Fatal(err)
+			}
+			seed += time.Since(t0)
+			t0 = time.Now()
+			if _, err := core.Solve(inst, hot); err != nil {
+				b.Fatal(err)
+			}
+			fast += time.Since(t0)
+		}
+		b.ReportMetric(float64(seed)/float64(fast), "x-speedup")
+	})
 }
 
 func BenchmarkT2SpeedTrade(b *testing.B) {
@@ -85,10 +123,82 @@ func BenchmarkT7Crossing(b *testing.B) {
 	}
 }
 
+// BenchmarkT8Scaling runs the T8 wall-clock table plus sub-benchmarks
+// that isolate the three hot-path stages introduced by the performance
+// overhaul. The *Vs* variants time both configurations inside one
+// iteration and report the quotient as "x-speedup" (higher = faster
+// new path); their ns/op is deliberately zeroed since the split
+// timings are what matters.
 func BenchmarkT8Scaling(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		_ = exp.T8Scaling(benchCfg)
-	}
+	b.Run("Table", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = exp.T8Scaling(benchCfg)
+		}
+	})
+	rng := rand.New(rand.NewSource(88))
+	long, _ := workload.Long(rng, 24, 2, 10)
+	b.Run("BoundedVsPairRows", func(b *testing.B) {
+		// Same revised engine; Direct materializes the full pair-row
+		// family, Bounded uses variable bounds + lazy cuts.
+		var direct, bounded time.Duration
+		for i := 0; i < b.N; i++ {
+			t0 := time.Now()
+			if _, err := tise.SolveLPWith(long, 6, tise.Revised, tise.Direct); err != nil {
+				b.Fatal(err)
+			}
+			direct += time.Since(t0)
+			t0 = time.Now()
+			if _, err := tise.SolveLPWith(long, 6, tise.Revised, tise.Bounded); err != nil {
+				b.Fatal(err)
+			}
+			bounded += time.Since(t0)
+		}
+		b.ReportMetric(float64(direct)/float64(bounded), "x-speedup")
+		b.ReportMetric(0, "ns/op")
+	})
+	b.Run("WarmVsCold", func(b *testing.B) {
+		// A binary-search-like m' sweep: one shared LPWarm chains bases
+		// and cuts across probes; the cold arm starts fresh each probe.
+		sweep := []int{6, 4, 5, 6, 7, 6}
+		var cold, warm time.Duration
+		for i := 0; i < b.N; i++ {
+			t0 := time.Now()
+			for _, mp := range sweep {
+				if _, err := tise.SolveLPBounded(long, mp, &tise.LPWarm{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			cold += time.Since(t0)
+			t0 = time.Now()
+			w := &tise.LPWarm{}
+			for _, mp := range sweep {
+				if _, err := tise.SolveLPBounded(long, mp, w); err != nil {
+					b.Fatal(err)
+				}
+			}
+			warm += time.Since(t0)
+		}
+		b.ReportMetric(float64(cold)/float64(warm), "x-speedup")
+		b.ReportMetric(0, "ns/op")
+	})
+	clustered, _ := workload.Clustered(rand.New(rand.NewSource(89)), 4, 6, 2, 10)
+	b.Run("DecomposedVsMonolithic", func(b *testing.B) {
+		var mono, par time.Duration
+		for i := 0; i < b.N; i++ {
+			t0 := time.Now()
+			if _, err := core.Solve(clustered, core.Options{}); err != nil {
+				b.Fatal(err)
+			}
+			mono += time.Since(t0)
+			t0 = time.Now()
+			if _, err := core.Solve(clustered, core.Options{Parallelism: 4}); err != nil {
+				b.Fatal(err)
+			}
+			par += time.Since(t0)
+		}
+		b.ReportMetric(float64(mono)/float64(par), "x-speedup")
+		b.ReportMetric(0, "ns/op")
+	})
 }
 
 func BenchmarkT9Practical(b *testing.B) {

@@ -91,6 +91,11 @@ const (
 	// MMLPRound is a time-indexed LP with randomized rounding, in the
 	// spirit of the Raghavan–Thompson approximation the paper cites.
 	MMLPRound
+	// MMLPSearch binary-searches the smallest machine count whose
+	// time-indexed feasibility LP admits a solution, warm-starting each
+	// probe from the previous basis, then rounds like MMLPRound with a
+	// greedy fallback.
+	MMLPSearch
 )
 
 func (b MMBox) String() string {
@@ -101,6 +106,8 @@ func (b MMBox) String() string {
 		return "exact"
 	case MMLPRound:
 		return "lp-round"
+	case MMLPSearch:
+		return "lp-search"
 	default:
 		return fmt.Sprintf("MMBox(%d)", int(b))
 	}
@@ -112,6 +119,8 @@ func (b MMBox) solver() mm.Solver {
 		return mm.Exact{}
 	case MMLPRound:
 		return mm.LPRound{}
+	case MMLPSearch:
+		return mm.LPSearch{}
 	default:
 		return mm.Greedy{}
 	}
@@ -141,6 +150,21 @@ type Options struct {
 	// padding. Beyond the paper; the approximation guarantee is
 	// unaffected (the result only gets better).
 	LocalSearch bool
+	// WarmStart switches the long-window LP to the hot path: the
+	// bounded-variable revised simplex with lazy pair-cut separation
+	// and basis reuse across re-solves (see internal/lp and
+	// internal/tise). Same optimum as the default dense engine — the
+	// test suite cross-checks the objectives to 1e-6 — but much less
+	// work per solve on wide-window instances. Ignored when ExactLP is
+	// set (rational arithmetic has no warm-start path).
+	WarmStart bool
+	// Parallelism > 0 decomposes the instance at time gaps of at least
+	// T (no calibration can span such a gap, so the optimum splits
+	// exactly; see internal/decomp) and solves the components
+	// concurrently on up to Parallelism workers. The merged schedule is
+	// deterministic — independent of worker count and interleaving. 0
+	// keeps the monolithic single-threaded solve.
+	Parallelism int
 }
 
 // Solution is the result of Solve.
@@ -156,8 +180,9 @@ type Solution struct {
 	// LowerBound is a combinatorial lower bound on OPT's calibrations
 	// (work, cluster, and Lemma 18 interval bounds).
 	LowerBound int
-	// LPObjective is the long-window LP optimum (0 if no long jobs);
-	// OPT on the long sub-instance is at least LPObjective/3.
+	// LPObjective is the long-window LP optimum (0 if no long jobs),
+	// summed across time components when Parallelism decomposes the
+	// instance; OPT on the long sub-instance is at least LPObjective/3.
 	LPObjective float64
 }
 
@@ -172,13 +197,20 @@ func Solve(inst *Instance, opts *Options) (*Solution, error) {
 		o = *opts
 	}
 	engine := tise.Float64
-	if o.ExactLP {
+	strategy := tise.Direct
+	switch {
+	case o.ExactLP:
 		engine = tise.Rational
+	case o.WarmStart:
+		engine = tise.Revised
+		strategy = tise.Bounded
 	}
 	res, err := core.Solve(inst, core.Options{
-		MM:       o.MMBox.solver(),
-		Engine:   engine,
-		TrimIdle: o.TrimIdleCalibrations,
+		MM:          o.MMBox.solver(),
+		Engine:      engine,
+		Strategy:    strategy,
+		TrimIdle:    o.TrimIdleCalibrations,
+		Parallelism: o.Parallelism,
 	})
 	if err != nil {
 		return nil, err
@@ -204,9 +236,7 @@ func Solve(inst *Instance, opts *Options) (*Solution, error) {
 		LongJobs:     res.LongJobs,
 		ShortJobs:    res.ShortJobs,
 		LowerBound:   bounds.Calibrations(inst),
-	}
-	if res.Long != nil {
-		sol.LPObjective = res.Long.LP.Objective
+		LPObjective:  res.LPObjective,
 	}
 	return sol, nil
 }

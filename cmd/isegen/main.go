@@ -3,8 +3,9 @@
 //
 // Usage:
 //
-//	isegen [-family mixed|long|short|unit|stockpile|partition|crossing|poisson]
-//	       [-n 20] [-m 2] [-t 10] [-seed 1] [-long-prob 0.5]
+//	isegen [-family mixed|long|short|unit|stockpile|partition|crossing|
+//	        poisson|clustered]
+//	       [-n 20] [-m 2] [-t 10] [-seed 1] [-long-prob 0.5] [-clusters 4]
 package main
 
 import (
@@ -27,12 +28,13 @@ func main() {
 
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("isegen", flag.ContinueOnError)
-	family := fs.String("family", "mixed", "workload family: mixed, long, short, unit, stockpile, partition, crossing, poisson")
+	family := fs.String("family", "mixed", "workload family: mixed, long, short, unit, stockpile, partition, crossing, poisson, clustered")
 	n := fs.Int("n", 20, "approximate number of jobs")
 	m := fs.Int("m", 2, "machines")
 	T := fs.Int64("t", 10, "calibration length")
 	seed := fs.Int64("seed", 1, "random seed")
 	longProb := fs.Float64("long-prob", 0.5, "long-window probability (mixed family)")
+	clusters := fs.Int("clusters", 4, "independent time components (clustered family)")
 	describe := fs.Bool("describe", false, "print instance statistics to stderr")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -61,6 +63,15 @@ func run(args []string, stdout io.Writer) error {
 		inst = workload.CrossingAdversarial(rng, *n, *m, *T)
 	case "poisson":
 		inst = workload.Poisson(rng, *n, *m, *T, float64(*T))
+	case "clustered":
+		if *clusters < 1 {
+			return fmt.Errorf("-clusters must be at least 1")
+		}
+		per := *n / *clusters
+		if per < 1 {
+			per = 1
+		}
+		inst, _ = workload.Clustered(rng, *clusters, per, *m, *T)
 	default:
 		return fmt.Errorf("unknown family %q", *family)
 	}

@@ -4,8 +4,9 @@
 //
 // Usage:
 //
-//	isesolve [-box greedy|exact|lp-round] [-exact-lp] [-trim]
-//	         [-opt | -lazy] [-compact] [-v] [instance.json]
+//	isesolve [-box greedy|exact|lp-round|lp-search] [-exact-lp]
+//	         [-warm] [-par N] [-trim] [-opt | -lazy] [-compact] [-v]
+//	         [instance.json]
 //
 // -opt uses the exact branch-and-bound solver (small instances only);
 // -lazy uses the practical heuristic; the default is the paper's
@@ -33,8 +34,10 @@ func main() {
 
 func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("isesolve", flag.ContinueOnError)
-	box := fs.String("box", "greedy", "MM black box for short-window jobs: greedy, exact, lp-round")
+	box := fs.String("box", "greedy", "MM black box for short-window jobs: greedy, exact, lp-round, lp-search")
 	exactLP := fs.Bool("exact-lp", false, "use exact rational arithmetic for the long-window LP")
+	warm := fs.Bool("warm", false, "long-window LP hot path: bounded-variable simplex with warm-started lazy cuts")
+	par := fs.Int("par", 0, "solve independent time components with up to N concurrent workers")
 	trim := fs.Bool("trim", false, "drop idle short-window calibrations (beyond the paper)")
 	opt := fs.Bool("opt", false, "solve exactly by branch and bound (small n only)")
 	lazy := fs.Bool("lazy", false, "use the practical lazy heuristic instead of the paper's pipeline")
@@ -79,7 +82,10 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		sched = s
 		fmt.Fprintf(stderr, "exact optimum: %d calibrations\n", cals)
 	default:
-		opts := &calib.Options{ExactLP: *exactLP, TrimIdleCalibrations: *trim}
+		opts := &calib.Options{
+			ExactLP: *exactLP, TrimIdleCalibrations: *trim,
+			WarmStart: *warm, Parallelism: *par,
+		}
 		switch *box {
 		case "greedy":
 			opts.MMBox = calib.MMGreedy
@@ -87,6 +93,8 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 			opts.MMBox = calib.MMExact
 		case "lp-round":
 			opts.MMBox = calib.MMLPRound
+		case "lp-search":
+			opts.MMBox = calib.MMLPSearch
 		default:
 			return fmt.Errorf("unknown MM box %q", *box)
 		}

@@ -1,0 +1,90 @@
+package calib_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"calib"
+	"calib/internal/workload"
+)
+
+// TestWarmStartOption: the bounded/warm-started hot path must agree
+// with the default pipeline on feasibility and LP objective.
+func TestWarmStartOption(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for trial := 0; trial < 4; trial++ {
+		inst, _ := workload.Mixed(rng, 14, 2, 10, 0.6)
+		slow, err := calib.Solve(inst, nil)
+		if err != nil {
+			t.Fatalf("trial %d default: %v", trial, err)
+		}
+		fast, err := calib.Solve(inst, &calib.Options{WarmStart: true})
+		if err != nil {
+			t.Fatalf("trial %d warm: %v", trial, err)
+		}
+		if err := calib.Validate(inst, fast.Schedule); err != nil {
+			t.Fatalf("trial %d: warm schedule infeasible: %v", trial, err)
+		}
+		if d := slow.LPObjective - fast.LPObjective; d > 1e-6 || d < -1e-6 {
+			t.Fatalf("trial %d: LP objective default %v != warm %v", trial, slow.LPObjective, fast.LPObjective)
+		}
+	}
+}
+
+// TestWarmStartExactLPPrecedence: ExactLP keeps the rational engine
+// even when WarmStart is also set.
+func TestWarmStartExactLPPrecedence(t *testing.T) {
+	rng := rand.New(rand.NewSource(62))
+	inst, _ := workload.Long(rng, 6, 1, 8)
+	both, err := calib.Solve(inst, &calib.Options{ExactLP: true, WarmStart: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := calib.Solve(inst, &calib.Options{ExactLP: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if both.LPObjective != exact.LPObjective {
+		t.Fatalf("ExactLP+WarmStart objective %v != ExactLP %v", both.LPObjective, exact.LPObjective)
+	}
+}
+
+// TestParallelismOption: clustered instances decompose; the result
+// stays feasible, deterministic across worker counts, and reports the
+// summed LP objective.
+func TestParallelismOption(t *testing.T) {
+	rng := rand.New(rand.NewSource(63))
+	inst, _ := workload.Clustered(rng, 3, 6, 2, 10)
+	mono, err := calib.Solve(inst, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, par := range []int{1, 4} {
+		sol, err := calib.Solve(inst, &calib.Options{Parallelism: par, WarmStart: true})
+		if err != nil {
+			t.Fatalf("par %d: %v", par, err)
+		}
+		if err := calib.Validate(inst, sol.Schedule); err != nil {
+			t.Fatalf("par %d: infeasible: %v", par, err)
+		}
+		if d := mono.LPObjective - sol.LPObjective; d > 1e-6 || d < -1e-6 {
+			t.Fatalf("par %d: LP objective %v != monolithic %v", par, sol.LPObjective, mono.LPObjective)
+		}
+	}
+}
+
+// TestMMLPSearchBox exercises the new MM black box through the facade.
+func TestMMLPSearchBox(t *testing.T) {
+	rng := rand.New(rand.NewSource(64))
+	inst, _ := workload.Mixed(rng, 12, 2, 8, 0.3)
+	sol, err := calib.Solve(inst, &calib.Options{MMBox: calib.MMLPSearch})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := calib.Validate(inst, sol.Schedule); err != nil {
+		t.Fatalf("infeasible: %v", err)
+	}
+	if calib.MMLPSearch.String() != "lp-search" {
+		t.Fatalf("MMLPSearch.String() = %q", calib.MMLPSearch.String())
+	}
+}

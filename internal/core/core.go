@@ -12,8 +12,10 @@ package core
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
+	"calib/internal/decomp"
 	"calib/internal/ise"
 	"calib/internal/mm"
 	"calib/internal/shortwin"
@@ -35,6 +37,18 @@ type Options struct {
 	// paper's Gamma = 2; larger values are valid per the paper's
 	// Section 3 remark and traded off in experiment T11.
 	Gamma int
+	// Strategy selects the long-window LP row strategy (default
+	// Direct; tise.Bounded is the fast path).
+	Strategy tise.Strategy
+	// Parallelism enables time-component decomposition: when > 0 the
+	// instance is split at release/deadline gaps of at least T (no
+	// calibration can span such a gap, so the optimum decomposes
+	// exactly — see internal/decomp) and the components are solved
+	// concurrently by up to Parallelism workers, then merged on
+	// disjoint machine blocks in component order (deterministic
+	// output). 0 (the default) keeps the monolithic single-threaded
+	// solve.
+	Parallelism int
 }
 
 // Result is the output of Solve.
@@ -51,13 +65,27 @@ type Result struct {
 	// LongJobs and ShortJobs count the partition sizes.
 	LongJobs, ShortJobs int
 	// LongTime and ShortTime are the wall clocks of the two
-	// sub-pipelines.
+	// sub-pipelines (summed across components on the decomposed path).
 	LongTime, ShortTime time.Duration
+	// Components is how many independent time components were solved
+	// (1 on the monolithic path or when no gap splits the instance).
+	Components int
+	// LPObjective is the long-window LP optimum summed across
+	// components; it equals Long.LP.Objective on the monolithic path
+	// and 0 when there are no long jobs. Because no calibration spans
+	// a decomposition gap, the sum lower-bounds the optimal TISE
+	// calibration count exactly as the monolithic objective does.
+	LPObjective float64
+	// Parts holds the per-component results on the decomposed path
+	// (nil otherwise); Parts[i].Schedule uses component-local job IDs.
+	Parts []*Result
 }
 
 // Solve runs the combined algorithm. The two sub-algorithms run on
 // disjoint machine blocks: long-window machines first, then
-// short-window machines.
+// short-window machines. With Options.Parallelism > 0 the instance is
+// first decomposed into independent time components (see
+// internal/decomp) solved concurrently.
 func Solve(inst *ise.Instance, opts Options) (*Result, error) {
 	if err := inst.Validate(); err != nil {
 		return nil, err
@@ -69,18 +97,30 @@ func Solve(inst *ise.Instance, opts Options) (*Result, error) {
 	if gamma < 2 {
 		return nil, fmt.Errorf("core: gamma = %d, want >= 2", gamma)
 	}
+	if opts.Parallelism > 0 {
+		if comps := decomp.Split(inst); len(comps) > 1 {
+			return solveDecomposed(comps, opts, gamma)
+		}
+	}
+	return solveMono(inst, opts, gamma)
+}
+
+// solveMono is the single-component pipeline: partition long/short,
+// run the two sub-algorithms, merge on disjoint machine blocks.
+func solveMono(inst *ise.Instance, opts Options, gamma int) (*Result, error) {
 	long, short, longIDs, shortIDs := inst.PartitionAt(ise.Time(gamma) * inst.T)
-	res := &Result{LongJobs: long.N(), ShortJobs: short.N()}
+	res := &Result{LongJobs: long.N(), ShortJobs: short.N(), Components: 1}
 	merged := ise.NewSchedule(0)
 	offset := 0
 	if long.N() > 0 {
 		t0 := time.Now()
-		lr, err := tise.Solve(long, tise.Options{Engine: opts.Engine})
+		lr, err := tise.Solve(long, tise.Options{Engine: opts.Engine, Strategy: opts.Strategy})
 		if err != nil {
 			return nil, err
 		}
 		res.LongTime = time.Since(t0)
 		res.Long = lr
+		res.LPObjective = lr.LP.Objective
 		ls := lr.Schedule.Clone()
 		ls.RenumberJobs(longIDs)
 		merged.Merge(ls, 0)
@@ -103,4 +143,57 @@ func Solve(inst *ise.Instance, opts Options) (*Result, error) {
 	}
 	res.Schedule = merged
 	return res, nil
+}
+
+// solveDecomposed solves each time component with solveMono on a
+// bounded worker pool and merges the component schedules on disjoint
+// machine blocks in component order, so the output is deterministic
+// regardless of worker interleaving.
+func solveDecomposed(comps []decomp.Component, opts Options, gamma int) (*Result, error) {
+	workers := opts.Parallelism
+	if workers > len(comps) {
+		workers = len(comps)
+	}
+	results := make([]*Result, len(comps))
+	errs := make([]error, len(comps))
+	tasks := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range tasks {
+				results[i], errs[i] = solveMono(comps[i].Inst, opts, gamma)
+			}
+		}()
+	}
+	for i := range comps {
+		tasks <- i
+	}
+	close(tasks)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	agg := &Result{Components: len(comps), Parts: results}
+	merged := ise.NewSchedule(0)
+	offset := 0
+	for i, part := range results {
+		ps := part.Schedule.Clone()
+		ps.RenumberJobs(comps[i].IDs)
+		merged.Merge(ps, offset)
+		offset += ps.Machines
+		agg.LongJobs += part.LongJobs
+		agg.ShortJobs += part.ShortJobs
+		agg.LongTime += part.LongTime
+		agg.ShortTime += part.ShortTime
+		agg.LPObjective += part.LPObjective
+	}
+	if merged.Machines == 0 {
+		merged.Machines = 1
+	}
+	agg.Schedule = merged
+	return agg, nil
 }

@@ -1,0 +1,73 @@
+// Package decomp splits an ISE instance into independent time
+// components: maximal job groups separated by release/deadline gaps of
+// at least T. No calibration can serve jobs on both sides of such a
+// gap — a calibration [s, s+T) useful to the earlier group starts
+// before some deadline D <= Dmax, and to reach the later group it
+// would need s > r - T >= Dmax > s — so the components are solvable
+// independently and OPT(inst) is the sum of the component optima.
+// Solving them concurrently and merging on disjoint machine blocks
+// preserves every approximation guarantee while cutting both
+// wall-clock (parallel speedup) and total work (the LP's point set and
+// row count are superlinear in the job count).
+package decomp
+
+import (
+	"sort"
+
+	"calib/internal/ise"
+)
+
+// Component is one independent sub-instance of a decomposition.
+type Component struct {
+	// Inst holds the component's jobs with contiguous IDs, same T and
+	// M as the parent.
+	Inst *ise.Instance
+	// IDs maps the component's job IDs back to parent job IDs
+	// (IDs[k] is the parent ID of Inst.Jobs[k]).
+	IDs []int
+}
+
+// Span returns the component's time extent [min release, max deadline).
+func (c *Component) Span() (lo, hi ise.Time) {
+	return c.Inst.Span()
+}
+
+// Split partitions inst into time components, ordered by release.
+// Components are maximal: consecutive ones are separated by a gap of
+// at least T between the earlier one's latest deadline and the later
+// one's earliest release. An instance with no such gap comes back as a
+// single component (whose Inst shares no job slices with inst, so
+// callers may mutate freely).
+func Split(inst *ise.Instance) []Component {
+	n := inst.N()
+	if n == 0 {
+		return nil
+	}
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ja, jb := inst.Jobs[order[a]], inst.Jobs[order[b]]
+		if ja.Release != jb.Release {
+			return ja.Release < jb.Release
+		}
+		return order[a] < order[b]
+	})
+	var comps []Component
+	var cur *Component
+	var maxDeadline ise.Time
+	for _, idx := range order {
+		j := inst.Jobs[idx]
+		if cur == nil || j.Release-maxDeadline >= inst.T {
+			comps = append(comps, Component{Inst: ise.NewInstance(inst.T, inst.M)})
+			cur = &comps[len(comps)-1]
+			maxDeadline = j.Deadline
+		} else if j.Deadline > maxDeadline {
+			maxDeadline = j.Deadline
+		}
+		cur.Inst.AddJob(j.Release, j.Deadline, j.Processing)
+		cur.IDs = append(cur.IDs, j.ID)
+	}
+	return comps
+}

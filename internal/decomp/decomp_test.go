@@ -1,0 +1,109 @@
+package decomp
+
+import (
+	"math/rand"
+	"testing"
+
+	"calib/internal/ise"
+	"calib/internal/workload"
+)
+
+func TestSplitEmpty(t *testing.T) {
+	in := ise.NewInstance(10, 2)
+	if got := Split(in); got != nil {
+		t.Fatalf("Split(empty) = %v, want nil", got)
+	}
+}
+
+func TestSplitSingleComponent(t *testing.T) {
+	in := ise.NewInstance(10, 2)
+	in.AddJob(0, 30, 5)
+	in.AddJob(25, 60, 5) // release 25 < deadline 30 + T: same component
+	comps := Split(in)
+	if len(comps) != 1 {
+		t.Fatalf("got %d components, want 1", len(comps))
+	}
+	if comps[0].Inst.N() != 2 {
+		t.Fatalf("component has %d jobs, want 2", comps[0].Inst.N())
+	}
+}
+
+func TestSplitAtGap(t *testing.T) {
+	in := ise.NewInstance(10, 2)
+	in.AddJob(0, 30, 5)
+	in.AddJob(5, 25, 4)
+	in.AddJob(40, 70, 5) // 40 - 30 = 10 >= T: new component
+	in.AddJob(45, 80, 6)
+	comps := Split(in)
+	if len(comps) != 2 {
+		t.Fatalf("got %d components, want 2", len(comps))
+	}
+	if comps[0].Inst.N() != 2 || comps[1].Inst.N() != 2 {
+		t.Fatalf("component sizes %d/%d, want 2/2", comps[0].Inst.N(), comps[1].Inst.N())
+	}
+	if got := comps[1].IDs; got[0] != 2 || got[1] != 3 {
+		t.Fatalf("second component IDs = %v, want [2 3]", got)
+	}
+	// A gap of T-1 must NOT split.
+	in2 := ise.NewInstance(10, 2)
+	in2.AddJob(0, 30, 5)
+	in2.AddJob(39, 70, 5)
+	if comps := Split(in2); len(comps) != 1 {
+		t.Fatalf("gap T-1 split into %d components, want 1", len(comps))
+	}
+}
+
+// TestSplitInterleavedReleases: a job released early with a late
+// deadline bridges otherwise-separated clusters.
+func TestSplitInterleavedReleases(t *testing.T) {
+	in := ise.NewInstance(10, 1)
+	in.AddJob(0, 100, 5) // spans everything
+	in.AddJob(0, 20, 5)
+	in.AddJob(60, 90, 5)
+	if comps := Split(in); len(comps) != 1 {
+		t.Fatalf("bridged instance split into %d components, want 1", len(comps))
+	}
+}
+
+// TestSplitPartitionInvariants: every parent job appears in exactly
+// one component with identical window/processing; consecutive
+// components are separated by >= T; each component has no internal
+// split point.
+func TestSplitPartitionInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		inst, _ := workload.Clustered(rng, 4, 5, 3, 20)
+		comps := Split(inst)
+		seen := make([]bool, inst.N())
+		var prevHi ise.Time
+		for ci, c := range comps {
+			if c.Inst.T != inst.T || c.Inst.M != inst.M {
+				t.Fatalf("component %d changed T/M", ci)
+			}
+			lo, hi := c.Span()
+			if ci > 0 && lo-prevHi < inst.T {
+				t.Fatalf("components %d/%d separated by %d < T=%d", ci-1, ci, lo-prevHi, inst.T)
+			}
+			prevHi = hi
+			for k, id := range c.IDs {
+				if seen[id] {
+					t.Fatalf("job %d in two components", id)
+				}
+				seen[id] = true
+				want := inst.Jobs[id]
+				got := c.Inst.Jobs[k]
+				if got.Release != want.Release || got.Deadline != want.Deadline || got.Processing != want.Processing {
+					t.Fatalf("job %d mangled: got %v want %v", id, got, want)
+				}
+			}
+			if err := c.Inst.Validate(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for id, ok := range seen {
+			if !ok {
+				t.Fatalf("job %d lost by Split", id)
+			}
+		}
+	}
+}

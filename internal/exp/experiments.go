@@ -321,8 +321,8 @@ func T5UnitBaselines(cfg Config) *Table {
 // and direct vs lazy-cut row generation, on the same TISE relaxations.
 // All four configurations must agree on the optimum.
 func T6LPEngines(cfg Config) *Table {
-	t := NewTable("T6 — LP ablation: engines (dense/revised/rational) and row strategies (direct/lazy cuts)",
-		"n", "obj", "|f-r|", "direct ms", "revised ms", "lazy ms", "cuts/pairs", "rat ms", "rat/float")
+	t := NewTable("T6 — LP ablation: engines (dense/revised/rational) and row strategies (direct/lazy cuts/bounded)",
+		"n", "obj", "|f-r|", "direct ms", "revised ms", "bounded ms", "lazy ms", "cuts/pairs", "rat ms", "rat/float")
 	rng := rand.New(rand.NewSource(106))
 	sizes := []int{4, 8, 12}
 	if cfg.Quick {
@@ -343,6 +343,12 @@ func T6LPEngines(cfg Config) *Table {
 		}
 		revisedMS := time.Since(t0)
 		t0 = time.Now()
+		fb, err := tise.SolveLPWith(inst, 3, tise.Revised, tise.Bounded)
+		if err != nil {
+			panic(err)
+		}
+		boundedMS := time.Since(t0)
+		t0 = time.Now()
 		fl, err := tise.SolveLPWith(inst, 3, tise.Float64, tise.LazyCuts)
 		if err != nil {
 			panic(err)
@@ -360,6 +366,9 @@ func T6LPEngines(cfg Config) *Table {
 		if math.Abs(fd.Objective-fv.Objective) > 1e-6*(1+fd.Objective) {
 			panic("exp: revised-simplex optimum differs from dense optimum")
 		}
+		if math.Abs(fd.Objective-fb.Objective) > 1e-6*(1+fd.Objective) {
+			panic("exp: bounded-strategy optimum differs from dense optimum")
+		}
 		diff := math.Abs(fl.Objective - r.Objective)
 		pairs := 0
 		for j := range fl.X {
@@ -371,6 +380,7 @@ func T6LPEngines(cfg Config) *Table {
 		}
 		t.Add(inst.N(), fl.Objective, diff,
 			float64(directMS.Microseconds())/1000, float64(revisedMS.Microseconds())/1000,
+			float64(boundedMS.Microseconds())/1000,
 			float64(lazyMS.Microseconds())/1000,
 			fmt.Sprintf("%d/%d", fl.CutsAdded, pairs),
 			float64(rms.Microseconds())/1000, float64(rms)/float64(directMS+1))
@@ -443,6 +453,30 @@ func T8Scaling(cfg Config) *Table {
 			panic(err)
 		}
 		t.Add("short (partition+MM)", inst.N(), float64(time.Since(t0).Microseconds())/1000, res.Schedule.NumCalibrations())
+	}
+	clusters := []int{2, 4}
+	if cfg.Quick {
+		clusters = []int{2}
+	}
+	for _, k := range clusters {
+		inst, _ := workload.Clustered(rng, k, 5, 1, 10)
+		t0 := time.Now()
+		mono, err := core.Solve(inst, core.Options{})
+		if err != nil {
+			panic(err)
+		}
+		monoT := time.Since(t0)
+		t.Add("clustered monolithic", inst.N(), float64(monoT.Microseconds())/1000, mono.Schedule.NumCalibrations())
+		t0 = time.Now()
+		par, err := core.Solve(inst, core.Options{Parallelism: k})
+		if err != nil {
+			panic(err)
+		}
+		parT := time.Since(t0)
+		if math.Abs(mono.LPObjective-par.LPObjective) > 1e-6*(1+mono.LPObjective) {
+			panic("exp: decomposed LP objective differs from monolithic")
+		}
+		t.Add("clustered decomposed", inst.N(), float64(parT.Microseconds())/1000, par.Schedule.NumCalibrations())
 	}
 	return t
 }

@@ -22,6 +22,15 @@ func decodeLP(data []byte) *Problem {
 	for v := 0; v < nv; v++ {
 		p.AddVar("x", float64(next()%9-4))
 	}
+	// Finite upper bounds on a fuzz-chosen subset of variables: the
+	// revised engine takes them through its native bounded ratio test
+	// while dense/rational materialize rows, so agreement exercises the
+	// bound-flip logic against the row formulation.
+	for v := 0; v < nv; v++ {
+		if next()%3 == 0 {
+			p.SetUpper(v, float64(next()%12))
+		}
+	}
 	nc := next() % 6
 	for c := 0; c < nc; c++ {
 		var terms []Term

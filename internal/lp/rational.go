@@ -36,9 +36,11 @@ type ratTableau struct {
 
 // SolveRational runs the two-phase simplex on p with exact big.Rat
 // arithmetic. Problem coefficients are converted from float64 exactly
-// (every float64 is a rational). Intended for small problems: used to
+// (every float64 is a rational). Finite variable upper bounds are
+// materialized as explicit rows. Intended for small problems: used to
 // cross-validate the float engine and for exactness-critical tests.
 func SolveRational(p *Problem) (*RatSolution, error) {
+	p, _ = p.withBoundRows()
 	t, hasArt := buildRat(p)
 	sol := &RatSolution{}
 	if hasArt {

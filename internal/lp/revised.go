@@ -2,6 +2,49 @@ package lp
 
 import "math"
 
+// epsFeas is the primal feasibility tolerance of the revised engine:
+// a basic value below -epsFeas or more than epsFeas above its upper
+// bound counts as infeasible (triggering the dual-simplex repair on
+// warm starts).
+const epsFeas = 1e-7
+
+// Basis captures the final state of a revised-simplex solve for
+// warm-starting a related one. It is valid for re-solves of the same
+// Problem after rhs changes or appended rows (the original rows and
+// all variables must be unchanged); anything else falls back to a cold
+// solve.
+type Basis struct {
+	// Basic is the basic column per row, in the revised engine's
+	// standard-form numbering: structural variables first, then one
+	// auxiliary (slack/surplus) column per row, then artificials.
+	Basic []int
+	// AtUpper lists the nonbasic columns resting at their finite upper
+	// bound.
+	AtUpper []int
+	// Vars and Rows fingerprint the producing problem; a mismatch
+	// beyond "rows were appended" invalidates the basis.
+	Vars, Rows int
+	// binv caches the Rows x Rows basis inverse at extraction time.
+	// Appended rows enter the basis through singleton auxiliary
+	// columns, so the next solve can extend this inverse by a
+	// block-triangular update in O(k*m^2) instead of refactorizing in
+	// O(m^3). The cache is verified against the current constraint
+	// matrix before use (and dropped on any mismatch), so callers may
+	// treat Basis as opaque state.
+	binv []float64
+}
+
+// RevisedOptions configures SolveRevisedWith.
+type RevisedOptions struct {
+	// Warm is a basis from a previous solve of a structurally
+	// compatible problem (same variables; rows may have been appended;
+	// rhs values may differ). The engine re-factorizes it and repairs
+	// primal infeasibility with the dual simplex, skipping phase 1.
+	// Invalid or numerically unusable bases silently fall back to a
+	// cold solve, so passing a stale basis is never incorrect.
+	Warm *Basis
+}
+
 // SolveRevised runs the two-phase revised simplex: the constraint
 // matrix is kept sparse by column and only a dense m x m basis inverse
 // is maintained (product-form updates). Compared to the dense tableau
@@ -9,9 +52,30 @@ import "math"
 // work from O(m*n) to O(m^2 + nnz), which matters for the TISE
 // relaxations whose column count far exceeds the row count.
 //
-// Both engines implement the same contract; the test suite
+// Unlike the dense and rational engines, finite variable upper bounds
+// are handled natively: nonbasic variables rest at either bound and
+// the ratio test performs the standard lower/upper bound-flip, so a
+// bound costs no row at all.
+//
+// All engines implement the same contract; the test suite
 // cross-checks them (and the exact rational engine) on every problem.
 func SolveRevised(p *Problem) (*Solution, error) {
+	return SolveRevisedWith(p, RevisedOptions{})
+}
+
+// SolveRevisedWith is SolveRevised with an optional warm-start basis.
+// The returned Solution carries the final basis for chaining.
+func SolveRevisedWith(p *Problem, opts RevisedOptions) (*Solution, error) {
+	if opts.Warm != nil {
+		if sol, ok := solveWarm(p, opts.Warm); ok {
+			return sol, nil
+		}
+	}
+	return solveCold(p)
+}
+
+// solveCold is the from-scratch two-phase solve.
+func solveCold(p *Problem) (*Solution, error) {
 	t := buildSparse(p)
 	sol := &Solution{}
 	if t.nArt > 0 {
@@ -37,43 +101,67 @@ func SolveRevised(p *Problem) (*Solution, error) {
 		}
 		t.purgeArtificials()
 	}
-	cost := make([]float64, t.n)
-	copy(cost, p.obj)
+	cost := t.phase2Cost(p)
 	st, iters := t.iterate(cost, false)
 	sol.Iterations += iters
 	sol.Status = st
 	if st != Optimal {
 		return sol, nil
 	}
-	sol.X = make([]float64, p.NumVars())
-	for i, b := range t.basis {
-		if b < p.NumVars() {
-			sol.X[b] = t.xB[i]
-		}
-	}
-	for v, x := range sol.X {
-		if x < 0 {
-			sol.X[v] = 0
-		}
-		sol.Objective += p.obj[v] * sol.X[v]
-	}
-	// Duals: y = cB^T * Binv in the normalized system, mapped back
-	// through the per-row flip signs.
-	sol.Dual = make([]float64, t.m)
-	for k, b := range t.basis {
-		cb := cost[b]
-		if cb == 0 {
-			continue
-		}
-		row := t.binv[k*t.m : (k+1)*t.m]
-		for i := 0; i < t.m; i++ {
-			sol.Dual[i] += cb * row[i]
-		}
-	}
-	for i := range sol.Dual {
-		sol.Dual[i] *= t.rowSign[i]
-	}
+	t.extract(p, cost, sol)
 	return sol, nil
+}
+
+// solveWarm attempts a warm-started solve: refactorize the given
+// basis, repair primal infeasibility with the dual simplex, then run
+// primal phase 2. Returns ok=false when the basis cannot be used (the
+// caller then solves cold). An Infeasible verdict from the dual
+// simplex is re-proven by a cold phase 1 before being reported, so a
+// stale warm basis can cost time but never correctness.
+func solveWarm(p *Problem, warm *Basis) (*Solution, bool) {
+	if warm.Vars != p.NumVars() || warm.Rows > p.NumRows() ||
+		len(warm.Basic) != warm.Rows {
+		return nil, false
+	}
+	t := buildSparse(p)
+	if !t.installBasis(p, warm) {
+		return nil, false
+	}
+	cost := t.phase2Cost(p)
+	sol := &Solution{}
+	if !t.primalFeasible() {
+		st, iters := t.iterateDual(cost)
+		sol.Iterations += iters
+		switch st {
+		case Optimal: // primal feasibility restored
+		case Infeasible:
+			// Trustworthy only if the warm basis was dual feasible;
+			// re-prove with a cold phase 1.
+			cold, err := solveCold(p)
+			if err != nil {
+				return nil, false
+			}
+			cold.Iterations += sol.Iterations
+			return cold, true
+		default:
+			return nil, false
+		}
+	}
+	st, iters := t.iterate(cost, false)
+	sol.Iterations += iters
+	if st != Optimal {
+		return nil, false
+	}
+	// A basic artificial above tolerance means the basis absorbed an
+	// appended EQ/GE row's residual; the result would be wrong.
+	for i, b := range t.basis {
+		if b >= t.artLo && t.xB[i] > epsPhase1 {
+			return nil, false
+		}
+	}
+	sol.Status = Optimal
+	t.extract(p, cost, sol)
+	return sol, true
 }
 
 // sparseCol is one column of the standard-form constraint matrix.
@@ -87,56 +175,66 @@ type revTableau struct {
 	m, n  int
 	cols  []sparseCol
 	b     []float64
+	ub    []float64 // per-column upper bound (+Inf when absent)
 	binv  []float64 // m x m row-major basis inverse
 	xB    []float64 // current basic solution values
 	basis []int
 	nvar  int
 	artLo int
 	nArt  int
-	// basisPrev is the variable that left the basis in the most
-	// recent pivot (used to maintain the nonbasic flags cheaply).
-	basisPrev int
+	artOf []int // artificial column of each row (-1 when none)
+	// inBasis / atUpper give each column's status; atUpper is
+	// meaningful for nonbasic columns with a finite bound.
+	inBasis []bool
+	atUpper []bool
 	// rowSign[i] is -1 when row i was normalized by flipping (rhs<0),
 	// used to map dual values back to the caller's row orientation.
 	rowSign []float64
+	// rowIdx is pivot scratch: nonzero positions of the pivot row.
+	rowIdx []int32
 }
 
-// buildSparse converts p to sparse standard form (same normalization
-// as the dense build: rhs >= 0, slack per <=, surplus+artificial per
-// >=, artificial per =).
+// buildSparse converts p to sparse standard form. The numbering is
+// stable under row appends so warm bases stay valid: structural
+// columns first, then exactly one auxiliary column per row (slack for
+// <=, surplus for >=, an empty unusable column for =), then
+// artificials for >= and = rows.
 func buildSparse(p *Problem) *revTableau {
 	m := p.NumRows()
-	nSlack, nArt := 0, 0
+	nArt := 0
 	for _, r := range p.rows {
-		switch normalizedRel(r) {
-		case LE:
-			nSlack++
-		case GE:
-			nSlack++
-			nArt++
-		case EQ:
+		if normalizedRel(r) != LE {
 			nArt++
 		}
 	}
-	n := p.NumVars() + nSlack + nArt
+	nv := p.NumVars()
+	n := nv + m + nArt
 	t := &revTableau{
 		m: m, n: n,
 		cols:    make([]sparseCol, n),
 		b:       make([]float64, m),
+		ub:      make([]float64, n),
 		binv:    make([]float64, m*m),
 		xB:      make([]float64, m),
 		basis:   make([]int, m),
-		nvar:    p.NumVars(),
-		artLo:   p.NumVars() + nSlack,
+		nvar:    nv,
+		artLo:   nv + m,
 		nArt:    nArt,
+		artOf:   make([]int, m),
+		inBasis: make([]bool, n),
+		atUpper: make([]bool, n),
 		rowSign: make([]float64, m),
 	}
+	for j := 0; j < n; j++ {
+		t.ub[j] = math.Inf(1)
+	}
+	copy(t.ub, p.upper)
 	// Structural columns: accumulate duplicate terms per (row, var).
 	type cell struct {
 		row int
 		v   float64
 	}
-	byVar := make([][]cell, p.NumVars())
+	byVar := make([][]cell, nv)
 	for i, r := range p.rows {
 		sign := 1.0
 		rhs := r.rhs
@@ -163,32 +261,311 @@ func buildSparse(p *Problem) *revTableau {
 			}
 		}
 	}
-	slack, art := p.NumVars(), t.artLo
+	art := t.artLo
 	for i, r := range p.rows {
+		aux := nv + i
 		switch normalizedRel(r) {
 		case LE:
-			t.cols[slack] = sparseCol{idx: []int32{int32(i)}, val: []float64{1}}
-			t.basis[i] = slack
-			slack++
+			t.cols[aux] = sparseCol{idx: []int32{int32(i)}, val: []float64{1}}
+			t.basis[i] = aux
+			t.artOf[i] = -1
 		case GE:
-			t.cols[slack] = sparseCol{idx: []int32{int32(i)}, val: []float64{-1}}
-			slack++
+			t.cols[aux] = sparseCol{idx: []int32{int32(i)}, val: []float64{-1}}
 			t.cols[art] = sparseCol{idx: []int32{int32(i)}, val: []float64{1}}
 			t.basis[i] = art
+			t.artOf[i] = art
 			art++
 		case EQ:
+			// aux stays an empty column: priced at reduced cost 0, it
+			// can never enter; it exists only to keep numbering stable.
 			t.cols[art] = sparseCol{idx: []int32{int32(i)}, val: []float64{1}}
 			t.basis[i] = art
+			t.artOf[i] = art
 			art++
 		}
 	}
-	// Initial basis is the identity (all basic columns are +1 unit
-	// vectors), so Binv = I and xB = b.
+	for _, b := range t.basis {
+		t.inBasis[b] = true
+	}
+	// Initial basis is the identity, so Binv = I and xB = b.
 	for i := 0; i < m; i++ {
 		t.binv[i*m+i] = 1
 	}
 	copy(t.xB, t.b)
 	return t
+}
+
+// phase2Cost returns the standard-form phase-2 cost vector.
+func (t *revTableau) phase2Cost(p *Problem) []float64 {
+	cost := make([]float64, t.n)
+	copy(cost, p.obj)
+	return cost
+}
+
+// installBasis maps a warm basis into t's numbering, refactorizes it,
+// and computes xB. Returns false when the basis is structurally or
+// numerically unusable.
+func (t *revTableau) installBasis(p *Problem, warm *Basis) bool {
+	remap := func(e int) int {
+		if e < t.nvar+warm.Rows {
+			return e // structural or aux of a surviving row
+		}
+		// Artificial of the producing problem: same ordinal artificial
+		// in the new numbering.
+		return t.artLo + (e - t.nvar - warm.Rows)
+	}
+	for j := range t.inBasis {
+		t.inBasis[j] = false
+		t.atUpper[j] = false
+	}
+	for i, e := range warm.Basic {
+		e = remap(e)
+		if e < 0 || e >= t.n || t.inBasis[e] {
+			return false
+		}
+		t.basis[i] = e
+		t.inBasis[e] = true
+	}
+	// Appended rows enter the basis through their own aux column (or
+	// artificial for = rows, which the post-solve check guards).
+	for i := warm.Rows; i < t.m; i++ {
+		e := t.nvar + i
+		if len(t.cols[e].idx) == 0 {
+			e = t.artOf[i]
+		}
+		if e < 0 || t.inBasis[e] {
+			return false
+		}
+		t.basis[i] = e
+		t.inBasis[e] = true
+	}
+	for _, e := range warm.AtUpper {
+		e = remap(e)
+		if e < 0 || e >= t.n || t.inBasis[e] || math.IsInf(t.ub[e], 1) {
+			return false
+		}
+		t.atUpper[e] = true
+	}
+	if !t.reuseBinv(warm) && !t.factorize() {
+		return false
+	}
+	t.computeXB()
+	return true
+}
+
+// reuseBinv extends the cached inverse of the warm basis to the
+// current (possibly row-extended) problem. With old basis B and k
+// appended rows whose basic columns are singletons s_i*e_i in their
+// own row, the new basis is the block matrix [[B,0],[R,S]] and its
+// inverse is [[Binv,0],[-Sinv*R*Binv,Sinv]] — an O(k*m^2) update. The
+// result is verified against the actual columns (Binv*B ≈ I); any
+// mismatch (changed coefficients, flipped row signs, a hand-built
+// basis) returns false and the caller refactorizes from scratch.
+func (t *revTableau) reuseBinv(warm *Basis) bool {
+	om, m := warm.Rows, t.m
+	if warm.binv == nil || len(warm.binv) != om*om || m == 0 {
+		return false
+	}
+	for i := 0; i < om; i++ {
+		row := t.binv[i*m : (i+1)*m]
+		copy(row[:om], warm.binv[i*om:(i+1)*om])
+		for k := om; k < m; k++ {
+			row[k] = 0
+		}
+	}
+	// Appended rows must be basic in their own singleton column.
+	for i := om; i < m; i++ {
+		c := &t.cols[t.basis[i]]
+		if len(c.idx) != 1 || int(c.idx[0]) != i || c.val[0] == 0 {
+			return false
+		}
+		row := t.binv[i*m : (i+1)*m]
+		for k := range row {
+			row[k] = 0
+		}
+	}
+	// Bottom-left block: accumulate -R*Binv from the old basic columns'
+	// entries in the appended rows (R is extremely sparse: cut rows
+	// touch a handful of variables).
+	for j := 0; j < om; j++ {
+		bc := &t.cols[t.basis[j]]
+		orow := warm.binv[j*om : (j+1)*om]
+		for k, ri := range bc.idx {
+			i := int(ri)
+			if i < om {
+				continue
+			}
+			f := bc.val[k]
+			row := t.binv[i*m : i*m+om]
+			for q := range orow {
+				row[q] -= f * orow[q]
+			}
+		}
+	}
+	for i := om; i < m; i++ {
+		inv := 1 / t.cols[t.basis[i]].val[0]
+		row := t.binv[i*m : (i+1)*m]
+		if inv != 1 {
+			for q := 0; q < om; q++ {
+				row[q] *= inv
+			}
+		}
+		row[i] = inv
+	}
+	return t.verifyBinv()
+}
+
+// verifyBinv checks Binv*B ≈ I with deterministic pseudo-random probe
+// vectors: for each probe u it forms z = B*u (sparse, O(nnz)) and
+// tests Binv*z ≈ u (dense row-major, O(m^2)). Any coefficient change,
+// row-sign flip, or basis/inverse mismatch perturbs z and fails the
+// residual with overwhelming probability, at a cost far below both a
+// refactorization and an explicit column-by-column check.
+func (t *revTableau) verifyBinv() bool {
+	m := t.m
+	u := make([]float64, m)
+	z := make([]float64, m)
+	for probe := 0; probe < 2; probe++ {
+		// splitmix64-style hash, scaled into [0.5, 1.5): well away from
+		// zero so no basis column is masked.
+		seed := uint64(probe)*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d
+		for i := range u {
+			x := uint64(i+1)*0x9e3779b97f4a7c15 + seed
+			x ^= x >> 30
+			x *= 0xbf58476d1ce4e5b9
+			x ^= x >> 27
+			u[i] = 0.5 + float64(x>>11)/(1<<53)
+			z[i] = 0
+		}
+		zmax := 0.0
+		for j, b := range t.basis {
+			c := &t.cols[b]
+			uj := u[j]
+			for k, ri := range c.idx {
+				z[ri] += uj * c.val[k]
+			}
+		}
+		for _, v := range z {
+			if a := math.Abs(v); a > zmax {
+				zmax = a
+			}
+		}
+		tol := 1e-6 * (1 + zmax)
+		for i := 0; i < m; i++ {
+			row := t.binv[i*m : (i+1)*m]
+			v := 0.0
+			for k, zk := range z {
+				v += row[k] * zk
+			}
+			if math.Abs(v-u[i]) > tol {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// factorize rebuilds binv = B^{-1} from the current basis by
+// Gauss-Jordan elimination with partial pivoting. Returns false when
+// the basis matrix is (numerically) singular.
+func (t *revTableau) factorize() bool {
+	m := t.m
+	if m == 0 {
+		return true
+	}
+	// a = [B | I], eliminated in place to [I | B^{-1}].
+	a := make([]float64, m*2*m)
+	for col, b := range t.basis {
+		c := &t.cols[b]
+		for k, ri := range c.idx {
+			a[int(ri)*2*m+col] = c.val[k]
+		}
+	}
+	for i := 0; i < m; i++ {
+		a[i*2*m+m+i] = 1
+	}
+	for col := 0; col < m; col++ {
+		piv, pv := -1, 1e-10
+		for i := col; i < m; i++ {
+			if v := math.Abs(a[i*2*m+col]); v > pv {
+				piv, pv = i, v
+			}
+		}
+		if piv < 0 {
+			return false
+		}
+		if piv != col {
+			// A row interchange is an elementary operation on [B | I];
+			// the basis order itself is untouched.
+			pr, cr := a[piv*2*m:(piv+1)*2*m], a[col*2*m:(col+1)*2*m]
+			for k := range pr {
+				pr[k], cr[k] = cr[k], pr[k]
+			}
+		}
+		cr := a[col*2*m : (col+1)*2*m]
+		inv := 1 / cr[col]
+		for k := range cr {
+			cr[k] *= inv
+		}
+		cr[col] = 1
+		for i := 0; i < m; i++ {
+			if i == col {
+				continue
+			}
+			ri := a[i*2*m : (i+1)*2*m]
+			f := ri[col]
+			if f == 0 {
+				continue
+			}
+			for k := range ri {
+				ri[k] -= f * cr[k]
+			}
+			ri[col] = 0
+		}
+	}
+	for i := 0; i < m; i++ {
+		copy(t.binv[i*m:(i+1)*m], a[i*2*m+m:(i+1)*2*m])
+	}
+	return true
+}
+
+// computeXB recomputes xB = Binv * (b - sum of at-upper nonbasic
+// columns at their bounds), shedding incremental drift.
+func (t *revTableau) computeXB() {
+	r := make([]float64, t.m)
+	copy(r, t.b)
+	for j := 0; j < t.n; j++ {
+		if !t.atUpper[j] || t.inBasis[j] {
+			continue
+		}
+		u := t.ub[j]
+		c := &t.cols[j]
+		for k, ri := range c.idx {
+			r[int(ri)] -= u * c.val[k]
+		}
+	}
+	for i := 0; i < t.m; i++ {
+		v := 0.0
+		row := t.binv[i*t.m : (i+1)*t.m]
+		for k := 0; k < t.m; k++ {
+			v += row[k] * r[k]
+		}
+		if v < 0 && v > -1e-11 {
+			v = 0
+		}
+		t.xB[i] = v
+	}
+}
+
+// primalFeasible reports whether every basic value respects its
+// bounds within tolerance.
+func (t *revTableau) primalFeasible() bool {
+	for i, b := range t.basis {
+		if t.xB[i] < -epsFeas || t.xB[i] > t.ub[b]+epsFeas {
+			return false
+		}
+	}
+	return true
 }
 
 // applyBinv computes w = Binv * A_col for a sparse column.
@@ -208,16 +585,48 @@ func (t *revTableau) applyBinv(col *sparseCol, w []float64) {
 	}
 }
 
-// iterate runs revised-simplex pivots for the given costs.
+// duals computes y = cB^T * Binv into y.
+func (t *revTableau) duals(cost, y []float64) {
+	for i := range y {
+		y[i] = 0
+	}
+	for k, b := range t.basis {
+		cb := cost[b]
+		if cb == 0 {
+			continue
+		}
+		row := t.binv[k*t.m : (k+1)*t.m]
+		for i := 0; i < t.m; i++ {
+			y[i] += cb * row[i]
+		}
+	}
+}
+
+// objective returns the full objective value including at-upper
+// nonbasic contributions.
+func (t *revTableau) objective(cost []float64) float64 {
+	obj := 0.0
+	for k, b := range t.basis {
+		obj += cost[b] * t.xB[k]
+	}
+	for j := 0; j < t.n; j++ {
+		if t.atUpper[j] && !t.inBasis[j] {
+			obj += cost[j] * t.ub[j]
+		}
+	}
+	return obj
+}
+
+// iterate runs primal bounded-variable revised-simplex pivots for the
+// given costs. Nonbasic variables rest at 0 or at their finite upper
+// bound; the ratio test allows three outcomes per step: a basic
+// variable leaves at lower, a basic variable leaves at upper, or the
+// entering variable flips to its opposite bound without a pivot.
 func (t *revTableau) iterate(cost []float64, phase1 bool) (Status, int) {
 	maxIters := 200*(t.m+t.n) + 20000
 	hi := t.n
 	if !phase1 {
 		hi = t.artLo
-	}
-	inBasis := make([]bool, t.n)
-	for _, b := range t.basis {
-		inBasis[b] = true
 	}
 	y := make([]float64, t.m)
 	w := make([]float64, t.m)
@@ -225,25 +634,12 @@ func (t *revTableau) iterate(cost []float64, phase1 bool) (Status, int) {
 	bland := false
 	lastObj := math.Inf(1)
 	for iter := 0; iter < maxIters; iter++ {
-		// Duals: y = cB^T * Binv.
-		for i := range y {
-			y[i] = 0
-		}
-		for k, b := range t.basis {
-			cb := cost[b]
-			if cb == 0 {
-				continue
-			}
-			row := t.binv[k*t.m : (k+1)*t.m]
-			for i := 0; i < t.m; i++ {
-				y[i] += cb * row[i]
-			}
-		}
-		// Pricing.
-		enter := -1
-		best := -epsReduced
+		t.duals(cost, y)
+		// Pricing: at-lower columns want d < 0, at-upper columns d > 0.
+		enter, dir := -1, 1.0
+		best := epsReduced
 		for j := 0; j < hi; j++ {
-			if inBasis[j] {
+			if t.inBasis[j] {
 				continue
 			}
 			d := cost[j]
@@ -251,58 +647,86 @@ func (t *revTableau) iterate(cost []float64, phase1 bool) (Status, int) {
 			for k, ri := range col.idx {
 				d -= y[ri] * col.val[k]
 			}
+			var score float64
+			if t.atUpper[j] {
+				score = d
+			} else {
+				score = -d
+			}
 			if bland {
-				if d < -epsReduced {
+				if score > epsReduced {
 					enter = j
+					if t.atUpper[j] {
+						dir = -1
+					} else {
+						dir = 1
+					}
 					break
 				}
-			} else if d < best {
-				best, enter = d, j
+			} else if score > best {
+				best, enter = score, j
+				if t.atUpper[j] {
+					dir = -1
+				} else {
+					dir = 1
+				}
 			}
 		}
 		if enter < 0 {
 			return Optimal, iter
 		}
 		t.applyBinv(&t.cols[enter], w)
-		// Ratio test.
+		// Bounded ratio test: theta is how far the entering variable
+		// moves (increasing from 0 when dir=+1, decreasing from its
+		// upper bound when dir=-1).
 		leave := -1
-		var bestRatio float64
+		leaveAtUpper := false
+		bestRatio := math.Inf(1)
 		for i := 0; i < t.m; i++ {
-			if w[i] <= epsPivot {
+			dw := dir * w[i]
+			var ratio float64
+			var hitsUpper bool
+			switch {
+			case dw > epsPivot: // basic value decreases toward 0
+				ratio = t.xB[i] / dw
+			case dw < -epsPivot && !math.IsInf(t.ub[t.basis[i]], 1):
+				ratio = (t.ub[t.basis[i]] - t.xB[i]) / (-dw)
+				hitsUpper = true
+			default:
 				continue
 			}
-			ratio := t.xB[i] / w[i]
+			if ratio < 0 {
+				ratio = 0
+			}
 			if leave < 0 || ratio < bestRatio-epsPivot ||
 				(ratio < bestRatio+epsPivot && t.basis[i] < t.basis[leave]) {
-				leave, bestRatio = i, ratio
+				leave, bestRatio, leaveAtUpper = i, ratio, hitsUpper
 			}
 		}
-		if leave < 0 {
-			return Unbounded, iter
-		}
-		t.pivot(leave, enter, w, bestRatio)
-		inBasis[enter] = true
-		inBasis[t.basisPrev] = false // the leaving variable may re-enter
-		// Periodically recompute xB = Binv*b to shed incremental
-		// floating-point drift from the product-form updates.
-		if iter%64 == 63 {
+		if ubE := t.ub[enter]; !math.IsInf(ubE, 1) && (leave < 0 || ubE < bestRatio-epsPivot) {
+			// Bound flip: the entering variable traverses its whole
+			// range without any basic variable blocking.
 			for i := 0; i < t.m; i++ {
-				v := 0.0
-				row := t.binv[i*t.m : (i+1)*t.m]
-				for k := 0; k < t.m; k++ {
-					v += row[k] * t.b[k]
+				t.xB[i] -= dir * ubE * w[i]
+				if t.xB[i] < 0 && t.xB[i] > -1e-11 {
+					t.xB[i] = 0
 				}
-				if v < 0 && v > -1e-9 {
-					v = 0
-				}
-				t.xB[i] = v
 			}
+			t.atUpper[enter] = dir > 0
+		} else if leave < 0 {
+			return Unbounded, iter
+		} else {
+			newVal := bestRatio
+			if dir < 0 {
+				newVal = t.ub[enter] - bestRatio
+			}
+			t.pivot(leave, enter, w, dir*bestRatio, newVal, leaveAtUpper)
+		}
+		if iter%64 == 63 {
+			t.computeXB()
 		}
 		// Degeneracy watch.
-		obj := 0.0
-		for k, b := range t.basis {
-			obj += cost[b] * t.xB[k]
-		}
+		obj := t.objective(cost)
 		if obj < lastObj-1e-12 {
 			lastObj = obj
 			stall = 0
@@ -316,24 +740,187 @@ func (t *revTableau) iterate(cost []float64, phase1 bool) (Status, int) {
 	return IterLimit, maxIters
 }
 
-// pivot applies the product-form update for entering column with
-// direction w and step theta, making it basic in row r.
-func (t *revTableau) pivot(r, enter int, w []float64, theta float64) {
-	t.basisPrev = t.basis[r]
-	inv := 1 / w[r]
-	// Update xB.
+// iterateDual runs dual-simplex pivots until primal feasibility is
+// restored (Optimal), primal infeasibility is established
+// (Infeasible), or the cap is hit. It assumes the starting basis is
+// dual feasible for cost — the warm-start contract (the basis came
+// from an optimal solve with the same objective).
+func (t *revTableau) iterateDual(cost []float64) (Status, int) {
+	// Repair is a shortcut, not a guarantee: the caller falls back to a
+	// cold solve on IterLimit. Legitimate repairs measured across the
+	// cut loops stay under one pivot per row, so the budget is tight.
+	maxIters := 4*t.m + 400
+	y := make([]float64, t.m)
+	w := make([]float64, t.m)
+	d := make([]float64, t.n)
+	alpha := make([]float64, t.artLo)
+	// Reduced costs are maintained incrementally across pivots (the
+	// O(m^2) dual recomputation per iteration dominated warm repairs
+	// otherwise) and refreshed periodically against drift.
+	refreshD := func() {
+		t.duals(cost, y)
+		for j := 0; j < t.artLo; j++ {
+			if t.inBasis[j] {
+				continue
+			}
+			dj := cost[j]
+			col := &t.cols[j]
+			for k, ri := range col.idx {
+				dj -= y[ri] * col.val[k]
+			}
+			d[j] = dj
+		}
+	}
+	refreshD()
+	// Degenerate pivots (theta = 0, common on rhs-0 cut rows) make no
+	// dual progress; long runs of them mean cycling. Repair is only a
+	// shortcut — on stall we hand back to the caller, which re-solves
+	// cold, so the guard can be aggressive.
+	stall := 0
+	stallCap := t.m/2 + 200
+	for iter := 0; iter < maxIters; iter++ {
+		// Leaving row: most violated basic value.
+		r, viol := -1, epsFeas
+		leaveAtUpper := false
+		for i, b := range t.basis {
+			if v := -t.xB[i]; v > viol {
+				r, viol, leaveAtUpper = i, v, false
+			}
+			if u := t.ub[b]; !math.IsInf(u, 1) {
+				if v := t.xB[i] - u; v > viol {
+					r, viol, leaveAtUpper = i, v, true
+				}
+			}
+		}
+		if r < 0 {
+			return Optimal, iter
+		}
+		// Entering column: dual ratio test on row r of Binv*N. s
+		// orients the row so the leaving variable moves back toward
+		// its violated bound.
+		rowr := t.binv[r*t.m : (r+1)*t.m]
+		s := 1.0
+		if leaveAtUpper {
+			s = -1
+		}
+		enter := -1
+		bestRatio := math.Inf(1)
+		for j := 0; j < t.artLo; j++ {
+			if t.inBasis[j] {
+				continue
+			}
+			col := &t.cols[j]
+			a0 := 0.0
+			for k, ri := range col.idx {
+				a0 += rowr[int(ri)] * col.val[k]
+			}
+			alpha[j] = a0
+			a := s * a0
+			var ratio float64
+			if !t.atUpper[j] {
+				if a >= -epsPivot {
+					continue
+				}
+				dj := d[j]
+				if dj < 0 {
+					dj = 0
+				}
+				ratio = dj / -a
+			} else {
+				if a <= epsPivot {
+					continue
+				}
+				dj := -d[j]
+				if dj < 0 {
+					dj = 0
+				}
+				ratio = dj / a
+			}
+			if ratio < bestRatio-epsReduced ||
+				(ratio < bestRatio+epsReduced && (enter < 0 || j < enter)) {
+				enter, bestRatio = j, ratio
+			}
+		}
+		if enter < 0 {
+			// The violated row cannot be repaired: primal infeasible.
+			return Infeasible, iter
+		}
+		alphaE := alpha[enter]
+		theta := d[enter] / alphaE
+		// The dual step length has sign -s (the leaving variable's
+		// reduced cost becomes -theta and must match its bound). A
+		// wrong-signed theta means the basis is no longer dual feasible
+		// -- numerical drift, not a repairable state -- so hand back to
+		// the caller before the iteration diverges.
+		if s*theta > 1e-5 {
+			return IterLimit, iter
+		}
+		if theta > 1e-12 || theta < -1e-12 {
+			stall = 0
+		} else if stall++; stall > stallCap {
+			return IterLimit, iter
+		}
+		leaving := t.basis[r]
+		t.applyBinv(&t.cols[enter], w)
+		target := 0.0
+		if leaveAtUpper {
+			target = t.ub[t.basis[r]]
+		}
+		delta := (t.xB[r] - target) / alphaE
+		cur := 0.0
+		if t.atUpper[enter] {
+			cur = t.ub[enter]
+		}
+		t.pivot(r, enter, w, delta, cur+delta, leaveAtUpper)
+		// Dual update: d_j -= theta * alpha_rj for the nonbasic set.
+		// The alphas were just computed for the pivot row; the leaving
+		// variable (alpha = 1 in its own row) lands at -theta.
+		for j := 0; j < t.artLo; j++ {
+			if !t.inBasis[j] {
+				d[j] -= theta * alpha[j]
+			}
+		}
+		if leaving < t.artLo {
+			d[leaving] = -theta
+		}
+		d[enter] = 0
+		if iter%64 == 63 {
+			t.computeXB()
+			refreshD()
+		}
+	}
+	return IterLimit, maxIters
+}
+
+// pivot applies the product-form update: the entering column becomes
+// basic in row r with value newVal; every other basic value moves by
+// -delta*w (delta is the signed change of the entering variable). The
+// leaving variable becomes nonbasic at its lower or upper bound.
+func (t *revTableau) pivot(r, enter int, w []float64, delta, newVal float64, leaveAtUpper bool) {
+	leaving := t.basis[r]
 	for i := 0; i < t.m; i++ {
-		t.xB[i] -= theta * w[i]
+		t.xB[i] -= delta * w[i]
 		if t.xB[i] < 0 && t.xB[i] > -1e-11 {
 			t.xB[i] = 0
 		}
 	}
-	t.xB[r] = theta
-	// Update Binv: row r scaled, others eliminated.
+	t.xB[r] = newVal
+	inv := 1 / w[r]
 	rrow := t.binv[r*t.m : (r+1)*t.m]
-	for i := range rrow {
-		rrow[i] *= inv
+	// The pivot row of Binv is sparse until fill-in accumulates;
+	// updating only its nonzero positions makes each pivot
+	// O(touched rows * nnz(rrow)) instead of O(m^2).
+	if cap(t.rowIdx) < t.m {
+		t.rowIdx = make([]int32, 0, t.m)
 	}
+	idx := t.rowIdx[:0]
+	for k, v := range rrow {
+		if v != 0 {
+			rrow[k] = v * inv
+			idx = append(idx, int32(k))
+		}
+	}
+	t.rowIdx = idx
 	for i := 0; i < t.m; i++ {
 		if i == r {
 			continue
@@ -343,11 +930,15 @@ func (t *revTableau) pivot(r, enter int, w []float64, theta float64) {
 			continue
 		}
 		irow := t.binv[i*t.m : (i+1)*t.m]
-		for k := range irow {
+		for _, k := range idx {
 			irow[k] -= f * rrow[k]
 		}
 	}
 	t.basis[r] = enter
+	t.inBasis[enter] = true
+	t.atUpper[enter] = false
+	t.inBasis[leaving] = false
+	t.atUpper[leaving] = leaveAtUpper && !math.IsInf(t.ub[leaving], 1)
 }
 
 // purgeArtificials drives basic artificials out after phase 1 by
@@ -360,21 +951,65 @@ func (t *revTableau) purgeArtificials() {
 			continue
 		}
 		for j := 0; j < t.artLo; j++ {
-			inB := false
-			for _, b := range t.basis {
-				if b == j {
-					inB = true
-					break
-				}
-			}
-			if inB {
+			if t.inBasis[j] {
 				continue
 			}
 			t.applyBinv(&t.cols[j], w)
 			if math.Abs(w[r]) > epsPivot {
-				t.pivot(r, j, w, t.xB[r]/w[r]) // (near-)degenerate step
+				// (Near-)degenerate step: the artificial sits at ~0, so
+				// the entering variable keeps its current value.
+				newVal := 0.0
+				if t.atUpper[j] {
+					newVal = t.ub[j]
+				}
+				t.pivot(r, j, w, 0, newVal, false)
+				t.xB[r] = newVal
 				break
 			}
 		}
 	}
+	t.computeXB()
+}
+
+// extract populates sol from the optimal tableau state.
+func (t *revTableau) extract(p *Problem, cost []float64, sol *Solution) {
+	nv := p.NumVars()
+	sol.X = make([]float64, nv)
+	for j := 0; j < nv; j++ {
+		if t.atUpper[j] && !t.inBasis[j] {
+			sol.X[j] = t.ub[j]
+		}
+	}
+	for i, b := range t.basis {
+		if b < nv {
+			sol.X[b] = t.xB[i]
+		}
+	}
+	for v, x := range sol.X {
+		if x < 0 {
+			sol.X[v] = 0
+		}
+		sol.Objective += p.obj[v] * sol.X[v]
+	}
+	// Duals: y = cB^T * Binv in the normalized system, mapped back
+	// through the per-row flip signs.
+	sol.Dual = make([]float64, t.m)
+	t.duals(cost, sol.Dual)
+	for i := range sol.Dual {
+		sol.Dual[i] *= t.rowSign[i]
+	}
+	basis := &Basis{
+		Basic: append([]int(nil), t.basis...),
+		Vars:  nv,
+		Rows:  t.m,
+		// Ownership of the inverse moves to the Basis; the tableau is
+		// discarded after extraction, so no copy is needed.
+		binv: t.binv,
+	}
+	for j := 0; j < t.n; j++ {
+		if t.atUpper[j] && !t.inBasis[j] {
+			basis.AtUpper = append(basis.AtUpper, j)
+		}
+	}
+	sol.Basis = basis
 }

@@ -9,6 +9,9 @@ import "math"
 // coefficient magnitude range, which keeps the fixed tolerances of the
 // float engine meaningful on badly scaled inputs.
 func SolveScaled(p *Problem) (*Solution, error) {
+	// Bounds become explicit rows up front so equilibration sees (and
+	// scales) them like any other constraint.
+	p, _ = p.withBoundRows()
 	n := p.NumVars()
 	m := p.NumRows()
 	if n == 0 || m == 0 {

@@ -30,8 +30,11 @@ func (t *tableau) set(i, j int, v float64) { t.a[i*(t.n+1)+j] = v }
 func (t *tableau) row(i int) []float64     { return t.a[i*(t.n+1) : (i+1)*(t.n+1)] }
 func (t *tableau) rhs(i int) float64       { return t.at(i, t.n) }
 
-// Solve runs the two-phase dense simplex on p.
+// Solve runs the two-phase dense simplex on p. Finite variable upper
+// bounds are materialized as explicit rows (the dense tableau has no
+// native bound handling); their duals are trimmed from Solution.Dual.
 func Solve(p *Problem) (*Solution, error) {
+	p, mOrig := p.withBoundRows()
 	t, hasArt := build(p)
 	sol := &Solution{}
 	if hasArt {
@@ -83,6 +86,7 @@ func Solve(p *Problem) (*Solution, error) {
 	for i := 0; i < t.m; i++ {
 		sol.Dual[i] = t.dualMult[i] * crow[t.dualCol[i]]
 	}
+	sol.Dual = sol.Dual[:mOrig]
 	return sol, nil
 }
 

@@ -1,0 +1,107 @@
+package mm
+
+import (
+	"math/rand"
+	"testing"
+
+	"calib/internal/ise"
+	"calib/internal/workload"
+)
+
+// TestLPSearchValidAndBracketed: LPSearch schedules validate, the
+// integral LP lower bound brackets [combinatorial lower bound, rounded
+// machines], and exact optima are never beaten.
+func TestLPSearchValidAndBracketed(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	for trial := 0; trial < 10; trial++ {
+		m := 1 + rng.Intn(3)
+		inst, _ := workload.Planted(rng, workload.PlantedConfig{
+			Machines:               m,
+			T:                      8,
+			CalibrationsPerMachine: 1,
+			Window:                 workload.ShortWindow,
+		})
+		if inst.N() == 0 {
+			continue
+		}
+		s, lpLB, err := (LPSearch{Trials: 8}).SolveWithStats(inst)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if err := Validate(inst, s); err != nil {
+			t.Fatalf("trial %d: invalid schedule: %v", trial, err)
+		}
+		if lpLB > s.Machines {
+			t.Fatalf("trial %d: LP-feasibility bound %d exceeds rounded machines %d", trial, lpLB, s.Machines)
+		}
+		if inst.N() <= 9 {
+			es, err := Exact{}.Solve(inst)
+			if err != nil {
+				t.Fatalf("trial %d exact: %v", trial, err)
+			}
+			if lpLB > es.Machines {
+				t.Fatalf("trial %d: LP-feasibility bound %d exceeds optimum %d", trial, lpLB, es.Machines)
+			}
+			if s.Machines < es.Machines {
+				t.Fatalf("trial %d: lp-search used %d machines, below optimum %d", trial, s.Machines, es.Machines)
+			}
+		}
+	}
+}
+
+// TestLPSearchNeverWorseThanGreedy is the fallback contract.
+func TestLPSearchNeverWorseThanGreedy(t *testing.T) {
+	rng := rand.New(rand.NewSource(52))
+	for trial := 0; trial < 8; trial++ {
+		inst, _ := workload.Short(rng, 10, 2, 8)
+		g, err := Greedy{}.Solve(inst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := LPSearch{Trials: 8}.Solve(inst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Machines > g.Machines {
+			t.Fatalf("trial %d: lp-search %d machines > greedy %d", trial, s.Machines, g.Machines)
+		}
+	}
+}
+
+// TestLPSearchBoundMatchesLPRoundCeil: the integral feasibility bound
+// must be at least the ceiling of LPRound's fractional optimum (same
+// relaxation, m integral vs continuous).
+func TestLPSearchBoundMatchesLPRoundCeil(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	inst, _ := workload.Planted(rng, workload.PlantedConfig{
+		Machines:               2,
+		T:                      6,
+		CalibrationsPerMachine: 1,
+		Window:                 workload.ShortWindow,
+	})
+	if inst.N() == 0 {
+		t.Skip("empty instance")
+	}
+	_, frac, err := (LPRound{Trials: 4}).SolveWithStats(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, intBound, err := (LPSearch{Trials: 4}).SolveWithStats(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if float64(intBound) < frac-1e-6 {
+		t.Fatalf("integral feasibility bound %d below fractional optimum %v", intBound, frac)
+	}
+}
+
+func TestLPSearchEmptyAndName(t *testing.T) {
+	in := ise.NewInstance(10, 1)
+	s, err := LPSearch{}.Solve(in)
+	if err != nil || len(s.Placements) != 0 {
+		t.Fatalf("empty: %v %v", s, err)
+	}
+	if (LPSearch{}).Name() != "lp-search" {
+		t.Fatal("bad name")
+	}
+}

@@ -76,6 +76,21 @@ func (e *InfeasibleError) Error() string {
 	return fmt.Sprintf("tise: LP relaxation infeasible on %d machines", e.MPrime)
 }
 
+// NumericalError reports that an LP solve ended without a verdict —
+// iteration limit or a claimed unbounded relaxation, both of which
+// signal numerical trouble rather than a property of the instance.
+// Callers probing feasibility (binary searches over machine counts)
+// must treat it differently from *InfeasibleError: the instance may
+// well be feasible.
+type NumericalError struct {
+	MPrime int
+	Status lp.Status
+}
+
+func (e *NumericalError) Error() string {
+	return fmt.Sprintf("tise: LP solve on %d machines ended with status %v", e.MPrime, e.Status)
+}
+
 // BuildLP constructs the TISE LP relaxation of inst on mPrime machines
 // over the given calibration points (constraints (1)-(6) of the
 // paper). It returns the problem plus the variable index maps: cVar[i]
@@ -183,6 +198,16 @@ const (
 	// The final solution satisfies the full LP, so the optimum is
 	// identical to Direct's; worthwhile only when few rows bind.
 	LazyCuts
+	// Bounded also omits the X_jt <= C_t rows but additionally installs
+	// the implied variable bounds X_jt <= 1 (from constraint (4)) and
+	// C_t <= m' (from constraint (1)) before separating violated pair
+	// rows lazily. The bounds cost no rows in the revised engine's
+	// bounded ratio test, tighten the relaxation so far fewer cuts are
+	// ever materialized, and each cut round warm-starts from the
+	// previous basis (dual-simplex repair) instead of solving from
+	// scratch. Exact at convergence: the final solution satisfies the
+	// full LP, so the optimum matches Direct's.
+	Bounded
 )
 
 func (s Strategy) String() string {
@@ -191,6 +216,8 @@ func (s Strategy) String() string {
 		return "lazy-cuts"
 	case Direct:
 		return "direct"
+	case Bounded:
+		return "bounded"
 	default:
 		return fmt.Sprintf("Strategy(%d)", int(s))
 	}
@@ -199,6 +226,19 @@ func (s Strategy) String() string {
 // cutViolationTol is the slack beyond which an X_jt <= C_t row counts
 // as violated during lazy-cut separation.
 const cutViolationTol = 1e-7
+
+// LPWarm carries reusable state across related TISE LP solves — e.g.
+// adjacent machine counts in a binary search. Basis is the final
+// simplex basis of the previous solve; Cuts lists the constraint (2)
+// rows materialized so far as (job, point-index) pairs, in the order
+// they were appended. X_jt <= C_t is valid for every machine count, so
+// both carry over when only mPrime changes: the next solve installs
+// the cuts up front (preserving row order, which keeps the basis
+// mappable) and warm-starts the revised engine from the basis.
+type LPWarm struct {
+	Basis *lp.Basis
+	Cuts  [][2]int
+}
 
 // SolveLP builds and solves the TISE LP relaxation for inst on mPrime
 // machines using the Direct strategy. It returns an *InfeasibleError
@@ -209,6 +249,19 @@ func SolveLP(inst *ise.Instance, mPrime int, engine Engine) (*Fractional, error)
 
 // SolveLPWith is SolveLP with an explicit row strategy.
 func SolveLPWith(inst *ise.Instance, mPrime int, engine Engine, strategy Strategy) (*Fractional, error) {
+	return solveLP(inst, mPrime, engine, strategy, nil)
+}
+
+// SolveLPBounded runs the Bounded strategy on the revised engine with
+// cross-solve warm state. warm may be nil (no reuse); otherwise it is
+// updated in place with the final basis and cut pool so the next call
+// — typically the adjacent machine count in a binary search — resumes
+// from it.
+func SolveLPBounded(inst *ise.Instance, mPrime int, warm *LPWarm) (*Fractional, error) {
+	return solveLP(inst, mPrime, Revised, Bounded, warm)
+}
+
+func solveLP(inst *ise.Instance, mPrime int, engine Engine, strategy Strategy, warm *LPWarm) (*Fractional, error) {
 	for _, j := range inst.Jobs {
 		if !j.IsLong(inst.T) {
 			return nil, fmt.Errorf("tise: %v is not a long-window job", j)
@@ -227,15 +280,43 @@ func SolveLPWith(inst *ise.Instance, mPrime int, engine Engine, strategy Strateg
 	} else {
 		prob, cVar, xVar = BuildLPRelaxed(inst, mPrime, points)
 	}
+	if strategy == Bounded {
+		// Implied bounds replacing rows: X_jt <= 1 from constraint (4),
+		// C_t <= m' from constraint (1) with the point's own window.
+		for _, v := range cVar {
+			prob.SetUpper(v, float64(mPrime))
+		}
+		for j := range xVar {
+			for _, v := range xVar[j] {
+				if v >= 0 {
+					prob.SetUpper(v, 1)
+				}
+			}
+		}
+	}
 
 	frac := &Fractional{MPrime: mPrime}
 	added := map[[2]int]bool{} // (job, point) rows already materialized
+	var basis *lp.Basis
+	if warm != nil {
+		// Re-materialize the carried cut pool in its original order so
+		// the carried basis maps onto matching rows.
+		for _, c := range warm.Cuts {
+			j, i := c[0], c[1]
+			if v := xVar[j][i]; v >= 0 && !added[c] {
+				prob.AddConstraint(lp.LE, 0,
+					lp.Term{Var: v, Coeff: 1}, lp.Term{Var: cVar[i], Coeff: -1})
+				added[c] = true
+			}
+		}
+		basis = warm.Basis
+	}
 	const maxRounds = 100
 	var xs []float64
 	var obj float64
 	var duals []float64
 	for round := 0; ; round++ {
-		status, solX, solObj, iters, solDuals, err := solveProblem(prob, engine)
+		status, solX, solObj, iters, solDuals, solBasis, err := solveProblem(prob, engine, basis)
 		if err != nil {
 			return nil, err
 		}
@@ -243,29 +324,54 @@ func SolveLPWith(inst *ise.Instance, mPrime int, engine Engine, strategy Strateg
 		switch status {
 		case lp.Optimal:
 		case lp.Infeasible:
+			if warm != nil {
+				// The basis that proved infeasibility is not useful (and
+				// not returned); drop the stale one but keep the cuts.
+				warm.Basis = nil
+			}
 			return nil, &InfeasibleError{MPrime: mPrime}
 		default:
-			return nil, fmt.Errorf("tise: LP solve ended with status %v", status)
+			return nil, &NumericalError{MPrime: mPrime, Status: status}
 		}
 		xs, obj = solX, solObj
 		duals = solDuals
+		basis = solBasis
 		if strategy == Direct {
 			break
 		}
-		// Separation: add every violated X_jt <= C_t row.
+		// Separation: when a job violates any X_jt <= C_t, materialize
+		// its whole feasible row family. Cutting only the violated
+		// points makes the mass wander to other points of the same job
+		// and costs dozens of degenerate repair rounds; per-job batching
+		// converges in 2-3 rounds on every workload we generate.
 		violated := 0
 		for j := range xVar {
+			jViolated := false
+			for i := range points {
+				v := xVar[j][i]
+				if v < 0 {
+					continue
+				}
+				if xs[v] > xs[cVar[i]]+cutViolationTol {
+					jViolated = true
+					break
+				}
+			}
+			if !jViolated {
+				continue
+			}
 			for i := range points {
 				v := xVar[j][i]
 				if v < 0 || added[[2]int{j, i}] {
 					continue
 				}
-				if xs[v] > xs[cVar[i]]+cutViolationTol {
-					prob.AddConstraint(lp.LE, 0,
-						lp.Term{Var: v, Coeff: 1}, lp.Term{Var: cVar[i], Coeff: -1})
-					added[[2]int{j, i}] = true
-					violated++
+				prob.AddConstraint(lp.LE, 0,
+					lp.Term{Var: v, Coeff: 1}, lp.Term{Var: cVar[i], Coeff: -1})
+				added[[2]int{j, i}] = true
+				if warm != nil {
+					warm.Cuts = append(warm.Cuts, [2]int{j, i})
 				}
+				violated++
 			}
 		}
 		frac.CutRounds = round + 1
@@ -274,8 +380,11 @@ func SolveLPWith(inst *ise.Instance, mPrime int, engine Engine, strategy Strateg
 			break
 		}
 		if round >= maxRounds {
-			return nil, fmt.Errorf("tise: lazy-cut loop did not converge in %d rounds", maxRounds)
+			return nil, &NumericalError{MPrime: mPrime, Status: lp.IterLimit}
 		}
+	}
+	if warm != nil {
+		warm.Basis = basis
 	}
 
 	frac.Points = points
@@ -307,35 +416,65 @@ func SolveLPWith(inst *ise.Instance, mPrime int, engine Engine, strategy Strateg
 }
 
 // solveProblem dispatches to the selected engine and normalizes the
-// result to float64. duals is nil for the rational engine.
-func solveProblem(prob *lp.Problem, engine Engine) (lp.Status, []float64, float64, int, []float64, error) {
+// result to float64. duals is nil for the rational engine; the final
+// basis is returned (and the warm one consumed) by the revised engine
+// only.
+func solveProblem(prob *lp.Problem, engine Engine, warm *lp.Basis) (lp.Status, []float64, float64, int, []float64, *lp.Basis, error) {
 	switch engine {
 	case Rational:
 		sol, err := lp.SolveRational(prob)
 		if err != nil {
-			return 0, nil, 0, 0, nil, err
+			return 0, nil, 0, 0, nil, nil, err
 		}
 		if sol.Status != lp.Optimal {
-			return sol.Status, nil, 0, sol.Iterations, nil, nil
+			return sol.Status, nil, 0, sol.Iterations, nil, nil, nil
 		}
 		xs := make([]float64, len(sol.X))
 		for i, r := range sol.X {
 			xs[i], _ = r.Float64()
 		}
-		return sol.Status, xs, sol.ObjectiveFloat(), sol.Iterations, nil, nil
+		return sol.Status, xs, sol.ObjectiveFloat(), sol.Iterations, nil, nil, nil
 	case Revised:
-		sol, err := lp.SolveRevised(prob)
+		sol, err := lp.SolveRevisedWith(prob, lp.RevisedOptions{Warm: warm})
 		if err != nil {
-			return 0, nil, 0, 0, nil, err
+			return 0, nil, 0, 0, nil, nil, err
 		}
-		return sol.Status, sol.X, sol.Objective, sol.Iterations, sol.Dual, nil
+		return sol.Status, sol.X, sol.Objective, sol.Iterations, sol.Dual, sol.Basis, nil
 	default:
 		sol, err := lp.Solve(prob)
 		if err != nil {
-			return 0, nil, 0, 0, nil, err
+			return 0, nil, 0, 0, nil, nil, err
 		}
-		return sol.Status, sol.X, sol.Objective, sol.Iterations, sol.Dual, nil
+		return sol.Status, sol.X, sol.Objective, sol.Iterations, sol.Dual, nil, nil
 	}
+}
+
+// MinFeasibleMPrime binary-searches the smallest machine count on
+// which the TISE LP relaxation of inst is feasible, warm-starting each
+// probe from the previous one's basis and cut pool. Probes that come
+// back *NumericalError abort the search; n machines are always
+// feasible (every job in its own calibration), so the search space is
+// [1, n].
+func MinFeasibleMPrime(inst *ise.Instance) (int, error) {
+	n := inst.N()
+	if n == 0 {
+		return 0, nil
+	}
+	warm := &LPWarm{}
+	lo, hi := 1, n
+	for lo < hi {
+		mid := lo + (hi-lo)/2
+		_, err := SolveLPBounded(inst, mid, warm)
+		switch err.(type) {
+		case nil:
+			hi = mid
+		case *InfeasibleError:
+			lo = mid + 1
+		default:
+			return 0, err
+		}
+	}
+	return lo, nil
 }
 
 // TotalCalibrations returns the fractional calibration mass sum(C_t).

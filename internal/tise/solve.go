@@ -14,6 +14,10 @@ type Options struct {
 	// MPrime overrides the TISE machine bound m' used by the LP; when
 	// zero the paper's m' = 3m is used (Lemma 2).
 	MPrime int
+	// Strategy selects the constraint (2) row handling (default
+	// Direct). Bounded is the hot-path configuration: implied variable
+	// bounds plus warm-started lazy cuts on the revised engine.
+	Strategy Strategy
 }
 
 // Result is the output of Solve: the feasible TISE schedule plus the
@@ -59,7 +63,7 @@ func Solve(inst *ise.Instance, opts Options) (*Result, error) {
 	}
 	var tm Timing
 	t0 := time.Now()
-	frac, err := SolveLP(inst, mPrime, opts.Engine)
+	frac, err := SolveLPWith(inst, mPrime, opts.Engine, opts.Strategy)
 	if err != nil {
 		return nil, err
 	}

@@ -329,3 +329,44 @@ func CrossingAdversarial(rng *rand.Rand, n, m int, T ise.Time) *ise.Instance {
 	}
 	return inst
 }
+
+// Clustered generates clusters independent job groups separated in
+// time by gaps of at least T, so no calibration can serve two groups
+// and the instance decomposes exactly (see internal/decomp). Each
+// cluster is a planted mixed-window group of roughly nPerCluster jobs
+// on the shared m machines; the returned witness schedule is the
+// time-shifted union of the per-cluster witnesses and remains feasible
+// on m machines. This is the scaling workload for the parallel
+// decomposition path: total LP work is superlinear in the component
+// size, so k clusters solved independently beat one monolithic solve
+// even before any concurrency.
+func Clustered(rng *rand.Rand, clusters, nPerCluster, m int, T ise.Time) (*ise.Instance, *ise.Schedule) {
+	inst := ise.NewInstance(T, m)
+	witness := ise.NewSchedule(m)
+	var nextLo ise.Time
+	for c := 0; c < clusters; c++ {
+		sub, sw := Mixed(rng, nPerCluster, m, T, 0.6)
+		lo, hi := sub.Span()
+		delta := nextLo - lo
+		base := inst.N()
+		for _, j := range sub.Jobs {
+			inst.AddJob(j.Release+delta, j.Deadline+delta, j.Processing)
+		}
+		for _, cal := range sw.Calibrations {
+			witness.Calibrate(cal.Machine, cal.Start+delta)
+		}
+		for _, pl := range sw.Placements {
+			witness.Place(pl.Job+base, pl.Machine, pl.Start+delta)
+		}
+		// Next cluster starts at least T past every deadline (and past
+		// every witness calibration's end) of this one.
+		end := hi + delta
+		for _, cal := range sw.Calibrations {
+			if e := cal.Start + delta + T; e > end {
+				end = e
+			}
+		}
+		nextLo = end + T + ise.Time(rng.Int63n(int64(T)))
+	}
+	return inst, witness
+}

@@ -2,6 +2,7 @@ package workload
 
 import (
 	"math/rand"
+	"sort"
 	"testing"
 	"testing/quick"
 
@@ -157,4 +158,39 @@ func TestPlantedPanicsOnBadConfig(t *testing.T) {
 		}
 	}()
 	Planted(rand.New(rand.NewSource(1)), PlantedConfig{Machines: 0, T: 10, CalibrationsPerMachine: 1})
+}
+
+func TestClusteredWitnessFeasible(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 10; trial++ {
+		inst, witness := Clustered(rng, 3, 6, 2, 12)
+		if err := inst.Validate(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if err := ise.Validate(inst, witness); err != nil {
+			t.Fatalf("trial %d: witness infeasible: %v", trial, err)
+		}
+	}
+}
+
+func TestClusteredGaps(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	inst, _ := Clustered(rng, 4, 5, 2, 10)
+	// Sort release/deadline sweep: there must be >= 3 gaps of length
+	// >= T between a prefix's max deadline and the next release.
+	jobs := append([]ise.Job(nil), inst.Jobs...)
+	sort.Slice(jobs, func(a, b int) bool { return jobs[a].Release < jobs[b].Release })
+	gaps := 0
+	maxD := jobs[0].Deadline
+	for _, j := range jobs[1:] {
+		if j.Release-maxD >= inst.T {
+			gaps++
+		}
+		if j.Deadline > maxD {
+			maxD = j.Deadline
+		}
+	}
+	if gaps != 3 {
+		t.Fatalf("found %d decomposition gaps, want 3", gaps)
+	}
 }

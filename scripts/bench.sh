@@ -1,0 +1,55 @@
+#!/bin/sh
+# Runs the hot-path benchmarks and records their headline numbers in
+# BENCH_lp.json at the repo root. The x-speedup metrics are quotients
+# (old path time / new path time) reported by the benchmarks
+# themselves; the acceptance floor for T1LongWindowN40/HotPath is 2.0.
+#
+# Usage: ./scripts/bench.sh [benchtime]   (default 5x)
+set -eu
+cd "$(dirname "$0")/.."
+
+BENCHTIME="${1:-5x}"
+OUT=BENCH_lp.json
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+
+# No pipe into tee: a pipeline would mask go test's exit status under
+# plain sh and a failed run would clobber the previous numbers.
+go test -run XXX -bench 'BenchmarkT1LongWindowN40|BenchmarkT8Scaling' \
+	-benchtime "$BENCHTIME" . >"$RAW" 2>&1 || {
+	cat "$RAW"
+	echo "bench run failed; $OUT left untouched" >&2
+	exit 1
+}
+cat "$RAW"
+
+awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" -v go="$(go env GOVERSION)" '
+function val(i) { return $(i - 1) }
+/^Benchmark/ {
+	split($1, parts, "/")
+	name = parts[2]
+	sub(/-[0-9]+$/, "", name)
+	for (i = 2; i <= NF; i++) {
+		if ($i == "ns/op" && val(i) + 0 > 0) ns[name] = val(i)
+		if ($i == "x-speedup") speedup[name] = val(i)
+	}
+}
+END {
+	printf "{\n"
+	printf "  \"date\": \"%s\",\n", date
+	printf "  \"go\": \"%s\",\n", go
+	printf "  \"t1_long_window_n40\": {\n"
+	printf "    \"seed_ns\": %s,\n", ns["Seed"] ? ns["Seed"] : "null"
+	printf "    \"end_to_end_speedup\": %s,\n", speedup["HotPath"] ? speedup["HotPath"] : "null"
+	printf "    \"required_min\": 2.0\n"
+	printf "  },\n"
+	printf "  \"t8_scaling\": {\n"
+	printf "    \"bounded_vs_pair_rows\": %s,\n", speedup["BoundedVsPairRows"] ? speedup["BoundedVsPairRows"] : "null"
+	printf "    \"warm_vs_cold\": %s,\n", speedup["WarmVsCold"] ? speedup["WarmVsCold"] : "null"
+	printf "    \"decomposed_vs_monolithic\": %s\n", speedup["DecomposedVsMonolithic"] ? speedup["DecomposedVsMonolithic"] : "null"
+	printf "  }\n"
+	printf "}\n"
+}' "$RAW" >"$OUT"
+
+echo "wrote $OUT:"
+cat "$OUT"
