@@ -46,6 +46,7 @@ import (
 	"calib/internal/improve"
 	"calib/internal/ise"
 	"calib/internal/mm"
+	"calib/internal/obs"
 	"calib/internal/online"
 	"calib/internal/tise"
 	"calib/internal/unitise"
@@ -165,7 +166,32 @@ type Options struct {
 	// deterministic — independent of worker count and interleaving. 0
 	// keeps the monolithic single-threaded solve.
 	Parallelism int
+	// Trace, when non-nil, records a hierarchical span tree of the
+	// solve (partition, LP, rounding, EDF, MM, per-component spans);
+	// render it with Trace.WriteText or Trace.WriteJSON after Solve
+	// returns. See docs/OBSERVABILITY.md for the span taxonomy.
+	Trace *Trace
+	// Metrics, when non-nil, accumulates the solver counter series
+	// (LP pivots, warm-start hits, cut rounds, pool occupancy, ...);
+	// export with Metrics.WriteJSON or Metrics.WritePrometheus. Both
+	// default to nil — telemetry off, at zero allocation cost.
+	Metrics *Metrics
 }
+
+// Trace is a hierarchical span recorder for one solve; create with
+// NewTrace and pass via Options.Trace.
+type Trace = obs.Trace
+
+// Metrics is a registry of solver counters, gauges and histograms;
+// create with NewMetrics and pass via Options.Metrics.
+type Metrics = obs.Registry
+
+// NewTrace returns an empty trace whose root span is named name
+// ("solve" is conventional). Call Finish before rendering.
+func NewTrace(name string) *Trace { return obs.NewTrace(name) }
+
+// NewMetrics returns an empty metrics registry.
+func NewMetrics() *Metrics { return obs.NewRegistry() }
 
 // Solution is the result of Solve.
 type Solution struct {
@@ -211,6 +237,8 @@ func Solve(inst *Instance, opts *Options) (*Solution, error) {
 		Strategy:    strategy,
 		TrimIdle:    o.TrimIdleCalibrations,
 		Parallelism: o.Parallelism,
+		Trace:       o.Trace,
+		Metrics:     o.Metrics,
 	})
 	if err != nil {
 		return nil, err

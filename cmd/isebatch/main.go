@@ -5,7 +5,12 @@
 //
 // Usage:
 //
-//	isebatch [-workers N] [-csv out.csv] dir/
+//	isebatch [-workers N] [-csv out.csv] [-trace] [-metrics]
+//	         [-metrics-out FILE] [-pprof addr] dir/
+//
+// The telemetry flags install a process-wide trace/registry that the
+// solver layers pick up (obs.SetDefault), so one run's metrics
+// aggregate across every instance and policy.
 package main
 
 import (
@@ -18,22 +23,27 @@ import (
 	"sort"
 
 	"calib/internal/batch"
+	"calib/internal/cliobs"
 	"calib/internal/exp"
 	"calib/internal/ise"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "isebatch:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, stdout io.Writer) error {
+func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("isebatch", flag.ContinueOnError)
 	workers := fs.Int("workers", runtime.NumCPU(), "parallel workers")
 	csvPath := fs.String("csv", "", "also write the full report as CSV")
+	tele := cliobs.Register(fs)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := tele.Start("isebatch", stderr); err != nil {
 		return err
 	}
 	if fs.NArg() != 1 {
@@ -88,7 +98,9 @@ func run(args []string, stdout io.Writer) error {
 			return err
 		}
 		table.CSV(f)
-		return f.Close()
+		if err := f.Close(); err != nil {
+			return err
+		}
 	}
-	return nil
+	return tele.Finish(stderr)
 }

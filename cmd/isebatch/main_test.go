@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"io"
 	"math/rand"
 	"os"
 	"path/filepath"
@@ -28,7 +29,7 @@ func TestRunBatchDirectory(t *testing.T) {
 	}
 	csv := filepath.Join(dir, "report.csv")
 	var out bytes.Buffer
-	if err := run([]string{"-workers", "4", "-csv", csv, dir}, &out); err != nil {
+	if err := run([]string{"-workers", "4", "-csv", csv, dir}, &out, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	s := out.String()
@@ -48,10 +49,10 @@ func TestRunBatchDirectory(t *testing.T) {
 
 func TestRunBatchErrors(t *testing.T) {
 	var out bytes.Buffer
-	if err := run(nil, &out); err == nil {
+	if err := run(nil, &out, io.Discard); err == nil {
 		t.Error("missing dir accepted")
 	}
-	if err := run([]string{t.TempDir()}, &out); err == nil {
+	if err := run([]string{t.TempDir()}, &out, io.Discard); err == nil {
 		t.Error("empty dir accepted")
 	}
 }

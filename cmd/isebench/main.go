@@ -6,9 +6,17 @@
 // Usage:
 //
 //	isebench [-trials 5] [-quick] [-only T3] [-csv out/]
+//	         [-trace] [-metrics] [-metrics-out FILE] [-pprof addr]
+//	         [-check file.json]
+//
+// -check validates that the named file parses as JSON and exits; the
+// bench harness uses it to smoke-test its own BENCH_lp.json output.
+// The telemetry flags install a process-wide trace/registry that the
+// experiment sweeps' solver calls report into (obs.SetDefault).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -16,24 +24,33 @@ import (
 	"path/filepath"
 	"strings"
 
+	"calib/internal/cliobs"
 	"calib/internal/exp"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "isebench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, stdout io.Writer) error {
+func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("isebench", flag.ContinueOnError)
 	trials := fs.Int("trials", 5, "random instances per table cell")
 	quick := fs.Bool("quick", false, "shrink sweeps for a fast run")
 	only := fs.String("only", "", "run a single experiment (T1..T12) or figure (F1..F3)")
 	csvDir := fs.String("csv", "", "also write each table as CSV into this directory")
 	parallel := fs.Int("parallel", 0, "run experiments concurrently with this many workers (0 = sequential)")
+	checkPath := fs.String("check", "", "validate that the named file parses as JSON, then exit")
+	tele := cliobs.Register(fs)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *checkPath != "" {
+		return checkJSON(*checkPath, stdout)
+	}
+	if err := tele.Start("isebench", stderr); err != nil {
 		return err
 	}
 
@@ -114,7 +131,10 @@ func run(args []string, stdout io.Writer) error {
 		if strings.HasPrefix(id, "F") {
 			return runFigure(id)
 		}
-		return emit(id, table(id))
+		if err := emit(id, table(id)); err != nil {
+			return err
+		}
+		return tele.Finish(stderr)
 	}
 	for _, id := range []string{"F1", "F2", "F3"} {
 		if err := runFigure(id); err != nil {
@@ -129,12 +149,27 @@ func run(args []string, stdout io.Writer) error {
 				return err
 			}
 		}
-		return nil
+		return tele.Finish(stderr)
 	}
 	for _, id := range ids {
 		if err := emit(id, table(id)); err != nil {
 			return err
 		}
 	}
+	return tele.Finish(stderr)
+}
+
+// checkJSON verifies that path parses as JSON — the bench harness's
+// output smoke test.
+func checkJSON(path string, stdout io.Writer) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var v any
+	if err := json.Unmarshal(data, &v); err != nil {
+		return fmt.Errorf("%s: invalid JSON: %w", path, err)
+	}
+	fmt.Fprintf(stdout, "%s: valid JSON (%d bytes)\n", path, len(data))
 	return nil
 }

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -10,7 +11,7 @@ import (
 
 func TestRunSingleFigure(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{"-only", "F2"}, &out); err != nil {
+	if err := run([]string{"-only", "F2"}, &out, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "Figure 2") {
@@ -21,7 +22,7 @@ func TestRunSingleFigure(t *testing.T) {
 func TestRunSingleTableWithCSV(t *testing.T) {
 	dir := t.TempDir()
 	var out bytes.Buffer
-	if err := run([]string{"-only", "T5", "-trials", "2", "-quick", "-csv", dir}, &out); err != nil {
+	if err := run([]string{"-only", "T5", "-trials", "2", "-quick", "-csv", dir}, &out, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "T5") {
@@ -43,7 +44,7 @@ func TestRunFullSuiteQuick(t *testing.T) {
 		t.Skip("full suite")
 	}
 	var out bytes.Buffer
-	if err := run([]string{"-quick", "-trials", "1"}, &out); err != nil {
+	if err := run([]string{"-quick", "-trials", "1"}, &out, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	s := out.String()
@@ -53,7 +54,7 @@ func TestRunFullSuiteQuick(t *testing.T) {
 		}
 	}
 	var pout bytes.Buffer
-	if err := run([]string{"-quick", "-trials", "1", "-parallel", "4"}, &pout); err != nil {
+	if err := run([]string{"-quick", "-trials", "1", "-parallel", "4"}, &pout, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(pout.String(), "T14 —") {
@@ -63,10 +64,10 @@ func TestRunFullSuiteQuick(t *testing.T) {
 
 func TestRunUnknownIDs(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{"-only", "T99"}, &out); err == nil {
+	if err := run([]string{"-only", "T99"}, &out, io.Discard); err == nil {
 		t.Error("unknown experiment accepted")
 	}
-	if err := run([]string{"-only", "F9"}, &out); err == nil {
+	if err := run([]string{"-only", "F9"}, &out, io.Discard); err == nil {
 		t.Error("unknown figure accepted")
 	}
 }

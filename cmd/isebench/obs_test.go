@@ -1,0 +1,56 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestCheckValidJSON(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := os.WriteFile(path, []byte(`{"date": "x", "benchmarks": [{"ns_per_op": 1}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-check", path}, &out, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "valid JSON") {
+		t.Errorf("missing confirmation: %q", out.String())
+	}
+}
+
+func TestCheckInvalidJSON(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "broken.json")
+	// The bench.sh awk bug this release fixes produced exactly this
+	// shape: an empty field between commas.
+	if err := os.WriteFile(path, []byte(`{"ns_per_op": , "allocs": 3}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-check", path}, &out, io.Discard); err == nil {
+		t.Error("invalid JSON accepted")
+	}
+	if err := run([]string{"-check", filepath.Join(t.TempDir(), "missing.json")}, &out, io.Discard); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+// TestBenchMetricsFlag runs one quick experiment with -metrics and
+// checks the solver series aggregated across the sweep's solves reach
+// the default registry and the stderr dump.
+func TestBenchMetricsFlag(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if err := run([]string{"-only", "T1", "-trials", "1", "-quick", "-metrics"}, &out, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	msg := errBuf.String()
+	for _, key := range []string{"lp_pivots_total", "tise_resolves_total", "solve_seconds"} {
+		if !strings.Contains(msg, key) {
+			t.Errorf("-metrics output missing %q:\n%s", key, msg)
+		}
+	}
+}

@@ -6,7 +6,8 @@
 //
 //	isesolve [-box greedy|exact|lp-round|lp-search] [-exact-lp]
 //	         [-warm] [-par N] [-trim] [-opt | -lazy] [-compact] [-v]
-//	         [instance.json]
+//	         [-trace] [-trace-json FILE] [-metrics] [-metrics-out FILE]
+//	         [-pprof addr] [instance.json]
 //
 // -opt uses the exact branch-and-bound solver (small instances only);
 // -lazy uses the practical heuristic; the default is the paper's
@@ -20,6 +21,7 @@ import (
 	"os"
 
 	"calib"
+	"calib/internal/cliobs"
 	"calib/internal/exp"
 	"calib/internal/ise"
 	"calib/internal/sim"
@@ -44,7 +46,11 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	compact := fs.Bool("compact", false, "recolor the final schedule onto minimum machines")
 	verbose := fs.Bool("v", false, "print LP objective and replay statistics to stderr")
 	check := fs.Bool("check", false, "run the full cross-validation web (all solvers + oracles) and print its summary")
+	tele := cliobs.Register(fs)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := tele.Start("isesolve", stderr); err != nil {
 		return err
 	}
 
@@ -85,6 +91,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		opts := &calib.Options{
 			ExactLP: *exactLP, TrimIdleCalibrations: *trim,
 			WarmStart: *warm, Parallelism: *par,
+			Trace: tele.Trace, Metrics: tele.Metrics,
 		}
 		switch *box {
 		case "greedy":
@@ -130,6 +137,9 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 			return fmt.Errorf("cross-check FAILED: %w", err)
 		}
 		fmt.Fprintf(stderr, "cross-check OK: %s\n", summary)
+	}
+	if err := tele.Finish(stderr); err != nil {
+		return err
 	}
 	return ise.WriteSchedule(stdout, sched)
 }

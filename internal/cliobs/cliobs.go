@@ -1,0 +1,114 @@
+// Package cliobs registers the shared telemetry flags (-trace,
+// -trace-json, -metrics, -metrics-out, -pprof) on a command's FlagSet
+// and brackets the instrumented work: Start builds the obs.Trace and
+// obs.Registry the flags ask for (and serves the debug endpoints),
+// Finish renders them. The three cmd/ise* commands use it so the flag
+// surface and output formats cannot drift between tools.
+package cliobs
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"calib/internal/obs"
+	"calib/internal/obs/obshttp"
+)
+
+// Flags is the parsed telemetry flag set. Trace and Metrics are nil
+// until Start and stay nil when no telemetry flag was given, so
+// passing them through solver options keeps the zero-cost default.
+type Flags struct {
+	traceText  *bool
+	traceJSON  *string
+	metricsOut *bool
+	metricsFil *string
+	pprofAddr  *string
+
+	Trace   *obs.Trace
+	Metrics *obs.Registry
+}
+
+// Register installs the telemetry flags on fs.
+func Register(fs *flag.FlagSet) *Flags {
+	f := &Flags{}
+	f.traceText = fs.Bool("trace", false, "print the solve's span tree to stderr")
+	f.traceJSON = fs.String("trace-json", "", "write the span tree as JSON to this file")
+	f.metricsOut = fs.Bool("metrics", false, "print solver metrics as JSON to stderr")
+	f.metricsFil = fs.String("metrics-out", "", "write solver metrics as JSON to this file")
+	f.pprofAddr = fs.String("pprof", "", "serve /metrics, /debug/vars and /debug/pprof on this address (e.g. localhost:6060)")
+	return f
+}
+
+// Start materializes the trace and registry the parsed flags call for
+// and installs them as the process defaults, so solver layers not
+// reached by explicit options (batch runners, experiment sweeps) still
+// report. It also binds the -pprof listener, announcing the address on
+// stderr.
+func (f *Flags) Start(root string, stderr io.Writer) error {
+	if *f.traceText || *f.traceJSON != "" {
+		f.Trace = obs.NewTrace(root)
+		obs.SetDefaultTrace(f.Trace)
+	}
+	if *f.metricsOut || *f.metricsFil != "" || *f.pprofAddr != "" {
+		f.Metrics = obs.NewRegistry()
+		obs.Declare(f.Metrics)
+		obs.SetDefault(f.Metrics)
+	}
+	if *f.pprofAddr != "" {
+		addr, err := obshttp.Serve(*f.pprofAddr, f.Metrics)
+		if err != nil {
+			return fmt.Errorf("pprof listener: %w", err)
+		}
+		fmt.Fprintf(stderr, "telemetry: serving /metrics, /debug/vars, /debug/pprof on http://%s\n", addr)
+	}
+	return nil
+}
+
+// Finish ends the trace, writes the requested renderings — span tree
+// and metrics JSON to stderr and/or the named files — and uninstalls
+// the process defaults Start set, so successive runs in one process
+// (tests, library embedding) start clean.
+func (f *Flags) Finish(stderr io.Writer) error {
+	if f.Trace != nil {
+		obs.SetDefaultTrace(nil)
+		f.Trace.Finish()
+		if *f.traceText {
+			if err := f.Trace.WriteText(stderr); err != nil {
+				return err
+			}
+		}
+		if *f.traceJSON != "" {
+			if err := writeFile(*f.traceJSON, f.Trace.WriteJSON); err != nil {
+				return err
+			}
+		}
+	}
+	if f.Metrics != nil {
+		obs.SetDefault(nil)
+		if *f.metricsOut {
+			if err := f.Metrics.WriteJSON(stderr); err != nil {
+				return err
+			}
+		}
+		if *f.metricsFil != "" {
+			if err := writeFile(*f.metricsFil, f.Metrics.WriteJSON); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writeFile(path string, render func(io.Writer) error) error {
+	fh, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := render(fh); err != nil {
+		fh.Close()
+		return err
+	}
+	return fh.Close()
+}

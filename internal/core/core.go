@@ -18,6 +18,7 @@ import (
 	"calib/internal/decomp"
 	"calib/internal/ise"
 	"calib/internal/mm"
+	"calib/internal/obs"
 	"calib/internal/shortwin"
 	"calib/internal/tise"
 )
@@ -49,6 +50,16 @@ type Options struct {
 	// output). 0 (the default) keeps the monolithic single-threaded
 	// solve.
 	Parallelism int
+	// Trace, when non-nil, records the solve's phase spans (partition,
+	// long-window lp/rounding/edf, short-window mm, per-component
+	// spans on the decomposed path) under Trace.Root().
+	Trace *obs.Trace
+	// Metrics receives the solver counter/gauge/histogram series (see
+	// internal/obs/names.go for the catalogue). When Trace or Metrics
+	// is nil, the process-wide default (obs.SetDefault /
+	// obs.SetDefaultTrace) is used; with neither installed, telemetry
+	// is disabled at zero cost.
+	Metrics *obs.Registry
 }
 
 // Result is the output of Solve.
@@ -97,28 +108,76 @@ func Solve(inst *ise.Instance, opts Options) (*Result, error) {
 	if gamma < 2 {
 		return nil, fmt.Errorf("core: gamma = %d, want >= 2", gamma)
 	}
-	if opts.Parallelism > 0 {
-		if comps := decomp.Split(inst); len(comps) > 1 {
-			return solveDecomposed(comps, opts, gamma)
-		}
+	tr, met := opts.Trace, opts.Metrics
+	if tr == nil {
+		tr = obs.DefaultTrace()
 	}
-	return solveMono(inst, opts, gamma)
+	if met == nil {
+		met = obs.Default()
+	}
+	obs.Declare(met)
+	sp := tr.Root().Start("solve")
+	sp.SetInt("jobs", int64(inst.N()))
+	sp.SetInt("machines", int64(inst.M))
+	sp.SetInt("gamma", int64(gamma))
+	t0 := time.Now()
+	var res *Result
+	var err error
+	if opts.Parallelism > 0 {
+		dsp := sp.Start("decompose")
+		comps := decomp.Split(inst)
+		dsp.SetInt("components", int64(len(comps)))
+		dsp.End()
+		if len(comps) > 1 {
+			met.Gauge(obs.MDecompComponents).Set(float64(len(comps)))
+			res, err = solveDecomposed(comps, opts, gamma, sp, met)
+		} else {
+			met.Gauge(obs.MDecompComponents).Set(1)
+			res, err = solveMono(inst, opts, gamma, sp, met)
+		}
+	} else {
+		met.Gauge(obs.MDecompComponents).Set(1)
+		res, err = solveMono(inst, opts, gamma, sp, met)
+	}
+	if err != nil {
+		sp.End()
+		return nil, err
+	}
+	sp.SetInt("calibrations", int64(res.Schedule.NumCalibrations()))
+	sp.SetFloat("lp_objective", res.LPObjective)
+	sp.End()
+	met.Histogram(obs.MSolveSeconds, nil).Observe(time.Since(t0).Seconds())
+	return res, nil
 }
 
 // solveMono is the single-component pipeline: partition long/short,
-// run the two sub-algorithms, merge on disjoint machine blocks.
-func solveMono(inst *ise.Instance, opts Options, gamma int) (*Result, error) {
+// run the two sub-algorithms, merge on disjoint machine blocks. parent
+// receives the partition/long/short phase spans; met the per-component
+// solve-time histogram (both may be nil).
+func solveMono(inst *ise.Instance, opts Options, gamma int, parent *obs.Span, met *obs.Registry) (*Result, error) {
+	t0 := time.Now()
+	psp := parent.Start("partition")
 	long, short, longIDs, shortIDs := inst.PartitionAt(ise.Time(gamma) * inst.T)
+	psp.SetInt("long", int64(long.N()))
+	psp.SetInt("short", int64(short.N()))
+	psp.End()
 	res := &Result{LongJobs: long.N(), ShortJobs: short.N(), Components: 1}
 	merged := ise.NewSchedule(0)
 	offset := 0
 	if long.N() > 0 {
-		t0 := time.Now()
-		lr, err := tise.Solve(long, tise.Options{Engine: opts.Engine, Strategy: opts.Strategy})
+		t1 := time.Now()
+		lsp := parent.Start("long")
+		lr, err := tise.Solve(long, tise.Options{
+			Engine: opts.Engine, Strategy: opts.Strategy,
+			Span: lsp, Metrics: met,
+		})
 		if err != nil {
+			lsp.End()
 			return nil, err
 		}
-		res.LongTime = time.Since(t0)
+		lsp.SetFloat("lp_objective", lr.LP.Objective)
+		lsp.End()
+		res.LongTime = time.Since(t1)
 		res.Long = lr
 		res.LPObjective = lr.LP.Objective
 		ls := lr.Schedule.Clone()
@@ -127,12 +186,19 @@ func solveMono(inst *ise.Instance, opts Options, gamma int) (*Result, error) {
 		offset = ls.Machines
 	}
 	if short.N() > 0 {
-		t0 := time.Now()
-		sr, err := shortwin.Solve(short, shortwin.Options{MM: opts.MM, TrimIdle: opts.TrimIdle, Gamma: gamma})
+		t1 := time.Now()
+		ssp := parent.Start("short")
+		sr, err := shortwin.Solve(short, shortwin.Options{
+			MM: opts.MM, TrimIdle: opts.TrimIdle, Gamma: gamma,
+			Span: ssp, Metrics: met,
+		})
 		if err != nil {
+			ssp.End()
 			return nil, err
 		}
-		res.ShortTime = time.Since(t0)
+		ssp.SetInt("intervals", int64(len(sr.Intervals)))
+		ssp.End()
+		res.ShortTime = time.Since(t1)
 		res.Short = sr
 		ss := sr.Schedule.Clone()
 		ss.RenumberJobs(shortIDs)
@@ -142,6 +208,7 @@ func solveMono(inst *ise.Instance, opts Options, gamma int) (*Result, error) {
 		merged.Machines = 1
 	}
 	res.Schedule = merged
+	met.Histogram(obs.MDecompCompSecs, nil).Observe(time.Since(t0).Seconds())
 	return res, nil
 }
 
@@ -149,7 +216,7 @@ func solveMono(inst *ise.Instance, opts Options, gamma int) (*Result, error) {
 // bounded worker pool and merges the component schedules on disjoint
 // machine blocks in component order, so the output is deterministic
 // regardless of worker interleaving.
-func solveDecomposed(comps []decomp.Component, opts Options, gamma int) (*Result, error) {
+func solveDecomposed(comps []decomp.Component, opts Options, gamma int, parent *obs.Span, met *obs.Registry) (*Result, error) {
 	workers := opts.Parallelism
 	if workers > len(comps) {
 		workers = len(comps)
@@ -157,15 +224,25 @@ func solveDecomposed(comps []decomp.Component, opts Options, gamma int) (*Result
 	results := make([]*Result, len(comps))
 	errs := make([]error, len(comps))
 	tasks := make(chan int)
+	dispatched := met.Counter(obs.MDecompTasks)
+	busy := met.Gauge(obs.MDecompPoolBusy)
+	peak := met.Gauge(obs.MDecompPoolMax)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			for i := range tasks {
-				results[i], errs[i] = solveMono(comps[i].Inst, opts, gamma)
+				dispatched.Inc()
+				peak.SetMax(busy.Add(1))
+				csp := parent.Start("component")
+				csp.SetInt("index", int64(i))
+				csp.SetInt("worker", int64(w))
+				results[i], errs[i] = solveMono(comps[i].Inst, opts, gamma, csp, met)
+				csp.End()
+				busy.Add(-1)
 			}
-		}()
+		}(w)
 	}
 	for i := range comps {
 		tasks <- i

@@ -1,6 +1,10 @@
 package lp
 
-import "math"
+import (
+	"math"
+
+	"calib/internal/obs"
+)
 
 // epsFeas is the primal feasibility tolerance of the revised engine:
 // a basic value below -epsFeas or more than epsFeas above its upper
@@ -43,6 +47,11 @@ type RevisedOptions struct {
 	// Invalid or numerically unusable bases silently fall back to a
 	// cold solve, so passing a stale basis is never incorrect.
 	Warm *Basis
+	// Metrics, when non-nil, receives the engine's counters: warm-start
+	// hits/misses, cold-solve fallbacks labeled by reason, bound flips,
+	// basis-inverse reuse probes, and dual-repair pivots (see the
+	// obs name catalogue). nil is the free default.
+	Metrics *obs.Registry
 }
 
 // SolveRevised runs the two-phase revised simplex: the constraint
@@ -66,17 +75,31 @@ func SolveRevised(p *Problem) (*Solution, error) {
 // SolveRevisedWith is SolveRevised with an optional warm-start basis.
 // The returned Solution carries the final basis for chaining.
 func SolveRevisedWith(p *Problem, opts RevisedOptions) (*Solution, error) {
+	met := opts.Metrics
 	if opts.Warm != nil {
-		if sol, ok := solveWarm(p, opts.Warm); ok {
+		sol, ok, reason := solveWarm(p, opts.Warm, met)
+		if ok {
+			if reason == "" {
+				met.Counter(obs.MLPWarmHits).Inc()
+			} else {
+				// The warm attempt produced a correct answer but only by
+				// re-proving cold (infeasible_reproof): a miss.
+				met.Counter(obs.MLPWarmMisses).Inc()
+				met.CounterWith(obs.MLPColdFallback, "reason", reason).Inc()
+			}
 			return sol, nil
 		}
+		met.Counter(obs.MLPWarmMisses).Inc()
+		met.CounterWith(obs.MLPColdFallback, "reason", reason).Inc()
 	}
-	return solveCold(p)
+	return solveCold(p, met)
 }
 
 // solveCold is the from-scratch two-phase solve.
-func solveCold(p *Problem) (*Solution, error) {
+func solveCold(p *Problem, met *obs.Registry) (*Solution, error) {
+	met.Counter(obs.MLPColdSolves).Inc()
 	t := buildSparse(p)
+	t.cBoundFlips = met.Counter(obs.MLPBoundFlips)
 	sol := &Solution{}
 	if t.nArt > 0 {
 		cost := make([]float64, t.n)
@@ -115,53 +138,59 @@ func solveCold(p *Problem) (*Solution, error) {
 // solveWarm attempts a warm-started solve: refactorize the given
 // basis, repair primal infeasibility with the dual simplex, then run
 // primal phase 2. Returns ok=false when the basis cannot be used (the
-// caller then solves cold). An Infeasible verdict from the dual
-// simplex is re-proven by a cold phase 1 before being reported, so a
-// stale warm basis can cost time but never correctness.
-func solveWarm(p *Problem, warm *Basis) (*Solution, bool) {
+// caller then solves cold) along with the fallback reason (one of the
+// obs.Reason* values; empty on a clean warm hit). An Infeasible
+// verdict from the dual simplex is re-proven by a cold phase 1 before
+// being reported, so a stale warm basis can cost time but never
+// correctness — that path returns ok=true with the reproof reason.
+func solveWarm(p *Problem, warm *Basis, met *obs.Registry) (*Solution, bool, string) {
 	if warm.Vars != p.NumVars() || warm.Rows > p.NumRows() ||
 		len(warm.Basic) != warm.Rows {
-		return nil, false
+		return nil, false, obs.ReasonBasisShape
 	}
 	t := buildSparse(p)
-	if !t.installBasis(p, warm) {
-		return nil, false
+	t.cBoundFlips = met.Counter(obs.MLPBoundFlips)
+	if !t.installBasis(p, warm, met) {
+		return nil, false, obs.ReasonBasisInstall
 	}
 	cost := t.phase2Cost(p)
 	sol := &Solution{}
 	if !t.primalFeasible() {
 		st, iters := t.iterateDual(cost)
 		sol.Iterations += iters
+		met.Counter(obs.MLPDualRepair).Add(int64(iters))
 		switch st {
 		case Optimal: // primal feasibility restored
 		case Infeasible:
 			// Trustworthy only if the warm basis was dual feasible;
 			// re-prove with a cold phase 1.
-			cold, err := solveCold(p)
+			cold, err := solveCold(p, met)
 			if err != nil {
-				return nil, false
+				return nil, false, obs.ReasonInfeasReproof
 			}
 			cold.Iterations += sol.Iterations
-			return cold, true
+			return cold, true, obs.ReasonInfeasReproof
 		default:
-			return nil, false
+			// IterLimit: the repair stalled, cycled, or lost dual
+			// feasibility — the divergence guards fired.
+			return nil, false, obs.ReasonDivergence
 		}
 	}
 	st, iters := t.iterate(cost, false)
 	sol.Iterations += iters
 	if st != Optimal {
-		return nil, false
+		return nil, false, obs.ReasonPrimalStall
 	}
 	// A basic artificial above tolerance means the basis absorbed an
 	// appended EQ/GE row's residual; the result would be wrong.
 	for i, b := range t.basis {
 		if b >= t.artLo && t.xB[i] > epsPhase1 {
-			return nil, false
+			return nil, false, obs.ReasonArtificial
 		}
 	}
 	sol.Status = Optimal
 	t.extract(p, cost, sol)
-	return sol, true
+	return sol, true, ""
 }
 
 // sparseCol is one column of the standard-form constraint matrix.
@@ -192,6 +221,9 @@ type revTableau struct {
 	rowSign []float64
 	// rowIdx is pivot scratch: nonzero positions of the pivot row.
 	rowIdx []int32
+	// cBoundFlips counts bound-flip ratio-test outcomes; nil (the
+	// default) is a no-op counter.
+	cBoundFlips *obs.Counter
 }
 
 // buildSparse converts p to sparse standard form. The numbering is
@@ -305,7 +337,7 @@ func (t *revTableau) phase2Cost(p *Problem) []float64 {
 // installBasis maps a warm basis into t's numbering, refactorizes it,
 // and computes xB. Returns false when the basis is structurally or
 // numerically unusable.
-func (t *revTableau) installBasis(p *Problem, warm *Basis) bool {
+func (t *revTableau) installBasis(p *Problem, warm *Basis, met *obs.Registry) bool {
 	remap := func(e int) int {
 		if e < t.nvar+warm.Rows {
 			return e // structural or aux of a surviving row
@@ -346,8 +378,13 @@ func (t *revTableau) installBasis(p *Problem, warm *Basis) bool {
 		}
 		t.atUpper[e] = true
 	}
-	if !t.reuseBinv(warm) && !t.factorize() {
-		return false
+	if t.reuseBinv(warm) {
+		met.Counter(obs.MLPBinvHits).Inc()
+	} else {
+		met.Counter(obs.MLPBinvMisses).Inc()
+		if !t.factorize() {
+			return false
+		}
 	}
 	t.computeXB()
 	return true
@@ -713,6 +750,7 @@ func (t *revTableau) iterate(cost []float64, phase1 bool) (Status, int) {
 				}
 			}
 			t.atUpper[enter] = dir > 0
+			t.cBoundFlips.Inc()
 		} else if leave < 0 {
 			return Unbounded, iter
 		} else {

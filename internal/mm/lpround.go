@@ -7,6 +7,7 @@ import (
 
 	"calib/internal/ise"
 	"calib/internal/lp"
+	"calib/internal/obs"
 )
 
 // LPRound is a time-indexed LP relaxation of MM followed by randomized
@@ -33,6 +34,9 @@ type LPRound struct {
 	// MaxVars caps the LP size; above it Solve falls back to Greedy
 	// (default 20000).
 	MaxVars int
+	// Metrics receives the mm_* counter series (see internal/obs);
+	// nil disables telemetry at zero cost.
+	Metrics *obs.Registry
 }
 
 // Name implements Solver.
@@ -40,19 +44,28 @@ func (LPRound) Name() string { return "lp-round" }
 
 // Solve implements Solver.
 func (l LPRound) Solve(inst *ise.Instance) (*Schedule, error) {
-	s, _, err := l.SolveWithStats(inst)
+	s, _, err := l.SolveStats(inst)
 	return s, err
 }
 
-// SolveWithStats also returns the LP objective (fractional machine
-// count, a lower bound on OPT), or 0 when the LP was skipped.
+// SolveWithStats returns the LP objective (fractional machine count, a
+// lower bound on OPT), or 0 when the LP was skipped. Thin wrapper over
+// SolveStats, kept for the experiment tables.
 func (l LPRound) SolveWithStats(inst *ise.Instance) (*Schedule, float64, error) {
+	s, st, err := l.SolveStats(inst)
+	return s, st.LPObjective, err
+}
+
+// SolveStats is Solve with the full solve statistics.
+func (l LPRound) SolveStats(inst *ise.Instance) (*Schedule, Stats, error) {
+	var st Stats
 	if err := inst.Validate(); err != nil {
-		return nil, 0, err
+		return nil, st, err
 	}
 	if inst.N() == 0 {
-		return &Schedule{Machines: 1}, 0, nil
+		return &Schedule{Machines: 1}, st, nil
 	}
+	met := l.Metrics
 	trials := l.Trials
 	if trials == 0 {
 		trials = 32
@@ -63,7 +76,7 @@ func (l LPRound) SolveWithStats(inst *ise.Instance) (*Schedule, float64, error) 
 	}
 	greedy, err := Greedy{}.Solve(inst)
 	if err != nil {
-		return nil, 0, err
+		return nil, st, err
 	}
 
 	// Candidate starts per job: every integer in [r_j, d_j - p_j].
@@ -72,7 +85,9 @@ func (l LPRound) SolveWithStats(inst *ise.Instance) (*Schedule, float64, error) 
 		nvars += int(j.Slack()) + 1
 	}
 	if nvars > maxVars {
-		return greedy, 0, nil
+		st.Skipped = true
+		met.Counter(obs.MMMLPSkipped).Inc()
+		return greedy, st, nil
 	}
 	prob := lp.NewProblem()
 	mVar := prob.AddVar("m", 1)
@@ -115,9 +130,13 @@ func (l LPRound) SolveWithStats(inst *ise.Instance) (*Schedule, float64, error) 
 		}
 	}
 	sol, err := lp.Solve(prob)
+	st.LPSolves++
+	met.Counter(obs.MMMLPSolves).Inc()
 	if err != nil || sol.Status != lp.Optimal {
-		return greedy, 0, nil
+		return greedy, st, nil
 	}
+	met.Counter(obs.MLPPivots).Add(int64(sol.Iterations))
+	st.LPObjective = sol.Objective
 
 	rng := rand.New(rand.NewSource(l.Seed + 1))
 	best := greedy
@@ -130,7 +149,9 @@ func (l LPRound) SolveWithStats(inst *ise.Instance) (*Schedule, float64, error) 
 			best = s
 		}
 	}
-	return best, sol.Objective, nil
+	st.Trials = trials
+	met.Counter(obs.MMMTrials).Add(int64(trials))
+	return best, st, nil
 }
 
 // startCand is one (job, start) candidate of the time-indexed LP and

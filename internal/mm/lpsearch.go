@@ -7,6 +7,7 @@ import (
 
 	"calib/internal/ise"
 	"calib/internal/lp"
+	"calib/internal/obs"
 )
 
 // LPSearch is a machine-minimization box built on warm-started
@@ -33,6 +34,9 @@ type LPSearch struct {
 	// MaxVars caps the LP size; above it Solve falls back to Greedy
 	// (default 20000).
 	MaxVars int
+	// Metrics receives the mm_* counter series (see internal/obs);
+	// nil disables telemetry at zero cost.
+	Metrics *obs.Registry
 }
 
 // Name implements Solver.
@@ -40,20 +44,29 @@ func (LPSearch) Name() string { return "lp-search" }
 
 // Solve implements Solver.
 func (l LPSearch) Solve(inst *ise.Instance) (*Schedule, error) {
-	s, _, err := l.SolveWithStats(inst)
+	s, _, err := l.SolveStats(inst)
 	return s, err
 }
 
-// SolveWithStats also returns the smallest LP-feasible machine count
-// (an integral lower bound on the MM optimum), or 0 when the LP was
-// skipped.
+// SolveWithStats returns the smallest LP-feasible machine count (an
+// integral lower bound on the MM optimum), or 0 when the LP was
+// skipped. Thin wrapper over SolveStats, kept for the experiment
+// tables.
 func (l LPSearch) SolveWithStats(inst *ise.Instance) (*Schedule, int, error) {
+	s, st, err := l.SolveStats(inst)
+	return s, st.MinFeasible, err
+}
+
+// SolveStats is Solve with the full solve statistics.
+func (l LPSearch) SolveStats(inst *ise.Instance) (*Schedule, Stats, error) {
+	var st Stats
 	if err := inst.Validate(); err != nil {
-		return nil, 0, err
+		return nil, st, err
 	}
 	if inst.N() == 0 {
-		return &Schedule{Machines: 1}, 0, nil
+		return &Schedule{Machines: 1}, st, nil
 	}
+	met := l.Metrics
 	trials := l.Trials
 	if trials == 0 {
 		trials = 32
@@ -64,14 +77,16 @@ func (l LPSearch) SolveWithStats(inst *ise.Instance) (*Schedule, int, error) {
 	}
 	greedy, err := Greedy{}.Solve(inst)
 	if err != nil {
-		return nil, 0, err
+		return nil, st, err
 	}
 	nvars := 0
 	for _, j := range inst.Jobs {
 		nvars += int(j.Slack()) + 1
 	}
 	if nvars > maxVars {
-		return greedy, 0, nil
+		st.Skipped = true
+		met.Counter(obs.MMMLPSkipped).Inc()
+		return greedy, st, nil
 	}
 
 	// Feasibility LP for a fixed machine count: unit assignment per
@@ -122,7 +137,17 @@ func (l LPSearch) SolveWithStats(inst *ise.Instance) (*Schedule, int, error) {
 		for _, r := range overlapRows {
 			prob.SetRHS(r, float64(m))
 		}
-		return lp.SolveRevisedWith(prob, lp.RevisedOptions{Warm: warm})
+		st.Probes++
+		met.Counter(obs.MMMLPProbes).Inc()
+		sol, err := lp.SolveRevisedWith(prob, lp.RevisedOptions{Warm: warm, Metrics: met})
+		if err == nil {
+			met.Counter(obs.MLPPivots).Add(int64(sol.Iterations))
+			if sol.Status == lp.Infeasible {
+				st.Infeasible++
+				met.Counter(obs.MMMLPInfeasible).Inc()
+			}
+		}
+		return sol, err
 	}
 
 	// Binary search the smallest LP-feasible m in [1, greedy]. The
@@ -135,7 +160,7 @@ func (l LPSearch) SolveWithStats(inst *ise.Instance) (*Schedule, int, error) {
 		mid := lo + (hi-lo)/2
 		sol, err := probe(mid, warm)
 		if err != nil {
-			return greedy, 0, nil
+			return greedy, st, nil
 		}
 		switch sol.Status {
 		case lp.Optimal:
@@ -145,15 +170,16 @@ func (l LPSearch) SolveWithStats(inst *ise.Instance) (*Schedule, int, error) {
 		case lp.Infeasible:
 			lo = mid + 1
 		default:
-			return greedy, 0, nil // numerical trouble: keep the greedy answer
+			return greedy, st, nil // numerical trouble: keep the greedy answer
 		}
 	}
+	st.MinFeasible = lo
 	if feasX == nil {
 		// The search never probed below greedy.Machines (range was
 		// already tight); solve once for the marginals.
 		sol, err := probe(lo, warm)
 		if err != nil || sol.Status != lp.Optimal {
-			return greedy, lo, nil
+			return greedy, st, nil
 		}
 		feasX = sol.X
 	}
@@ -169,5 +195,7 @@ func (l LPSearch) SolveWithStats(inst *ise.Instance) (*Schedule, int, error) {
 			best = s
 		}
 	}
-	return best, lo, nil
+	st.Trials = trials
+	met.Counter(obs.MMMTrials).Add(int64(trials))
+	return best, st, nil
 }

@@ -1,0 +1,51 @@
+package obs
+
+import "testing"
+
+// BenchmarkObsOverhead is the CI gate for the strictly-off default:
+// with a nil Trace and a nil Registry, the full set of telemetry
+// calls a hot solve makes must compile down to nil checks — 0
+// allocs/op, enforced by .github/workflows/ci.yml.
+func BenchmarkObsOverhead(b *testing.B) {
+	var tr *Trace
+	var reg *Registry
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := tr.Root().Start("solve")
+		sp.SetInt("jobs", int64(i))
+		lp := sp.Start("lp")
+		lp.SetStr("engine", "revised")
+		reg.Counter(MLPPivots).Add(17)
+		reg.Counter(MLPBoundFlips).Inc()
+		reg.CounterWith(MLPColdFallback, "reason", ReasonDivergence).Inc()
+		g := reg.Gauge(MDecompPoolBusy)
+		g.Add(1)
+		g.Add(-1)
+		reg.Histogram(MDecompCompSecs, nil).Observe(0.001)
+		lp.End()
+		sp.End()
+	}
+}
+
+// BenchmarkObsEnabled measures the live cost of the same call
+// pattern, for the overhead table in docs/OBSERVABILITY.md.
+func BenchmarkObsEnabled(b *testing.B) {
+	tr := NewTrace("bench")
+	reg := NewRegistry()
+	pivots := reg.Counter(MLPPivots)
+	flips := reg.Counter(MLPBoundFlips)
+	busy := reg.Gauge(MDecompPoolBusy)
+	hist := reg.Histogram(MDecompCompSecs, nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sp := tr.Root().Start("solve")
+		sp.SetInt("jobs", int64(i))
+		pivots.Add(17)
+		flips.Inc()
+		busy.Add(1)
+		busy.Add(-1)
+		hist.Observe(0.001)
+		sp.End()
+	}
+}

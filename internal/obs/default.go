@@ -1,0 +1,29 @@
+package obs
+
+import "sync/atomic"
+
+// The process-default registry and trace are an opt-in escape hatch
+// for tools (isebatch, isebench) whose solve calls are buried under
+// layers that do not thread Options: the pipeline entry points fall
+// back to the defaults when their own Options carry no telemetry.
+// Both start nil, so library users pay a single atomic load per solve
+// and nothing else.
+var (
+	defaultRegistry atomic.Pointer[Registry]
+	defaultTrace    atomic.Pointer[Trace]
+)
+
+// SetDefault installs r as the process-default registry (nil clears).
+func SetDefault(r *Registry) { defaultRegistry.Store(r) }
+
+// Default returns the process-default registry, or nil when unset.
+func Default() *Registry { return defaultRegistry.Load() }
+
+// SetDefaultTrace installs t as the process-default trace (nil
+// clears). Solves started while it is set append their span trees
+// under its root — concurrently running solves simply become sibling
+// subtrees.
+func SetDefaultTrace(t *Trace) { defaultTrace.Store(t) }
+
+// DefaultTrace returns the process-default trace, or nil when unset.
+func DefaultTrace() *Trace { return defaultTrace.Load() }

@@ -1,0 +1,254 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Snapshot is a deterministic point-in-time copy of a registry: every
+// slice is sorted by series key, so two snapshots of the same state
+// render identically (asserted by the registry tests).
+type Snapshot struct {
+	Counters []CounterSnap
+	Gauges   []GaugeSnap
+	Hists    []HistSnap
+}
+
+// CounterSnap is one counter series in a snapshot.
+type CounterSnap struct {
+	Name  string
+	Label string // empty for an unlabeled series
+	LVal  string
+	Value int64
+}
+
+// Key returns the canonical series key.
+func (c CounterSnap) Key() string { return seriesKey(c.Name, c.Label, c.LVal) }
+
+// GaugeSnap is one gauge in a snapshot.
+type GaugeSnap struct {
+	Name  string
+	Value float64
+}
+
+// HistSnap is one histogram in a snapshot. Counts are cumulative
+// (Prometheus "le" semantics); the final bound is +Inf.
+type HistSnap struct {
+	Name   string
+	Bounds []float64
+	Counts []int64 // cumulative; len(Bounds)+1
+	Sum    float64
+	Count  int64
+}
+
+// Snapshot captures the registry state. Safe to call concurrently
+// with instrument updates; nil registries yield an empty snapshot.
+func (r *Registry) Snapshot() Snapshot {
+	var s Snapshot
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	entries := make([]*counterEntry, 0, len(r.counters))
+	for _, e := range r.counters {
+		entries = append(entries, e)
+	}
+	gnames := make([]string, 0, len(r.gauges))
+	for n := range r.gauges {
+		gnames = append(gnames, n)
+	}
+	hnames := make([]string, 0, len(r.hists))
+	for n := range r.hists {
+		hnames = append(hnames, n)
+	}
+	gmap, hmap := r.gauges, r.hists
+	r.mu.Unlock()
+
+	for _, e := range entries {
+		s.Counters = append(s.Counters, CounterSnap{
+			Name: e.name, Label: e.label, LVal: e.lval, Value: e.c.Value(),
+		})
+	}
+	sort.Slice(s.Counters, func(a, b int) bool { return s.Counters[a].Key() < s.Counters[b].Key() })
+	sort.Strings(gnames)
+	for _, n := range gnames {
+		s.Gauges = append(s.Gauges, GaugeSnap{Name: n, Value: gmap[n].Value()})
+	}
+	sort.Strings(hnames)
+	for _, n := range hnames {
+		h := hmap[n]
+		hs := HistSnap{Name: n, Bounds: append([]float64(nil), h.bounds...), Sum: h.Sum()}
+		cum := int64(0)
+		for i := range h.counts {
+			cum += h.counts[i].Load()
+			hs.Counts = append(hs.Counts, cum)
+		}
+		hs.Count = cum
+		s.Hists = append(s.Hists, hs)
+	}
+	return s
+}
+
+// counterAggregates sums every counter name's series (the bare series
+// plus all labeled ones), keyed by name.
+func (s Snapshot) counterAggregates() (names []string, total map[string]int64, labeled map[string]bool) {
+	total = map[string]int64{}
+	labeled = map[string]bool{}
+	for _, c := range s.Counters {
+		if _, ok := total[c.Name]; !ok {
+			names = append(names, c.Name)
+		}
+		total[c.Name] += c.Value
+		if c.Label != "" {
+			labeled[c.Name] = true
+		}
+	}
+	sort.Strings(names)
+	return names, total, labeled
+}
+
+// WriteJSON writes the registry as an expvar-style JSON object: flat
+// scalar keys for counters and gauges (labeled counter series appear
+// both individually and summed under the bare name) and a nested
+// object per histogram. Scalar entries occupy one line each so
+// line-oriented tools (scripts/bench.sh) can extract them without a
+// JSON parser. Keys are sorted; the output is deterministic for a
+// quiescent registry.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	s := r.Snapshot()
+	var lines []string
+	names, total, _ := s.counterAggregates()
+	for _, n := range names {
+		lines = append(lines, fmt.Sprintf("%s: %d", quote(n), total[n]))
+	}
+	for _, c := range s.Counters {
+		if c.Label == "" {
+			continue // already covered by the aggregate line
+		}
+		lines = append(lines, fmt.Sprintf("%s: %d", quote(c.Key()), c.Value))
+	}
+	for _, g := range s.Gauges {
+		lines = append(lines, fmt.Sprintf("%s: %s", quote(g.Name), jsonFloat(g.Value)))
+	}
+	for _, h := range s.Hists {
+		var b strings.Builder
+		fmt.Fprintf(&b, "%s: {\"count\": %d, \"sum\": %s, \"buckets\": {",
+			quote(h.Name), h.Count, jsonFloat(h.Sum))
+		for i, c := range h.Counts {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			fmt.Fprintf(&b, "%s: %d", quote(leLabel(h.Bounds, i)), c)
+		}
+		b.WriteString("}}")
+		lines = append(lines, b.String())
+	}
+	sort.Strings(lines)
+	if _, err := io.WriteString(w, "{\n"); err != nil {
+		return err
+	}
+	for i, l := range lines {
+		sep := ","
+		if i == len(lines)-1 {
+			sep = ""
+		}
+		if _, err := io.WriteString(w, "  "+l+sep+"\n"); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "}\n")
+	return err
+}
+
+// WritePrometheus writes the registry in the Prometheus text
+// exposition format (version 0.0.4).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	s := r.Snapshot()
+	names, total, labeled := s.counterAggregates()
+	for _, n := range names {
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n", n); err != nil {
+			return err
+		}
+		if !labeled[n] {
+			if _, err := fmt.Fprintf(w, "%s %d\n", n, total[n]); err != nil {
+				return err
+			}
+			continue
+		}
+		for _, c := range s.Counters {
+			if c.Name != n || c.Label == "" {
+				continue
+			}
+			if _, err := fmt.Fprintf(w, "%s %d\n", c.Key(), c.Value); err != nil {
+				return err
+			}
+		}
+	}
+	for _, g := range s.Gauges {
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n", g.Name, g.Name, promFloat(g.Value)); err != nil {
+			return err
+		}
+	}
+	for _, h := range s.Hists {
+		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", h.Name); err != nil {
+			return err
+		}
+		for i, c := range h.Counts {
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%s\"} %d\n", h.Name, leLabel(h.Bounds, i), c); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum %s\n%s_count %d\n", h.Name, promFloat(h.Sum), h.Name, h.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// leLabel is the upper-bound label of bucket i ("+Inf" for the last).
+func leLabel(bounds []float64, i int) string {
+	if i >= len(bounds) {
+		return "+Inf"
+	}
+	return promFloat(bounds[i])
+}
+
+// jsonFloat renders f as a valid JSON number (JSON has no Inf/NaN).
+func jsonFloat(f float64) string {
+	if math.IsNaN(f) || math.IsInf(f, 0) {
+		return "null"
+	}
+	return strconv.FormatFloat(f, 'g', -1, 64)
+}
+
+// promFloat renders f for the Prometheus text format.
+func promFloat(f float64) string {
+	switch {
+	case math.IsInf(f, 1):
+		return "+Inf"
+	case math.IsInf(f, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(f, 'g', -1, 64)
+}
+
+// quote JSON-quotes a metric or attribute name. Names are plain
+// identifiers (plus the {label="value"} series syntax), so escaping
+// only needs to cover quotes and backslashes.
+func quote(s string) string {
+	var b strings.Builder
+	b.WriteByte('"')
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c == '"' || c == '\\' {
+			b.WriteByte('\\')
+		}
+		b.WriteByte(c)
+	}
+	b.WriteByte('"')
+	return b.String()
+}

@@ -1,0 +1,73 @@
+package obs
+
+// The metric name catalogue. Every series the pipeline emits is named
+// here so docs/OBSERVABILITY.md, the declaration below, and the call
+// sites cannot drift apart. Units follow Prometheus conventions:
+// *_total counters are event counts, *_seconds are durations.
+const (
+	// internal/lp — revised simplex engine.
+	MLPPivots       = "lp_pivots_total"                 // simplex pivots across both phases, all engines
+	MLPBoundFlips   = "lp_bound_flips_total"            // bound-flip steps (no basis change)
+	MLPWarmHits     = "lp_warm_start_hits_total"        // warm bases accepted end-to-end
+	MLPWarmMisses   = "lp_warm_start_misses_total"      // warm bases abandoned (see lp_cold_fallback_total reasons)
+	MLPColdFallback = "lp_cold_fallback_total"          // cold solves forced by a failed warm start; labeled reason=...
+	MLPColdSolves   = "lp_cold_solves_total"            // from-scratch two-phase solves (includes fallbacks)
+	MLPBinvHits     = "lp_binv_reuse_hits_total"        // block-triangular basis-inverse extensions that verified
+	MLPBinvMisses   = "lp_binv_reuse_misses_total"      // extension probes that failed and refactorized
+	MLPDualRepair   = "lp_dual_repair_iterations_total" // dual-simplex pivots spent repairing warm bases
+
+	// internal/tise — long-window LP relaxation and cut loop.
+	MTISEResolves  = "tise_resolves_total"      // LP solves across the lazy-cut chain
+	MTISECutRounds = "tise_cut_rounds_total"    // separation rounds that ran
+	MTISECuts      = "tise_cuts_total"          // constraint (2) rows ever materialized
+	MTISEViolated  = "tise_violated_rows_total" // violated rows found by separation
+
+	// internal/decomp + internal/core — time-component decomposition.
+	MDecompComponents = "decomp_components"        // gauge: components in the last solve
+	MDecompTasks      = "decomp_tasks_total"       // component solves dispatched to the pool
+	MDecompPoolBusy   = "decomp_pool_busy"         // gauge: workers currently solving
+	MDecompPoolMax    = "decomp_pool_busy_max"     // gauge: peak pool occupancy
+	MDecompCompSecs   = "decomp_component_seconds" // histogram: per-component solve time
+	MSolveSeconds     = "solve_seconds"            // histogram: end-to-end pipeline solves
+
+	// internal/mm — machine-minimization LP boxes.
+	MMMLPProbes     = "mm_lp_probes_total"           // feasibility-LP probes (LPSearch binary search)
+	MMMLPInfeasible = "mm_lp_probe_infeasible_total" // probes that came back infeasible
+	MMMLPSolves     = "mm_lp_solves_total"           // LP relaxation solves (LPRound)
+	MMMLPSkipped    = "mm_lp_skipped_total"          // instances over MaxVars that fell back to Greedy
+	MMMTrials       = "mm_rounding_trials_total"     // randomized rounding samples drawn
+)
+
+// Cold-fallback reasons (the reason label of lp_cold_fallback_total).
+const (
+	ReasonBasisShape    = "basis_shape"         // fingerprint mismatch: different vars or fewer rows
+	ReasonBasisInstall  = "basis_install"       // basis did not map/refactorize onto the problem
+	ReasonDivergence    = "divergence"          // dual repair diverged (stall, cycle, or lost dual feasibility)
+	ReasonPrimalStall   = "primal_stall"        // phase 2 after repair did not reach optimality
+	ReasonArtificial    = "artificial_residual" // an appended row's artificial stayed basic above tolerance
+	ReasonInfeasReproof = "infeasible_reproof"  // dual repair claimed infeasible; re-proven by a cold phase 1
+)
+
+// Declare pre-registers the headline series at zero so metric dumps
+// of an instrumented run always carry the full catalogue, whether or
+// not a given path fired. Safe on nil registries.
+func Declare(r *Registry) {
+	if r == nil {
+		return
+	}
+	for _, n := range []string{
+		MLPPivots, MLPBoundFlips, MLPWarmHits, MLPWarmMisses,
+		MLPColdFallback, MLPColdSolves, MLPBinvHits, MLPBinvMisses,
+		MLPDualRepair,
+		MTISEResolves, MTISECutRounds, MTISECuts, MTISEViolated,
+		MDecompTasks,
+		MMMLPProbes, MMMLPInfeasible, MMMLPSolves, MMMLPSkipped, MMMTrials,
+	} {
+		r.Counter(n)
+	}
+	r.Gauge(MDecompComponents)
+	r.Gauge(MDecompPoolBusy)
+	r.Gauge(MDecompPoolMax)
+	r.Histogram(MDecompCompSecs, nil)
+	r.Histogram(MSolveSeconds, nil)
+}

@@ -1,0 +1,285 @@
+// Package obs is the solver's zero-dependency telemetry layer:
+// hierarchical spans (monotonic wall-clock timing with per-span
+// key=value attributes) and a metrics registry (counters, gauges,
+// histograms) with expvar-style JSON and Prometheus text exports.
+//
+// The cardinal design rule is that telemetry is strictly opt-in: a nil
+// *Trace, *Span, *Registry, *Counter, *Gauge or *Histogram is a valid
+// receiver for every method and compiles down to a nil-check and a
+// return. The hot paths (simplex pivots, cut separation, the decomp
+// worker pool) call these methods unconditionally; with telemetry off
+// they must cost zero allocations, which BenchmarkObsOverhead and
+// TestNoopZeroAlloc enforce. To keep the no-op path allocation-free,
+// span attributes use typed setters (SetInt/SetFloat/SetStr) instead
+// of interface{} values, which would box at the call site even when
+// the receiver is nil.
+//
+// Spans are safe for concurrent use: the decomposition worker pool
+// creates sibling spans under one parent from several goroutines.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Trace is one recorded solve: a tree of spans under a root span.
+type Trace struct {
+	root *Span
+}
+
+// NewTrace returns a trace whose root span (named name) starts now.
+func NewTrace(name string) *Trace {
+	return &Trace{root: newSpan(name)}
+}
+
+// Root returns the root span (nil for a nil trace).
+func (t *Trace) Root() *Span {
+	if t == nil {
+		return nil
+	}
+	return t.root
+}
+
+// Finish ends the root span. Idempotent.
+func (t *Trace) Finish() {
+	if t == nil {
+		return
+	}
+	t.root.End()
+}
+
+// WriteText renders the span tree as an indented text listing, one
+// span per line with its duration and attributes.
+func (t *Trace) WriteText(w io.Writer) error {
+	if t == nil {
+		return nil
+	}
+	return t.root.writeText(w, 0)
+}
+
+// WriteJSON renders the span tree as a single JSON object
+// {"name":..., "us":..., "attrs":{...}, "children":[...]}.
+func (t *Trace) WriteJSON(w io.Writer) error {
+	if t == nil {
+		_, err := io.WriteString(w, "null\n")
+		return err
+	}
+	if err := t.root.writeJSON(w, 0); err != nil {
+		return err
+	}
+	_, err := io.WriteString(w, "\n")
+	return err
+}
+
+// Span is one timed stage of a solve. All methods are nil-safe and
+// safe for concurrent use.
+type Span struct {
+	name  string
+	start time.Time
+
+	mu       sync.Mutex
+	dur      time.Duration
+	ended    bool
+	attrs    []attr
+	children []*Span
+}
+
+// attr is a typed key=value span attribute. Typed storage (instead of
+// interface{}) keeps the nil-receiver setters allocation-free.
+type attr struct {
+	key  string
+	kind byte // 'i', 'f', 's'
+	i    int64
+	f    float64
+	s    string
+}
+
+func (a attr) value() string {
+	switch a.kind {
+	case 'i':
+		return fmt.Sprintf("%d", a.i)
+	case 'f':
+		return trimFloat(a.f)
+	default:
+		return a.s
+	}
+}
+
+func newSpan(name string) *Span {
+	return &Span{name: name, start: time.Now()}
+}
+
+// Start creates and returns a child span beginning now.
+func (s *Span) Start(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	c := newSpan(name)
+	s.mu.Lock()
+	s.children = append(s.children, c)
+	s.mu.Unlock()
+	return c
+}
+
+// End stops the span's clock. Further Ends are no-ops, so deferred and
+// explicit Ends can coexist.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if !s.ended {
+		s.dur = time.Since(s.start)
+		s.ended = true
+	}
+	s.mu.Unlock()
+}
+
+// Duration returns the span's recorded duration (the running duration
+// when the span has not ended yet).
+func (s *Span) Duration() time.Duration {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.ended {
+		return time.Since(s.start)
+	}
+	return s.dur
+}
+
+// SetInt records an integer attribute.
+func (s *Span) SetInt(key string, v int64) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.attrs = append(s.attrs, attr{key: key, kind: 'i', i: v})
+	s.mu.Unlock()
+}
+
+// SetFloat records a float attribute.
+func (s *Span) SetFloat(key string, v float64) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.attrs = append(s.attrs, attr{key: key, kind: 'f', f: v})
+	s.mu.Unlock()
+}
+
+// SetStr records a string attribute.
+func (s *Span) SetStr(key, v string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.attrs = append(s.attrs, attr{key: key, kind: 's', s: v})
+	s.mu.Unlock()
+}
+
+// snapshot copies the mutable state under the lock so rendering never
+// races with concurrent writers.
+func (s *Span) snapshot() (dur time.Duration, attrs []attr, children []*Span) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	dur = s.dur
+	if !s.ended {
+		dur = time.Since(s.start)
+	}
+	return dur, append([]attr(nil), s.attrs...), append([]*Span(nil), s.children...)
+}
+
+func (s *Span) writeText(w io.Writer, depth int) error {
+	dur, attrs, children := s.snapshot()
+	line := fmt.Sprintf("%s%-*s %10s", strings.Repeat("  ", depth),
+		32-2*depth, s.name, dur.Round(time.Microsecond))
+	if len(attrs) > 0 {
+		parts := make([]string, len(attrs))
+		for i, a := range attrs {
+			parts[i] = a.key + "=" + a.value()
+		}
+		line += "  {" + strings.Join(parts, " ") + "}"
+	}
+	if _, err := fmt.Fprintln(w, line); err != nil {
+		return err
+	}
+	for _, c := range children {
+		if err := c.writeText(w, depth+1); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (s *Span) writeJSON(w io.Writer, depth int) error {
+	dur, attrs, children := s.snapshot()
+	ind := strings.Repeat("  ", depth)
+	if _, err := fmt.Fprintf(w, "{\"name\": %s, \"us\": %d", quote(s.name), dur.Microseconds()); err != nil {
+		return err
+	}
+	if len(attrs) > 0 {
+		if _, err := io.WriteString(w, ", \"attrs\": {"); err != nil {
+			return err
+		}
+		for i, a := range attrs {
+			sep := ""
+			if i > 0 {
+				sep = ", "
+			}
+			var val string
+			switch a.kind {
+			case 'i':
+				val = fmt.Sprintf("%d", a.i)
+			case 'f':
+				val = jsonFloat(a.f)
+			default:
+				val = quote(a.s)
+			}
+			if _, err := fmt.Fprintf(w, "%s%s: %s", sep, quote(a.key), val); err != nil {
+				return err
+			}
+		}
+		if _, err := io.WriteString(w, "}"); err != nil {
+			return err
+		}
+	}
+	if len(children) > 0 {
+		if _, err := io.WriteString(w, ", \"children\": [\n"); err != nil {
+			return err
+		}
+		for i, c := range children {
+			if _, err := io.WriteString(w, ind+"  "); err != nil {
+				return err
+			}
+			if err := c.writeJSON(w, depth+1); err != nil {
+				return err
+			}
+			if i < len(children)-1 {
+				if _, err := io.WriteString(w, ","); err != nil {
+					return err
+				}
+			}
+			if _, err := io.WriteString(w, "\n"); err != nil {
+				return err
+			}
+		}
+		if _, err := io.WriteString(w, ind+"]"); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "}")
+	return err
+}
+
+// trimFloat formats a float compactly for text attributes.
+func trimFloat(f float64) string {
+	s := fmt.Sprintf("%.4f", f)
+	s = strings.TrimRight(s, "0")
+	return strings.TrimRight(s, ".")
+}

@@ -1,0 +1,67 @@
+// Package obshttp serves a Registry (and the Go runtime's pprof and
+// expvar endpoints) over HTTP for the command-line tools' -pprof
+// flag. It lives outside internal/obs so the telemetry core stays
+// free of net/http and can be linked into the solver library without
+// dragging the HTTP stack along.
+package obshttp
+
+import (
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+
+	"calib/internal/obs"
+)
+
+// Handler returns a mux exposing:
+//
+//	/metrics      — Prometheus text exposition of reg
+//	/debug/vars   — expvar JSON (cmdline, memstats) plus reg's series
+//	                under the "calib" key
+//	/debug/pprof  — the standard runtime profiles
+func Handler(reg *obs.Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		_ = reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		w.Write([]byte("{\n"))
+		first := true
+		expvar.Do(func(kv expvar.KeyValue) {
+			if !first {
+				w.Write([]byte(",\n"))
+			}
+			first = false
+			w.Write([]byte("\"" + kv.Key + "\": " + kv.Value.String()))
+		})
+		if !first {
+			w.Write([]byte(",\n"))
+		}
+		w.Write([]byte("\"calib\": "))
+		_ = reg.WriteJSON(w)
+		w.Write([]byte("}\n"))
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Serve binds addr and serves Handler(reg) on a background goroutine.
+// It returns the bound address (useful with ":0") or an error when the
+// listen fails; serving errors after a successful bind are dropped,
+// matching the debug-endpoint role.
+func Serve(addr string, reg *obs.Registry) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	srv := &http.Server{Handler: Handler(reg)}
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr().String(), nil
+}

@@ -18,6 +18,7 @@ import (
 
 	"calib/internal/ise"
 	"calib/internal/mm"
+	"calib/internal/obs"
 )
 
 // Gamma is the short-window length bound in units of T: short jobs
@@ -40,6 +41,11 @@ type Options struct {
 	// unconditionally; trimming is a feasibility-preserving practical
 	// optimization measured by the ablation experiments.
 	TrimIdle bool
+	// Span, when non-nil, parents one "mm" span per partition interval.
+	Span *obs.Span
+	// Metrics is threaded into the LP-based MM boxes (mm.WithMetrics);
+	// nil disables telemetry at zero cost.
+	Metrics *obs.Registry
 }
 
 // IntervalStat describes one partition interval's subproblem, for the
@@ -90,6 +96,7 @@ func Solve(inst *ise.Instance, opts Options) (*Result, error) {
 	if box == nil {
 		box = mm.Greedy{}
 	}
+	box = mm.WithMetrics(box, opts.Metrics)
 
 	// Algorithm 4: assign each job to a pass and interval. The paper
 	// anchors the grid at t = 0; we anchor at the earliest release
@@ -155,10 +162,18 @@ func Solve(inst *ise.Instance, opts Options) (*Result, error) {
 			j := inst.Jobs[id]
 			sub.AddJob(j.Release, j.Deadline, j.Processing)
 		}
+		sp := opts.Span.Start("mm")
+		sp.SetStr("box", box.Name())
+		sp.SetInt("pass", int64(key.pass))
+		sp.SetInt("start", int64(key.start))
+		sp.SetInt("jobs", int64(len(ids)))
 		ms, err := box.Solve(sub)
 		if err != nil {
+			sp.End()
 			return nil, fmt.Errorf("shortwin: MM box %q on interval [%d,%d): %w", box.Name(), key.start, key.start+span, err)
 		}
+		sp.SetInt("machines", int64(ms.Machines))
+		sp.End()
 		if err := mm.Validate(sub, ms); err != nil {
 			return nil, fmt.Errorf("shortwin: MM box %q returned invalid schedule: %w", box.Name(), err)
 		}

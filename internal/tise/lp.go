@@ -5,6 +5,7 @@ import (
 
 	"calib/internal/ise"
 	"calib/internal/lp"
+	"calib/internal/obs"
 )
 
 // Engine selects the LP solver backend.
@@ -247,9 +248,11 @@ func SolveLP(inst *ise.Instance, mPrime int, engine Engine) (*Fractional, error)
 	return SolveLPWith(inst, mPrime, engine, Direct)
 }
 
-// SolveLPWith is SolveLP with an explicit row strategy.
+// SolveLPWith is SolveLP with an explicit row strategy. Telemetry goes
+// to the process-default registry when one is installed (obs.SetDefault);
+// Solve threads an explicit registry via Options.Metrics instead.
 func SolveLPWith(inst *ise.Instance, mPrime int, engine Engine, strategy Strategy) (*Fractional, error) {
-	return solveLP(inst, mPrime, engine, strategy, nil)
+	return solveLP(inst, mPrime, engine, strategy, nil, obs.Default())
 }
 
 // SolveLPBounded runs the Bounded strategy on the revised engine with
@@ -258,10 +261,10 @@ func SolveLPWith(inst *ise.Instance, mPrime int, engine Engine, strategy Strateg
 // — typically the adjacent machine count in a binary search — resumes
 // from it.
 func SolveLPBounded(inst *ise.Instance, mPrime int, warm *LPWarm) (*Fractional, error) {
-	return solveLP(inst, mPrime, Revised, Bounded, warm)
+	return solveLP(inst, mPrime, Revised, Bounded, warm, obs.Default())
 }
 
-func solveLP(inst *ise.Instance, mPrime int, engine Engine, strategy Strategy, warm *LPWarm) (*Fractional, error) {
+func solveLP(inst *ise.Instance, mPrime int, engine Engine, strategy Strategy, warm *LPWarm, met *obs.Registry) (*Fractional, error) {
 	for _, j := range inst.Jobs {
 		if !j.IsLong(inst.T) {
 			return nil, fmt.Errorf("tise: %v is not a long-window job", j)
@@ -316,11 +319,16 @@ func solveLP(inst *ise.Instance, mPrime int, engine Engine, strategy Strategy, w
 	var obj float64
 	var duals []float64
 	for round := 0; ; round++ {
-		status, solX, solObj, iters, solDuals, solBasis, err := solveProblem(prob, engine, basis)
+		status, solX, solObj, iters, solDuals, solBasis, err := solveProblem(prob, engine, basis, met)
 		if err != nil {
 			return nil, err
 		}
 		frac.Iterations += iters
+		// Pivots are counted here, once per engine dispatch, so the
+		// series covers all three engines; the revised engine records
+		// only its internal series (warm hits, fallbacks, ...) itself.
+		met.Counter(obs.MTISEResolves).Inc()
+		met.Counter(obs.MLPPivots).Add(int64(iters))
 		switch status {
 		case lp.Optimal:
 		case lp.Infeasible:
@@ -344,7 +352,7 @@ func solveLP(inst *ise.Instance, mPrime int, engine Engine, strategy Strategy, w
 		// points makes the mass wander to other points of the same job
 		// and costs dozens of degenerate repair rounds; per-job batching
 		// converges in 2-3 rounds on every workload we generate.
-		violated := 0
+		violated, violPairs := 0, 0
 		for j := range xVar {
 			jViolated := false
 			for i := range points {
@@ -354,7 +362,7 @@ func solveLP(inst *ise.Instance, mPrime int, engine Engine, strategy Strategy, w
 				}
 				if xs[v] > xs[cVar[i]]+cutViolationTol {
 					jViolated = true
-					break
+					violPairs++
 				}
 			}
 			if !jViolated {
@@ -376,6 +384,9 @@ func solveLP(inst *ise.Instance, mPrime int, engine Engine, strategy Strategy, w
 		}
 		frac.CutRounds = round + 1
 		frac.CutsAdded = len(added)
+		met.Counter(obs.MTISECutRounds).Inc()
+		met.Counter(obs.MTISEViolated).Add(int64(violPairs))
+		met.Counter(obs.MTISECuts).Add(int64(violated))
 		if violated == 0 {
 			break
 		}
@@ -419,7 +430,7 @@ func solveLP(inst *ise.Instance, mPrime int, engine Engine, strategy Strategy, w
 // result to float64. duals is nil for the rational engine; the final
 // basis is returned (and the warm one consumed) by the revised engine
 // only.
-func solveProblem(prob *lp.Problem, engine Engine, warm *lp.Basis) (lp.Status, []float64, float64, int, []float64, *lp.Basis, error) {
+func solveProblem(prob *lp.Problem, engine Engine, warm *lp.Basis, met *obs.Registry) (lp.Status, []float64, float64, int, []float64, *lp.Basis, error) {
 	switch engine {
 	case Rational:
 		sol, err := lp.SolveRational(prob)
@@ -435,7 +446,7 @@ func solveProblem(prob *lp.Problem, engine Engine, warm *lp.Basis) (lp.Status, [
 		}
 		return sol.Status, xs, sol.ObjectiveFloat(), sol.Iterations, nil, nil, nil
 	case Revised:
-		sol, err := lp.SolveRevisedWith(prob, lp.RevisedOptions{Warm: warm})
+		sol, err := lp.SolveRevisedWith(prob, lp.RevisedOptions{Warm: warm, Metrics: met})
 		if err != nil {
 			return 0, nil, 0, 0, nil, nil, err
 		}

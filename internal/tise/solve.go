@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"calib/internal/ise"
+	"calib/internal/obs"
 )
 
 // Options configures the long-window solver.
@@ -18,6 +19,12 @@ type Options struct {
 	// Direct). Bounded is the hot-path configuration: implied variable
 	// bounds plus warm-started lazy cuts on the revised engine.
 	Strategy Strategy
+	// Span, when non-nil, parents the lp/rounding/edf stage spans.
+	Span *obs.Span
+	// Metrics receives the solver counter series (see internal/obs);
+	// nil falls back to the process default (obs.SetDefault), and with
+	// neither installed telemetry is disabled at zero cost.
+	Metrics *obs.Registry
 }
 
 // Result is the output of Solve: the feasible TISE schedule plus the
@@ -61,25 +68,47 @@ func Solve(inst *ise.Instance, opts Options) (*Result, error) {
 	if mPrime == 0 {
 		mPrime = 3 * inst.M
 	}
+	met := opts.Metrics
+	if met == nil {
+		met = obs.Default()
+	}
 	var tm Timing
 	t0 := time.Now()
-	frac, err := SolveLPWith(inst, mPrime, opts.Engine, opts.Strategy)
+	sp := opts.Span.Start("lp")
+	sp.SetStr("engine", opts.Engine.String())
+	sp.SetStr("strategy", opts.Strategy.String())
+	sp.SetInt("mprime", int64(mPrime))
+	frac, err := solveLP(inst, mPrime, opts.Engine, opts.Strategy, nil, met)
 	if err != nil {
+		sp.End()
 		return nil, err
 	}
+	sp.SetInt("points", int64(len(frac.Points)))
+	sp.SetFloat("objective", frac.Objective)
+	sp.SetInt("pivots", int64(frac.Iterations))
+	sp.SetInt("cut_rounds", int64(frac.CutRounds))
+	sp.End()
 	tm.LP = time.Since(t0)
 	t0 = time.Now()
+	sp = opts.Span.Start("rounding")
 	times := RoundCalibrations(frac.Points, frac.C)
 	cal, err := AssignRoundRobin(times, 3*mPrime, inst.T)
 	if err != nil {
+		sp.End()
 		return nil, err
 	}
+	sp.SetInt("calibrations", int64(len(times)))
+	sp.End()
 	tm.Round = time.Since(t0)
 	t0 = time.Now()
+	sp = opts.Span.Start("edf")
 	sched, err := AssignJobsEDF(inst, cal)
 	if err != nil {
+		sp.End()
 		return nil, fmt.Errorf("tise: %w", err)
 	}
+	sp.SetInt("jobs", int64(inst.N()))
+	sp.End()
 	tm.EDF = time.Since(t0)
 	return &Result{Schedule: sched, LP: frac, RoundedTimes: times, Timing: tm}, nil
 }

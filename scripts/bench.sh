@@ -3,6 +3,10 @@
 # BENCH_lp.json at the repo root. The x-speedup metrics are quotients
 # (old path time / new path time) reported by the benchmarks
 # themselves; the acceptance floor for T1LongWindowN40/HotPath is 2.0.
+# A telemetry block from one instrumented warm parallel solve (isegen
+# clustered -> isesolve -warm -par 4 -metrics-out) rides along so the
+# report also captures what the solver *did*: warm-start hit rate,
+# cold fallbacks, pivots, pool occupancy.
 #
 # Usage: ./scripts/bench.sh [benchtime]   (default 5x)
 set -eu
@@ -11,7 +15,9 @@ cd "$(dirname "$0")/.."
 BENCHTIME="${1:-5x}"
 OUT=BENCH_lp.json
 RAW="$(mktemp)"
-trap 'rm -f "$RAW"' EXIT
+MET="$(mktemp)"
+INST="$(mktemp)"
+trap 'rm -f "$RAW" "$MET" "$INST"' EXIT
 
 # No pipe into tee: a pipeline would mask go test's exit status under
 # plain sh and a failed run would clobber the previous numbers.
@@ -23,9 +29,21 @@ go test -run XXX -bench 'BenchmarkT1LongWindowN40|BenchmarkT8Scaling' \
 }
 cat "$RAW"
 
-awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" -v go="$(go env GOVERSION)" '
+# One instrumented end-to-end solve on a T1-shaped clustered instance;
+# the metrics JSON is one scalar per line, so awk folds it in below.
+go run ./cmd/isegen -family clustered -n 40 -m 4 -seed 140 >"$INST"
+go run ./cmd/isesolve -warm -par 4 -metrics-out "$MET" "$INST" >/dev/null || {
+	echo "instrumented solve failed; $OUT left untouched" >&2
+	exit 1
+}
+
+# jnum guards every interpolated number: a missing benchmark or metric
+# becomes JSON null instead of an empty field (the bare ternary used
+# before also swallowed legitimate zeros).
+awk -v stamp="$(date -u +%Y-%m-%dT%H:%M:%SZ)" -v gover="$(go env GOVERSION)" '
+function jnum(v) { return v == "" ? "null" : v }
 function val(i) { return $(i - 1) }
-/^Benchmark/ {
+FNR == NR && /^Benchmark/ {
 	split($1, parts, "/")
 	name = parts[2]
 	sub(/-[0-9]+$/, "", name)
@@ -33,23 +51,48 @@ function val(i) { return $(i - 1) }
 		if ($i == "ns/op" && val(i) + 0 > 0) ns[name] = val(i)
 		if ($i == "x-speedup") speedup[name] = val(i)
 	}
+	next
+}
+FNR != NR && /^  "[a-z_]+": [0-9.eE+-]+,?$/ {
+	key = $1
+	gsub(/[":]/, "", key)
+	v = $2
+	gsub(/,/, "", v)
+	metric[key] = v
 }
 END {
+	hits = metric["lp_warm_start_hits_total"] + 0
+	misses = metric["lp_warm_start_misses_total"] + 0
+	rate = (hits + misses > 0) ? sprintf("%.3f", hits / (hits + misses)) : ""
 	printf "{\n"
-	printf "  \"date\": \"%s\",\n", date
-	printf "  \"go\": \"%s\",\n", go
+	printf "  \"date\": \"%s\",\n", stamp
+	printf "  \"go\": \"%s\",\n", gover
 	printf "  \"t1_long_window_n40\": {\n"
-	printf "    \"seed_ns\": %s,\n", ns["Seed"] ? ns["Seed"] : "null"
-	printf "    \"end_to_end_speedup\": %s,\n", speedup["HotPath"] ? speedup["HotPath"] : "null"
+	printf "    \"seed_ns\": %s,\n", jnum(ns["Seed"])
+	printf "    \"end_to_end_speedup\": %s,\n", jnum(speedup["HotPath"])
 	printf "    \"required_min\": 2.0\n"
 	printf "  },\n"
 	printf "  \"t8_scaling\": {\n"
-	printf "    \"bounded_vs_pair_rows\": %s,\n", speedup["BoundedVsPairRows"] ? speedup["BoundedVsPairRows"] : "null"
-	printf "    \"warm_vs_cold\": %s,\n", speedup["WarmVsCold"] ? speedup["WarmVsCold"] : "null"
-	printf "    \"decomposed_vs_monolithic\": %s\n", speedup["DecomposedVsMonolithic"] ? speedup["DecomposedVsMonolithic"] : "null"
+	printf "    \"bounded_vs_pair_rows\": %s,\n", jnum(speedup["BoundedVsPairRows"])
+	printf "    \"warm_vs_cold\": %s,\n", jnum(speedup["WarmVsCold"])
+	printf "    \"decomposed_vs_monolithic\": %s\n", jnum(speedup["DecomposedVsMonolithic"])
+	printf "  },\n"
+	printf "  \"telemetry\": {\n"
+	printf "    \"lp_pivots\": %s,\n", jnum(metric["lp_pivots_total"])
+	printf "    \"lp_warm_start_hits\": %s,\n", jnum(metric["lp_warm_start_hits_total"])
+	printf "    \"lp_warm_start_misses\": %s,\n", jnum(metric["lp_warm_start_misses_total"])
+	printf "    \"lp_warm_hit_rate\": %s,\n", jnum(rate)
+	printf "    \"lp_cold_fallbacks\": %s,\n", jnum(metric["lp_cold_fallback_total"])
+	printf "    \"tise_resolves\": %s,\n", jnum(metric["tise_resolves_total"])
+	printf "    \"decomp_components\": %s,\n", jnum(metric["decomp_components"])
+	printf "    \"decomp_pool_busy_max\": %s\n", jnum(metric["decomp_pool_busy_max"])
 	printf "  }\n"
 	printf "}\n"
-}' "$RAW" >"$OUT"
+}' "$RAW" "$MET" >"$OUT"
+
+# Smoke-test the report before declaring success: the old awk could
+# emit syntactically invalid JSON when a field came up empty.
+go run ./cmd/isebench -check "$OUT" >/dev/null
 
 echo "wrote $OUT:"
 cat "$OUT"
