@@ -37,7 +37,9 @@
 package calib
 
 import (
+	"context"
 	"fmt"
+	"time"
 
 	"calib/internal/bounds"
 	"calib/internal/core"
@@ -48,6 +50,7 @@ import (
 	"calib/internal/mm"
 	"calib/internal/obs"
 	"calib/internal/online"
+	"calib/internal/robust"
 	"calib/internal/tise"
 	"calib/internal/unitise"
 )
@@ -176,6 +179,57 @@ type Options struct {
 	// export with Metrics.WriteJSON or Metrics.WritePrometheus. Both
 	// default to nil — telemetry off, at zero allocation cost.
 	Metrics *Metrics
+	// Context, when non-nil, cancels the solve: Solve returns
+	// ErrCanceled (hard cancel) or ErrDeadline (context deadline)
+	// shortly after the context ends, from every phase of the pipeline.
+	// SolveRobust instead degrades to cheaper solvers on deadline
+	// expiry and aborts only on hard cancellation.
+	Context context.Context
+	// Timeout, when positive, bounds the solve's wall clock (layered on
+	// Context, or on its own when Context is nil).
+	Timeout time.Duration
+	// Budget, when positive, caps the solve's total work in abstract
+	// units — one simplex pivot or one branch-and-bound node is one
+	// unit — giving a deterministic limit where wall clock would be
+	// machine-dependent. Exhaustion behaves like a deadline: Solve
+	// returns ErrBudget, SolveRobust degrades.
+	Budget int64
+}
+
+// Taxonomy sentinels for limited solves; test with errors.Is. The
+// returned errors additionally carry the failing phase and, on
+// decomposed solves, the component index (see internal/robust).
+var (
+	// ErrCanceled: the caller's Context was canceled.
+	ErrCanceled = robust.ErrCanceled
+	// ErrDeadline: Timeout (or the Context's deadline) expired. A
+	// deadline error also matches ErrCanceled (it is a cancellation);
+	// test ErrDeadline first to tell them apart.
+	ErrDeadline = context.DeadlineExceeded
+	// ErrBudget: the work Budget ran out.
+	ErrBudget = robust.ErrBudgetExhausted
+)
+
+// control materializes the Options' limit fields into a
+// robust.Control. The returned cancel must be called when the solve
+// finishes; both are no-ops when no limit is configured.
+func (o *Options) control() (*robust.Control, context.CancelFunc) {
+	if o.Context == nil && o.Timeout <= 0 && o.Budget <= 0 {
+		return nil, func() {}
+	}
+	ctx := o.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	cancel := context.CancelFunc(func() {})
+	if o.Timeout > 0 {
+		ctx, cancel = context.WithTimeout(ctx, o.Timeout)
+	}
+	met := o.Metrics
+	if met == nil {
+		met = obs.Default()
+	}
+	return robust.NewControl(ctx, o.Budget, met), cancel
 }
 
 // Trace is a hierarchical span recorder for one solve; create with
@@ -231,6 +285,8 @@ func Solve(inst *Instance, opts *Options) (*Solution, error) {
 		engine = tise.Revised
 		strategy = tise.Bounded
 	}
+	ctl, cancel := o.control()
+	defer cancel()
 	res, err := core.Solve(inst, core.Options{
 		MM:          o.MMBox.solver(),
 		Engine:      engine,
@@ -239,6 +295,7 @@ func Solve(inst *Instance, opts *Options) (*Solution, error) {
 		Parallelism: o.Parallelism,
 		Trace:       o.Trace,
 		Metrics:     o.Metrics,
+		Control:     ctl,
 	})
 	if err != nil {
 		return nil, err
@@ -265,6 +322,117 @@ func Solve(inst *Instance, opts *Options) (*Solution, error) {
 		ShortJobs:    res.ShortJobs,
 		LowerBound:   bounds.Calibrations(inst),
 		LPObjective:  res.LPObjective,
+	}
+	return sol, nil
+}
+
+// ComponentReport describes how SolveRobust answered one time
+// component: the rung that produced the schedule, the rungs that
+// failed before it, and the component's bound certificates.
+type ComponentReport = core.ComponentReport
+
+// RobustSolution is the result of SolveRobust: a feasible schedule
+// that is guaranteed to exist even under deadline or budget pressure,
+// plus provenance saying how good it is and how it was obtained.
+type RobustSolution struct {
+	// Schedule is the feasible schedule found.
+	Schedule *Schedule
+	// Calibrations is the objective value (the certified upper bound).
+	Calibrations int
+	// MachinesUsed counts distinct machines with work or calibrations.
+	// Degraded components may push this past inst.M: the ladder trades
+	// machines, never feasibility.
+	MachinesUsed int
+	// Components is the number of independent time components solved.
+	Components int
+	// Degraded reports whether any component fell past its first rung;
+	// DegradedComponents lists which (in component order).
+	Degraded           bool
+	DegradedComponents []int
+	// Reports holds the per-component provenance, in component order.
+	Reports []ComponentReport
+	// Exact reports that every component was solved to proven
+	// optimality, making Calibrations the true optimum.
+	Exact bool
+	// LowerBound is the combinatorial lower bound on OPT's
+	// calibrations (as in Solution.LowerBound).
+	LowerBound int
+	// LadderLower sums the per-component certificates of the answering
+	// rungs (exact optimum, or LP relaxation objective); components
+	// answered by the heuristic rung contribute 0. It is a valid lower
+	// bound on the optimal TISE calibration count under any
+	// degradation.
+	LadderLower float64
+}
+
+// SolveRobust runs the pipeline with graceful degradation. The
+// instance is decomposed into independent time components and each
+// descends a ladder — exact branch-and-bound (small components only),
+// the paper's LP pipeline, then the lazy heuristic — until a rung
+// answers within its share of the remaining Timeout/Budget. The last
+// rung runs unlimited, so SolveRobust returns a feasible schedule even
+// when the deadline has already expired; only a hard Context
+// cancellation (ErrCanceled) makes it give up. Every fallback is
+// counted in the robust_fallback_total metric series.
+func SolveRobust(inst *Instance, opts *Options) (*RobustSolution, error) {
+	var o Options
+	if opts != nil {
+		o = *opts
+	}
+	engine := tise.Float64
+	strategy := tise.Direct
+	switch {
+	case o.ExactLP:
+		engine = tise.Rational
+	case o.WarmStart:
+		engine = tise.Revised
+		strategy = tise.Bounded
+	}
+	ctl, cancel := o.control()
+	defer cancel()
+	res, err := core.SolveRobust(inst, core.RobustOptions{Options: core.Options{
+		MM:          o.MMBox.solver(),
+		Engine:      engine,
+		Strategy:    strategy,
+		TrimIdle:    o.TrimIdleCalibrations,
+		Parallelism: o.Parallelism,
+		Trace:       o.Trace,
+		Metrics:     o.Metrics,
+		Control:     ctl,
+	}})
+	if err != nil {
+		return nil, err
+	}
+	sched := res.Schedule
+	if o.LocalSearch {
+		improved, ierr := improve.Run(inst, sched)
+		if ierr != nil {
+			return nil, ierr
+		}
+		sched = improved.Schedule
+	}
+	if o.CompactMachines {
+		compacted, cerr := ise.Compact(inst, sched)
+		if cerr != nil {
+			return nil, cerr
+		}
+		sched = compacted
+	}
+	sol := &RobustSolution{
+		Schedule:     sched,
+		Calibrations: sched.NumCalibrations(),
+		MachinesUsed: sched.MachinesUsed(),
+		Components:   res.Components,
+		Degraded:     res.Degraded,
+		Reports:      res.Reports,
+		Exact:        res.Exact,
+		LowerBound:   bounds.Calibrations(inst),
+		LadderLower:  res.LowerBound,
+	}
+	for _, rep := range res.Reports {
+		if len(rep.Attempts) > 0 {
+			sol.DegradedComponents = append(sol.DegradedComponents, rep.Component)
+		}
 	}
 	return sol, nil
 }

@@ -5,8 +5,12 @@
 //
 // Usage:
 //
-//	isebatch [-workers N] [-csv out.csv] [-trace] [-metrics]
-//	         [-metrics-out FILE] [-pprof addr] dir/
+//	isebatch [-workers N] [-csv out.csv] [-timeout D] [-budget N]
+//	         [-trace] [-metrics] [-metrics-out FILE] [-pprof addr] dir/
+//
+// -timeout and -budget bound each individual policy solve; the LP
+// pipeline policies report an error row when a limit trips, while the
+// "robust" policy degrades to a cheaper solver and still answers.
 //
 // The telemetry flags install a process-wide trace/registry that the
 // solver layers pick up (obs.SetDefault), so one run's metrics
@@ -71,8 +75,11 @@ func run(args []string, stdout, stderr io.Writer) error {
 		items = append(items, batch.Item{Name: filepath.Base(f), Instance: inst})
 	}
 
-	rep := batch.Run(items, batch.DefaultPolicies(), *workers)
-	table := exp.NewTable(fmt.Sprintf("batch report — %d instances x %d policies", len(items), len(batch.DefaultPolicies())),
+	policies := batch.DefaultPoliciesCtl(batch.Limits{
+		Timeout: tele.Timeout(), Budget: tele.Budget(), Metrics: tele.Metrics,
+	})
+	rep := batch.Run(items, policies, *workers)
+	table := exp.NewTable(fmt.Sprintf("batch report — %d instances x %d policies", len(items), len(policies)),
 		"instance", "policy", "n", "cals", "LB", "machines", "util", "ms", "error")
 	for _, row := range rep.Rows {
 		table.Add(row.Item, row.Policy, row.N, row.Calibrations, row.LowerBound,

@@ -6,8 +6,13 @@
 // Usage:
 //
 //	isebench [-trials 5] [-quick] [-only T3] [-csv out/]
-//	         [-trace] [-metrics] [-metrics-out FILE] [-pprof addr]
-//	         [-check file.json]
+//	         [-timeout D] [-trace] [-metrics] [-metrics-out FILE]
+//	         [-pprof addr] [-check file.json]
+//
+// -timeout arms a watchdog over the whole run: if the experiments have
+// not finished when it expires, the process dumps all goroutine stacks
+// to stderr and exits nonzero — so a hung sweep fails CI loudly
+// instead of stalling the job until the runner's own kill.
 //
 // -check validates that the named file parses as JSON and exits; the
 // bench harness uses it to smoke-test its own BENCH_lp.json output.
@@ -22,7 +27,9 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime/pprof"
 	"strings"
+	"time"
 
 	"calib/internal/cliobs"
 	"calib/internal/exp"
@@ -52,6 +59,14 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 	if err := tele.Start("isebench", stderr); err != nil {
 		return err
+	}
+	if d := tele.Timeout(); d > 0 {
+		watchdog := time.AfterFunc(d, func() {
+			fmt.Fprintf(stderr, "isebench: watchdog: run exceeded %v; goroutine dump follows\n", d)
+			pprof.Lookup("goroutine").WriteTo(stderr, 1)
+			os.Exit(2)
+		})
+		defer watchdog.Stop()
 	}
 
 	cfg := exp.Config{Trials: *trials, Quick: *quick}

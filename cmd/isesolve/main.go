@@ -5,13 +5,17 @@
 // Usage:
 //
 //	isesolve [-box greedy|exact|lp-round|lp-search] [-exact-lp]
-//	         [-warm] [-par N] [-trim] [-opt | -lazy] [-compact] [-v]
-//	         [-trace] [-trace-json FILE] [-metrics] [-metrics-out FILE]
-//	         [-pprof addr] [instance.json]
+//	         [-warm] [-par N] [-trim] [-opt | -lazy | -robust] [-compact]
+//	         [-v] [-timeout D] [-budget N] [-trace] [-trace-json FILE]
+//	         [-metrics] [-metrics-out FILE] [-pprof addr] [instance.json]
 //
 // -opt uses the exact branch-and-bound solver (small instances only);
 // -lazy uses the practical heuristic; the default is the paper's
-// approximation pipeline.
+// approximation pipeline. -robust runs the degradation ladder
+// (exact -> LP -> heuristic per time component), which always returns
+// a feasible schedule within -timeout/-budget; those limits also apply
+// to the plain pipeline, which instead aborts when they trip (see
+// docs/ROBUSTNESS.md).
 package main
 
 import (
@@ -43,6 +47,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	trim := fs.Bool("trim", false, "drop idle short-window calibrations (beyond the paper)")
 	opt := fs.Bool("opt", false, "solve exactly by branch and bound (small n only)")
 	lazy := fs.Bool("lazy", false, "use the practical lazy heuristic instead of the paper's pipeline")
+	robustF := fs.Bool("robust", false, "degradation ladder: exact -> LP -> heuristic per time component; always answers within -timeout/-budget")
 	compact := fs.Bool("compact", false, "recolor the final schedule onto minimum machines")
 	verbose := fs.Bool("v", false, "print LP objective and replay statistics to stderr")
 	check := fs.Bool("check", false, "run the full cross-validation web (all solvers + oracles) and print its summary")
@@ -70,8 +75,8 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 
 	var sched *calib.Schedule
 	switch {
-	case *opt && *lazy:
-		return fmt.Errorf("-opt and -lazy are mutually exclusive")
+	case (*opt && *lazy) || (*robustF && (*opt || *lazy)):
+		return fmt.Errorf("-opt, -lazy and -robust are mutually exclusive")
 	case *lazy:
 		s, err := calib.SolveLazy(inst, 0)
 		if err != nil {
@@ -92,6 +97,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 			ExactLP: *exactLP, TrimIdleCalibrations: *trim,
 			WarmStart: *warm, Parallelism: *par,
 			Trace: tele.Trace, Metrics: tele.Metrics,
+			Timeout: tele.Timeout(), Budget: tele.Budget(),
 		}
 		switch *box {
 		case "greedy":
@@ -104,6 +110,33 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 			opts.MMBox = calib.MMLPSearch
 		default:
 			return fmt.Errorf("unknown MM box %q", *box)
+		}
+		if *robustF {
+			sol, err := calib.SolveRobust(inst, opts)
+			if err != nil {
+				return err
+			}
+			sched = sol.Schedule
+			status := "exact"
+			if !sol.Exact {
+				status = "approximate"
+			}
+			if sol.Degraded {
+				status += ", degraded"
+			}
+			fmt.Fprintf(stderr, "robust: n=%d  components=%d  calibrations=%d (%s)  lower-bound=%d  ladder-lower=%.3f  machines=%d\n",
+				inst.N(), sol.Components, sol.Calibrations, status, sol.LowerBound, sol.LadderLower, sol.MachinesUsed)
+			for _, rep := range sol.Reports {
+				if len(rep.Attempts) == 0 && !*verbose {
+					continue
+				}
+				fmt.Fprintf(stderr, "  component %d (%d jobs): answered by %q, %d calibrations\n",
+					rep.Component, rep.Jobs, rep.Rung, rep.Calibrations)
+				for _, a := range rep.Attempts {
+					fmt.Fprintf(stderr, "    fell off %q: %s (%v)\n", a.Rung, a.Reason, a.Err)
+				}
+			}
+			break
 		}
 		sol, err := calib.Solve(inst, opts)
 		if err != nil {

@@ -1,0 +1,132 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"calib/internal/ise"
+)
+
+// pathologicalFile writes a 36-job, 4-component, all-long-window
+// instance to disk: each component is small enough for the exact rung
+// to prove optimality when given time, and the components are
+// separated by gaps >= T so they decompose exactly (the component
+// optima sum to the global optimum).
+func pathologicalFile(t *testing.T) string {
+	t.Helper()
+	inst := ise.NewInstance(10, 1)
+	for c := 0; c < 4; c++ {
+		base := ise.Time(c * 200)
+		for j := 0; j < 9; j++ {
+			// Window length 30 >= 2T: long-window by Definition 1. Total
+			// processing (22) fits the component's ~38-tick span, so each
+			// component is feasible on the single declared machine and
+			// the exact rung can prove its optimum.
+			inst.AddJob(base+ise.Time(j), base+ise.Time(j)+30, ise.Time(2+j%2))
+		}
+	}
+	var buf bytes.Buffer
+	if err := ise.WriteInstance(&buf, inst); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "pathological.json")
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// readMetric returns the aggregate value of a counter in a
+// -metrics-out JSON file.
+func readMetric(t *testing.T, path, name string) float64 {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatalf("metrics file is not JSON: %v", err)
+	}
+	v, ok := m[name].(float64)
+	if !ok {
+		t.Fatalf("metric %q missing from %s", name, path)
+	}
+	return v
+}
+
+// TestRobustTimeoutDegrades is the acceptance scenario: the same
+// pathological instance solved twice with -robust. With an expired
+// timeout every component degrades to a lower rung — yet a feasible
+// schedule comes back, and the fallbacks are visible in the exported
+// metrics. Without a timeout, the exact rung answers everywhere.
+func TestRobustTimeoutDegrades(t *testing.T) {
+	instPath := pathologicalFile(t)
+	metPath := filepath.Join(t.TempDir(), "metrics.json")
+
+	var out, errBuf bytes.Buffer
+	// 1ns: expired before the first control check — degradation is
+	// deterministic, no wall-clock sensitivity in CI.
+	err := run([]string{"-robust", "-timeout", "1ns", "-metrics-out", metPath, instPath},
+		strings.NewReader(""), &out, &errBuf)
+	if err != nil {
+		t.Fatalf("timed robust run failed: %v (stderr: %s)", err, errBuf.String())
+	}
+	sched, err := ise.ReadSchedule(&out)
+	if err != nil {
+		t.Fatalf("invalid schedule JSON: %v", err)
+	}
+	fh, err := os.Open(instPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := ise.ReadInstance(fh)
+	fh.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ise.Validate(inst, sched); err != nil {
+		t.Fatalf("degraded schedule infeasible: %v", err)
+	}
+	if !strings.Contains(errBuf.String(), "degraded") {
+		t.Errorf("summary does not report degradation: %q", errBuf.String())
+	}
+	if n := readMetric(t, metPath, "robust_fallback_total"); n <= 0 {
+		t.Errorf("robust_fallback_total = %v, want > 0", n)
+	}
+	degradedCals := sched.NumCalibrations()
+
+	// Same instance, no timeout: every (small) component is proven
+	// optimal by the exact rung.
+	out.Reset()
+	errBuf.Reset()
+	if err := run([]string{"-robust", instPath}, strings.NewReader(""), &out, &errBuf); err != nil {
+		t.Fatalf("untimed robust run failed: %v (stderr: %s)", err, errBuf.String())
+	}
+	exactSched, err := ise.ReadSchedule(&out)
+	if err != nil {
+		t.Fatalf("invalid schedule JSON: %v", err)
+	}
+	if !strings.Contains(errBuf.String(), "(exact)") {
+		t.Errorf("untimed summary not exact: %q", errBuf.String())
+	}
+	if exactSched.NumCalibrations() > degradedCals {
+		t.Errorf("exact answer (%d calibrations) worse than degraded answer (%d)",
+			exactSched.NumCalibrations(), degradedCals)
+	}
+}
+
+// TestRobustFlagExclusive: -robust cannot combine with -opt or -lazy.
+func TestRobustFlagExclusive(t *testing.T) {
+	for _, extra := range []string{"-opt", "-lazy"} {
+		var out, errBuf bytes.Buffer
+		err := run([]string{"-robust", extra}, strings.NewReader(fixture), &out, &errBuf)
+		if err == nil || !strings.Contains(err.Error(), "mutually exclusive") {
+			t.Errorf("-robust %s: err = %v, want mutual-exclusion error", extra, err)
+		}
+	}
+}

@@ -5,6 +5,7 @@
 package batch
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -14,6 +15,8 @@ import (
 	"calib/internal/heur"
 	"calib/internal/improve"
 	"calib/internal/ise"
+	"calib/internal/obs"
+	"calib/internal/robust"
 	"calib/internal/sim"
 	"calib/internal/unitise"
 )
@@ -26,27 +29,71 @@ type Policy struct {
 	Solve func(*ise.Instance) (*ise.Schedule, error)
 }
 
+// Limits bounds each individual policy solve of a batch: a fresh
+// robust.Control (wall clock and/or work budget) is built per solve,
+// so one pathological instance cannot eat the whole batch's time. The
+// zero value means unlimited.
+type Limits struct {
+	// Timeout is the wall-clock cap per solve (0 = none).
+	Timeout time.Duration
+	// Budget is the work cap per solve in solver units (0 = none).
+	Budget int64
+	// Metrics receives the robust_* trip counters (nil = process
+	// default).
+	Metrics *obs.Registry
+}
+
+// control builds a per-solve control; both returns are no-ops for the
+// zero Limits.
+func (l Limits) control() (*robust.Control, context.CancelFunc) {
+	if l.Timeout <= 0 && l.Budget <= 0 {
+		return nil, func() {}
+	}
+	ctx := context.Background()
+	cancel := context.CancelFunc(func() {})
+	if l.Timeout > 0 {
+		ctx, cancel = context.WithTimeout(ctx, l.Timeout)
+	}
+	met := l.Metrics
+	if met == nil {
+		met = obs.Default()
+	}
+	return robust.NewControl(ctx, l.Budget, met), cancel
+}
+
 // DefaultPolicies returns the standard comparison set: the paper's
 // pipeline (paper-faithful and trimmed+compacted), the lazy heuristic,
-// and the always-calibrated straw man.
-func DefaultPolicies() []Policy {
+// and the always-calibrated straw man, with no per-solve limits.
+func DefaultPolicies() []Policy { return DefaultPoliciesCtl(Limits{}) }
+
+// DefaultPoliciesCtl is DefaultPolicies under per-solve limits: the
+// LP-pipeline policies abort (an error row) when a limit trips, and a
+// "robust" policy — the exact->LP->heuristic degradation ladder — is
+// appended, which instead degrades and still answers.
+func DefaultPoliciesCtl(l Limits) []Policy {
 	return []Policy{
 		{"paper", func(inst *ise.Instance) (*ise.Schedule, error) {
-			r, err := core.Solve(inst, core.Options{})
+			ctl, cancel := l.control()
+			defer cancel()
+			r, err := core.Solve(inst, core.Options{Control: ctl})
 			if err != nil {
 				return nil, err
 			}
 			return r.Schedule, nil
 		}},
 		{"paper+trim+compact", func(inst *ise.Instance) (*ise.Schedule, error) {
-			r, err := core.Solve(inst, core.Options{TrimIdle: true})
+			ctl, cancel := l.control()
+			defer cancel()
+			r, err := core.Solve(inst, core.Options{TrimIdle: true, Control: ctl})
 			if err != nil {
 				return nil, err
 			}
 			return ise.Compact(inst, r.Schedule)
 		}},
 		{"paper+improve", func(inst *ise.Instance) (*ise.Schedule, error) {
-			r, err := core.Solve(inst, core.Options{})
+			ctl, cancel := l.control()
+			defer cancel()
+			r, err := core.Solve(inst, core.Options{Control: ctl})
 			if err != nil {
 				return nil, err
 			}
@@ -55,6 +102,15 @@ func DefaultPolicies() []Policy {
 				return nil, err
 			}
 			return ise.Compact(inst, ir.Schedule)
+		}},
+		{"robust", func(inst *ise.Instance) (*ise.Schedule, error) {
+			ctl, cancel := l.control()
+			defer cancel()
+			r, err := core.SolveRobust(inst, core.RobustOptions{Options: core.Options{Control: ctl}})
+			if err != nil {
+				return nil, err
+			}
+			return r.Schedule, nil
 		}},
 		{"lazy", func(inst *ise.Instance) (*ise.Schedule, error) {
 			return heur.Lazy(inst, heur.Options{})

@@ -22,6 +22,6 @@ func Example() {
 	best := rep.Best()
 	fmt.Println("winner for inst0:", best["inst0"].Policy)
 	// Output:
-	// rows: 10
+	// rows: 12
 	// winner for inst0: paper+improve
 }

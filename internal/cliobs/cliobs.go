@@ -1,9 +1,10 @@
-// Package cliobs registers the shared telemetry flags (-trace,
-// -trace-json, -metrics, -metrics-out, -pprof) on a command's FlagSet
-// and brackets the instrumented work: Start builds the obs.Trace and
-// obs.Registry the flags ask for (and serves the debug endpoints),
-// Finish renders them. The three cmd/ise* commands use it so the flag
-// surface and output formats cannot drift between tools.
+// Package cliobs registers the shared telemetry and limit flags
+// (-trace, -trace-json, -metrics, -metrics-out, -pprof, -timeout,
+// -budget) on a command's FlagSet and brackets the instrumented work:
+// Start builds the obs.Trace and obs.Registry the flags ask for (and
+// serves the debug endpoints), Finish renders them. The three cmd/ise*
+// commands use it so the flag surface and output formats cannot drift
+// between tools.
 package cliobs
 
 import (
@@ -11,6 +12,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"time"
 
 	"calib/internal/obs"
 	"calib/internal/obs/obshttp"
@@ -25,10 +27,18 @@ type Flags struct {
 	metricsOut *bool
 	metricsFil *string
 	pprofAddr  *string
+	timeout    *time.Duration
+	budget     *int64
 
 	Trace   *obs.Trace
 	Metrics *obs.Registry
 }
+
+// Timeout returns the parsed -timeout value (0 = no limit).
+func (f *Flags) Timeout() time.Duration { return *f.timeout }
+
+// Budget returns the parsed -budget value (0 = no limit).
+func (f *Flags) Budget() int64 { return *f.budget }
 
 // Register installs the telemetry flags on fs.
 func Register(fs *flag.FlagSet) *Flags {
@@ -38,6 +48,8 @@ func Register(fs *flag.FlagSet) *Flags {
 	f.metricsOut = fs.Bool("metrics", false, "print solver metrics as JSON to stderr")
 	f.metricsFil = fs.String("metrics-out", "", "write solver metrics as JSON to this file")
 	f.pprofAddr = fs.String("pprof", "", "serve /metrics, /debug/vars and /debug/pprof on this address (e.g. localhost:6060)")
+	f.timeout = fs.Duration("timeout", 0, "wall-clock limit per solve (e.g. 2s); robust solves degrade to cheaper rungs on expiry, plain solves abort (0 = no limit)")
+	f.budget = fs.Int64("budget", 0, "work limit per solve in solver units (one LP pivot or search node = one unit); deterministic counterpart of -timeout (0 = no limit)")
 	return f
 }
 

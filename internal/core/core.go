@@ -19,6 +19,7 @@ import (
 	"calib/internal/ise"
 	"calib/internal/mm"
 	"calib/internal/obs"
+	"calib/internal/robust"
 	"calib/internal/shortwin"
 	"calib/internal/tise"
 )
@@ -60,6 +61,10 @@ type Options struct {
 	// obs.SetDefaultTrace) is used; with neither installed, telemetry
 	// is disabled at zero cost.
 	Metrics *obs.Registry
+	// Control carries the solve's cancellation context and work budget
+	// into every long-running loop of the pipeline (LP pivots, cut
+	// rounds, MM probes, the decomposition pool). nil means no limits.
+	Control *robust.Control
 }
 
 // Result is the output of Solve.
@@ -169,7 +174,7 @@ func solveMono(inst *ise.Instance, opts Options, gamma int, parent *obs.Span, me
 		lsp := parent.Start("long")
 		lr, err := tise.Solve(long, tise.Options{
 			Engine: opts.Engine, Strategy: opts.Strategy,
-			Span: lsp, Metrics: met,
+			Span: lsp, Metrics: met, Control: opts.Control,
 		})
 		if err != nil {
 			lsp.End()
@@ -190,7 +195,7 @@ func solveMono(inst *ise.Instance, opts Options, gamma int, parent *obs.Span, me
 		ssp := parent.Start("short")
 		sr, err := shortwin.Solve(short, shortwin.Options{
 			MM: opts.MM, TrimIdle: opts.TrimIdle, Gamma: gamma,
-			Span: ssp, Metrics: met,
+			Span: ssp, Metrics: met, Control: opts.Control,
 		})
 		if err != nil {
 			ssp.End()
@@ -212,10 +217,43 @@ func solveMono(inst *ise.Instance, opts Options, gamma int, parent *obs.Span, me
 	return res, nil
 }
 
+// testHookComponent, when non-nil, runs at the start of every
+// decomposition-pool component solve. It exists so the pool's panic
+// containment can be exercised deterministically from tests (an
+// injected panic must fail only its component, never leak a worker);
+// it is nil outside tests and costs one predictable branch.
+var testHookComponent func(component int)
+
+// solveComponent runs one component through solveMono with panic
+// containment and component provenance: a panicking solver phase is
+// converted to a robust.ErrPanic taxonomy error (counted in
+// robust_panics_total) instead of killing the worker — which would
+// leave the pool's WaitGroup waiting forever.
+func solveComponent(i, w int, comp decomp.Component, opts Options, gamma int, parent *obs.Span, met *obs.Registry) (res *Result, err error) {
+	csp := parent.Start("component")
+	csp.SetInt("index", int64(i))
+	csp.SetInt("worker", int64(w))
+	defer csp.End()
+	defer robust.RecoverTo(&err, "pool", i, met)
+	if testHookComponent != nil {
+		testHookComponent(i)
+	}
+	res, err = solveMono(comp.Inst, opts, gamma, csp, met)
+	if err != nil {
+		err = robust.Componentize(err, i)
+	}
+	return res, err
+}
+
 // solveDecomposed solves each time component with solveMono on a
 // bounded worker pool and merges the component schedules on disjoint
 // machine blocks in component order, so the output is deterministic
 // regardless of worker interleaving.
+//
+// The task channel is buffered to the full component count and filled
+// before the workers start: the feeder can never block, so even if
+// every worker died the pool would still unwind (the per-component
+// panic containment in solveComponent makes that a non-event anyway).
 func solveDecomposed(comps []decomp.Component, opts Options, gamma int, parent *obs.Span, met *obs.Registry) (*Result, error) {
 	workers := opts.Parallelism
 	if workers > len(comps) {
@@ -223,7 +261,11 @@ func solveDecomposed(comps []decomp.Component, opts Options, gamma int, parent *
 	}
 	results := make([]*Result, len(comps))
 	errs := make([]error, len(comps))
-	tasks := make(chan int)
+	tasks := make(chan int, len(comps))
+	for i := range comps {
+		tasks <- i
+	}
+	close(tasks)
 	dispatched := met.Counter(obs.MDecompTasks)
 	busy := met.Gauge(obs.MDecompPoolBusy)
 	peak := met.Gauge(obs.MDecompPoolMax)
@@ -235,19 +277,11 @@ func solveDecomposed(comps []decomp.Component, opts Options, gamma int, parent *
 			for i := range tasks {
 				dispatched.Inc()
 				peak.SetMax(busy.Add(1))
-				csp := parent.Start("component")
-				csp.SetInt("index", int64(i))
-				csp.SetInt("worker", int64(w))
-				results[i], errs[i] = solveMono(comps[i].Inst, opts, gamma, csp, met)
-				csp.End()
+				results[i], errs[i] = solveComponent(i, w, comps[i], opts, gamma, parent, met)
 				busy.Add(-1)
 			}
 		}(w)
 	}
-	for i := range comps {
-		tasks <- i
-	}
-	close(tasks)
 	wg.Wait()
 	for _, err := range errs {
 		if err != nil {

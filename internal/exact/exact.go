@@ -24,6 +24,7 @@ import (
 
 	"calib/internal/heur"
 	"calib/internal/ise"
+	"calib/internal/robust"
 )
 
 // ErrInfeasible is returned when no feasible schedule exists on inst.M
@@ -42,7 +43,20 @@ type Options struct {
 	// search tree substantially. The result is still exactly optimal:
 	// the incumbent only prunes branches that cannot improve on it.
 	WarmStart bool
+	// Control carries the solve's cancellation context and work budget
+	// into the search (one node = one work unit, charged in batches of
+	// checkNodes). When it trips, Solve unwinds and returns the best
+	// schedule found so far (Proven=false) alongside the taxonomy
+	// error; Result.Stopped carries the same error. nil means no
+	// limits.
+	Control *robust.Control
 }
+
+// checkNodes is the search's check cadence: nodes between Control
+// polls. A node costs a feasibility sweep over a machine's groups, so
+// 512 of them still bound cancel latency well under the conformance
+// suite's 100ms even with the race detector on.
+const checkNodes = 512
 
 // Result is the outcome of Solve.
 type Result struct {
@@ -55,6 +69,10 @@ type Result struct {
 	Proven bool
 	// Nodes is the number of search nodes expanded.
 	Nodes int
+	// Stopped is non-nil when the solve's Control tripped (cancellation,
+	// deadline, or budget); Schedule then holds the best incumbent found
+	// before the stop, if any.
+	Stopped error
 }
 
 // machine is one machine's ordered calibration groups.
@@ -71,6 +89,11 @@ type searcher struct {
 	nodes    int
 	maxNodes int
 	capHit   bool
+	// check/stopErr implement cancellation: dfs polls check every
+	// checkNodes nodes and unwinds through the capHit machinery when it
+	// fails, leaving the cause in stopErr.
+	check   func(work int) error
+	stopErr error
 	// shared, when non-nil, is the incumbent bound shared between
 	// parallel workers (see SolveParallel): it is read to tighten the
 	// local bound and lowered whenever this worker improves it.
@@ -94,6 +117,10 @@ func Solve(inst *ise.Instance, opts Options) (*Result, error) {
 	if s.maxNodes == 0 {
 		s.maxNodes = 3_000_000
 	}
+	s.check = opts.Control.CheckFunc("exact")
+	if err := opts.Control.ErrPhase("exact"); err != nil {
+		return &Result{Stopped: err}, err
+	}
 	var warm *ise.Schedule
 	if opts.WarmStart {
 		if ws, err := heur.Lazy(inst, heur.Options{MaxMachines: inst.M}); err == nil {
@@ -115,6 +142,17 @@ func Solve(inst *ise.Instance, opts Options) (*Result, error) {
 		return ja.ID < jb.ID
 	})
 	s.dfs(0, 0)
+	if s.stopErr != nil {
+		res := &Result{Proven: false, Nodes: s.nodes, Stopped: s.stopErr}
+		if s.best != nil {
+			if sched, err := buildSchedule(inst, s.best); err == nil {
+				res.Schedule, res.Calibrations = sched, s.bestC
+			}
+		} else if warm != nil {
+			res.Schedule, res.Calibrations = warm, warm.NumCalibrations()
+		}
+		return res, s.stopErr
+	}
 	if s.best == nil {
 		if warm != nil {
 			// The search could not beat the warm incumbent, so the
@@ -156,6 +194,13 @@ func (s *searcher) dfs(depth, cals int) {
 	if s.nodes > s.maxNodes {
 		s.capHit = true
 		return
+	}
+	if s.check != nil && s.nodes%checkNodes == 0 {
+		if err := s.check(checkNodes); err != nil {
+			s.stopErr = err
+			s.capHit = true // reuse the cap's unwinding path
+			return
+		}
 	}
 	// Bound: remaining work needs at least this many extra
 	// calibrations beyond the free capacity of existing groups.

@@ -52,6 +52,9 @@ func SolveParallel(inst *ise.Instance, opts Options, workers int) (*Result, erro
 	}
 	frontier := []state{{machines: make([]machine, inst.M)}}
 	for len(frontier) < 4*workers {
+		if err := opts.Control.ErrPhase("exact"); err != nil {
+			return &Result{Stopped: err}, err
+		}
 		if frontier[0].depth == len(order) {
 			break
 		}
@@ -85,6 +88,7 @@ func SolveParallel(inst *ise.Instance, opts Options, workers int) (*Result, erro
 	var best []machine
 	bestC := inst.N() + 1
 	capHit := false
+	var stopped error
 
 	var wg sync.WaitGroup
 	work := make(chan state)
@@ -101,6 +105,7 @@ func SolveParallel(inst *ise.Instance, opts Options, workers int) (*Result, erro
 					maxNodes: budget,
 					shared:   &sharedBest,
 					bestC:    int(sharedBest.Load()),
+					check:    opts.Control.CheckFunc("exact"),
 				}
 				s.dfs(st.depth, st.cals)
 				nodesUsed.Add(int64(s.nodes))
@@ -111,6 +116,9 @@ func SolveParallel(inst *ise.Instance, opts Options, workers int) (*Result, erro
 				}
 				if s.capHit {
 					capHit = true
+				}
+				if s.stopErr != nil && stopped == nil {
+					stopped = s.stopErr
 				}
 				mu.Unlock()
 			}
@@ -134,10 +142,17 @@ func SolveParallel(inst *ise.Instance, opts Options, workers int) (*Result, erro
 	wg.Wait()
 
 	res := &Result{Nodes: int(nodesUsed.Load()), Proven: !capHit}
-	if best == nil {
-		if capHit {
-			return res, ErrInfeasible
+	if stopped != nil {
+		res.Proven = false
+		res.Stopped = stopped
+		if best != nil {
+			if sched, err := buildSchedule(inst, best); err == nil {
+				res.Schedule, res.Calibrations = sched, bestC
+			}
 		}
+		return res, stopped
+	}
+	if best == nil {
 		return res, ErrInfeasible
 	}
 	sched, err := buildSchedule(inst, best)

@@ -43,6 +43,18 @@ func (r Rel) String() string {
 	}
 }
 
+// CheckFunc is the engines' cancellation/budget hook. The pivot loops
+// call it periodically with the work performed since the last call
+// (one simplex pivot = one unit); a non-nil return aborts the solve,
+// which then reports Status Aborted alongside that error. A nil
+// CheckFunc means "never check" and costs nothing — the engines test
+// the func for nil once, outside their hot loops.
+//
+// The hook deliberately has no context.Context in its signature: the
+// lp package stays dependency-free, and the robust layer adapts its
+// Control into this shape (see robust.Control.CheckFunc).
+type CheckFunc func(work int) error
+
 // Term is one coefficient of a constraint row.
 type Term struct {
 	Var   int
@@ -224,6 +236,10 @@ const (
 	// IterLimit: the iteration cap was hit (should not happen with the
 	// Bland fallback; indicates a numerical pathology).
 	IterLimit
+	// Aborted: a CheckFunc stopped the solve (cancellation, deadline,
+	// or work-budget exhaustion). The engine returns the check's error
+	// alongside this status.
+	Aborted
 )
 
 func (s Status) String() string {
@@ -236,6 +252,8 @@ func (s Status) String() string {
 		return "unbounded"
 	case IterLimit:
 		return "iteration-limit"
+	case Aborted:
+		return "aborted"
 	default:
 		return fmt.Sprintf("Status(%d)", int(s))
 	}

@@ -40,6 +40,14 @@ type ratTableau struct {
 // materialized as explicit rows. Intended for small problems: used to
 // cross-validate the float engine and for exactness-critical tests.
 func SolveRational(p *Problem) (*RatSolution, error) {
+	return SolveRationalChecked(p, nil)
+}
+
+// SolveRationalChecked is SolveRational with a cancellation/budget
+// hook consulted once per pivot (rational pivots are orders of
+// magnitude more expensive than the check). On abort the RatSolution
+// carries Status Aborted and the check's error is returned.
+func SolveRationalChecked(p *Problem, check CheckFunc) (*RatSolution, error) {
 	p, _ = p.withBoundRows()
 	t, hasArt := buildRat(p)
 	sol := &RatSolution{}
@@ -52,8 +60,12 @@ func SolveRational(p *Problem) (*RatSolution, error) {
 			}
 		}
 		t.installCost(cost)
-		st, iters := t.iterate(true)
+		st, iters, err := t.iterate(true, check)
 		sol.Iterations += iters
+		if err != nil {
+			sol.Status = st
+			return sol, err
+		}
 		if st != Optimal {
 			sol.Status = IterLimit
 			return sol, nil
@@ -73,9 +85,12 @@ func SolveRational(p *Problem) (*RatSolution, error) {
 		}
 	}
 	t.installCost(cost)
-	st, iters := t.iterate(false)
+	st, iters, err := t.iterate(false, check)
 	sol.Iterations += iters
 	sol.Status = st
+	if err != nil {
+		return sol, err
+	}
 	if st != Optimal {
 		return sol, nil
 	}
@@ -185,7 +200,7 @@ func (t *ratTableau) installCost(cost []*big.Rat) {
 	}
 }
 
-func (t *ratTableau) iterate(phase1 bool) (Status, int) {
+func (t *ratTableau) iterate(phase1 bool, check CheckFunc) (Status, int, error) {
 	hi := t.n
 	if !phase1 {
 		hi = t.artLo
@@ -194,6 +209,11 @@ func (t *ratTableau) iterate(phase1 bool) (Status, int) {
 	ratio := new(big.Rat)
 	best := new(big.Rat)
 	for iter := 0; iter < maxIters; iter++ {
+		if check != nil {
+			if err := check(1); err != nil {
+				return Aborted, iter, err
+			}
+		}
 		crow := t.a[t.m]
 		enter := -1
 		for j := 0; j < hi; j++ {
@@ -203,7 +223,7 @@ func (t *ratTableau) iterate(phase1 bool) (Status, int) {
 			}
 		}
 		if enter < 0 {
-			return Optimal, iter
+			return Optimal, iter, nil
 		}
 		leave := -1
 		for i := 0; i < t.m; i++ {
@@ -218,11 +238,11 @@ func (t *ratTableau) iterate(phase1 bool) (Status, int) {
 			}
 		}
 		if leave < 0 {
-			return Unbounded, iter
+			return Unbounded, iter, nil
 		}
 		t.pivot(leave, enter)
 	}
-	return IterLimit, maxIters
+	return IterLimit, maxIters, nil
 }
 
 func (t *ratTableau) pivot(r, c int) {

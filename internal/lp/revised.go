@@ -52,7 +52,17 @@ type RevisedOptions struct {
 	// basis-inverse reuse probes, and dual-repair pivots (see the
 	// obs name catalogue). nil is the free default.
 	Metrics *obs.Registry
+	// Check, when non-nil, is polled every checkEvery pivots with the
+	// work done since the last poll; a non-nil return aborts the solve
+	// with Status Aborted and that error. nil never checks.
+	Check CheckFunc
 }
+
+// checkEvery is the revised engine's check cadence. A revised pivot is
+// O(m^2); batching 32 of them per poll keeps the hook's cost invisible
+// while still bounding cancel latency to a few milliseconds on the
+// largest relaxations the pipeline builds.
+const checkEvery = 32
 
 // SolveRevised runs the two-phase revised simplex: the constraint
 // matrix is kept sparse by column and only a dense m x m basis inverse
@@ -77,7 +87,12 @@ func SolveRevised(p *Problem) (*Solution, error) {
 func SolveRevisedWith(p *Problem, opts RevisedOptions) (*Solution, error) {
 	met := opts.Metrics
 	if opts.Warm != nil {
-		sol, ok, reason := solveWarm(p, opts.Warm, met)
+		sol, ok, reason, err := solveWarm(p, opts.Warm, met, opts.Check)
+		if err != nil {
+			// An aborted warm attempt must not silently fall back to a
+			// cold solve: the caller asked to stop.
+			return sol, err
+		}
 		if ok {
 			if reason == "" {
 				met.Counter(obs.MLPWarmHits).Inc()
@@ -92,14 +107,15 @@ func SolveRevisedWith(p *Problem, opts RevisedOptions) (*Solution, error) {
 		met.Counter(obs.MLPWarmMisses).Inc()
 		met.CounterWith(obs.MLPColdFallback, "reason", reason).Inc()
 	}
-	return solveCold(p, met)
+	return solveCold(p, met, opts.Check)
 }
 
 // solveCold is the from-scratch two-phase solve.
-func solveCold(p *Problem, met *obs.Registry) (*Solution, error) {
+func solveCold(p *Problem, met *obs.Registry, check CheckFunc) (*Solution, error) {
 	met.Counter(obs.MLPColdSolves).Inc()
 	t := buildSparse(p)
 	t.cBoundFlips = met.Counter(obs.MLPBoundFlips)
+	t.check = check
 	sol := &Solution{}
 	if t.nArt > 0 {
 		cost := make([]float64, t.n)
@@ -108,6 +124,10 @@ func solveCold(p *Problem, met *obs.Registry) (*Solution, error) {
 		}
 		st, iters := t.iterate(cost, true)
 		sol.Iterations += iters
+		if st == Aborted {
+			sol.Status = Aborted
+			return sol, t.checkErr
+		}
 		if st != Optimal {
 			sol.Status = IterLimit
 			return sol, nil
@@ -128,6 +148,9 @@ func solveCold(p *Problem, met *obs.Registry) (*Solution, error) {
 	st, iters := t.iterate(cost, false)
 	sol.Iterations += iters
 	sol.Status = st
+	if st == Aborted {
+		return sol, t.checkErr
+	}
 	if st != Optimal {
 		return sol, nil
 	}
@@ -143,15 +166,18 @@ func solveCold(p *Problem, met *obs.Registry) (*Solution, error) {
 // verdict from the dual simplex is re-proven by a cold phase 1 before
 // being reported, so a stale warm basis can cost time but never
 // correctness — that path returns ok=true with the reproof reason.
-func solveWarm(p *Problem, warm *Basis, met *obs.Registry) (*Solution, bool, string) {
+// A non-nil error means the check hook aborted; the caller must
+// propagate it rather than fall back to a cold solve.
+func solveWarm(p *Problem, warm *Basis, met *obs.Registry, check CheckFunc) (*Solution, bool, string, error) {
 	if warm.Vars != p.NumVars() || warm.Rows > p.NumRows() ||
 		len(warm.Basic) != warm.Rows {
-		return nil, false, obs.ReasonBasisShape
+		return nil, false, obs.ReasonBasisShape, nil
 	}
 	t := buildSparse(p)
 	t.cBoundFlips = met.Counter(obs.MLPBoundFlips)
+	t.check = check
 	if !t.installBasis(p, warm, met) {
-		return nil, false, obs.ReasonBasisInstall
+		return nil, false, obs.ReasonBasisInstall, nil
 	}
 	cost := t.phase2Cost(p)
 	sol := &Solution{}
@@ -161,36 +187,43 @@ func solveWarm(p *Problem, warm *Basis, met *obs.Registry) (*Solution, bool, str
 		met.Counter(obs.MLPDualRepair).Add(int64(iters))
 		switch st {
 		case Optimal: // primal feasibility restored
+		case Aborted:
+			sol.Status = Aborted
+			return sol, false, "", t.checkErr
 		case Infeasible:
 			// Trustworthy only if the warm basis was dual feasible;
 			// re-prove with a cold phase 1.
-			cold, err := solveCold(p, met)
+			cold, err := solveCold(p, met, check)
 			if err != nil {
-				return nil, false, obs.ReasonInfeasReproof
+				return cold, false, obs.ReasonInfeasReproof, err
 			}
 			cold.Iterations += sol.Iterations
-			return cold, true, obs.ReasonInfeasReproof
+			return cold, true, obs.ReasonInfeasReproof, nil
 		default:
 			// IterLimit: the repair stalled, cycled, or lost dual
 			// feasibility — the divergence guards fired.
-			return nil, false, obs.ReasonDivergence
+			return nil, false, obs.ReasonDivergence, nil
 		}
 	}
 	st, iters := t.iterate(cost, false)
 	sol.Iterations += iters
+	if st == Aborted {
+		sol.Status = Aborted
+		return sol, false, "", t.checkErr
+	}
 	if st != Optimal {
-		return nil, false, obs.ReasonPrimalStall
+		return nil, false, obs.ReasonPrimalStall, nil
 	}
 	// A basic artificial above tolerance means the basis absorbed an
 	// appended EQ/GE row's residual; the result would be wrong.
 	for i, b := range t.basis {
 		if b >= t.artLo && t.xB[i] > epsPhase1 {
-			return nil, false, obs.ReasonArtificial
+			return nil, false, obs.ReasonArtificial, nil
 		}
 	}
 	sol.Status = Optimal
 	t.extract(p, cost, sol)
-	return sol, true, ""
+	return sol, true, "", nil
 }
 
 // sparseCol is one column of the standard-form constraint matrix.
@@ -224,6 +257,24 @@ type revTableau struct {
 	// cBoundFlips counts bound-flip ratio-test outcomes; nil (the
 	// default) is a no-op counter.
 	cBoundFlips *obs.Counter
+	// check is polled every checkEvery pivots by both pivot loops; when
+	// it fails they return Aborted and leave the error in checkErr.
+	check    CheckFunc
+	checkErr error
+}
+
+// checkpoint polls the check hook every checkEvery iterations,
+// charging the batch of pivots since the last poll. It reports true
+// when the solve must abort (checkErr then holds the cause).
+func (t *revTableau) checkpoint(iter int) bool {
+	if t.check == nil || iter%checkEvery != 0 {
+		return false
+	}
+	if err := t.check(checkEvery); err != nil {
+		t.checkErr = err
+		return true
+	}
+	return false
 }
 
 // buildSparse converts p to sparse standard form. The numbering is
@@ -671,6 +722,9 @@ func (t *revTableau) iterate(cost []float64, phase1 bool) (Status, int) {
 	bland := false
 	lastObj := math.Inf(1)
 	for iter := 0; iter < maxIters; iter++ {
+		if t.checkpoint(iter) {
+			return Aborted, iter
+		}
 		t.duals(cost, y)
 		// Pricing: at-lower columns want d < 0, at-upper columns d > 0.
 		enter, dir := -1, 1.0
@@ -817,6 +871,9 @@ func (t *revTableau) iterateDual(cost []float64) (Status, int) {
 	stall := 0
 	stallCap := t.m/2 + 200
 	for iter := 0; iter < maxIters; iter++ {
+		if t.checkpoint(iter) {
+			return Aborted, iter
+		}
 		// Leaving row: most violated basic value.
 		r, viol := -1, epsFeas
 		leaveAtUpper := false

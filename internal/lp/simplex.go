@@ -34,6 +34,14 @@ func (t *tableau) rhs(i int) float64       { return t.at(i, t.n) }
 // bounds are materialized as explicit rows (the dense tableau has no
 // native bound handling); their duals are trimmed from Solution.Dual.
 func Solve(p *Problem) (*Solution, error) {
+	return SolveChecked(p, nil)
+}
+
+// SolveChecked is Solve with a cancellation/budget hook consulted once
+// per pivot (a dense pivot is O(m*n), so the per-pivot atomic check is
+// noise). On abort the Solution carries Status Aborted and the check's
+// error is returned.
+func SolveChecked(p *Problem, check CheckFunc) (*Solution, error) {
 	p, mOrig := p.withBoundRows()
 	t, hasArt := build(p)
 	sol := &Solution{}
@@ -44,8 +52,12 @@ func Solve(p *Problem) (*Solution, error) {
 			cost[j] = 1
 		}
 		t.installCost(cost)
-		st, iters := t.iterate(cost, true)
+		st, iters, err := t.iterate(cost, true, check)
 		sol.Iterations += iters
+		if err != nil {
+			sol.Status = st
+			return sol, err
+		}
 		if st != Optimal {
 			// Phase 1 is bounded below by 0, so non-optimal means the
 			// iteration cap was hit.
@@ -62,9 +74,12 @@ func Solve(p *Problem) (*Solution, error) {
 	cost := make([]float64, t.n)
 	copy(cost, p.obj)
 	t.installCost(cost)
-	st, iters := t.iterate(cost, false)
+	st, iters, err := t.iterate(cost, false, check)
 	sol.Iterations += iters
 	sol.Status = st
+	if err != nil {
+		return sol, err
+	}
 	if st != Optimal {
 		return sol, nil
 	}
@@ -196,7 +211,7 @@ func (t *tableau) installCost(cost []float64) {
 // artificial columns are excluded. Dantzig pricing is used until
 // degeneracy stalls progress, after which Bland's rule takes over to
 // guarantee termination.
-func (t *tableau) iterate(cost []float64, phase1 bool) (Status, int) {
+func (t *tableau) iterate(cost []float64, phase1 bool, check CheckFunc) (Status, int, error) {
 	maxIters := 200*(t.m+t.n) + 20000
 	stall := 0
 	bland := false
@@ -206,6 +221,11 @@ func (t *tableau) iterate(cost []float64, phase1 bool) (Status, int) {
 		hi = t.artLo
 	}
 	for iter := 0; iter < maxIters; iter++ {
+		if check != nil {
+			if err := check(1); err != nil {
+				return Aborted, iter, err
+			}
+		}
 		crow := t.row(t.m)
 		// Entering column.
 		enter := -1
@@ -225,7 +245,7 @@ func (t *tableau) iterate(cost []float64, phase1 bool) (Status, int) {
 			}
 		}
 		if enter < 0 {
-			return Optimal, iter
+			return Optimal, iter, nil
 		}
 		// Ratio test: leaving row.
 		leave := -1
@@ -242,7 +262,7 @@ func (t *tableau) iterate(cost []float64, phase1 bool) (Status, int) {
 			}
 		}
 		if leave < 0 {
-			return Unbounded, iter
+			return Unbounded, iter, nil
 		}
 		t.pivot(leave, enter)
 		// Degeneracy watch: if the objective stops improving for many
@@ -258,7 +278,7 @@ func (t *tableau) iterate(cost []float64, phase1 bool) (Status, int) {
 			}
 		}
 	}
-	return IterLimit, maxIters
+	return IterLimit, maxIters, nil
 }
 
 // pivot performs Gauss-Jordan elimination on (r, c), making column c

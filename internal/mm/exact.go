@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"calib/internal/ise"
+	"calib/internal/robust"
 )
 
 // Exact is a complete branch-and-bound MM solver: it returns a
@@ -19,7 +20,15 @@ type Exact struct {
 	// result is always feasible but may stop being exactly optimal on
 	// adversarial inputs.
 	MaxNodes int
+	// Control carries the solve's cancellation context and work budget
+	// into the search (one node = one work unit). A tripped control
+	// aborts the solve with its taxonomy error — unlike the node cap,
+	// which degrades to more machines. nil means no limits.
+	Control *robust.Control
 }
+
+// checkNodes is the dfs check cadence (nodes between Control polls).
+const checkNodes = 512
 
 // Name implements Solver.
 func (Exact) Name() string { return "exact-bb" }
@@ -37,8 +46,13 @@ func (e Exact) Solve(inst *ise.Instance) (*Schedule, error) {
 	if cap == 0 {
 		cap = 5_000_000
 	}
+	check := e.Control.CheckFunc("mm")
 	for m := LowerBound(inst); m <= n; m++ {
-		if s, ok := searchFeasible(inst, m, cap); ok {
+		s, ok, err := searchFeasible(inst, m, cap, check)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
 			return s, nil
 		}
 	}
@@ -52,8 +66,8 @@ func (e Exact) Feasible(inst *ise.Instance, m int) bool {
 	if cap == 0 {
 		cap = 5_000_000
 	}
-	_, ok := searchFeasible(inst, m, cap)
-	return ok
+	_, ok, err := searchFeasible(inst, m, cap, e.Control.CheckFunc("mm"))
+	return ok && err == nil
 }
 
 // searchFeasible performs depth-first search over active schedules:
@@ -61,7 +75,7 @@ func (e Exact) Feasible(inst *ise.Instance, m int) bool {
 // the remaining jobs at start max(avail, release). By a standard
 // exchange/dominance argument (identical machines, regular measure),
 // this class contains a feasible schedule whenever one exists.
-func searchFeasible(inst *ise.Instance, m, nodeCap int) (*Schedule, bool) {
+func searchFeasible(inst *ise.Instance, m, nodeCap int, check func(int) error) (*Schedule, bool, error) {
 	n := inst.N()
 	// Remaining jobs sorted by deadline for branch ordering.
 	order := make([]int, n)
@@ -80,14 +94,21 @@ func searchFeasible(inst *ise.Instance, m, nodeCap int) (*Schedule, bool) {
 	assignStart := make([]ise.Time, n)
 	used := make([]bool, n)
 	nodes := 0
+	var stopErr error
 	var dfs func(done int) bool
 	dfs = func(done int) bool {
 		if done == n {
 			return true
 		}
 		nodes++
-		if nodes > nodeCap {
+		if nodes > nodeCap || stopErr != nil {
 			return false
+		}
+		if check != nil && nodes%checkNodes == 0 {
+			if err := check(checkNodes); err != nil {
+				stopErr = err
+				return false
+			}
 		}
 		// Machine with minimum availability; ties by index.
 		mi := 0
@@ -142,11 +163,11 @@ func searchFeasible(inst *ise.Instance, m, nodeCap int) (*Schedule, bool) {
 		return false
 	}
 	if !dfs(0) {
-		return nil, false
+		return nil, false, stopErr
 	}
 	s := &Schedule{Machines: m}
 	for id := 0; id < n; id++ {
 		s.Placements = append(s.Placements, ise.Placement{Job: id, Machine: assignMachine[id], Start: assignStart[id]})
 	}
-	return s, true
+	return s, true, nil
 }

@@ -8,6 +8,7 @@ import (
 	"calib/internal/ise"
 	"calib/internal/lp"
 	"calib/internal/obs"
+	"calib/internal/robust"
 )
 
 // LPRound is a time-indexed LP relaxation of MM followed by randomized
@@ -37,6 +38,10 @@ type LPRound struct {
 	// Metrics receives the mm_* counter series (see internal/obs);
 	// nil disables telemetry at zero cost.
 	Metrics *obs.Registry
+	// Control carries cancellation/budget limits into the LP solve. A
+	// tripped control aborts with its taxonomy error instead of falling
+	// back to Greedy. nil means no limits.
+	Control *robust.Control
 }
 
 // Name implements Solver.
@@ -129,9 +134,12 @@ func (l LPRound) SolveStats(inst *ise.Instance) (*Schedule, Stats, error) {
 			prob.AddConstraint(lp.LE, 0, terms...)
 		}
 	}
-	sol, err := lp.Solve(prob)
+	sol, err := lp.SolveChecked(prob, l.Control.CheckFunc("mm"))
 	st.LPSolves++
 	met.Counter(obs.MMMLPSolves).Inc()
+	if err != nil && (sol == nil || sol.Status == lp.Aborted) {
+		return nil, st, err
+	}
 	if err != nil || sol.Status != lp.Optimal {
 		return greedy, st, nil
 	}

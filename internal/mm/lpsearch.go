@@ -8,6 +8,7 @@ import (
 	"calib/internal/ise"
 	"calib/internal/lp"
 	"calib/internal/obs"
+	"calib/internal/robust"
 )
 
 // LPSearch is a machine-minimization box built on warm-started
@@ -37,6 +38,10 @@ type LPSearch struct {
 	// Metrics receives the mm_* counter series (see internal/obs);
 	// nil disables telemetry at zero cost.
 	Metrics *obs.Registry
+	// Control carries cancellation/budget limits into the probe LPs. A
+	// tripped control aborts with its taxonomy error instead of keeping
+	// the greedy answer. nil means no limits.
+	Control *robust.Control
 }
 
 // Name implements Solver.
@@ -139,7 +144,7 @@ func (l LPSearch) SolveStats(inst *ise.Instance) (*Schedule, Stats, error) {
 		}
 		st.Probes++
 		met.Counter(obs.MMMLPProbes).Inc()
-		sol, err := lp.SolveRevisedWith(prob, lp.RevisedOptions{Warm: warm, Metrics: met})
+		sol, err := lp.SolveRevisedWith(prob, lp.RevisedOptions{Warm: warm, Metrics: met, Check: l.Control.CheckFunc("mm")})
 		if err == nil {
 			met.Counter(obs.MLPPivots).Add(int64(sol.Iterations))
 			if sol.Status == lp.Infeasible {
@@ -160,6 +165,9 @@ func (l LPSearch) SolveStats(inst *ise.Instance) (*Schedule, Stats, error) {
 		mid := lo + (hi-lo)/2
 		sol, err := probe(mid, warm)
 		if err != nil {
+			if sol != nil && sol.Status == lp.Aborted {
+				return nil, st, err
+			}
 			return greedy, st, nil
 		}
 		switch sol.Status {
@@ -178,7 +186,13 @@ func (l LPSearch) SolveStats(inst *ise.Instance) (*Schedule, Stats, error) {
 		// The search never probed below greedy.Machines (range was
 		// already tight); solve once for the marginals.
 		sol, err := probe(lo, warm)
-		if err != nil || sol.Status != lp.Optimal {
+		if err != nil {
+			if sol != nil && sol.Status == lp.Aborted {
+				return nil, st, err
+			}
+			return greedy, st, nil
+		}
+		if sol.Status != lp.Optimal {
 			return greedy, st, nil
 		}
 		feasX = sol.X

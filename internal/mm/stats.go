@@ -1,6 +1,9 @@
 package mm
 
-import "calib/internal/obs"
+import (
+	"calib/internal/obs"
+	"calib/internal/robust"
+)
 
 // WithMetrics returns s configured to record into met. Only the
 // LP-based boxes carry telemetry; other solvers pass through
@@ -18,6 +21,35 @@ func WithMetrics(s Solver, met *obs.Registry) Solver {
 	case LPSearch:
 		if b.Metrics == nil {
 			b.Metrics = met
+		}
+		return b
+	}
+	return s
+}
+
+// WithControl returns s configured to honor the cancellation/budget
+// control. Boxes with long-running search or LP loops (Exact, LPRound,
+// LPSearch) get the control; the combinatorial boxes (Greedy, UnitEDF)
+// run in near-linear time and pass through unchanged. A box that
+// already carries a control keeps it. nil is a no-op.
+func WithControl(s Solver, ctl *robust.Control) Solver {
+	if ctl == nil {
+		return s
+	}
+	switch b := s.(type) {
+	case Exact:
+		if b.Control == nil {
+			b.Control = ctl
+		}
+		return b
+	case LPRound:
+		if b.Control == nil {
+			b.Control = ctl
+		}
+		return b
+	case LPSearch:
+		if b.Control == nil {
+			b.Control = ctl
 		}
 		return b
 	}

@@ -30,6 +30,13 @@ const (
 	MDecompCompSecs   = "decomp_component_seconds" // histogram: per-component solve time
 	MSolveSeconds     = "solve_seconds"            // histogram: end-to-end pipeline solves
 
+	// internal/robust — cancellation, budgets, degradation ladder.
+	MRobustFallback     = "robust_fallback_total"         // ladder falls; labeled rung="<rung>:<reason>"
+	MRobustRungAnswers  = "robust_rung_answers_total"     // which rung produced the answer; labeled rung=...
+	MRobustDeadlineHits = "robust_deadline_hits_total"    // solves that hit their deadline (counted once per solve)
+	MRobustBudgetHits   = "robust_budget_exhausted_total" // solves that exhausted their work budget
+	MRobustPanics       = "robust_panics_total"           // solver panics contained by RecoverTo
+
 	// internal/mm — machine-minimization LP boxes.
 	MMMLPProbes     = "mm_lp_probes_total"           // feasibility-LP probes (LPSearch binary search)
 	MMMLPInfeasible = "mm_lp_probe_infeasible_total" // probes that came back infeasible
@@ -61,6 +68,8 @@ func Declare(r *Registry) {
 		MLPDualRepair,
 		MTISEResolves, MTISECutRounds, MTISECuts, MTISEViolated,
 		MDecompTasks,
+		MRobustFallback, MRobustRungAnswers, MRobustDeadlineHits,
+		MRobustBudgetHits, MRobustPanics,
 		MMMLPProbes, MMMLPInfeasible, MMMLPSolves, MMMLPSkipped, MMMTrials,
 	} {
 		r.Counter(n)

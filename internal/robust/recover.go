@@ -1,0 +1,30 @@
+package robust
+
+import (
+	"fmt"
+	"runtime/debug"
+
+	"calib/internal/obs"
+)
+
+// RecoverTo converts an in-flight panic into a taxonomy error with
+// phase/component provenance, counting it in robust_panics_total.
+// Deferred around each decomposition-pool component solve and each
+// ladder rung, it guarantees a panicking solver phase fails only the
+// work it was doing — never the pool, the sibling components, or the
+// process.
+//
+//	defer robust.RecoverTo(&err, "pool", component, met)
+func RecoverTo(errp *error, phase string, component int, met *obs.Registry) {
+	r := recover()
+	if r == nil {
+		return
+	}
+	met.Counter(obs.MRobustPanics).Inc()
+	*errp = &Error{
+		Kind:      ErrPanic,
+		Phase:     phase,
+		Component: component,
+		Err:       fmt.Errorf("%v\n%s", r, debug.Stack()),
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"calib/internal/ise"
 	"calib/internal/mm"
 	"calib/internal/obs"
+	"calib/internal/robust"
 )
 
 // Gamma is the short-window length bound in units of T: short jobs
@@ -46,6 +47,10 @@ type Options struct {
 	// Metrics is threaded into the LP-based MM boxes (mm.WithMetrics);
 	// nil disables telemetry at zero cost.
 	Metrics *obs.Registry
+	// Control carries cancellation/budget limits into the per-interval
+	// MM solves (mm.WithControl) and is polled between intervals. nil
+	// means no limits.
+	Control *robust.Control
 }
 
 // IntervalStat describes one partition interval's subproblem, for the
@@ -97,6 +102,7 @@ func Solve(inst *ise.Instance, opts Options) (*Result, error) {
 		box = mm.Greedy{}
 	}
 	box = mm.WithMetrics(box, opts.Metrics)
+	box = mm.WithControl(box, opts.Control)
 
 	// Algorithm 4: assign each job to a pass and interval. The paper
 	// anchors the grid at t = 0; we anchor at the earliest release
@@ -156,6 +162,12 @@ func Solve(inst *ise.Instance, opts Options) (*Result, error) {
 	res := &Result{}
 	var ivs []interval
 	for _, key := range keys {
+		// The interval loop is shortwin's long-running loop: one MM
+		// solve per interval, so check between intervals (the box's own
+		// control covers the inside).
+		if err := opts.Control.ErrPhase("shortwin"); err != nil {
+			return nil, err
+		}
 		ids := groups[key]
 		sub := ise.NewInstance(inst.T, inst.M)
 		for _, id := range ids {

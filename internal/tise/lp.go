@@ -6,6 +6,7 @@ import (
 	"calib/internal/ise"
 	"calib/internal/lp"
 	"calib/internal/obs"
+	"calib/internal/robust"
 )
 
 // Engine selects the LP solver backend.
@@ -252,7 +253,7 @@ func SolveLP(inst *ise.Instance, mPrime int, engine Engine) (*Fractional, error)
 // to the process-default registry when one is installed (obs.SetDefault);
 // Solve threads an explicit registry via Options.Metrics instead.
 func SolveLPWith(inst *ise.Instance, mPrime int, engine Engine, strategy Strategy) (*Fractional, error) {
-	return solveLP(inst, mPrime, engine, strategy, nil, obs.Default())
+	return solveLP(inst, mPrime, engine, strategy, nil, obs.Default(), nil)
 }
 
 // SolveLPBounded runs the Bounded strategy on the revised engine with
@@ -261,10 +262,16 @@ func SolveLPWith(inst *ise.Instance, mPrime int, engine Engine, strategy Strateg
 // — typically the adjacent machine count in a binary search — resumes
 // from it.
 func SolveLPBounded(inst *ise.Instance, mPrime int, warm *LPWarm) (*Fractional, error) {
-	return solveLP(inst, mPrime, Revised, Bounded, warm, obs.Default())
+	return solveLP(inst, mPrime, Revised, Bounded, warm, obs.Default(), nil)
 }
 
-func solveLP(inst *ise.Instance, mPrime int, engine Engine, strategy Strategy, warm *LPWarm, met *obs.Registry) (*Fractional, error) {
+// SolveLPBoundedCtl is SolveLPBounded under a cancellation/budget
+// control (nil means no limits).
+func SolveLPBoundedCtl(inst *ise.Instance, mPrime int, warm *LPWarm, ctl *robust.Control) (*Fractional, error) {
+	return solveLP(inst, mPrime, Revised, Bounded, warm, obs.Default(), ctl)
+}
+
+func solveLP(inst *ise.Instance, mPrime int, engine Engine, strategy Strategy, warm *LPWarm, met *obs.Registry, ctl *robust.Control) (*Fractional, error) {
 	for _, j := range inst.Jobs {
 		if !j.IsLong(inst.T) {
 			return nil, fmt.Errorf("tise: %v is not a long-window job", j)
@@ -319,7 +326,13 @@ func solveLP(inst *ise.Instance, mPrime int, engine Engine, strategy Strategy, w
 	var obj float64
 	var duals []float64
 	for round := 0; ; round++ {
-		status, solX, solObj, iters, solDuals, solBasis, err := solveProblem(prob, engine, basis, met)
+		// The cut loop is the tise-level long-running loop: each round
+		// can add hundreds of rows and trigger a full resolve, so check
+		// between rounds (the per-pivot hooks cover the inside).
+		if err := ctl.ErrPhase("tise/cuts"); err != nil {
+			return nil, err
+		}
+		status, solX, solObj, iters, solDuals, solBasis, err := solveProblem(prob, engine, basis, met, ctl)
 		if err != nil {
 			return nil, err
 		}
@@ -430,10 +443,11 @@ func solveLP(inst *ise.Instance, mPrime int, engine Engine, strategy Strategy, w
 // result to float64. duals is nil for the rational engine; the final
 // basis is returned (and the warm one consumed) by the revised engine
 // only.
-func solveProblem(prob *lp.Problem, engine Engine, warm *lp.Basis, met *obs.Registry) (lp.Status, []float64, float64, int, []float64, *lp.Basis, error) {
+func solveProblem(prob *lp.Problem, engine Engine, warm *lp.Basis, met *obs.Registry, ctl *robust.Control) (lp.Status, []float64, float64, int, []float64, *lp.Basis, error) {
+	check := ctl.CheckFunc("lp")
 	switch engine {
 	case Rational:
-		sol, err := lp.SolveRational(prob)
+		sol, err := lp.SolveRationalChecked(prob, check)
 		if err != nil {
 			return 0, nil, 0, 0, nil, nil, err
 		}
@@ -446,13 +460,13 @@ func solveProblem(prob *lp.Problem, engine Engine, warm *lp.Basis, met *obs.Regi
 		}
 		return sol.Status, xs, sol.ObjectiveFloat(), sol.Iterations, nil, nil, nil
 	case Revised:
-		sol, err := lp.SolveRevisedWith(prob, lp.RevisedOptions{Warm: warm, Metrics: met})
+		sol, err := lp.SolveRevisedWith(prob, lp.RevisedOptions{Warm: warm, Metrics: met, Check: check})
 		if err != nil {
 			return 0, nil, 0, 0, nil, nil, err
 		}
 		return sol.Status, sol.X, sol.Objective, sol.Iterations, sol.Dual, sol.Basis, nil
 	default:
-		sol, err := lp.Solve(prob)
+		sol, err := lp.SolveChecked(prob, check)
 		if err != nil {
 			return 0, nil, 0, 0, nil, nil, err
 		}
@@ -467,6 +481,13 @@ func solveProblem(prob *lp.Problem, engine Engine, warm *lp.Basis, met *obs.Regi
 // feasible (every job in its own calibration), so the search space is
 // [1, n].
 func MinFeasibleMPrime(inst *ise.Instance) (int, error) {
+	return MinFeasibleMPrimeCtl(inst, nil)
+}
+
+// MinFeasibleMPrimeCtl is MinFeasibleMPrime under a cancellation/
+// budget control: the control's limits cover the whole binary search,
+// and a tripped limit surfaces as a robust taxonomy error.
+func MinFeasibleMPrimeCtl(inst *ise.Instance, ctl *robust.Control) (int, error) {
 	n := inst.N()
 	if n == 0 {
 		return 0, nil
@@ -475,7 +496,7 @@ func MinFeasibleMPrime(inst *ise.Instance) (int, error) {
 	lo, hi := 1, n
 	for lo < hi {
 		mid := lo + (hi-lo)/2
-		_, err := SolveLPBounded(inst, mid, warm)
+		_, err := SolveLPBoundedCtl(inst, mid, warm, ctl)
 		switch err.(type) {
 		case nil:
 			hi = mid

@@ -6,6 +6,7 @@ import (
 
 	"calib/internal/ise"
 	"calib/internal/obs"
+	"calib/internal/robust"
 )
 
 // Options configures the long-window solver.
@@ -25,6 +26,9 @@ type Options struct {
 	// nil falls back to the process default (obs.SetDefault), and with
 	// neither installed telemetry is disabled at zero cost.
 	Metrics *obs.Registry
+	// Control carries the solve's cancellation context and work budget
+	// into the LP pivot loops and the cut loop. nil means no limits.
+	Control *robust.Control
 }
 
 // Result is the output of Solve: the feasible TISE schedule plus the
@@ -78,7 +82,7 @@ func Solve(inst *ise.Instance, opts Options) (*Result, error) {
 	sp.SetStr("engine", opts.Engine.String())
 	sp.SetStr("strategy", opts.Strategy.String())
 	sp.SetInt("mprime", int64(mPrime))
-	frac, err := solveLP(inst, mPrime, opts.Engine, opts.Strategy, nil, met)
+	frac, err := solveLP(inst, mPrime, opts.Engine, opts.Strategy, nil, met, opts.Control)
 	if err != nil {
 		sp.End()
 		return nil, err

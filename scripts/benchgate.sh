@@ -1,0 +1,114 @@
+#!/bin/sh
+# Benchmark regression gate for pull requests: runs the two headline
+# hot-path benchmarks (BenchmarkT1LongWindowN40, BenchmarkT8Scaling)
+# on the working tree and on a base ref checked out into a throwaway
+# git worktree, then fails if any sub-benchmark's mean ns/op regressed
+# by more than BENCHGATE_PCT percent (default 10).
+#
+# benchstat, when installed, prints its statistical report for the
+# humans reading the log; the pass/fail decision itself is a pure-awk
+# mean comparison so the gate needs nothing beyond the Go toolchain.
+#
+# Usage: ./scripts/benchgate.sh [base-ref]   (default origin/main)
+# Env:   BENCHGATE_BENCHTIME (default 3x), BENCHGATE_COUNT (default 3),
+#        BENCHGATE_PCT (default 10)
+set -eu
+cd "$(dirname "$0")/.."
+
+BASE_REF="${1:-origin/main}"
+BENCH='BenchmarkT1LongWindowN40|BenchmarkT8Scaling'
+BENCHTIME="${BENCHGATE_BENCHTIME:-3x}"
+COUNT="${BENCHGATE_COUNT:-3}"
+PCT="${BENCHGATE_PCT:-10}"
+
+if ! git rev-parse --verify --quiet "$BASE_REF^{commit}" >/dev/null; then
+	echo "benchgate: base ref $BASE_REF does not resolve to a commit" >&2
+	exit 1
+fi
+
+HEAD_OUT="$(mktemp)"
+BASE_OUT="$(mktemp)"
+WT_PARENT="$(mktemp -d)"
+WT="$WT_PARENT/base"
+cleanup() {
+	rm -f "$HEAD_OUT" "$BASE_OUT"
+	git worktree remove --force "$WT" 2>/dev/null || true
+	rm -rf "$WT_PARENT"
+}
+trap cleanup EXIT
+
+# No pipe into tee: a pipeline would mask go test's exit status under
+# plain sh (same rationale as bench.sh).
+echo "benchgate: benchmarking head ($(git rev-parse --short HEAD))"
+go test -run XXX -bench "$BENCH" -benchtime "$BENCHTIME" -count "$COUNT" \
+	. >"$HEAD_OUT" 2>&1 || {
+	cat "$HEAD_OUT"
+	echo "benchgate: head benchmark run failed" >&2
+	exit 1
+}
+cat "$HEAD_OUT"
+
+echo "benchgate: benchmarking base ($(git rev-parse --short "$BASE_REF"))"
+git worktree add --quiet --detach "$WT" "$BASE_REF"
+(cd "$WT" && go test -run XXX -bench "$BENCH" -benchtime "$BENCHTIME" \
+	-count "$COUNT" .) >"$BASE_OUT" 2>&1 || {
+	cat "$BASE_OUT"
+	echo "benchgate: base benchmark run failed" >&2
+	exit 1
+}
+cat "$BASE_OUT"
+
+if command -v benchstat >/dev/null 2>&1; then
+	echo "benchgate: benchstat report (informational)"
+	benchstat "$BASE_OUT" "$HEAD_OUT" || true
+fi
+
+# Mean ns/op per sub-benchmark (CPU-count suffix stripped), base vs
+# head; sub-benchmarks that exist on only one side are reported but
+# never gate — a PR adding or renaming a benchmark must not fail here.
+awk -v pct="$PCT" '
+FNR == NR && /^Benchmark/ {
+	name = $1
+	sub(/-[0-9]+$/, "", name)
+	for (i = 2; i <= NF; i++) {
+		if ($i == "ns/op") { bsum[name] += $(i - 1); bn[name]++ }
+	}
+	next
+}
+/^Benchmark/ {
+	name = $1
+	sub(/-[0-9]+$/, "", name)
+	for (i = 2; i <= NF; i++) {
+		if ($i == "ns/op") { hsum[name] += $(i - 1); hn[name]++ }
+	}
+}
+END {
+	fail = 0
+	checked = 0
+	for (name in hn) {
+		if (!(name in bn)) {
+			printf "benchgate: %s: not in base, skipped\n", name
+			continue
+		}
+		base = bsum[name] / bn[name]
+		head = hsum[name] / hn[name]
+		delta = (head - base) / base * 100
+		checked++
+		status = "ok"
+		if (delta > pct) { status = "REGRESSION"; fail = 1 }
+		printf "benchgate: %-55s base %12.0f ns/op  head %12.0f ns/op  %+8.2f%%  %s\n", \
+			name, base, head, delta, status
+	}
+	for (name in bn) {
+		if (!(name in hn)) printf "benchgate: %s: missing from head, skipped\n", name
+	}
+	if (checked == 0) {
+		print "benchgate: no comparable benchmarks between base and head" > "/dev/stderr"
+		exit 1
+	}
+	if (fail) {
+		printf "benchgate: FAIL — regression above %s%% threshold\n", pct > "/dev/stderr"
+		exit 1
+	}
+	printf "benchgate: pass (%d sub-benchmarks within %s%%)\n", checked, pct
+}' "$BASE_OUT" "$HEAD_OUT"
