@@ -1,0 +1,118 @@
+// Package api defines the wire types of the ised solver service:
+// the JSON bodies of /v1/solve, /v1/batch, and /v1/healthz. Both the
+// server (internal/server) and the Go client (calib/client) marshal
+// through these structs, so the two sides cannot drift; other-language
+// clients can treat this file as the API reference alongside
+// docs/SERVICE.md.
+package api
+
+import "calib"
+
+// SolveOptions are the per-request solver limits a caller may ask
+// for. The server clamps both to its own configured maxima: a request
+// can tighten the service's limits, never loosen them.
+type SolveOptions struct {
+	// TimeoutMillis bounds the solve's wall clock in milliseconds
+	// (0 = the server's default). The service solves through the
+	// degradation ladder, so an expiring timeout degrades the answer
+	// instead of failing the request (see docs/ROBUSTNESS.md).
+	TimeoutMillis int64 `json:"timeout_ms,omitempty"`
+	// Budget caps the solve's work in abstract solver units (one
+	// simplex pivot or search node = one unit); 0 = the server's
+	// default. Deterministic counterpart of TimeoutMillis.
+	Budget int64 `json:"budget,omitempty"`
+}
+
+// SolveRequest is the body of POST /v1/solve.
+type SolveRequest struct {
+	// Instance is the ISE instance to solve. Required.
+	Instance *calib.Instance `json:"instance"`
+	SolveOptions
+}
+
+// BatchRequest is the body of POST /v1/batch: many instances, one
+// option set. Instances that are equivalent up to job order and a
+// uniform time shift are solved once and replayed.
+type BatchRequest struct {
+	Instances []*calib.Instance `json:"instances"`
+	SolveOptions
+}
+
+// SolveResponse is the body of a successful solve, and one element of
+// a batch response.
+type SolveResponse struct {
+	// Schedule is the feasible schedule, expressed in the request
+	// instance's own time frame and job IDs (de-canonicalized).
+	Schedule *calib.Schedule `json:"schedule"`
+	// Calibrations is the objective value.
+	Calibrations int `json:"calibrations"`
+	// MachinesUsed counts distinct machines with work or calibrations.
+	MachinesUsed int `json:"machines_used"`
+	// LowerBound is the combinatorial lower bound on the optimal
+	// calibration count (invariant under canonicalization).
+	LowerBound int `json:"lower_bound"`
+	// Components is the number of independent time components the
+	// solve decomposed into.
+	Components int `json:"components"`
+	// Degraded reports that at least one component fell past the first
+	// rung of the exact→LP→heuristic ladder (deadline or budget
+	// pressure); the schedule is still feasible.
+	Degraded bool `json:"degraded"`
+	// Exact reports that every component was solved to proven
+	// optimality, making Calibrations the true optimum.
+	Exact bool `json:"exact"`
+	// Cached reports that the schedule came from the service's
+	// canonical cache rather than a fresh solve.
+	Cached bool `json:"cached"`
+	// Key is the canonical instance key (hex): instances with equal
+	// keys are equivalent up to job order and a uniform time shift and
+	// share one cache entry.
+	Key string `json:"key"`
+	// ElapsedMillis is the server-side wall clock of this request.
+	ElapsedMillis float64 `json:"elapsed_ms"`
+}
+
+// BatchResponse is the body of a successful POST /v1/batch. Results
+// align index-for-index with the request's Instances; an instance that
+// failed has a nil Result and a non-empty Error at its index.
+type BatchResponse struct {
+	Results []*BatchResult `json:"results"`
+}
+
+// BatchResult is one instance's outcome within a batch.
+type BatchResult struct {
+	*SolveResponse
+	// Error is set when this instance failed (the rest of the batch
+	// still answers).
+	Error string `json:"error,omitempty"`
+}
+
+// Health is the body of GET /v1/healthz.
+type Health struct {
+	// Status is "ok" while the daemon accepts work.
+	Status string `json:"status"`
+	// InFlight is the number of requests currently admitted and
+	// solving; MaxInFlight is the admission bound.
+	InFlight    int `json:"in_flight"`
+	MaxInFlight int `json:"max_in_flight"`
+	// QueueDepth is the number of requests waiting for an admission
+	// slot right now.
+	QueueDepth int `json:"queue_depth"`
+	// CacheEntries / CacheHits / CacheMisses describe the canonical
+	// schedule cache; Shed counts requests refused with 429.
+	CacheEntries int   `json:"cache_entries"`
+	CacheHits    int64 `json:"cache_hits"`
+	CacheMisses  int64 `json:"cache_misses"`
+	Shed         int64 `json:"shed"`
+	// UptimeSeconds is the time since the server started.
+	UptimeSeconds float64 `json:"uptime_seconds"`
+}
+
+// Error is the body of every non-2xx response.
+type Error struct {
+	// Error is a human-readable description.
+	Error string `json:"error"`
+	// RetryAfterSeconds mirrors the Retry-After header on 429
+	// responses: wait at least this long before retrying.
+	RetryAfterSeconds int `json:"retry_after_seconds,omitempty"`
+}

@@ -1,0 +1,237 @@
+// Package client is the Go client of the ised solver service
+// (internal/server, cmd/ised). It speaks the api package's wire types
+// over HTTP/JSON and bakes in the retry discipline the service is
+// designed around: 429 and 503 responses are retried with capped
+// exponential backoff, honoring the server's Retry-After hint, so a
+// saturated daemon sheds load onto patient clients instead of a
+// thundering herd.
+//
+//	cl := client.New("http://localhost:8080")
+//	resp, err := cl.Solve(ctx, &api.SolveRequest{Instance: inst})
+//
+// The zero number of retries means "use the default" (4 attempts);
+// set MaxRetries to -1 to fail fast on the first refusal.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"calib/api"
+)
+
+// Client calls an ised daemon. The zero value is not usable; create
+// with New and adjust fields before the first call.
+type Client struct {
+	// BaseURL is the daemon's root, e.g. "http://localhost:8080";
+	// the client appends /v1/... paths.
+	BaseURL string
+	// HTTPClient is the transport to use (nil = http.DefaultClient).
+	HTTPClient *http.Client
+	// MaxRetries bounds retry attempts after the first try for
+	// retryable failures: 429, 503, and transport errors. 0 means the
+	// default (4); negative disables retries.
+	MaxRetries int
+	// BaseDelay seeds the exponential backoff (0 = 100ms). A server
+	// Retry-After hint overrides the computed delay when longer.
+	BaseDelay time.Duration
+	// MaxDelay caps a single backoff sleep (0 = 5s).
+	MaxDelay time.Duration
+}
+
+// New returns a Client for the daemon at baseURL with default
+// transport and retry policy.
+func New(baseURL string) *Client {
+	return &Client{BaseURL: strings.TrimRight(baseURL, "/")}
+}
+
+// APIError is a non-2xx response that was not retried away. It wraps
+// the server's JSON error body.
+type APIError struct {
+	// StatusCode is the HTTP status of the final attempt.
+	StatusCode int
+	// Message is the server's error description.
+	Message string
+	// RetryAfter is the server's backoff hint on 429s (0 if absent).
+	RetryAfter time.Duration
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("ised: %d: %s", e.StatusCode, e.Message)
+}
+
+// Solve solves one instance via POST /v1/solve.
+func (c *Client) Solve(ctx context.Context, req *api.SolveRequest) (*api.SolveResponse, error) {
+	var out api.SolveResponse
+	if err := c.post(ctx, "/v1/solve", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Batch solves many instances via POST /v1/batch. Results align
+// index-for-index with req.Instances.
+func (c *Client) Batch(ctx context.Context, req *api.BatchRequest) (*api.BatchResponse, error) {
+	var out api.BatchResponse
+	if err := c.post(ctx, "/v1/batch", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Health reports the daemon's /v1/healthz. It is not retried: health
+// checks should see refusals, not mask them.
+func (c *Client) Health(ctx context.Context) (*api.Health, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/v1/healthz", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, decodeError(resp)
+	}
+	var h api.Health
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		return nil, fmt.Errorf("decoding health: %w", err)
+	}
+	return &h, nil
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+func (c *Client) retries() int {
+	switch {
+	case c.MaxRetries > 0:
+		return c.MaxRetries
+	case c.MaxRetries < 0:
+		return 0
+	default:
+		return 4
+	}
+}
+
+// post sends body and decodes the 200 response into out, retrying
+// retryable failures with capped exponential backoff. The request body
+// is marshalled once and replayed per attempt.
+func (c *Client) post(ctx context.Context, path string, body, out any) error {
+	buf, err := json.Marshal(body)
+	if err != nil {
+		return fmt.Errorf("encoding request: %w", err)
+	}
+	base := c.BaseDelay
+	if base <= 0 {
+		base = 100 * time.Millisecond
+	}
+	maxDelay := c.MaxDelay
+	if maxDelay <= 0 {
+		maxDelay = 5 * time.Second
+	}
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		lastErr = c.once(ctx, path, buf, out)
+		if lastErr == nil {
+			return nil
+		}
+		retryable, hint := retryInfo(lastErr)
+		if !retryable || attempt >= c.retries() {
+			return lastErr
+		}
+		delay := min(base<<attempt, maxDelay)
+		if hint > delay {
+			delay = hint
+		}
+		timer := time.NewTimer(delay)
+		select {
+		case <-timer.C:
+		case <-ctx.Done():
+			timer.Stop()
+			return ctx.Err()
+		}
+	}
+}
+
+// once performs a single HTTP attempt.
+func (c *Client) once(ctx context.Context, path string, body []byte, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+path, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return &transportError{err}
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return decodeError(resp)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("decoding response: %w", err)
+	}
+	return nil
+}
+
+// transportError marks a connection-level failure as retryable.
+type transportError struct{ err error }
+
+func (e *transportError) Error() string { return e.err.Error() }
+func (e *transportError) Unwrap() error { return e.err }
+
+// retryInfo classifies an attempt's failure: 429 and 503 are the
+// server telling us to come back later (429 carries a Retry-After
+// hint), and transport errors are worth one more try. 4xx validation
+// errors and 500s are not retried — the same request would fail the
+// same way.
+func retryInfo(err error) (retryable bool, hint time.Duration) {
+	var te *transportError
+	if errors.As(err, &te) {
+		return true, 0
+	}
+	var ae *APIError
+	if errors.As(err, &ae) {
+		switch ae.StatusCode {
+		case http.StatusTooManyRequests:
+			return true, ae.RetryAfter
+		case http.StatusServiceUnavailable:
+			return true, ae.RetryAfter
+		}
+	}
+	return false, 0
+}
+
+// decodeError turns a non-2xx response into an *APIError, reading the
+// Retry-After header (seconds form) and the JSON body when present.
+func decodeError(resp *http.Response) error {
+	ae := &APIError{StatusCode: resp.StatusCode}
+	if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
+		ae.RetryAfter = time.Duration(secs) * time.Second
+	}
+	raw, _ := io.ReadAll(io.LimitReader(resp.Body, 64<<10))
+	var body api.Error
+	if json.Unmarshal(raw, &body) == nil && body.Error != "" {
+		ae.Message = body.Error
+		if ae.RetryAfter == 0 && body.RetryAfterSeconds > 0 {
+			ae.RetryAfter = time.Duration(body.RetryAfterSeconds) * time.Second
+		}
+	} else {
+		ae.Message = strings.TrimSpace(string(raw))
+	}
+	return ae
+}

@@ -1,0 +1,192 @@
+package client_test
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"calib/api"
+	"calib/client"
+	"calib/internal/ise"
+	"calib/internal/server"
+)
+
+func testInstance() *ise.Instance {
+	inst := ise.NewInstance(10, 1)
+	inst.AddJob(0, 40, 5)
+	inst.AddJob(30, 70, 8)
+	return inst
+}
+
+// TestAgainstRealServer drives the client end-to-end through
+// internal/server: solve, cached re-solve, batch, health.
+func TestAgainstRealServer(t *testing.T) {
+	ts := httptest.NewServer(server.New(server.Config{}))
+	defer ts.Close()
+	cl := client.New(ts.URL)
+	ctx := context.Background()
+
+	resp, err := cl.Solve(ctx, &api.SolveRequest{Instance: testInstance()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Schedule == nil || resp.Cached {
+		t.Fatalf("first solve: %+v", resp)
+	}
+	if err := ise.Validate(testInstance(), resp.Schedule); err != nil {
+		t.Fatalf("infeasible: %v", err)
+	}
+
+	again, err := cl.Solve(ctx, &api.SolveRequest{Instance: testInstance()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !again.Cached || again.Key != resp.Key {
+		t.Fatalf("re-solve not cached: %+v", again)
+	}
+
+	batch, err := cl.Batch(ctx, &api.BatchRequest{
+		Instances: []*ise.Instance{testInstance(), testInstance()},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch.Results) != 2 || batch.Results[0].Error != "" || batch.Results[1].Error != "" {
+		t.Fatalf("batch: %+v", batch)
+	}
+
+	h, err := cl.Health(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" || h.CacheHits < 1 {
+		t.Fatalf("health: %+v", h)
+	}
+}
+
+// TestRetriesShedding: a server answering 429 (with Retry-After) twice
+// and then 200 must cost exactly three attempts and one transparent
+// success.
+func TestRetriesShedding(t *testing.T) {
+	var attempts atomic.Int64
+	fake := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if attempts.Add(1) <= 2 {
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusTooManyRequests)
+			json.NewEncoder(w).Encode(api.Error{Error: "saturated", RetryAfterSeconds: 1})
+			return
+		}
+		json.NewEncoder(w).Encode(api.SolveResponse{Calibrations: 1, Key: "abc"})
+	}))
+	defer fake.Close()
+
+	cl := client.New(fake.URL)
+	cl.BaseDelay = time.Millisecond
+	cl.MaxDelay = 5 * time.Millisecond
+	start := time.Now()
+	resp, err := cl.Solve(context.Background(), &api.SolveRequest{Instance: testInstance()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Key != "abc" {
+		t.Fatalf("resp: %+v", resp)
+	}
+	if got := attempts.Load(); got != 3 {
+		t.Fatalf("attempts = %d, want 3", got)
+	}
+	// The Retry-After hint (1s, twice) must dominate the millisecond
+	// backoff: the call cannot have finished faster than the hints.
+	if elapsed := time.Since(start); elapsed < 2*time.Second {
+		t.Fatalf("finished in %v; Retry-After hints not honored", elapsed)
+	}
+}
+
+// TestNoRetryOnClientError: 400/422 are deterministic failures; the
+// client must surface them on the first attempt.
+func TestNoRetryOnClientError(t *testing.T) {
+	var attempts atomic.Int64
+	fake := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		attempts.Add(1)
+		w.WriteHeader(http.StatusUnprocessableEntity)
+		json.NewEncoder(w).Encode(api.Error{Error: "infeasible"})
+	}))
+	defer fake.Close()
+
+	cl := client.New(fake.URL)
+	cl.BaseDelay = time.Millisecond
+	_, err := cl.Solve(context.Background(), &api.SolveRequest{Instance: testInstance()})
+	var ae *client.APIError
+	if !errors.As(err, &ae) || ae.StatusCode != http.StatusUnprocessableEntity || ae.Message != "infeasible" {
+		t.Fatalf("err = %v", err)
+	}
+	if got := attempts.Load(); got != 1 {
+		t.Fatalf("attempts = %d, want 1", got)
+	}
+}
+
+// TestRetriesExhaust: a permanently saturated server fails after
+// 1 + MaxRetries attempts with the final 429 surfaced.
+func TestRetriesExhaust(t *testing.T) {
+	var attempts atomic.Int64
+	fake := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		attempts.Add(1)
+		w.WriteHeader(http.StatusServiceUnavailable)
+		json.NewEncoder(w).Encode(api.Error{Error: "draining"})
+	}))
+	defer fake.Close()
+
+	cl := client.New(fake.URL)
+	cl.MaxRetries = 2
+	cl.BaseDelay = time.Millisecond
+	_, err := cl.Solve(context.Background(), &api.SolveRequest{Instance: testInstance()})
+	var ae *client.APIError
+	if !errors.As(err, &ae) || ae.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("err = %v", err)
+	}
+	if got := attempts.Load(); got != 3 {
+		t.Fatalf("attempts = %d, want 3", got)
+	}
+}
+
+// TestContextCancelsBackoff: a canceled context must cut a backoff
+// sleep short rather than waiting it out.
+func TestContextCancelsBackoff(t *testing.T) {
+	fake := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "30")
+		w.WriteHeader(http.StatusTooManyRequests)
+	}))
+	defer fake.Close()
+
+	cl := client.New(fake.URL)
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := cl.Solve(ctx, &api.SolveRequest{Instance: testInstance()})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("backoff ignored cancellation (%v)", elapsed)
+	}
+}
+
+// TestRetriesTransportError: a dead endpoint is retried, then the
+// transport error surfaces.
+func TestRetriesTransportError(t *testing.T) {
+	cl := client.New("http://127.0.0.1:1") // nothing listens on port 1
+	cl.MaxRetries = 1
+	cl.BaseDelay = time.Millisecond
+	_, err := cl.Solve(context.Background(), &api.SolveRequest{Instance: testInstance()})
+	if err == nil {
+		t.Fatal("expected a transport error")
+	}
+	var ae *client.APIError
+	if errors.As(err, &ae) {
+		t.Fatalf("transport failure surfaced as APIError: %v", err)
+	}
+}

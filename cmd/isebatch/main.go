@@ -5,12 +5,18 @@
 //
 // Usage:
 //
-//	isebatch [-workers N] [-csv out.csv] [-timeout D] [-budget N]
-//	         [-trace] [-metrics] [-metrics-out FILE] [-pprof addr] dir/
+//	isebatch [-workers N] [-dedup] [-csv out.csv] [-timeout D]
+//	         [-budget N] [-trace] [-metrics] [-metrics-out FILE]
+//	         [-pprof addr] dir/
 //
 // -timeout and -budget bound each individual policy solve; the LP
 // pipeline policies report an error row when a limit trips, while the
 // "robust" policy degrades to a cheaper solver and still answers.
+//
+// -dedup groups instances that are equivalent up to job order and a
+// uniform time shift (internal/canon), solves each group once per
+// policy, and replays the schedule into every twin's own frame —
+// duplicate-heavy corpora pay only for their unique instances.
 //
 // The telemetry flags install a process-wide trace/registry that the
 // solver layers pick up (obs.SetDefault), so one run's metrics
@@ -42,6 +48,7 @@ func main() {
 func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("isebatch", flag.ContinueOnError)
 	workers := fs.Int("workers", runtime.NumCPU(), "parallel workers")
+	dedup := fs.Bool("dedup", false, "solve canonically equivalent instances once and replay the schedule for their twins")
 	csvPath := fs.String("csv", "", "also write the full report as CSV")
 	tele := cliobs.Register(fs)
 	if err := fs.Parse(args); err != nil {
@@ -78,7 +85,12 @@ func run(args []string, stdout, stderr io.Writer) error {
 	policies := batch.DefaultPoliciesCtl(batch.Limits{
 		Timeout: tele.Timeout(), Budget: tele.Budget(), Metrics: tele.Metrics,
 	})
-	rep := batch.Run(items, policies, *workers)
+	var rep *batch.Report
+	if *dedup {
+		rep = batch.RunDedup(items, policies, *workers, tele.Metrics)
+	} else {
+		rep = batch.Run(items, policies, *workers)
+	}
 	table := exp.NewTable(fmt.Sprintf("batch report — %d instances x %d policies", len(items), len(policies)),
 		"instance", "policy", "n", "cals", "LB", "machines", "util", "ms", "error")
 	for _, row := range rep.Rows {

@@ -1,0 +1,132 @@
+// Command ised is the solver service daemon: it serves the /v1
+// HTTP/JSON API (solve, batch, healthz) backed by the robust solving
+// ladder, a canonicalization-keyed schedule cache, and admission
+// control with load shedding (see docs/SERVICE.md).
+//
+// Usage:
+//
+//	ised [-addr host:port] [-addr-file FILE]
+//	     [-max-inflight N] [-max-queue N] [-queue-wait D]
+//	     [-cache N] [-warm] [-par N]
+//	     [-timeout D] [-budget N]
+//	     [-trace] [-trace-json FILE] [-metrics] [-metrics-out FILE]
+//	     [-pprof addr]
+//
+// The daemon always exports /metrics (Prometheus text), /debug/vars
+// (expvar) and /debug/pprof on its own address — -pprof adds a second,
+// separate listener for operators who keep debug endpoints off the
+// service port. -timeout and -budget here are the per-request maxima:
+// a request may ask for less via timeout_ms/budget, never more.
+//
+// The daemon shuts down gracefully on SIGINT/SIGTERM: in-flight solves
+// finish (they are already bounded by -timeout/-budget), new requests
+// are refused.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"calib/internal/cliobs"
+	"calib/internal/obs"
+	"calib/internal/obs/obshttp"
+	"calib/internal/server"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "ised:", err)
+		os.Exit(1)
+	}
+}
+
+func run(ctx context.Context, args []string, stderr io.Writer) error {
+	fs := flag.NewFlagSet("ised", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", "localhost:8080", "listen address; port 0 picks a free port")
+	addrFile := fs.String("addr-file", "", "write the bound address to this file once listening (for scripts and CI)")
+	maxInflight := fs.Int("max-inflight", 0, "bound on concurrently admitted solves (0 = 256); beyond it requests queue briefly, then shed with 429")
+	maxQueue := fs.Int("max-queue", 0, "bound on requests waiting for an admission slot (0 = same as -max-inflight, -1 = shed immediately)")
+	queueWait := fs.Duration("queue-wait", 0, "how long a queued request waits for a slot before shedding (0 = 100ms)")
+	cacheSize := fs.Int("cache", 0, "canonical schedule cache capacity in entries (0 = 4096, -1 = disabled)")
+	warm := fs.Bool("warm", false, "enable LP warm starts in the solving pipeline")
+	par := fs.Int("par", 0, "per-solve component parallelism (0 = sequential)")
+	tele := cliobs.Register(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := tele.Start("ised", stderr); err != nil {
+		return err
+	}
+	defer tele.Finish(stderr)
+
+	// The daemon always has a registry — a service without metrics is
+	// blind — reusing the telemetry one when a -metrics/-pprof flag
+	// already created it.
+	reg := tele.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+		obs.Declare(reg)
+	}
+	obs.DeclareService(reg)
+
+	srv := server.New(server.Config{
+		MaxInFlight:  *maxInflight,
+		MaxQueue:     *maxQueue,
+		QueueWait:    *queueWait,
+		CacheEntries: *cacheSize,
+		MaxTimeout:   tele.Timeout(),
+		MaxBudget:    tele.Budget(),
+		WarmStart:    *warm,
+		Parallelism:  *par,
+		Metrics:      reg,
+	})
+
+	mux := http.NewServeMux()
+	mux.Handle("/v1/", srv)
+	mux.Handle("/", obshttp.Handler(reg)) // /metrics, /debug/vars, /debug/pprof
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	bound := ln.Addr().String()
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(bound+"\n"), 0o644); err != nil {
+			ln.Close()
+			return err
+		}
+	}
+	fmt.Fprintf(stderr, "ised: serving /v1/solve, /v1/batch, /v1/healthz and /metrics on http://%s\n", bound)
+
+	hs := &http.Server{Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+	done := make(chan error, 1)
+	go func() { done <- hs.Serve(ln) }()
+
+	select {
+	case err := <-done:
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Fprintln(stderr, "ised: shutting down")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(shutCtx); err != nil {
+		return err
+	}
+	if err := <-done; !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}

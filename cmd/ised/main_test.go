@@ -1,0 +1,121 @@
+package main
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"calib/api"
+	"calib/client"
+	"calib/internal/ise"
+)
+
+// TestDaemonLifecycle boots the daemon on a free port, drives it
+// through the Go client, scrapes /metrics, and shuts it down via
+// context cancellation — the same sequence scripts/service_smoke.sh
+// runs against the built binary in CI.
+func TestDaemonLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	addrFile := filepath.Join(dir, "addr")
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{"-addr", "127.0.0.1:0", "-addr-file", addrFile, "-max-inflight", "8"}, io.Discard)
+	}()
+
+	addr := waitForAddr(t, addrFile, done)
+	base := "http://" + addr
+	cl := client.New(base)
+
+	h, err := cl.Health(context.Background())
+	if err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+	if h.Status != "ok" || h.MaxInFlight != 8 {
+		t.Fatalf("health: %+v", h)
+	}
+
+	inst := ise.NewInstance(10, 1)
+	inst.AddJob(0, 40, 5)
+	inst.AddJob(30, 70, 8)
+	first, err := cl.Solve(context.Background(), &api.SolveRequest{Instance: inst})
+	if err != nil {
+		t.Fatalf("solve: %v", err)
+	}
+	if first.Cached || first.Schedule == nil {
+		t.Fatalf("first solve: %+v", first)
+	}
+	again, err := cl.Solve(context.Background(), &api.SolveRequest{Instance: inst})
+	if err != nil {
+		t.Fatalf("re-solve: %v", err)
+	}
+	if !again.Cached {
+		t.Fatal("identical re-solve not served from cache")
+	}
+
+	// The debug mux rides on the service port.
+	metrics := httpGet(t, base+"/metrics")
+	if !strings.Contains(metrics, "cache_hits_total 1") {
+		t.Fatalf("/metrics missing cache hit:\n%s", metrics)
+	}
+	if !strings.Contains(metrics, `service_requests_total{endpoint="solve"} 2`) {
+		t.Fatalf("/metrics missing request count:\n%s", metrics)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("shutdown: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("daemon did not shut down")
+	}
+}
+
+func TestBadFlags(t *testing.T) {
+	if err := run(context.Background(), []string{"-no-such-flag"}, io.Discard); err == nil {
+		t.Fatal("expected a flag error")
+	}
+	if err := run(context.Background(), []string{"-addr", "not-an-address"}, io.Discard); err == nil {
+		t.Fatal("expected a listen error")
+	}
+}
+
+func waitForAddr(t *testing.T, path string, done <-chan error) string {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		select {
+		case err := <-done:
+			t.Fatalf("daemon exited early: %v", err)
+		default:
+		}
+		if raw, err := os.ReadFile(path); err == nil && len(raw) > 0 {
+			return strings.TrimSpace(string(raw))
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatal("address file never appeared")
+	return ""
+}
+
+func httpGet(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(raw)
+}

@@ -136,6 +136,9 @@ type Row struct {
 	Utilization  float64
 	Millis       float64
 	Err          string
+	// Deduped marks a row replayed from a canonical twin's solve
+	// (RunDedup) rather than solved itself; Millis is the twin's.
+	Deduped bool
 }
 
 // Report is a completed batch.

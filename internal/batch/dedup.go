@@ -1,0 +1,110 @@
+package batch
+
+import (
+	"fmt"
+	"time"
+
+	"calib/internal/bounds"
+	"calib/internal/canon"
+	"calib/internal/ise"
+	"calib/internal/obs"
+	"calib/internal/sim"
+)
+
+// RunDedup is Run with canonical deduplication: items that are
+// equivalent up to job order and a uniform time shift (equal
+// internal/canon keys) are solved once per policy, and the resulting
+// schedule is replayed into every twin's own time frame and job IDs.
+// Duplicate-heavy batches — parameter sweeps, sliding-window extracts,
+// re-runs over overlapping corpora — pay for their unique instances
+// only.
+//
+// Rows still come back in (instance, policy) order and every row is
+// validated against its own original instance, so a replayed twin can
+// never be silently wrong. Replayed rows carry Deduped=true and the
+// leader's solve time. met counts replays on batch_dedup_replays_total
+// (nil = process default).
+func RunDedup(items []Item, policies []Policy, workers int, met *obs.Registry) *Report {
+	if met == nil {
+		met = obs.Default()
+	}
+	replays := met.Counter(obs.MBatchDedup)
+
+	// Group items by canonical key. The leader (first item of a group)
+	// is solved; the rest replay its canonical-frame schedule.
+	canons := make([]*canon.Canonical, len(items))
+	groups := map[uint64][]int{}
+	order := make([]uint64, 0, len(items)) // first-seen key order, for determinism
+	for i, it := range items {
+		canons[i] = canon.Canonicalize(it.Instance)
+		key := canons[i].Key
+		if _, seen := groups[key]; !seen {
+			order = append(order, key)
+		}
+		groups[key] = append(groups[key], i)
+	}
+
+	if workers < 1 {
+		workers = 1
+	}
+	type task struct {
+		key uint64
+		pol int
+	}
+	rows := make([]Row, len(items)*len(policies))
+	tasks := make(chan task)
+	done := make(chan struct{})
+	for w := 0; w < workers; w++ {
+		go func() {
+			for tk := range tasks {
+				members := groups[tk.key]
+				leader := members[0]
+				pol := policies[tk.pol]
+
+				// Solve the canonical form once. Policies receive the
+				// canonical instance, so even order-sensitive heuristics
+				// answer identically for every twin.
+				t0 := time.Now()
+				sched, err := pol.Solve(canons[leader].Instance)
+				millis := float64(time.Since(t0).Microseconds()) / 1000
+
+				for _, i := range members {
+					row := Row{Item: items[i].Name, Policy: pol.Name, N: items[i].Instance.N(),
+						LowerBound: bounds.Calibrations(items[i].Instance),
+						Millis:     millis, Deduped: i != leader}
+					switch {
+					case err != nil:
+						row.Err = err.Error()
+					default:
+						own := canons[i].Decanonicalize(sched)
+						if verr := ise.Validate(items[i].Instance, own); verr != nil {
+							row.Err = fmt.Sprintf("INFEASIBLE: %v", verr)
+							break
+						}
+						rep := sim.Replay(items[i].Instance, own)
+						row.Calibrations = own.NumCalibrations()
+						row.Machines = own.MachinesUsed()
+						row.Utilization = rep.Utilization
+					}
+					if row.Deduped {
+						replays.Inc()
+					}
+					rows[i*len(policies)+tk.pol] = row
+				}
+				done <- struct{}{}
+			}
+		}()
+	}
+	go func() {
+		for _, key := range order {
+			for p := range policies {
+				tasks <- task{key, p}
+			}
+		}
+		close(tasks)
+	}()
+	for n := 0; n < len(order)*len(policies); n++ {
+		<-done
+	}
+	return &Report{Rows: rows}
+}

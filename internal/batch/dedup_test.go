@@ -1,0 +1,150 @@
+package batch_test
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"calib/internal/batch"
+	"calib/internal/heur"
+	"calib/internal/ise"
+	"calib/internal/obs"
+)
+
+// dedupItems builds a duplicate-heavy batch: 3 genuinely distinct
+// instances, each present in 4 disguises (identical, shifted, permuted,
+// shifted+permuted) — 12 items, 3 unique canonical forms.
+func dedupItems(t *testing.T) []batch.Item {
+	t.Helper()
+	bases := make([]*ise.Instance, 3)
+	for b := range bases {
+		inst := ise.NewInstance(10, 2)
+		for j := 0; j < 5; j++ {
+			off := ise.Time(j * 6)
+			inst.AddJob(off, off+20+ise.Time(3*b), 2+ise.Time((j+b)%4))
+		}
+		bases[b] = inst
+	}
+	permuted := func(src *ise.Instance) *ise.Instance {
+		out := ise.NewInstance(src.T, src.M)
+		for j := src.N() - 1; j >= 0; j-- {
+			jb := src.Jobs[j]
+			out.AddJob(jb.Release, jb.Deadline, jb.Processing)
+		}
+		return out
+	}
+	var items []batch.Item
+	for b, base := range bases {
+		disguises := []*ise.Instance{
+			base.Clone(),
+			base.Shift(1000),
+			permuted(base),
+			permuted(base).Shift(250),
+		}
+		for d, inst := range disguises {
+			items = append(items, batch.Item{
+				Name:     string(rune('a'+b)) + "-" + string(rune('0'+d)),
+				Instance: inst,
+			})
+		}
+	}
+	return items
+}
+
+// TestRunDedupSolvesOncePerUniqueInstance is the core dedup check:
+// the solve count drops from items x policies to unique-keys x
+// policies, while every row still validates in its own frame.
+func TestRunDedupSolvesOncePerUniqueInstance(t *testing.T) {
+	items := dedupItems(t)
+	var solves atomic.Int64
+	counting := []batch.Policy{{
+		Name: "lazy",
+		Solve: func(inst *ise.Instance) (*ise.Schedule, error) {
+			solves.Add(1)
+			return heur.Lazy(inst, heur.Options{})
+		},
+	}}
+
+	reg := obs.NewRegistry()
+	rep := batch.RunDedup(items, counting, 4, reg)
+
+	if got, want := solves.Load(), int64(3); got != want {
+		t.Fatalf("policy solved %d times for 12 items, want %d (one per unique canonical form)", got, want)
+	}
+	if len(rep.Rows) != len(items) {
+		t.Fatalf("rows = %d, want %d", len(rep.Rows), len(items))
+	}
+	deduped := 0
+	for i, row := range rep.Rows {
+		if row.Err != "" {
+			t.Fatalf("row %d (%s): %s", i, row.Item, row.Err)
+		}
+		if row.Item != items[i].Name {
+			t.Fatalf("row %d out of order: %s", i, row.Item)
+		}
+		if row.Deduped {
+			deduped++
+		}
+	}
+	if deduped != 9 {
+		t.Fatalf("deduped rows = %d, want 9 (12 items - 3 leaders)", deduped)
+	}
+	if got := reg.Counter(obs.MBatchDedup).Value(); got != 9 {
+		t.Fatalf("batch_dedup_replays_total = %d, want 9", got)
+	}
+}
+
+// TestRunDedupMatchesRunObjectives: for an order-insensitive check —
+// feasibility and identical objective across disguises of the same
+// base — dedup must agree with itself for every twin.
+func TestRunDedupTwinsAgree(t *testing.T) {
+	items := dedupItems(t)
+	rep := batch.RunDedup(items, []batch.Policy{{
+		Name: "lazy",
+		Solve: func(inst *ise.Instance) (*ise.Schedule, error) {
+			return heur.Lazy(inst, heur.Options{})
+		},
+	}}, 2, nil)
+
+	// 4 consecutive rows per base; all must report the same objective,
+	// since they replay one canonical solve.
+	for b := 0; b < 3; b++ {
+		want := rep.Rows[b*4].Calibrations
+		for d := 1; d < 4; d++ {
+			if got := rep.Rows[b*4+d].Calibrations; got != want {
+				t.Errorf("base %d disguise %d: %d calibrations, leader had %d", b, d, got, want)
+			}
+		}
+	}
+}
+
+// TestRunDedupNoDuplicates: on an all-unique batch RunDedup degrades
+// to plain Run semantics — no replays, no Deduped rows.
+func TestRunDedupNoDuplicates(t *testing.T) {
+	var items []batch.Item
+	for i := 0; i < 4; i++ {
+		inst := ise.NewInstance(10, 1)
+		inst.AddJob(0, 30+ise.Time(i), 4)
+		items = append(items, batch.Item{Name: string(rune('a' + i)), Instance: inst})
+	}
+	reg := obs.NewRegistry()
+	var solves atomic.Int64
+	rep := batch.RunDedup(items, []batch.Policy{{
+		Name: "lazy",
+		Solve: func(inst *ise.Instance) (*ise.Schedule, error) {
+			solves.Add(1)
+			return heur.Lazy(inst, heur.Options{})
+		},
+	}}, 3, reg)
+
+	if got := solves.Load(); got != 4 {
+		t.Fatalf("solves = %d, want 4", got)
+	}
+	for _, row := range rep.Rows {
+		if row.Deduped || row.Err != "" {
+			t.Fatalf("unexpected row: %+v", row)
+		}
+	}
+	if got := reg.Counter(obs.MBatchDedup).Value(); got != 0 {
+		t.Fatalf("batch_dedup_replays_total = %d, want 0", got)
+	}
+}

@@ -1,0 +1,134 @@
+// Package canon canonicalizes ISE instances so that equivalent
+// instances — equal up to a permutation of their job list and a
+// uniform translation of all windows in time — map to one canonical
+// form and one stable 64-bit key. The serving layer (internal/cache,
+// internal/server) and the batch runner key their schedule caches on
+// that hash, and the inverse mapping turns a schedule for the
+// canonical instance back into a schedule for the original.
+//
+// Two instances share a canonical key iff they have the same T, the
+// same machine budget M, and the same multiset of job shapes
+// (release, deadline, processing) after translating the earliest
+// release to 0. Both transformations are exact similarity transforms
+// of the problem (see ise.Instance.Shift and the job-ID remapping of
+// ise.Schedule.RenumberJobs): schedules correspond one-to-one with
+// identical calibration and machine counts, so replaying a cached
+// canonical schedule through Decanonicalize loses nothing. The
+// metamorphic suite in canon_test.go asserts exactly that.
+//
+// The key is FNV-1a over the canonical byte serialization. It is a
+// content hash, not a cryptographic MAC: collisions are astronomically
+// unlikely but not adversarially hard, which is the right trade for a
+// cache key (a collision yields a wrong schedule that the server's
+// final ise.Validate pass rejects — fail safe, not fail silent).
+package canon
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"sort"
+
+	"calib/internal/ise"
+)
+
+// Canonical is an instance in canonical form plus the mapping back to
+// the original instance it was derived from.
+type Canonical struct {
+	// Instance is the canonical form: jobs sorted by (release,
+	// deadline, processing), releases translated so the earliest is 0,
+	// IDs renumbered to match the sorted order.
+	Instance *ise.Instance
+	// Key is the 64-bit content hash of the canonical form.
+	Key uint64
+	// Shift is the translation that was subtracted: original release =
+	// canonical release + Shift.
+	Shift ise.Time
+	// OriginalIDs maps a canonical job ID (= index) to the job's ID in
+	// the original instance.
+	OriginalIDs []int
+}
+
+// Canonicalize builds the canonical form of inst. The input is not
+// modified. Jobs with identical (release, deadline, processing) are
+// interchangeable; ties keep input order so the mapping stays a
+// bijection.
+func Canonicalize(inst *ise.Instance) *Canonical {
+	order := make([]int, len(inst.Jobs))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		ja, jb := inst.Jobs[order[a]], inst.Jobs[order[b]]
+		if ja.Release != jb.Release {
+			return ja.Release < jb.Release
+		}
+		if ja.Deadline != jb.Deadline {
+			return ja.Deadline < jb.Deadline
+		}
+		return ja.Processing < jb.Processing
+	})
+	var shift ise.Time
+	if len(inst.Jobs) > 0 {
+		shift = inst.Jobs[order[0]].Release
+	}
+	c := &Canonical{
+		Instance:    ise.NewInstance(inst.T, inst.M),
+		Shift:       shift,
+		OriginalIDs: make([]int, 0, len(order)),
+	}
+	for _, idx := range order {
+		j := inst.Jobs[idx]
+		c.Instance.AddJob(j.Release-shift, j.Deadline-shift, j.Processing)
+		c.OriginalIDs = append(c.OriginalIDs, j.ID)
+	}
+	c.Key = hashInstance(c.Instance)
+	return c
+}
+
+// Key returns the canonical key of inst without retaining the
+// canonical form. Equal up to job permutation and uniform time shift
+// implies equal keys.
+func Key(inst *ise.Instance) uint64 { return Canonicalize(inst).Key }
+
+// Decanonicalize maps a schedule for the canonical instance back to a
+// schedule for the original instance: every calibration and placement
+// is translated by +Shift and placement job IDs are rewritten through
+// OriginalIDs. The input schedule is not modified.
+func (c *Canonical) Decanonicalize(s *ise.Schedule) *ise.Schedule {
+	out := s.Clone()
+	for i := range out.Calibrations {
+		out.Calibrations[i].Start += c.Shift
+	}
+	for i := range out.Placements {
+		out.Placements[i].Start += c.Shift
+		out.Placements[i].Job = c.OriginalIDs[out.Placements[i].Job]
+	}
+	return out
+}
+
+// hashInstance is FNV-1a over a fixed-width little-endian
+// serialization of the canonical instance. A leading version tag keeps
+// the key stable across releases unless the serialization itself
+// changes (bump the tag when it does, so stale persisted keys cannot
+// alias).
+func hashInstance(inst *ise.Instance) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	word := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	word(canonVersion)
+	word(uint64(inst.T))
+	word(uint64(inst.M))
+	word(uint64(len(inst.Jobs)))
+	for _, j := range inst.Jobs {
+		word(uint64(j.Release))
+		word(uint64(j.Deadline))
+		word(uint64(j.Processing))
+	}
+	return h.Sum64()
+}
+
+// canonVersion tags the serialization format hashed above.
+const canonVersion = 1

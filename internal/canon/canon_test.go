@@ -1,0 +1,190 @@
+package canon_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"calib/internal/canon"
+	"calib/internal/exact"
+	"calib/internal/heur"
+	"calib/internal/ise"
+	"calib/internal/workload"
+)
+
+// permute returns a copy of inst with its jobs re-added in the given
+// order (IDs renumbered to stay index-equal, as ise.Validate requires).
+func permute(inst *ise.Instance, order []int) *ise.Instance {
+	out := ise.NewInstance(inst.T, inst.M)
+	for _, idx := range order {
+		j := inst.Jobs[idx]
+		out.AddJob(j.Release, j.Deadline, j.Processing)
+	}
+	return out
+}
+
+func shuffled(rng *rand.Rand, n int) []int {
+	order := rng.Perm(n)
+	return order
+}
+
+// TestKeyMetamorphic is the canonicalization invariant suite: for
+// random instances, any job permutation and any uniform time shift
+// must land on the same key, and the de-canonicalized schedule of the
+// canonical instance must be feasible for the original with the same
+// calibration count.
+func TestKeyMetamorphic(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 40; trial++ {
+		inst, _ := workload.Mixed(rng, 3+rng.Intn(12), 1+rng.Intn(2), 8, 0.5)
+		key := canon.Key(inst)
+
+		perm := permute(inst, shuffled(rng, inst.N()))
+		if got := canon.Key(perm); got != key {
+			t.Fatalf("trial %d: permuted key %#x != %#x", trial, got, key)
+		}
+		delta := ise.Time(rng.Intn(2000) - 1000)
+		if got := canon.Key(inst.Shift(delta)); got != key {
+			t.Fatalf("trial %d: key after shift by %d: %#x != %#x", trial, delta, got, key)
+		}
+		if got := canon.Key(permute(inst.Shift(delta), shuffled(rng, inst.N()))); got != key {
+			t.Fatalf("trial %d: key after shift+permute differs", trial)
+		}
+
+		// Solve the canonical form, replay onto the shifted+permuted
+		// twin: feasible, same objective.
+		twin := permute(inst.Shift(delta), shuffled(rng, inst.N()))
+		c := canon.Canonicalize(twin)
+		canonSched, err := heur.Lazy(c.Instance, heur.Options{})
+		if err != nil {
+			t.Fatalf("trial %d: lazy on canonical form: %v", trial, err)
+		}
+		sched := c.Decanonicalize(canonSched)
+		if err := ise.Validate(twin, sched); err != nil {
+			t.Fatalf("trial %d: de-canonicalized schedule infeasible: %v", trial, err)
+		}
+		if sched.NumCalibrations() != canonSched.NumCalibrations() {
+			t.Fatalf("trial %d: calibration count changed in de-canonicalization: %d != %d",
+				trial, sched.NumCalibrations(), canonSched.NumCalibrations())
+		}
+	}
+}
+
+// TestExactObjectiveInvariant: for an optimal solver the objective is
+// a property of the equivalence class, so solving the canonical form
+// must give exactly the optimum of the original. (Heuristics may
+// legitimately break ties differently under reordering, which is why
+// TestKeyMetamorphic only asserts feasibility and count preservation.)
+func TestExactObjectiveInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 10; trial++ {
+		inst, _ := workload.Mixed(rng, 4+rng.Intn(3), 1, 6, 0.5)
+		direct, err := exact.Solve(inst, exact.Options{})
+		if err != nil {
+			t.Fatalf("trial %d: exact on original: %v", trial, err)
+		}
+		twin := permute(inst.Shift(ise.Time(rng.Intn(500))), shuffled(rng, inst.N()))
+		c := canon.Canonicalize(twin)
+		viaCanon, err := exact.Solve(c.Instance, exact.Options{})
+		if err != nil {
+			t.Fatalf("trial %d: exact on canonical form: %v", trial, err)
+		}
+		if direct.Calibrations != viaCanon.Calibrations {
+			t.Fatalf("trial %d: canonical optimum %d != original optimum %d",
+				trial, viaCanon.Calibrations, direct.Calibrations)
+		}
+		sched := c.Decanonicalize(viaCanon.Schedule)
+		if err := ise.Validate(twin, sched); err != nil {
+			t.Fatalf("trial %d: de-canonicalized exact schedule infeasible: %v", trial, err)
+		}
+	}
+}
+
+func TestCanonicalFormIsNormalized(t *testing.T) {
+	inst := ise.NewInstance(10, 2)
+	inst.AddJob(130, 150, 5)
+	inst.AddJob(100, 140, 8)
+	inst.AddJob(100, 120, 3)
+	c := canon.Canonicalize(inst)
+	if c.Shift != 100 {
+		t.Errorf("shift = %d, want 100", c.Shift)
+	}
+	if got := c.Instance.Jobs[0].Release; got != 0 {
+		t.Errorf("earliest canonical release = %d, want 0", got)
+	}
+	for i := 1; i < c.Instance.N(); i++ {
+		a, b := c.Instance.Jobs[i-1], c.Instance.Jobs[i]
+		if a.Release > b.Release ||
+			(a.Release == b.Release && a.Deadline > b.Deadline) ||
+			(a.Release == b.Release && a.Deadline == b.Deadline && a.Processing > b.Processing) {
+			t.Errorf("canonical jobs not sorted at %d: %v then %v", i, a, b)
+		}
+	}
+	if err := c.Instance.Validate(); err != nil {
+		t.Errorf("canonical instance invalid: %v", err)
+	}
+	// Idempotence: canonicalizing the canonical form is the identity
+	// transformation with the same key.
+	c2 := canon.Canonicalize(c.Instance)
+	if c2.Key != c.Key || c2.Shift != 0 {
+		t.Errorf("canonicalization not idempotent: key %#x vs %#x, shift %d", c2.Key, c.Key, c2.Shift)
+	}
+}
+
+// TestKeyDiscriminates: the key must separate instances that are NOT
+// equivalent — different T, different machine budget, different job
+// shapes. (Not a collision-freeness proof, just a sanity net over the
+// fields that must participate in the hash.)
+func TestKeyDiscriminates(t *testing.T) {
+	base := ise.NewInstance(10, 2)
+	base.AddJob(0, 40, 5)
+	base.AddJob(30, 60, 8)
+	key := canon.Key(base)
+
+	cases := map[string]*ise.Instance{
+		"different T": func() *ise.Instance {
+			in := ise.NewInstance(11, 2)
+			in.AddJob(0, 40, 5)
+			in.AddJob(30, 60, 8)
+			return in
+		}(),
+		"different M": base.WithM(3),
+		"different processing": func() *ise.Instance {
+			in := ise.NewInstance(10, 2)
+			in.AddJob(0, 40, 6)
+			in.AddJob(30, 60, 8)
+			return in
+		}(),
+		"extra job": func() *ise.Instance {
+			in := base.Clone()
+			in.AddJob(0, 40, 5)
+			return in
+		}(),
+		"non-uniform shift": func() *ise.Instance {
+			in := ise.NewInstance(10, 2)
+			in.AddJob(0, 40, 5)
+			in.AddJob(31, 61, 8)
+			return in
+		}(),
+	}
+	for name, in := range cases {
+		if canon.Key(in) == key {
+			t.Errorf("%s: key collides with base", name)
+		}
+	}
+}
+
+func TestEmptyInstance(t *testing.T) {
+	a := ise.NewInstance(10, 1)
+	b := ise.NewInstance(10, 1)
+	if canon.Key(a) != canon.Key(b) {
+		t.Error("empty instances disagree on key")
+	}
+	c := canon.Canonicalize(a)
+	if c.Shift != 0 || c.Instance.N() != 0 {
+		t.Errorf("empty canonical form: shift=%d n=%d", c.Shift, c.Instance.N())
+	}
+	s := c.Decanonicalize(ise.NewSchedule(1))
+	if s.NumCalibrations() != 0 {
+		t.Error("decanonicalize invented calibrations")
+	}
+}

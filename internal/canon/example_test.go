@@ -1,0 +1,34 @@
+package canon_test
+
+import (
+	"fmt"
+
+	"calib/internal/canon"
+	"calib/internal/heur"
+	"calib/internal/ise"
+)
+
+// Two instances that differ only by job order and a uniform time
+// shift share one canonical key, so a schedule solved once for the
+// canonical form can be replayed for both.
+func Example() {
+	a := ise.NewInstance(10, 1)
+	a.AddJob(0, 40, 5)
+	a.AddJob(30, 70, 8)
+
+	b := ise.NewInstance(10, 1) // same workload, shifted +100, reordered
+	b.AddJob(130, 170, 8)
+	b.AddJob(100, 140, 5)
+
+	fmt.Println("same key:", canon.Key(a) == canon.Key(b))
+
+	cb := canon.Canonicalize(b)
+	canonSched, _ := heur.Lazy(cb.Instance, heur.Options{})
+	sched := cb.Decanonicalize(canonSched)
+	fmt.Println("feasible for b:", ise.Validate(b, sched) == nil)
+	fmt.Println("calibrations preserved:", sched.NumCalibrations() == canonSched.NumCalibrations())
+	// Output:
+	// same key: true
+	// feasible for b: true
+	// calibrations preserved: true
+}

@@ -37,6 +37,23 @@ const (
 	MRobustBudgetHits   = "robust_budget_exhausted_total" // solves that exhausted their work budget
 	MRobustPanics       = "robust_panics_total"           // solver panics contained by RecoverTo
 
+	// internal/cache — canonicalization-keyed schedule cache.
+	MCacheHits      = "cache_hits_total"                // lookups answered from the LRU
+	MCacheMisses    = "cache_misses_total"              // lookups that had to solve
+	MCacheEvictions = "cache_evictions_total"           // entries dropped by LRU pressure
+	MCacheEntries   = "cache_entries"                   // gauge: live entries across all shards
+	MCacheShared    = "cache_singleflight_shared_total" // callers who joined another caller's in-flight solve
+
+	// internal/server + internal/batch — the ised serving layer.
+	MServiceRequests    = "service_requests_total"    // HTTP requests; labeled endpoint=solve|batch|healthz
+	MServiceErrors      = "service_errors_total"      // non-2xx responses; labeled endpoint=...
+	MServiceShed        = "service_shed_total"        // requests refused with 429 by admission control
+	MServiceInflight    = "service_inflight"          // gauge: admitted requests currently being served
+	MServiceInflightMax = "service_inflight_max"      // gauge: peak concurrent admitted requests
+	MServiceQueueDepth  = "service_queue_depth"       // gauge: requests waiting for an admission slot
+	MServiceSeconds     = "service_request_seconds"   // histogram: end-to-end solve/batch latency
+	MBatchDedup         = "batch_dedup_replays_total" // batch rows replayed from a canonical twin's solve
+
 	// internal/mm — machine-minimization LP boxes.
 	MMMLPProbes     = "mm_lp_probes_total"           // feasibility-LP probes (LPSearch binary search)
 	MMMLPInfeasible = "mm_lp_probe_infeasible_total" // probes that came back infeasible
@@ -79,4 +96,29 @@ func Declare(r *Registry) {
 	r.Gauge(MDecompPoolMax)
 	r.Histogram(MDecompCompSecs, nil)
 	r.Histogram(MSolveSeconds, nil)
+}
+
+// DeclareService pre-registers the serving-layer series (internal/
+// cache, internal/server, internal/batch dedup) the same way Declare
+// does for the solver pipeline. cmd/ised calls both, so a scrape of a
+// fresh daemon already exports every series at zero.
+func DeclareService(r *Registry) {
+	if r == nil {
+		return
+	}
+	for _, n := range []string{
+		MCacheHits, MCacheMisses, MCacheEvictions, MCacheShared,
+		MServiceShed, MBatchDedup,
+	} {
+		r.Counter(n)
+	}
+	for _, ep := range []string{"solve", "batch", "healthz"} {
+		r.CounterWith(MServiceRequests, "endpoint", ep)
+		r.CounterWith(MServiceErrors, "endpoint", ep)
+	}
+	r.Gauge(MCacheEntries)
+	r.Gauge(MServiceInflight)
+	r.Gauge(MServiceInflightMax)
+	r.Gauge(MServiceQueueDepth)
+	r.Histogram(MServiceSeconds, nil)
 }

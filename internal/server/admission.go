@@ -1,0 +1,101 @@
+package server
+
+import (
+	"context"
+	"sync/atomic"
+	"time"
+
+	"calib/internal/obs"
+)
+
+// admission bounds the number of concurrently served solves. A
+// request first tries for a slot without blocking; if none is free it
+// may wait briefly in a bounded queue; when the queue is full or the
+// wait expires the request is shed (the caller answers 429 with
+// Retry-After). Shedding instead of unbounded queueing is the point:
+// under overload the daemon's latency stays flat and clients retry
+// with backoff, rather than every request timing out behind an
+// ever-growing queue.
+type admission struct {
+	tokens    chan struct{}
+	maxQueue  int64
+	queueWait time.Duration
+	waiting   atomic.Int64
+
+	inflight    *obs.Gauge
+	inflightMax *obs.Gauge
+	queueDepth  *obs.Gauge
+	shed        *obs.Counter
+}
+
+// newAdmission builds an admission controller with maxInflight slots
+// and a wait queue of at most maxQueue requests (0 = no queueing:
+// shed the moment no slot is free) that each wait at most queueWait.
+func newAdmission(maxInflight, maxQueue int, queueWait time.Duration, met *obs.Registry) *admission {
+	a := &admission{
+		tokens:      make(chan struct{}, maxInflight),
+		maxQueue:    int64(maxQueue),
+		queueWait:   queueWait,
+		inflight:    met.Gauge(obs.MServiceInflight),
+		inflightMax: met.Gauge(obs.MServiceInflightMax),
+		queueDepth:  met.Gauge(obs.MServiceQueueDepth),
+		shed:        met.Counter(obs.MServiceShed),
+	}
+	for i := 0; i < maxInflight; i++ {
+		a.tokens <- struct{}{}
+	}
+	return a
+}
+
+// acquire claims a slot, waiting up to queueWait in the bounded queue.
+// It reports false — after counting the shed — when the request must
+// be refused. ctx aborts the queue wait early (client gone).
+func (a *admission) acquire(ctx context.Context) bool {
+	select {
+	case <-a.tokens:
+		a.admitted()
+		return true
+	default:
+	}
+	if a.maxQueue <= 0 || a.queueWait <= 0 {
+		a.shed.Inc()
+		return false
+	}
+	if a.waiting.Add(1) > a.maxQueue {
+		a.waiting.Add(-1)
+		a.shed.Inc()
+		return false
+	}
+	a.queueDepth.Set(float64(a.waiting.Load()))
+	defer func() {
+		a.waiting.Add(-1)
+		a.queueDepth.Set(float64(a.waiting.Load()))
+	}()
+	timer := time.NewTimer(a.queueWait)
+	defer timer.Stop()
+	select {
+	case <-a.tokens:
+		a.admitted()
+		return true
+	case <-timer.C:
+	case <-ctx.Done():
+	}
+	a.shed.Inc()
+	return false
+}
+
+func (a *admission) admitted() {
+	a.inflightMax.SetMax(a.inflight.Add(1))
+}
+
+// release returns the slot claimed by a successful acquire.
+func (a *admission) release() {
+	a.inflight.Add(-1)
+	a.tokens <- struct{}{}
+}
+
+// InFlight returns the number of currently admitted requests.
+func (a *admission) InFlight() int { return int(a.inflight.Value()) }
+
+// QueueDepth returns the number of requests currently queued.
+func (a *admission) QueueDepth() int { return int(a.waiting.Load()) }

@@ -1,0 +1,91 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"calib/api"
+	"calib/internal/ise"
+)
+
+// BenchmarkServiceSolve measures end-to-end /v1/solve throughput with
+// the real solver behind the cache: HTTP round trip, canonicalization,
+// cache, admission, JSON both ways. scripts/bench.sh runs it for
+// BENCH_service.json.
+func BenchmarkServiceSolve(b *testing.B) {
+	srv := New(Config{})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	// A modest rotation of distinct instances (some repeat, so the
+	// run exercises both cache hits and fresh solves).
+	const rotation = 16
+	bodies := make([][]byte, rotation)
+	for i := range bodies {
+		inst := ise.NewInstance(10, 2)
+		for j := 0; j < 6; j++ {
+			off := ise.Time(j * 7)
+			inst.AddJob(off, off+25+ise.Time(i), 2+ise.Time(j%4))
+		}
+		buf, err := json.Marshal(api.SolveRequest{Instance: inst})
+		if err != nil {
+			b.Fatal(err)
+		}
+		bodies[i] = buf
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			resp, err := http.Post(ts.URL+"/v1/solve", "application/json", bytes.NewReader(bodies[i%rotation]))
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			var out api.SolveResponse
+			if resp.StatusCode != http.StatusOK || json.NewDecoder(resp.Body).Decode(&out) != nil {
+				resp.Body.Close()
+				b.Errorf("status %d", resp.StatusCode)
+				return
+			}
+			resp.Body.Close()
+			i++
+		}
+	})
+}
+
+// BenchmarkServiceCacheHit isolates the cached path: every request
+// after the first is a canonical twin, so this measures the service
+// overhead floor (HTTP + JSON + canonicalize + LRU hit).
+func BenchmarkServiceCacheHit(b *testing.B) {
+	srv := New(Config{})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	inst := ise.NewInstance(10, 1)
+	inst.AddJob(0, 40, 5)
+	inst.AddJob(30, 70, 8)
+	body, err := json.Marshal(api.SolveRequest{Instance: inst})
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := http.Post(ts.URL+"/v1/solve", "application/json", bytes.NewReader(body))
+		if err != nil {
+			b.Fatal(err)
+		}
+		var out api.SolveResponse
+		if json.NewDecoder(resp.Body).Decode(&out) != nil || resp.StatusCode != http.StatusOK {
+			b.Fatalf("status %d", resp.StatusCode)
+		}
+		resp.Body.Close()
+	}
+}

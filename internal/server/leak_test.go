@@ -1,0 +1,136 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"calib/api"
+	"calib/internal/heur"
+	"calib/internal/ise"
+)
+
+// TestSustains512ConcurrentSolves is the headline acceptance test:
+// under -race the daemon holds >= 512 concurrent in-flight /v1/solve
+// requests — every one admitted and parked inside the solver at the
+// same instant — then drains them all successfully without leaking a
+// single goroutine.
+//
+// The stub solver blocks each request on a barrier until `want`
+// distinct requests are inside it, which proves true concurrency (not
+// just 512 requests eventually served). Every request carries a
+// distinct instance so neither the cache nor singleflight can
+// collapse them into fewer in-flight solves.
+func TestSustains512ConcurrentSolves(t *testing.T) {
+	if testing.Short() {
+		t.Skip("512-way concurrency test skipped in -short mode")
+	}
+	const want = 512
+
+	before := goroutineCount()
+
+	var inside atomic.Int64
+	allIn := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	barrier := func(_ context.Context, inst *ise.Instance, _ time.Duration, _ int64) (*Result, error) {
+		if inside.Add(1) == want {
+			once.Do(func() { close(allIn) })
+		}
+		<-release
+		sched, err := heur.Lazy(inst, heur.Options{})
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Schedule: sched, Calibrations: sched.NumCalibrations(), MachinesUsed: sched.MachinesUsed()}, nil
+	}
+
+	srv := New(Config{MaxInFlight: want, MaxQueue: -1, Solve: barrier})
+	ts := httptest.NewServer(srv)
+
+	transport := &http.Transport{MaxIdleConns: want, MaxIdleConnsPerHost: want, MaxConnsPerHost: 0}
+	client := &http.Client{Transport: transport, Timeout: 2 * time.Minute}
+
+	var ok, failed atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < want; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			inst := ise.NewInstance(10, 1)
+			// Distinct deadline per request. Canonicalization erases
+			// uniform shifts (shifted twins share a key — and a flight),
+			// so the instances must differ in canonical form for all 512
+			// to be genuinely distinct solves.
+			inst.AddJob(0, 20+ise.Time(i), 3)
+			inst.AddJob(5, 40+ise.Time(2*i), 7)
+			buf, err := json.Marshal(api.SolveRequest{Instance: inst})
+			if err != nil {
+				failed.Add(1)
+				return
+			}
+			resp, err := client.Post(ts.URL+"/v1/solve", "application/json", bytes.NewReader(buf))
+			if err != nil {
+				failed.Add(1)
+				return
+			}
+			defer resp.Body.Close()
+			var out api.SolveResponse
+			if resp.StatusCode != http.StatusOK || json.NewDecoder(resp.Body).Decode(&out) != nil || out.Schedule == nil {
+				failed.Add(1)
+				return
+			}
+			ok.Add(1)
+		}(i)
+	}
+
+	select {
+	case <-allIn:
+		// All `want` requests are simultaneously inside the solver.
+	case <-time.After(90 * time.Second):
+		t.Fatalf("only %d/%d requests made it in-flight concurrently", inside.Load(), want)
+	}
+	if got := srv.adm.InFlight(); got != want {
+		t.Errorf("admission reports %d in-flight at the barrier, want %d", got, want)
+	}
+
+	close(release)
+	wg.Wait()
+	if failed.Load() != 0 || ok.Load() != want {
+		t.Fatalf("ok=%d failed=%d, want %d/0", ok.Load(), failed.Load(), want)
+	}
+	if got := srv.adm.InFlight(); got != 0 {
+		t.Errorf("in-flight after drain = %d, want 0", got)
+	}
+
+	ts.Close()
+	transport.CloseIdleConnections()
+
+	// Leak check: settle and compare against the pre-test baseline,
+	// with a generous retry loop for netpoll/timer goroutines that take
+	// a moment to exit.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		runtime.GC()
+		after := goroutineCount()
+		if after <= before+4 { // slack for runtime helpers (GC, netpoll)
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutine leak: %d before, %d after drain", before, after)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+func goroutineCount() int {
+	runtime.GC()
+	return runtime.NumGoroutine()
+}

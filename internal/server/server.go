@@ -1,0 +1,416 @@
+// Package server is the HTTP serving layer of the ised solver
+// daemon: a JSON API over the calibration-scheduling pipeline with
+// canonicalization-keyed caching, singleflight deduplication,
+// admission control with load shedding, and per-request
+// timeout/budget limits wired into the robust degradation ladder.
+//
+// Endpoints (wire types in calib/api, reference in docs/SERVICE.md):
+//
+//	POST /v1/solve    solve one instance
+//	POST /v1/batch    solve many instances, deduplicating equivalent ones
+//	GET  /v1/healthz  liveness + load + cache statistics
+//
+// Request flow for /v1/solve: canonicalize (internal/canon) → cache
+// lookup (internal/cache; a hit answers without touching a solver
+// engine) → admission (bounded in-flight solves; full ⇒ 429 +
+// Retry-After) → singleflight solve through core.SolveRobust's
+// exact→LP→heuristic ladder → de-canonicalize → validate → respond.
+// Every response schedule is re-verified by ise.Validate against the
+// request's own instance before it leaves the process.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"calib"
+	"calib/api"
+	"calib/internal/cache"
+	"calib/internal/canon"
+	"calib/internal/ise"
+	"calib/internal/obs"
+	"calib/internal/robust"
+)
+
+// Result is the cached outcome of one canonical solve. The schedule
+// is in the canonical time frame; Decanonicalize maps it into each
+// requester's frame. Entries are treated as immutable once cached.
+type Result struct {
+	Schedule     *ise.Schedule
+	Calibrations int
+	MachinesUsed int
+	Components   int
+	LowerBound   int
+	Degraded     bool
+	Exact        bool
+}
+
+// SolveFunc produces a Result for a canonical instance under the
+// given limits. Config.Solve overrides it in tests; the default runs
+// calib.SolveRobust.
+type SolveFunc func(ctx context.Context, inst *ise.Instance, timeout time.Duration, budget int64) (*Result, error)
+
+// Config parameterizes New. The zero value serves with sensible
+// defaults (256 in-flight solves, a 4096-entry cache, 30s max solve).
+type Config struct {
+	// MaxInFlight bounds concurrently admitted solves (0 = 256).
+	MaxInFlight int
+	// MaxQueue bounds requests waiting for an admission slot
+	// (0 = MaxInFlight, < 0 = no queue: shed immediately).
+	MaxQueue int
+	// QueueWait is the longest a queued request waits before being
+	// shed (0 = 100ms).
+	QueueWait time.Duration
+	// CacheEntries sizes the canonical schedule cache (0 = 4096,
+	// < 0 = disable storage; singleflight still deduplicates).
+	CacheEntries int
+	// MaxTimeout caps — and, when a request does not ask, defaults —
+	// the per-solve wall clock (0 = 30s). Requests can only tighten it.
+	MaxTimeout time.Duration
+	// MaxBudget caps the per-solve work budget (0 = unlimited).
+	MaxBudget int64
+	// RetryAfter is the hint returned with 429 responses (0 = 1s).
+	RetryAfter time.Duration
+	// MaxBody bounds request bodies in bytes (0 = 16 MiB).
+	MaxBody int64
+	// WarmStart and Parallelism configure the underlying solver (see
+	// calib.Options).
+	WarmStart   bool
+	Parallelism int
+	// Metrics receives the service_*, cache_* and solver series
+	// (nil = a private registry, so gauges still work).
+	Metrics *obs.Registry
+	// Solve overrides the solver (tests). nil = calib.SolveRobust.
+	Solve SolveFunc
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 256
+	}
+	switch {
+	case c.MaxQueue == 0:
+		c.MaxQueue = c.MaxInFlight
+	case c.MaxQueue < 0:
+		c.MaxQueue = 0
+	}
+	if c.QueueWait <= 0 {
+		c.QueueWait = 100 * time.Millisecond
+	}
+	switch {
+	case c.CacheEntries == 0:
+		c.CacheEntries = 4096
+	case c.CacheEntries < 0:
+		c.CacheEntries = 0
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 30 * time.Second
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	if c.MaxBody <= 0 {
+		c.MaxBody = 16 << 20
+	}
+	if c.Metrics == nil {
+		c.Metrics = obs.NewRegistry()
+	}
+	return c
+}
+
+// Server handles the /v1 API. Create with New; it is an http.Handler.
+type Server struct {
+	cfg   Config
+	adm   *admission
+	cache *cache.Cache[*Result]
+	solve SolveFunc
+	mux   *http.ServeMux
+	start time.Time
+
+	latency *obs.Histogram
+}
+
+// New builds a Server from cfg.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	obs.DeclareService(cfg.Metrics)
+	s := &Server{
+		cfg:     cfg,
+		adm:     newAdmission(cfg.MaxInFlight, cfg.MaxQueue, cfg.QueueWait, cfg.Metrics),
+		cache:   cache.New[*Result](cfg.CacheEntries, cfg.Metrics),
+		solve:   cfg.Solve,
+		mux:     http.NewServeMux(),
+		start:   time.Now(),
+		latency: cfg.Metrics.Histogram(obs.MServiceSeconds, nil),
+	}
+	if s.solve == nil {
+		s.solve = s.defaultSolve
+	}
+	s.mux.HandleFunc("/v1/solve", s.handleSolve)
+	s.mux.HandleFunc("/v1/batch", s.handleBatch)
+	s.mux.HandleFunc("/v1/healthz", s.handleHealthz)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Metrics returns the registry the server reports into.
+func (s *Server) Metrics() *obs.Registry { return s.cfg.Metrics }
+
+// defaultSolve runs the robust ladder on the canonical instance. The
+// solve is detached from the request context (context.WithoutCancel in
+// the handler): its cost is bounded by timeout/budget, and a result
+// computed for a disconnected client still lands in the cache and
+// still answers any singleflight waiters.
+func (s *Server) defaultSolve(ctx context.Context, inst *ise.Instance, timeout time.Duration, budget int64) (*Result, error) {
+	sol, err := calib.SolveRobust(inst, &calib.Options{
+		WarmStart:   s.cfg.WarmStart,
+		Parallelism: s.cfg.Parallelism,
+		Metrics:     s.cfg.Metrics,
+		Context:     ctx,
+		Timeout:     timeout,
+		Budget:      budget,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Schedule:     sol.Schedule,
+		Calibrations: sol.Calibrations,
+		MachinesUsed: sol.MachinesUsed,
+		Components:   sol.Components,
+		LowerBound:   sol.LowerBound,
+		Degraded:     sol.Degraded,
+		Exact:        sol.Exact,
+	}, nil
+}
+
+// limits clamps the request's asked-for limits to the server's maxima.
+func (s *Server) limits(o api.SolveOptions) (time.Duration, int64) {
+	timeout := s.cfg.MaxTimeout
+	if req := time.Duration(o.TimeoutMillis) * time.Millisecond; req > 0 && req < timeout {
+		timeout = req
+	}
+	budget := s.cfg.MaxBudget
+	if o.Budget > 0 && (budget <= 0 || o.Budget < budget) {
+		budget = o.Budget
+	}
+	return timeout, budget
+}
+
+func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	s.count(obs.MServiceRequests, "solve")
+	if r.Method != http.MethodPost {
+		s.fail(w, "solve", http.StatusMethodNotAllowed, errors.New("use POST"))
+		return
+	}
+	var req api.SolveRequest
+	if err := s.readJSON(w, r, &req); err != nil {
+		s.fail(w, "solve", http.StatusBadRequest, err)
+		return
+	}
+	t0 := time.Now()
+	resp, status, err := s.solveOne(r.Context(), req.Instance, req.SolveOptions)
+	s.latency.Observe(time.Since(t0).Seconds())
+	if err != nil {
+		s.fail(w, "solve", status, err)
+		return
+	}
+	resp.ElapsedMillis = float64(time.Since(t0).Microseconds()) / 1000
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// errShed marks an admission refusal; solveOne's callers map it to
+// 429 + Retry-After.
+var errShed = errors.New("service saturated: admission control refused the solve")
+
+// solveOne runs the full pipeline for a single instance and returns
+// the response, or an HTTP status plus error.
+func (s *Server) solveOne(ctx context.Context, inst *calib.Instance, o api.SolveOptions) (*api.SolveResponse, int, error) {
+	if inst == nil {
+		return nil, http.StatusBadRequest, errors.New("missing \"instance\"")
+	}
+	if err := inst.Validate(); err != nil {
+		return nil, http.StatusBadRequest, err
+	}
+	c := canon.Canonicalize(inst)
+	if res, ok := s.cache.Get(c.Key); ok {
+		return s.respond(inst, c, res, true)
+	}
+	if !s.adm.acquire(ctx) {
+		return nil, http.StatusTooManyRequests, errShed
+	}
+	defer s.adm.release()
+	timeout, budget := s.limits(o)
+	res, hit, err := s.cache.Do(c.Key, func() (*Result, error) {
+		return s.solve(context.WithoutCancel(ctx), c.Instance, timeout, budget)
+	})
+	if err != nil {
+		return nil, solveStatus(err), err
+	}
+	return s.respond(inst, c, res, hit)
+}
+
+// respond de-canonicalizes the cached result into the request's frame
+// and re-verifies feasibility — a corrupted or colliding cache entry
+// must become a 500, never a silently wrong schedule.
+func (s *Server) respond(inst *calib.Instance, c *canon.Canonical, res *Result, cached bool) (*api.SolveResponse, int, error) {
+	sched := c.Decanonicalize(res.Schedule)
+	if err := ise.Validate(inst, sched); err != nil {
+		return nil, http.StatusInternalServerError,
+			fmt.Errorf("cached schedule failed validation for key %016x: %w", c.Key, err)
+	}
+	return &api.SolveResponse{
+		Schedule:     sched,
+		Calibrations: res.Calibrations,
+		MachinesUsed: res.MachinesUsed,
+		LowerBound:   res.LowerBound,
+		Components:   res.Components,
+		Degraded:     res.Degraded,
+		Exact:        res.Exact,
+		Cached:       cached,
+		Key:          fmt.Sprintf("%016x", c.Key),
+	}, http.StatusOK, nil
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	s.count(obs.MServiceRequests, "batch")
+	if r.Method != http.MethodPost {
+		s.fail(w, "batch", http.StatusMethodNotAllowed, errors.New("use POST"))
+		return
+	}
+	var req api.BatchRequest
+	if err := s.readJSON(w, r, &req); err != nil {
+		s.fail(w, "batch", http.StatusBadRequest, err)
+		return
+	}
+	if len(req.Instances) == 0 {
+		s.fail(w, "batch", http.StatusBadRequest, errors.New("empty \"instances\""))
+		return
+	}
+	// One admission slot covers the whole batch: its unique instances
+	// solve sequentially, so a batch is one unit of in-flight work.
+	if !s.adm.acquire(r.Context()) {
+		s.fail(w, "batch", http.StatusTooManyRequests, errShed)
+		return
+	}
+	defer s.adm.release()
+	t0 := time.Now()
+	timeout, budget := s.limits(req.SolveOptions)
+	resp := &api.BatchResponse{Results: make([]*api.BatchResult, len(req.Instances))}
+	solved := map[uint64]*Result{} // batch-local dedup on top of the shared cache
+	for i, inst := range req.Instances {
+		if inst == nil {
+			resp.Results[i] = &api.BatchResult{Error: "missing instance"}
+			continue
+		}
+		if err := inst.Validate(); err != nil {
+			resp.Results[i] = &api.BatchResult{Error: err.Error()}
+			continue
+		}
+		c := canon.Canonicalize(inst)
+		res, cached := solved[c.Key]
+		if !cached {
+			var hit bool
+			var err error
+			res, hit, err = s.cache.Do(c.Key, func() (*Result, error) {
+				return s.solve(context.WithoutCancel(r.Context()), c.Instance, timeout, budget)
+			})
+			if err != nil {
+				resp.Results[i] = &api.BatchResult{Error: err.Error()}
+				continue
+			}
+			cached = hit
+			solved[c.Key] = res
+		}
+		one, _, err := s.respond(inst, c, res, cached)
+		if err != nil {
+			resp.Results[i] = &api.BatchResult{Error: err.Error()}
+			continue
+		}
+		one.ElapsedMillis = float64(time.Since(t0).Microseconds()) / 1000
+		resp.Results[i] = &api.BatchResult{SolveResponse: one}
+	}
+	s.latency.Observe(time.Since(t0).Seconds())
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.count(obs.MServiceRequests, "healthz")
+	if r.Method != http.MethodGet {
+		s.fail(w, "healthz", http.StatusMethodNotAllowed, errors.New("use GET"))
+		return
+	}
+	met := s.cfg.Metrics
+	writeJSON(w, http.StatusOK, &api.Health{
+		Status:        "ok",
+		InFlight:      s.adm.InFlight(),
+		MaxInFlight:   s.cfg.MaxInFlight,
+		QueueDepth:    s.adm.QueueDepth(),
+		CacheEntries:  s.cache.Len(),
+		CacheHits:     met.Counter(obs.MCacheHits).Value(),
+		CacheMisses:   met.Counter(obs.MCacheMisses).Value(),
+		Shed:          met.Counter(obs.MServiceShed).Value(),
+		UptimeSeconds: time.Since(s.start).Seconds(),
+	})
+}
+
+// solveStatus maps a solver error onto an HTTP status via the robust
+// taxonomy: infeasibility is the caller's problem (422), a hard
+// cancellation means the client is gone (503 is what a retrying proxy
+// should see), anything else is ours (500).
+func solveStatus(err error) int {
+	switch {
+	case errors.Is(err, robust.ErrInfeasible):
+		return http.StatusUnprocessableEntity
+	case errors.Is(err, robust.ErrCanceled),
+		errors.Is(err, context.Canceled),
+		errors.Is(err, context.DeadlineExceeded):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func (s *Server) readJSON(w http.ResponseWriter, r *http.Request, dst any) error {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBody)
+	dec := json.NewDecoder(r.Body)
+	if err := dec.Decode(dst); err != nil {
+		return fmt.Errorf("decoding request: %w", err)
+	}
+	return nil
+}
+
+// fail writes the error body, counting it and attaching Retry-After
+// on 429s.
+func (s *Server) fail(w http.ResponseWriter, endpoint string, status int, err error) {
+	s.count(obs.MServiceErrors, endpoint)
+	body := &api.Error{Error: err.Error()}
+	if status == http.StatusTooManyRequests {
+		secs := int((s.cfg.RetryAfter + time.Second - 1) / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+		body.RetryAfterSeconds = secs
+	}
+	writeJSON(w, status, body)
+}
+
+func (s *Server) count(name, endpoint string) {
+	s.cfg.Metrics.CounterWith(name, "endpoint", endpoint).Inc()
+}
+
+func writeJSON(w http.ResponseWriter, status int, body any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(body)
+}

@@ -1,0 +1,373 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"calib/api"
+	"calib/internal/heur"
+	"calib/internal/ise"
+	"calib/internal/obs"
+	"calib/internal/robust"
+)
+
+func testInstance(offset ise.Time) *ise.Instance {
+	inst := ise.NewInstance(10, 1)
+	inst.AddJob(offset, offset+40, 5)
+	inst.AddJob(offset+30, offset+70, 8)
+	return inst
+}
+
+func postJSON(t *testing.T, url string, body any) *http.Response {
+	t.Helper()
+	buf, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func decode[T any](t *testing.T, resp *http.Response) *T {
+	t.Helper()
+	defer resp.Body.Close()
+	var v T
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatalf("decoding response: %v", err)
+	}
+	return &v
+}
+
+// countingSolver wraps the lazy heuristic and counts engine
+// invocations, so tests can assert what the cache absorbed.
+func countingSolver(calls *atomic.Int64) SolveFunc {
+	return func(_ context.Context, inst *ise.Instance, _ time.Duration, _ int64) (*Result, error) {
+		calls.Add(1)
+		sched, err := heur.Lazy(inst, heur.Options{})
+		if err != nil {
+			return nil, err
+		}
+		return &Result{
+			Schedule:     sched,
+			Calibrations: sched.NumCalibrations(),
+			MachinesUsed: sched.MachinesUsed(),
+			Components:   1,
+		}, nil
+	}
+}
+
+func TestSolveEndToEnd(t *testing.T) {
+	srv := New(Config{})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	inst := testInstance(0)
+	resp := postJSON(t, ts.URL+"/v1/solve", api.SolveRequest{Instance: inst})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	out := decode[api.SolveResponse](t, resp)
+	if out.Schedule == nil || out.Calibrations != out.Schedule.NumCalibrations() {
+		t.Fatalf("bad response: %+v", out)
+	}
+	if err := ise.Validate(inst, out.Schedule); err != nil {
+		t.Fatalf("returned schedule infeasible: %v", err)
+	}
+	if out.Cached {
+		t.Error("first solve reported cached")
+	}
+	if out.Key == "" {
+		t.Error("missing canonical key")
+	}
+}
+
+// TestCacheServesEquivalentInstances is the acceptance check:
+// identical re-solves — including shifted/permuted twins — come from
+// the cache without invoking a solver engine, and the response is
+// expressed in the requester's own time frame.
+func TestCacheServesEquivalentInstances(t *testing.T) {
+	var calls atomic.Int64
+	reg := obs.NewRegistry()
+	srv := New(Config{Solve: countingSolver(&calls), Metrics: reg})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	first := decode[api.SolveResponse](t, postJSON(t, ts.URL+"/v1/solve", api.SolveRequest{Instance: testInstance(0)}))
+	if first.Cached {
+		t.Fatal("first solve cached")
+	}
+	// Identical instance.
+	second := decode[api.SolveResponse](t, postJSON(t, ts.URL+"/v1/solve", api.SolveRequest{Instance: testInstance(0)}))
+	if !second.Cached {
+		t.Fatal("identical re-solve missed the cache")
+	}
+	// Shifted twin: same canonical key, schedule translated.
+	shifted := testInstance(500)
+	third := decode[api.SolveResponse](t, postJSON(t, ts.URL+"/v1/solve", api.SolveRequest{Instance: shifted}))
+	if !third.Cached {
+		t.Fatal("shifted twin missed the cache")
+	}
+	if third.Key != first.Key {
+		t.Fatalf("keys differ: %s vs %s", third.Key, first.Key)
+	}
+	if err := ise.Validate(shifted, third.Schedule); err != nil {
+		t.Fatalf("de-canonicalized schedule infeasible: %v", err)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("solver engine invoked %d times, want 1", got)
+	}
+	if hits := reg.Counter(obs.MCacheHits).Value(); hits < 2 {
+		t.Fatalf("cache_hits_total = %d, want >= 2", hits)
+	}
+}
+
+// TestShedsWith429AndRetryAfter: with one slot, no queue, and a
+// solver parked on a barrier, a second request must shed immediately
+// with 429, a Retry-After header, and a JSON body echoing the hint.
+func TestShedsWith429AndRetryAfter(t *testing.T) {
+	block := make(chan struct{})
+	entered := make(chan struct{})
+	slow := func(_ context.Context, inst *ise.Instance, _ time.Duration, _ int64) (*Result, error) {
+		close(entered)
+		<-block
+		sched, err := heur.Lazy(inst, heur.Options{})
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Schedule: sched, Calibrations: sched.NumCalibrations(), MachinesUsed: sched.MachinesUsed()}, nil
+	}
+	reg := obs.NewRegistry()
+	srv := New(Config{MaxInFlight: 1, MaxQueue: -1, Solve: slow, Metrics: reg, RetryAfter: 3 * time.Second})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	done := make(chan *http.Response, 1)
+	go func() {
+		buf, _ := json.Marshal(api.SolveRequest{Instance: testInstance(0)})
+		resp, err := http.Post(ts.URL+"/v1/solve", "application/json", bytes.NewReader(buf))
+		if err == nil {
+			done <- resp
+		}
+	}()
+	<-entered // the slot is now held
+
+	resp := postJSON(t, ts.URL+"/v1/solve", api.SolveRequest{Instance: testInstance(1000)})
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "3" {
+		t.Fatalf("Retry-After = %q, want \"3\"", ra)
+	}
+	body := decode[api.Error](t, resp)
+	if body.RetryAfterSeconds != 3 || body.Error == "" {
+		t.Fatalf("shed body = %+v", body)
+	}
+	if shed := reg.Counter(obs.MServiceShed).Value(); shed != 1 {
+		t.Fatalf("service_shed_total = %d, want 1", shed)
+	}
+
+	close(block)
+	first := <-done
+	if first.StatusCode != http.StatusOK {
+		t.Fatalf("blocked request finished with %d", first.StatusCode)
+	}
+	first.Body.Close()
+}
+
+func TestBatchDedupsEquivalentInstances(t *testing.T) {
+	var calls atomic.Int64
+	srv := New(Config{Solve: countingSolver(&calls)})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	instances := []*ise.Instance{
+		testInstance(0),
+		testInstance(700), // shifted twin of [0]
+		testInstance(0),   // identical to [0]
+		func() *ise.Instance { // genuinely different
+			in := ise.NewInstance(10, 1)
+			in.AddJob(0, 25, 9)
+			return in
+		}(),
+	}
+	resp := postJSON(t, ts.URL+"/v1/batch", api.BatchRequest{Instances: instances})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	out := decode[api.BatchResponse](t, resp)
+	if len(out.Results) != len(instances) {
+		t.Fatalf("results = %d, want %d", len(out.Results), len(instances))
+	}
+	for i, res := range out.Results {
+		if res == nil || res.Error != "" || res.SolveResponse == nil {
+			t.Fatalf("result %d failed: %+v", i, res)
+		}
+		if err := ise.Validate(instances[i], res.Schedule); err != nil {
+			t.Fatalf("result %d infeasible: %v", i, err)
+		}
+	}
+	if out.Results[0].Key != out.Results[1].Key || out.Results[0].Key != out.Results[2].Key {
+		t.Error("equivalent instances got different keys")
+	}
+	if out.Results[3].Key == out.Results[0].Key {
+		t.Error("distinct instance shares a key")
+	}
+	if got := calls.Load(); got != 2 {
+		t.Fatalf("solver engine invoked %d times for the batch, want 2", got)
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	srv := New(Config{Solve: countingSolver(new(atomic.Int64))})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	cases := []struct {
+		name   string
+		do     func() *http.Response
+		status int
+	}{
+		{"solve GET", func() *http.Response {
+			r, _ := http.Get(ts.URL + "/v1/solve")
+			return r
+		}, http.StatusMethodNotAllowed},
+		{"healthz POST", func() *http.Response {
+			return postJSON(t, ts.URL+"/v1/healthz", struct{}{})
+		}, http.StatusMethodNotAllowed},
+		{"solve garbage", func() *http.Response {
+			r, _ := http.Post(ts.URL+"/v1/solve", "application/json", bytes.NewReader([]byte("{")))
+			return r
+		}, http.StatusBadRequest},
+		{"solve no instance", func() *http.Response {
+			return postJSON(t, ts.URL+"/v1/solve", api.SolveRequest{})
+		}, http.StatusBadRequest},
+		{"solve malformed instance", func() *http.Response {
+			in := ise.NewInstance(10, 1)
+			in.AddJob(0, 4, 11) // p > T
+			return postJSON(t, ts.URL+"/v1/solve", api.SolveRequest{Instance: in})
+		}, http.StatusBadRequest},
+		{"batch empty", func() *http.Response {
+			return postJSON(t, ts.URL+"/v1/batch", api.BatchRequest{})
+		}, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		resp := tc.do()
+		if resp.StatusCode != tc.status {
+			t.Errorf("%s: status = %d, want %d", tc.name, resp.StatusCode, tc.status)
+		}
+		resp.Body.Close()
+	}
+}
+
+func TestSolverErrorMapsToStatus(t *testing.T) {
+	infeasible := func(context.Context, *ise.Instance, time.Duration, int64) (*Result, error) {
+		return nil, robust.Errf(robust.ErrInfeasible, "lp", -1, nil)
+	}
+	srv := New(Config{Solve: infeasible})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	resp := postJSON(t, ts.URL+"/v1/solve", api.SolveRequest{Instance: testInstance(0)})
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("status = %d, want 422", resp.StatusCode)
+	}
+	body := decode[api.Error](t, resp)
+	if body.Error == "" {
+		t.Error("missing error body")
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	var calls atomic.Int64
+	srv := New(Config{Solve: countingSolver(&calls), MaxInFlight: 7})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	postJSON(t, ts.URL+"/v1/solve", api.SolveRequest{Instance: testInstance(0)}).Body.Close()
+	postJSON(t, ts.URL+"/v1/solve", api.SolveRequest{Instance: testInstance(0)}).Body.Close()
+
+	resp, err := http.Get(ts.URL + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := decode[api.Health](t, resp)
+	if h.Status != "ok" {
+		t.Errorf("status = %q", h.Status)
+	}
+	if h.MaxInFlight != 7 || h.InFlight != 0 {
+		t.Errorf("in-flight: %+v", h)
+	}
+	if h.CacheEntries != 1 || h.CacheHits < 1 {
+		t.Errorf("cache stats: %+v", h)
+	}
+	if h.UptimeSeconds < 0 {
+		t.Errorf("uptime: %v", h.UptimeSeconds)
+	}
+}
+
+// TestTimeoutClamp: the server must clamp a request's timeout to its
+// configured maximum and pass the result to the solver.
+func TestTimeoutClamp(t *testing.T) {
+	var got atomic.Int64
+	spy := func(_ context.Context, inst *ise.Instance, timeout time.Duration, _ int64) (*Result, error) {
+		got.Store(int64(timeout))
+		sched, err := heur.Lazy(inst, heur.Options{})
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Schedule: sched, Calibrations: sched.NumCalibrations(), MachinesUsed: sched.MachinesUsed()}, nil
+	}
+	srv := New(Config{Solve: spy, MaxTimeout: 2 * time.Second, CacheEntries: -1})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	for i, tc := range []struct {
+		askMillis int64
+		want      time.Duration
+	}{
+		{0, 2 * time.Second},          // default: the cap
+		{500, 500 * time.Millisecond}, // tighter than the cap: honored
+		{10_000, 2 * time.Second},     // looser than the cap: clamped
+	} {
+		req := api.SolveRequest{Instance: testInstance(ise.Time(1000 * i))}
+		req.TimeoutMillis = tc.askMillis
+		postJSON(t, ts.URL+"/v1/solve", req).Body.Close()
+		if d := time.Duration(got.Load()); d != tc.want {
+			t.Errorf("ask %dms: solver saw %v, want %v", tc.askMillis, d, tc.want)
+		}
+	}
+}
+
+// TestRealSolverDegradesUnderTimeout exercises the robust wiring end
+// to end: an effectively expired per-request timeout still answers
+// with a feasible (degraded) schedule, because the service solves
+// through the degradation ladder.
+func TestRealSolverDegradesUnderTimeout(t *testing.T) {
+	srv := New(Config{})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	inst := ise.NewInstance(10, 2)
+	for i := 0; i < 24; i++ {
+		off := ise.Time(i * 3)
+		inst.AddJob(off, off+25, 1+ise.Time(i%9))
+	}
+	req := api.SolveRequest{Instance: inst}
+	req.TimeoutMillis = 1 // expires immediately: the ladder's last rung answers
+	resp := postJSON(t, ts.URL+"/v1/solve", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200 even under an expired timeout", resp.StatusCode)
+	}
+	out := decode[api.SolveResponse](t, resp)
+	if err := ise.Validate(inst, out.Schedule); err != nil {
+		t.Fatalf("degraded schedule infeasible: %v", err)
+	}
+}

@@ -6,7 +6,10 @@
 # A telemetry block from one instrumented warm parallel solve (isegen
 # clustered -> isesolve -warm -par 4 -metrics-out) rides along so the
 # report also captures what the solver *did*: warm-start hit rate,
-# cold fallbacks, pivots, pool occupancy.
+# cold fallbacks, pivots, pool occupancy. A second report,
+# BENCH_service.json, records the ised daemon's end-to-end request
+# numbers (fresh-solve mix and pure cache hits) from the
+# internal/server benchmarks.
 #
 # Usage: ./scripts/bench.sh [benchtime]   (default 5x)
 set -eu
@@ -96,3 +99,52 @@ go run ./cmd/isebench -check "$OUT" >/dev/null
 
 echo "wrote $OUT:"
 cat "$OUT"
+
+# --- service throughput ---------------------------------------------
+# End-to-end ised daemon numbers (HTTP + JSON + canonicalize + cache +
+# admission + solve) into BENCH_service.json: the mixed fresh/cached
+# solve path and the pure cache-hit floor. Same guard rails as above —
+# a failed run leaves the previous report untouched.
+SOUT=BENCH_service.json
+SRAW="$(mktemp)"
+trap 'rm -f "$RAW" "$MET" "$INST" "$SRAW"' EXIT
+
+go test -run XXX -bench 'BenchmarkServiceSolve|BenchmarkServiceCacheHit' \
+	-benchtime "$BENCHTIME" ./internal/server >"$SRAW" 2>&1 || {
+	cat "$SRAW"
+	echo "service bench run failed; $SOUT left untouched" >&2
+	exit 1
+}
+cat "$SRAW"
+
+awk -v stamp="$(date -u +%Y-%m-%dT%H:%M:%SZ)" -v gover="$(go env GOVERSION)" '
+function jnum(v) { return v == "" ? "null" : v }
+/^Benchmark/ {
+	name = $1
+	sub(/^Benchmark/, "", name)
+	sub(/-[0-9]+$/, "", name)
+	for (i = 2; i <= NF; i++) {
+		if ($i == "ns/op" && $(i - 1) + 0 > 0) ns[name] = $(i - 1)
+		if ($i == "B/op") bytes[name] = $(i - 1)
+		if ($i == "allocs/op") allocs[name] = $(i - 1)
+	}
+}
+END {
+	printf "{\n"
+	printf "  \"date\": \"%s\",\n", stamp
+	printf "  \"go\": \"%s\",\n", gover
+	printf "  \"service_solve\": {\n"
+	printf "    \"ns_per_request\": %s,\n", jnum(ns["ServiceSolve"])
+	printf "    \"allocs_per_request\": %s\n", jnum(allocs["ServiceSolve"])
+	printf "  },\n"
+	printf "  \"service_cache_hit\": {\n"
+	printf "    \"ns_per_request\": %s,\n", jnum(ns["ServiceCacheHit"])
+	printf "    \"allocs_per_request\": %s\n", jnum(allocs["ServiceCacheHit"])
+	printf "  }\n"
+	printf "}\n"
+}' "$SRAW" >"$SOUT"
+
+go run ./cmd/isebench -check "$SOUT" >/dev/null
+
+echo "wrote $SOUT:"
+cat "$SOUT"
