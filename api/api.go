@@ -87,10 +87,17 @@ type BatchResult struct {
 	Error string `json:"error,omitempty"`
 }
 
-// Health is the body of GET /v1/healthz.
+// Health is the body of GET /v1/healthz. While the daemon is
+// draining, /v1/healthz returns this same body with HTTP 503 and
+// Draining set, so load balancers stop routing to it before its
+// listener closes.
 type Health struct {
-	// Status is "ok" while the daemon accepts work.
+	// Status is "ok" while the daemon accepts work, "draining" during
+	// graceful shutdown.
 	Status string `json:"status"`
+	// Draining reports that graceful shutdown has begun: in-flight
+	// requests will finish, new ones should go elsewhere.
+	Draining bool `json:"draining,omitempty"`
 	// InFlight is the number of requests currently admitted and
 	// solving; MaxInFlight is the admission bound.
 	InFlight    int `json:"in_flight"`

@@ -44,6 +44,7 @@ import (
 	"calib/internal/bounds"
 	"calib/internal/core"
 	"calib/internal/exact"
+	"calib/internal/fault"
 	"calib/internal/heur"
 	"calib/internal/improve"
 	"calib/internal/ise"
@@ -194,7 +195,19 @@ type Options struct {
 	// machine-dependent. Exhaustion behaves like a deadline: Solve
 	// returns ErrBudget, SolveRobust degrades.
 	Budget int64
+	// Fault, when non-nil, arms deterministic fault injection at the
+	// solver-phase points (build with fault.New or fault.ParseSpec; see
+	// internal/fault). Injected panics propagate from Solve but are
+	// contained — and degraded around — by SolveRobust's ladder. nil
+	// (the default) disables injection at zero cost.
+	Fault *FaultInjector
 }
+
+// FaultInjector is the deterministic fault injector of internal/fault,
+// re-exported so in-module callers (the ised daemon, the chaos suite)
+// can thread one through Options without importing the internal
+// package at every site.
+type FaultInjector = fault.Injector
 
 // Taxonomy sentinels for limited solves; test with errors.Is. The
 // returned errors additionally carry the failing phase and, on
@@ -296,6 +309,7 @@ func Solve(inst *Instance, opts *Options) (*Solution, error) {
 		Trace:       o.Trace,
 		Metrics:     o.Metrics,
 		Control:     ctl,
+		Fault:       o.Fault,
 	})
 	if err != nil {
 		return nil, err
@@ -399,6 +413,7 @@ func SolveRobust(inst *Instance, opts *Options) (*RobustSolution, error) {
 		Trace:       o.Trace,
 		Metrics:     o.Metrics,
 		Control:     ctl,
+		Fault:       o.Fault,
 	}})
 	if err != nil {
 		return nil, err

@@ -1,0 +1,406 @@
+// Chaos conformance suite: the executable contract of the fault
+// injection subsystem (internal/fault) and the crash-safe state layer.
+// It pins down, under -race:
+//
+//   - each injection point's observable behavior at the calib facade
+//     (latency slows, budget burn exhausts, panics propagate from
+//     Solve but are degraded around by SolveRobust),
+//   - that every error surfaced by a limited solve wraps exactly one
+//     robust taxonomy sentinel — callers never need errors.As chains,
+//   - that injection is deterministic: same seed, same schedule of
+//     faults, same answers; a different seed differs,
+//   - that a "crashed" daemon rebuilt from its cache snapshot serves
+//     the old hits without re-solving, and a killed batch run resumed
+//     from its checkpoint matches an uninterrupted run row-for-row,
+//   - that none of the above leaks goroutines.
+//
+// The out-of-process half — real SIGKILLs against cmd/ised and
+// cmd/isebatch — lives in scripts/chaos_smoke.sh; this file is the
+// in-process contract the smoke script builds on.
+package calib_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"reflect"
+	"runtime"
+	"testing"
+	"time"
+
+	"calib"
+	"calib/api"
+	"calib/client"
+	"calib/internal/batch"
+	"calib/internal/fault"
+	"calib/internal/obs"
+	"calib/internal/robust"
+	"calib/internal/server"
+)
+
+// chaosComponent returns one time component of n long-window jobs
+// starting at offset: releases 1 tick apart (no decomposition gap),
+// windows of 4T (long), so with n > the exact-rung job cap the robust
+// ladder must go through the LP rung — where the injection points
+// live.
+func chaosComponent(inst *calib.Instance, offset calib.Time, n int) {
+	for j := 0; j < n; j++ {
+		r := offset + calib.Time(j)
+		inst.AddJob(r, r+4*inst.T, 5)
+	}
+}
+
+// chaosInstance is a single 16-job component (too big for the exact
+// rung, so SolveRobust's first attempt is the LP rung).
+func chaosInstance() *calib.Instance {
+	inst := calib.NewInstance(10, 2)
+	chaosComponent(inst, 0, 16)
+	return inst
+}
+
+// chaosInstance2 adds a second component separated by a gap >= T, so
+// decomposed solves contain per-component failures.
+func chaosInstance2() *calib.Instance {
+	inst := calib.NewInstance(10, 2)
+	chaosComponent(inst, 0, 16)
+	chaosComponent(inst, 1000, 16)
+	return inst
+}
+
+// sentinels is the complete robust error taxonomy. Conformance:
+// every error from a limited solve matches exactly one of these.
+var sentinels = []error{
+	robust.ErrCanceled,
+	robust.ErrBudgetExhausted,
+	robust.ErrInfeasible,
+	robust.ErrNumeric,
+	robust.ErrPanic,
+}
+
+func matchingSentinels(err error) []error {
+	var got []error
+	for _, s := range sentinels {
+		if errors.Is(err, s) {
+			got = append(got, s)
+		}
+	}
+	return got
+}
+
+// checkNoGoroutineLeak asserts the goroutine count returns to the
+// baseline, allowing the runtime a moment to retire exiting workers.
+func checkNoGoroutineLeak(t *testing.T, before int) {
+	t.Helper()
+	deadline := time.Now().Add(3 * time.Second)
+	for runtime.NumGoroutine() > before {
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutine leak: %d before, %d after\n%s",
+				before, runtime.NumGoroutine(), buf[:n])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestChaosPanicInjection: an injected solver panic propagates from
+// plain Solve (monolithic path) but SolveRobust's ladder contains it,
+// degrades the component to the heuristic rung, and still returns a
+// feasible schedule — with both the containment and the injection
+// visible in metrics.
+func TestChaosPanicInjection(t *testing.T) {
+	inst := chaosInstance()
+
+	t.Run("solve-propagates", func(t *testing.T) {
+		inj := fault.New(1, nil).Arm(fault.SolvePanic, 1)
+		defer func() {
+			if recover() == nil {
+				t.Fatal("injected panic did not propagate from Solve")
+			}
+		}()
+		_, _ = calib.Solve(inst, &calib.Options{Fault: inj})
+	})
+
+	t.Run("solverobust-degrades", func(t *testing.T) {
+		met := calib.NewMetrics()
+		inj := fault.New(1, met).Arm(fault.SolvePanic, 1)
+		sol, err := calib.SolveRobust(inst, &calib.Options{Fault: inj, Metrics: met})
+		if err != nil {
+			t.Fatalf("SolveRobust under panic injection: %v", err)
+		}
+		if !sol.Degraded {
+			t.Fatal("panic injection did not degrade the component")
+		}
+		if verr := calib.Validate(inst, sol.Schedule); verr != nil {
+			t.Fatalf("degraded schedule infeasible: %v", verr)
+		}
+		if got := met.Counter(obs.MRobustPanics).Value(); got < 1 {
+			t.Fatalf("%s = %d, want >= 1", obs.MRobustPanics, got)
+		}
+		if got := met.CounterWith(obs.MFaultInjected, "point", string(fault.SolvePanic)).Value(); got < 1 {
+			t.Fatalf("%s{point=solve_panic} = %d, want >= 1", obs.MFaultInjected, got)
+		}
+	})
+}
+
+// TestChaosLatencyInjection: injected latency slows the solve without
+// changing its answer.
+func TestChaosLatencyInjection(t *testing.T) {
+	inst := chaosInstance()
+	clean, err := calib.Solve(inst, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const delay = 80 * time.Millisecond
+	inj := fault.New(1, nil).ArmDuration(fault.SolveLatency, 1, delay)
+	t0 := time.Now()
+	slow, err := calib.Solve(inst, &calib.Options{Fault: inj})
+	if err != nil {
+		t.Fatalf("Solve under latency injection: %v", err)
+	}
+	if elapsed := time.Since(t0); elapsed < delay {
+		t.Fatalf("solve took %v, injected latency was %v", elapsed, delay)
+	}
+	if slow.Calibrations != clean.Calibrations {
+		t.Fatalf("latency injection changed the answer: %d vs %d",
+			slow.Calibrations, clean.Calibrations)
+	}
+}
+
+// TestChaosErrorsWrapOneSentinel: every failure mode of a limited
+// solve surfaces as an error wrapping exactly one taxonomy sentinel.
+func TestChaosErrorsWrapOneSentinel(t *testing.T) {
+	canceled, cancel := context.WithCancel(context.Background())
+	cancel()
+	cases := []struct {
+		name string
+		want error
+		run  func() error
+	}{
+		{"budget-burn", robust.ErrBudgetExhausted, func() error {
+			inj := fault.New(1, nil).ArmAmount(fault.BudgetBurn, 1, 1<<40)
+			_, err := calib.Solve(chaosInstance(), &calib.Options{Budget: 100, Fault: inj})
+			return err
+		}},
+		{"hard-cancel", robust.ErrCanceled, func() error {
+			_, err := calib.Solve(chaosInstance(), &calib.Options{Context: canceled})
+			return err
+		}},
+		{"panic-decomposed", robust.ErrPanic, func() error {
+			// On the decomposed path a panicking component is contained
+			// (robust.RecoverTo) and surfaces as an error instead of
+			// killing the pool worker.
+			inj := fault.New(1, nil).Arm(fault.SolvePanic, 1)
+			_, err := calib.Solve(chaosInstance2(), &calib.Options{Parallelism: 2, Fault: inj})
+			return err
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.run()
+			if err == nil {
+				t.Fatal("expected an error")
+			}
+			got := matchingSentinels(err)
+			if len(got) != 1 {
+				t.Fatalf("error %q matches %d sentinels (%v), want exactly 1", err, len(got), got)
+			}
+			if !errors.Is(err, tc.want) {
+				t.Fatalf("error %q wraps %v, want %v", err, got[0], tc.want)
+			}
+		})
+	}
+}
+
+// TestChaosDeterminism: the fault schedule is a pure function of the
+// seed. Two sequences of solves with same-seed injectors agree on
+// every outcome — degradation and objective — and a different seed
+// produces a different fault schedule.
+func TestChaosDeterminism(t *testing.T) {
+	inst := chaosInstance()
+	const runs = 8
+	outcome := func(seed int64) (degraded [runs]bool, cals [runs]int) {
+		inj := fault.New(seed, nil).Arm(fault.SolvePanic, 0.5)
+		for i := 0; i < runs; i++ {
+			sol, err := calib.SolveRobust(inst, &calib.Options{Fault: inj})
+			if err != nil {
+				t.Fatalf("seed %d run %d: %v", seed, i, err)
+			}
+			degraded[i], cals[i] = sol.Degraded, sol.Calibrations
+		}
+		return
+	}
+	deg1a, cal1a := outcome(7)
+	deg1b, cal1b := outcome(7)
+	if deg1a != deg1b || cal1a != cal1b {
+		t.Fatalf("same seed diverged: %v/%v vs %v/%v", deg1a, cal1a, deg1b, cal1b)
+	}
+	deg2, _ := outcome(8)
+	if deg1a == deg2 {
+		t.Fatalf("seeds 7 and 8 produced the identical fault schedule %v", deg1a)
+	}
+}
+
+// TestChaosSnapshotRestart simulates the daemon kill/restart cycle
+// in-process: serve real solves, snapshot the cache (as the periodic
+// saver would), abandon the server without any graceful shutdown (the
+// SIGKILL stand-in), and boot a replacement from the snapshot. The
+// replacement must serve the old hits from cache. The degraded
+// variant damages the snapshot first: the restore discards what fails
+// its CRC and the daemon still boots and serves.
+func TestChaosSnapshotRestart(t *testing.T) {
+	before := runtime.NumGoroutine()
+	snap := filepath.Join(t.TempDir(), "cache.snap")
+
+	srv := server.New(server.Config{})
+	ts := httptest.NewServer(srv)
+	inst := chaosInstance()
+	resp := postSolve(t, ts.URL, inst)
+	if resp.Cached {
+		t.Fatal("first solve reported cached")
+	}
+	if n, err := srv.SaveCache(snap); err != nil || n == 0 {
+		t.Fatalf("SaveCache: (%d, %v)", n, err)
+	}
+	ts.Close() // the old process is gone; no drain, no final save
+
+	t.Run("clean-snapshot", func(t *testing.T) {
+		met := calib.NewMetrics()
+		srv2 := server.New(server.Config{Metrics: met})
+		st, err := srv2.LoadCache(snap)
+		if err != nil || st.Restored == 0 || st.Corrupt != 0 {
+			t.Fatalf("LoadCache: (%+v, %v)", st, err)
+		}
+		ts2 := httptest.NewServer(srv2)
+		defer ts2.Close()
+		out := postSolve(t, ts2.URL, inst)
+		if !out.Cached {
+			t.Fatal("restarted server did not serve the prior hit from cache")
+		}
+		if out.Key != resp.Key || out.Calibrations != resp.Calibrations {
+			t.Fatalf("restored answer differs: %+v vs %+v", out, resp)
+		}
+		if err := calib.Validate(inst, out.Schedule); err != nil {
+			t.Fatalf("restored schedule infeasible: %v", err)
+		}
+	})
+
+	t.Run("damaged-snapshot", func(t *testing.T) {
+		raw, err := os.ReadFile(snap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw[len(raw)/2] ^= 0xFF
+		bad := filepath.Join(t.TempDir(), "bad.snap")
+		if err := os.WriteFile(bad, raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		met := calib.NewMetrics()
+		srv3 := server.New(server.Config{Metrics: met})
+		if _, err := srv3.LoadCache(bad); err != nil {
+			t.Fatalf("damaged snapshot must not fail the boot: %v", err)
+		}
+		if got := met.Counter(obs.MCacheRestoreCorrupt).Value(); got == 0 {
+			t.Fatalf("%s = 0 after restoring a damaged snapshot", obs.MCacheRestoreCorrupt)
+		}
+		ts3 := httptest.NewServer(srv3)
+		defer ts3.Close()
+		// A damaged snapshot costs cache entries, never service: the
+		// solve still answers (fresh or cached), feasibly.
+		out := postSolve(t, ts3.URL, inst)
+		if err := calib.Validate(inst, out.Schedule); err != nil {
+			t.Fatalf("post-damage solve infeasible: %v", err)
+		}
+	})
+
+	checkNoGoroutineLeak(t, before)
+}
+
+func postSolve(t *testing.T, base string, inst *calib.Instance) *api.SolveResponse {
+	t.Helper()
+	out, err := client.New(base).Solve(context.Background(), &api.SolveRequest{Instance: inst})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestChaosCheckpointKillResume: a batch run killed partway (simulated
+// by truncating the checkpoint journal mid-file, torn tail included)
+// resumes to a report identical to an uninterrupted run, row for row,
+// modulo the wall-clock column.
+func TestChaosCheckpointKillResume(t *testing.T) {
+	before := runtime.NumGoroutine()
+	items := make([]batch.Item, 4)
+	for i := range items {
+		inst := calib.NewInstance(10, 1)
+		chaosComponent(inst, calib.Time(i*100), 3)
+		items[i] = batch.Item{Name: fmt.Sprintf("inst-%d", i), Instance: inst}
+	}
+	policies := batch.DefaultPoliciesCtl(batch.Limits{})
+	uninterrupted := batch.Run(items, policies, 2)
+
+	// The doomed run: complete, then tear its journal to look like a
+	// SIGKILL landed mid-write two thirds of the way through.
+	path := filepath.Join(t.TempDir(), "ck.jsonl")
+	ck, err := batch.OpenCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := batch.RunCheckpoint(items, policies, 2, ck); err != nil {
+		t.Fatal(err)
+	}
+	ck.Close()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, raw[:2*len(raw)/3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	ck2, err := batch.OpenCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ck2.Close()
+	if ck2.Len() == 0 || ck2.Len() >= len(items)*len(policies) {
+		t.Fatalf("torn checkpoint kept %d rows, want a strict subset", ck2.Len())
+	}
+	resumed, err := batch.RunCheckpoint(items, policies, 2, ck2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	norm := func(rows []batch.Row) []batch.Row {
+		out := append([]batch.Row(nil), rows...)
+		for i := range out {
+			out[i].Millis = 0
+		}
+		return out
+	}
+	if !reflect.DeepEqual(norm(uninterrupted.Rows), norm(resumed.Rows)) {
+		t.Fatal("resumed report differs from the uninterrupted run")
+	}
+	checkNoGoroutineLeak(t, before)
+}
+
+// TestChaosRobustNoLeak: panic-injected robust solves, decomposed and
+// not, leave no goroutines behind.
+func TestChaosRobustNoLeak(t *testing.T) {
+	before := runtime.NumGoroutine()
+	inst := chaosInstance2()
+	inj := fault.New(3, nil).Arm(fault.SolvePanic, 0.7)
+	for i := 0; i < 6; i++ {
+		sol, err := calib.SolveRobust(inst, &calib.Options{Parallelism: 2, Fault: inj})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if verr := calib.Validate(inst, sol.Schedule); verr != nil {
+			t.Fatal(verr)
+		}
+	}
+	checkNoGoroutineLeak(t, before)
+}

@@ -1,0 +1,87 @@
+package client
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestBackoffDelayNoOverflow: the former base<<attempt computation
+// overflowed int64 past attempt ~33 with a 100ms base, producing
+// negative (= zero) sleeps. The doubling clamp must pin every attempt
+// to [0, maxDelay] — the ceiling itself once growth saturates.
+func TestBackoffDelayNoOverflow(t *testing.T) {
+	base, maxD := 100*time.Millisecond, 5*time.Second
+	ceil := func(n int64) int64 { return n - 1 } // rnd that always draws the ceiling
+	for _, attempt := range []int{0, 1, 5, 33, 62, 63, 64, 1000} {
+		d := backoffDelay(base, maxD, 0, attempt, ceil)
+		if d < 0 || d > maxD {
+			t.Fatalf("attempt %d: delay %v out of [0, %v]", attempt, d, maxD)
+		}
+		if attempt >= 6 && d != maxD {
+			t.Fatalf("attempt %d: delay %v, want saturated %v", attempt, d, maxD)
+		}
+	}
+	// Growth below the cap is exact doubling.
+	if d := backoffDelay(base, maxD, 0, 2, ceil); d != 400*time.Millisecond {
+		t.Fatalf("attempt 2 ceiling = %v, want 400ms", d)
+	}
+}
+
+// TestBackoffDelayFullJitter: the sleep is drawn from [0, ceiling],
+// and the server's Retry-After hint floors whatever the jitter drew.
+func TestBackoffDelayFullJitter(t *testing.T) {
+	base, maxD := 100*time.Millisecond, 5*time.Second
+	zero := func(n int64) int64 { return 0 }
+	if d := backoffDelay(base, maxD, 0, 3, zero); d != 0 {
+		t.Fatalf("zero draw = %v, want 0", d)
+	}
+	if d := backoffDelay(base, maxD, 2*time.Second, 3, zero); d != 2*time.Second {
+		t.Fatalf("hinted zero draw = %v, want the 2s hint", d)
+	}
+	// The sampler is called with ceiling+1 (inclusive upper bound).
+	var gotN int64
+	spy := func(n int64) int64 { gotN = n; return 0 }
+	backoffDelay(base, maxD, 0, 0, spy)
+	if gotN != int64(base)+1 {
+		t.Fatalf("sampler bound = %d, want %d", gotN, int64(base)+1)
+	}
+}
+
+// TestRetryAfterHTTPDate: RFC 9110 allows Retry-After as an HTTP-date
+// as well as delay-seconds; both must parse.
+func TestRetryAfterHTTPDate(t *testing.T) {
+	mk := func(h string) *http.Response {
+		return &http.Response{
+			StatusCode: http.StatusServiceUnavailable,
+			Header:     http.Header{"Retry-After": []string{h}},
+			Body:       io.NopCloser(strings.NewReader(`{"error":"draining"}`)),
+		}
+	}
+	var ae *APIError
+
+	// Delay-seconds form.
+	if !errors.As(decodeError(mk("7")), &ae) || ae.RetryAfter != 7*time.Second {
+		t.Fatalf("seconds form: %+v", ae)
+	}
+	// HTTP-date form, ~30s in the future.
+	date := time.Now().Add(30 * time.Second).UTC().Format(http.TimeFormat)
+	if !errors.As(decodeError(mk(date)), &ae) {
+		t.Fatal("no APIError")
+	}
+	if ae.RetryAfter < 25*time.Second || ae.RetryAfter > 30*time.Second {
+		t.Fatalf("HTTP-date form: RetryAfter = %v, want ~30s", ae.RetryAfter)
+	}
+	// A date in the past means "now": no hint, but no error either.
+	past := time.Now().Add(-time.Minute).UTC().Format(http.TimeFormat)
+	if !errors.As(decodeError(mk(past)), &ae) || ae.RetryAfter != 0 {
+		t.Fatalf("past HTTP-date: %+v", ae)
+	}
+	// Garbage is ignored.
+	if !errors.As(decodeError(mk("soon-ish")), &ae) || ae.RetryAfter != 0 {
+		t.Fatalf("garbage header: %+v", ae)
+	}
+}

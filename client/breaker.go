@@ -1,0 +1,214 @@
+package client
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"calib/internal/obs"
+)
+
+// ErrBreakerOpen is returned — without touching the network — while
+// the circuit breaker is open. Test with errors.Is; callers seeing it
+// should back off or route elsewhere, the breaker will probe the
+// daemon on its own schedule.
+var ErrBreakerOpen = errors.New("client: circuit breaker open")
+
+// Breaker states.
+const (
+	breakerClosed = iota
+	breakerHalfOpen
+	breakerOpen
+)
+
+// Breaker is a client-side circuit breaker: when the daemon keeps
+// failing (transport errors, 429s, 503s), the breaker opens and calls
+// fail fast locally instead of piling more load — and more latency —
+// onto a service that is already telling us to go away. After
+// Cooldown it lets a single probe through (half-open); enough probe
+// successes close it again.
+//
+// Failures are tracked over a rolling window, so a slow trickle of
+// errors across a long uptime never opens the breaker — only
+// Threshold failures within Window do. Create with NewBreaker; a nil
+// *Breaker disables the feature at zero cost (every method is a
+// nil-check). Safe for concurrent use.
+type Breaker struct {
+	// Window is the rolling failure window (0 = 10s).
+	Window time.Duration
+	// Threshold is how many failures within Window open the breaker
+	// (0 = 5).
+	Threshold int
+	// Cooldown is how long the breaker stays open before allowing a
+	// half-open probe (0 = 5s).
+	Cooldown time.Duration
+	// Probes is how many consecutive probe successes close a half-open
+	// breaker (0 = 1).
+	Probes int
+
+	mu        sync.Mutex
+	state     int
+	failures  []time.Time // failure timestamps within the window
+	openedAt  time.Time
+	inProbe   bool // a half-open probe is in flight
+	successes int  // consecutive half-open probe successes
+
+	stateG    *obs.Gauge
+	opens     *obs.Counter
+	fastFails *obs.Counter
+	probes    *obs.Counter
+
+	// now is the clock (tests freeze it).
+	now func() time.Time
+}
+
+// NewBreaker returns a closed breaker with default thresholds,
+// reporting the breaker_* series to met (nil disables telemetry).
+func NewBreaker(met *obs.Registry) *Breaker {
+	return &Breaker{
+		stateG:    met.Gauge(obs.MBreakerState),
+		opens:     met.Counter(obs.MBreakerOpens),
+		fastFails: met.Counter(obs.MBreakerFastFails),
+		probes:    met.Counter(obs.MBreakerProbes),
+		now:       time.Now,
+	}
+}
+
+func (b *Breaker) window() time.Duration {
+	if b.Window <= 0 {
+		return 10 * time.Second
+	}
+	return b.Window
+}
+
+func (b *Breaker) threshold() int {
+	if b.Threshold <= 0 {
+		return 5
+	}
+	return b.Threshold
+}
+
+func (b *Breaker) cooldown() time.Duration {
+	if b.Cooldown <= 0 {
+		return 5 * time.Second
+	}
+	return b.Cooldown
+}
+
+func (b *Breaker) probeGoal() int {
+	if b.Probes <= 0 {
+		return 1
+	}
+	return b.Probes
+}
+
+// State returns the current state as a string ("closed", "half-open",
+// "open"); "closed" for a nil breaker.
+func (b *Breaker) State() string {
+	if b == nil {
+		return "closed"
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+// Allow reports whether a request may proceed. While open it returns
+// ErrBreakerOpen (a local fast-fail, counted in
+// breaker_fast_fail_total) until Cooldown has elapsed; then it admits
+// one probe at a time (half-open, counted in breaker_probes_total).
+// Every admitted request must be matched by exactly one Report call.
+func (b *Breaker) Allow() error {
+	if b == nil {
+		return nil
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return nil
+	case breakerOpen:
+		if b.now().Sub(b.openedAt) < b.cooldown() {
+			b.fastFails.Inc()
+			return ErrBreakerOpen
+		}
+		b.setState(breakerHalfOpen)
+		b.successes = 0
+		fallthrough
+	default: // half-open
+		if b.inProbe {
+			b.fastFails.Inc()
+			return ErrBreakerOpen
+		}
+		b.inProbe = true
+		b.probes.Inc()
+		return nil
+	}
+}
+
+// Report records the outcome of a request previously admitted by
+// Allow. Failures (success=false) accumulate in the rolling window
+// and may open the breaker; in half-open, one failure reopens it and
+// probeGoal successes close it.
+func (b *Breaker) Report(success bool) {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	now := b.now()
+	switch b.state {
+	case breakerHalfOpen:
+		b.inProbe = false
+		if !success {
+			b.trip(now)
+			return
+		}
+		b.successes++
+		if b.successes >= b.probeGoal() {
+			b.setState(breakerClosed)
+			b.failures = b.failures[:0]
+		}
+	case breakerClosed:
+		if success {
+			return
+		}
+		// Drop failures that rolled out of the window, then record.
+		cutoff := now.Add(-b.window())
+		keep := b.failures[:0]
+		for _, t := range b.failures {
+			if t.After(cutoff) {
+				keep = append(keep, t)
+			}
+		}
+		b.failures = append(keep, now)
+		if len(b.failures) >= b.threshold() {
+			b.trip(now)
+		}
+	}
+	// Reports while open (stale in-flight requests finishing late)
+	// change nothing: the cooldown clock is already running.
+}
+
+// trip opens the breaker under b.mu.
+func (b *Breaker) trip(now time.Time) {
+	b.setState(breakerOpen)
+	b.openedAt = now
+	b.inProbe = false
+	b.failures = b.failures[:0]
+	b.opens.Inc()
+}
+
+// setState transitions under b.mu and exports breaker_state
+// (0 closed, 1 half-open, 2 open).
+func (b *Breaker) setState(s int) {
+	b.state = s
+	b.stateG.Set(float64(s))
+}

@@ -1,0 +1,210 @@
+package client
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"calib/internal/obs"
+)
+
+// fakeClock drives a breaker deterministically.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func testBreaker(met *obs.Registry) (*Breaker, *fakeClock) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	b := NewBreaker(met)
+	b.Threshold = 3
+	b.Window = 10 * time.Second
+	b.Cooldown = 5 * time.Second
+	b.now = clk.now
+	return b, clk
+}
+
+// fail pushes one admitted-then-failed request through the breaker.
+func fail(t *testing.T, b *Breaker) {
+	t.Helper()
+	if err := b.Allow(); err != nil {
+		t.Fatalf("Allow refused while testing a failure: %v", err)
+	}
+	b.Report(false)
+}
+
+func TestBreakerOpensAtThreshold(t *testing.T) {
+	met := obs.NewRegistry()
+	b, _ := testBreaker(met)
+	fail(t, b)
+	fail(t, b)
+	if b.State() != "closed" {
+		t.Fatalf("state after 2/3 failures = %s", b.State())
+	}
+	fail(t, b)
+	if b.State() != "open" {
+		t.Fatalf("state after 3/3 failures = %s", b.State())
+	}
+	if err := b.Allow(); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("open breaker admitted a call: %v", err)
+	}
+	if got := met.Counter(obs.MBreakerOpens).Value(); got != 1 {
+		t.Fatalf("breaker_opens_total = %d", got)
+	}
+	if got := met.Counter(obs.MBreakerFastFails).Value(); got != 1 {
+		t.Fatalf("breaker_fast_fail_total = %d", got)
+	}
+	if got := met.Gauge(obs.MBreakerState).Value(); got != 2 {
+		t.Fatalf("breaker_state = %v, want 2 (open)", got)
+	}
+}
+
+// TestBreakerRollingWindow: failures older than Window roll off, so a
+// slow error trickle never opens the breaker.
+func TestBreakerRollingWindow(t *testing.T) {
+	b, clk := testBreaker(nil)
+	fail(t, b)
+	fail(t, b)
+	clk.advance(11 * time.Second) // both roll out of the 10s window
+	fail(t, b)
+	fail(t, b)
+	if b.State() != "closed" {
+		t.Fatalf("stale failures counted: state = %s", b.State())
+	}
+	fail(t, b)
+	if b.State() != "open" {
+		t.Fatal("three in-window failures did not open")
+	}
+}
+
+func TestBreakerHalfOpenProbeRecovers(t *testing.T) {
+	met := obs.NewRegistry()
+	b, clk := testBreaker(met)
+	for i := 0; i < 3; i++ {
+		fail(t, b)
+	}
+	clk.advance(6 * time.Second) // past cooldown
+	if err := b.Allow(); err != nil {
+		t.Fatalf("half-open refused the probe: %v", err)
+	}
+	if b.State() != "half-open" {
+		t.Fatalf("state = %s, want half-open", b.State())
+	}
+	// A second caller while the probe is in flight still fails fast.
+	if err := b.Allow(); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("concurrent probe admitted: %v", err)
+	}
+	b.Report(true)
+	if b.State() != "closed" {
+		t.Fatalf("state after successful probe = %s", b.State())
+	}
+	if err := b.Allow(); err != nil {
+		t.Fatalf("closed breaker refused: %v", err)
+	}
+	b.Report(true)
+	if got := met.Counter(obs.MBreakerProbes).Value(); got != 1 {
+		t.Fatalf("breaker_probes_total = %d", got)
+	}
+}
+
+func TestBreakerHalfOpenFailureReopens(t *testing.T) {
+	met := obs.NewRegistry()
+	b, clk := testBreaker(met)
+	for i := 0; i < 3; i++ {
+		fail(t, b)
+	}
+	clk.advance(6 * time.Second)
+	if err := b.Allow(); err != nil {
+		t.Fatal(err)
+	}
+	b.Report(false) // the probe failed: straight back to open
+	if b.State() != "open" {
+		t.Fatalf("state after failed probe = %s", b.State())
+	}
+	if err := b.Allow(); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatal("reopened breaker admitted a call")
+	}
+	// The cooldown clock restarted at the failed probe.
+	clk.advance(6 * time.Second)
+	if err := b.Allow(); err != nil {
+		t.Fatalf("second probe refused: %v", err)
+	}
+	b.Report(true)
+	if b.State() != "closed" {
+		t.Fatalf("state = %s", b.State())
+	}
+	if got := met.Counter(obs.MBreakerOpens).Value(); got != 2 {
+		t.Fatalf("breaker_opens_total = %d", got)
+	}
+}
+
+// TestBreakerMultiProbeGoal: with Probes > 1 the breaker demands that
+// many consecutive probe successes before closing.
+func TestBreakerMultiProbeGoal(t *testing.T) {
+	b, clk := testBreaker(nil)
+	b.Probes = 2
+	for i := 0; i < 3; i++ {
+		fail(t, b)
+	}
+	clk.advance(6 * time.Second)
+	if err := b.Allow(); err != nil {
+		t.Fatal(err)
+	}
+	b.Report(true)
+	if b.State() != "half-open" {
+		t.Fatalf("closed after 1/2 probes: %s", b.State())
+	}
+	if err := b.Allow(); err != nil {
+		t.Fatal(err)
+	}
+	b.Report(true)
+	if b.State() != "closed" {
+		t.Fatalf("state after 2/2 probes = %s", b.State())
+	}
+}
+
+// TestBreakerNil: the disabled path must be safe and permissive.
+func TestBreakerNil(t *testing.T) {
+	var b *Breaker
+	if err := b.Allow(); err != nil {
+		t.Fatal(err)
+	}
+	b.Report(false)
+	if b.State() != "closed" {
+		t.Fatal("nil breaker not closed")
+	}
+}
+
+// TestBreakerConcurrent hammers Allow/Report from many goroutines
+// under -race; the breaker must stay consistent (every Allow matched
+// by one Report) and never deadlock.
+func TestBreakerConcurrent(t *testing.T) {
+	b, _ := testBreaker(obs.NewRegistry())
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				if b.Allow() != nil {
+					continue
+				}
+				b.Report(i%3 != 0)
+			}
+		}(w)
+	}
+	wg.Wait()
+}

@@ -20,6 +20,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"net/http"
 	"strconv"
 	"strings"
@@ -40,11 +41,21 @@ type Client struct {
 	// retryable failures: 429, 503, and transport errors. 0 means the
 	// default (4); negative disables retries.
 	MaxRetries int
-	// BaseDelay seeds the exponential backoff (0 = 100ms). A server
-	// Retry-After hint overrides the computed delay when longer.
+	// BaseDelay seeds the exponential backoff (0 = 100ms). Each sleep
+	// is drawn uniformly from [0, min(BaseDelay·2^attempt, MaxDelay)]
+	// — full jitter, so retrying clients desynchronize — and a server
+	// Retry-After hint floors the result (the server's ask wins over
+	// the jitter's optimism).
 	BaseDelay time.Duration
 	// MaxDelay caps a single backoff sleep (0 = 5s).
 	MaxDelay time.Duration
+	// Breaker, when non-nil, short-circuits calls while the daemon is
+	// persistently failing: after enough transport errors / 429s /
+	// 503s in a rolling window the breaker opens and Solve/Batch fail
+	// fast with ErrBreakerOpen instead of hammering a struggling
+	// service; periodic half-open probes close it when the daemon
+	// recovers. Create with NewBreaker. nil disables the feature.
+	Breaker *Breaker
 }
 
 // New returns a Client for the daemon at baseURL with default
@@ -145,19 +156,22 @@ func (c *Client) post(ctx context.Context, path string, body, out any) error {
 	}
 	var lastErr error
 	for attempt := 0; ; attempt++ {
+		if err := c.Breaker.Allow(); err != nil {
+			return err
+		}
 		lastErr = c.once(ctx, path, buf, out)
+		retryable, hint := retryInfo(lastErr)
+		// The breaker counts service health, not request validity: a
+		// 422 or 400 is a healthy daemon doing its job, so only
+		// retryable failures (transport, 429, 503) count against it.
+		c.Breaker.Report(!retryable)
 		if lastErr == nil {
 			return nil
 		}
-		retryable, hint := retryInfo(lastErr)
 		if !retryable || attempt >= c.retries() {
 			return lastErr
 		}
-		delay := min(base<<attempt, maxDelay)
-		if hint > delay {
-			delay = hint
-		}
-		timer := time.NewTimer(delay)
+		timer := time.NewTimer(backoffDelay(base, maxDelay, hint, attempt, rand.Int64N))
 		select {
 		case <-timer.C:
 		case <-ctx.Done():
@@ -165,6 +179,27 @@ func (c *Client) post(ctx context.Context, path string, body, out any) error {
 			return ctx.Err()
 		}
 	}
+}
+
+// backoffDelay computes the sleep before retry `attempt` (0-based):
+// the exponential ceiling min(base·2^attempt, maxDelay) — grown by
+// doubling, never by shifting, so a large attempt count cannot
+// overflow into a negative or zero delay — with full jitter (uniform
+// in [0, ceiling]), floored by the server's Retry-After hint. rnd is
+// the uniform sampler (rand.Int64N in production, fixed in tests).
+func backoffDelay(base, maxDelay, hint time.Duration, attempt int, rnd func(int64) int64) time.Duration {
+	d := base
+	for i := 0; i < attempt && d < maxDelay; i++ {
+		d *= 2
+	}
+	if d <= 0 || d > maxDelay {
+		d = maxDelay
+	}
+	d = time.Duration(rnd(int64(d) + 1))
+	if hint > d {
+		d = hint
+	}
+	return d
 }
 
 // once performs a single HTTP attempt.
@@ -217,11 +252,18 @@ func retryInfo(err error) (retryable bool, hint time.Duration) {
 }
 
 // decodeError turns a non-2xx response into an *APIError, reading the
-// Retry-After header (seconds form) and the JSON body when present.
+// Retry-After header — both RFC 9110 forms, delay-seconds and
+// HTTP-date — and the JSON body when present.
 func decodeError(resp *http.Response) error {
 	ae := &APIError{StatusCode: resp.StatusCode}
-	if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
-		ae.RetryAfter = time.Duration(secs) * time.Second
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		if secs, err := strconv.Atoi(ra); err == nil && secs > 0 {
+			ae.RetryAfter = time.Duration(secs) * time.Second
+		} else if at, err := http.ParseTime(ra); err == nil {
+			if d := time.Until(at); d > 0 {
+				ae.RetryAfter = d
+			}
+		}
 	}
 	raw, _ := io.ReadAll(io.LimitReader(resp.Body, 64<<10))
 	var body api.Error

@@ -190,3 +190,86 @@ func TestRetriesTransportError(t *testing.T) {
 		t.Fatalf("transport failure surfaced as APIError: %v", err)
 	}
 }
+
+// TestBreakerFastFailsThroughClient: once the daemon fails enough, the
+// client's breaker opens and subsequent calls fail locally with
+// ErrBreakerOpen — no further requests reach the wire.
+func TestBreakerFastFailsThroughClient(t *testing.T) {
+	var hits atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		w.WriteHeader(http.StatusServiceUnavailable)
+		_ = json.NewEncoder(w).Encode(map[string]string{"error": "down"})
+	}))
+	defer ts.Close()
+
+	cl := client.New(ts.URL)
+	cl.MaxRetries = -1 // isolate the breaker from the retry loop
+	cl.BaseDelay = time.Millisecond
+	cl.Breaker = client.NewBreaker(nil)
+	cl.Breaker.Threshold = 3
+	cl.Breaker.Cooldown = time.Hour
+
+	req := &api.SolveRequest{Instance: testInstance()}
+	for i := 0; i < 3; i++ {
+		if _, err := cl.Solve(context.Background(), req); err == nil {
+			t.Fatal("solve against a 503 server succeeded")
+		}
+	}
+	wire := hits.Load()
+	if wire != 3 {
+		t.Fatalf("wire requests before opening = %d", wire)
+	}
+	for i := 0; i < 5; i++ {
+		_, err := cl.Solve(context.Background(), req)
+		if !errors.Is(err, client.ErrBreakerOpen) {
+			t.Fatalf("open breaker error = %v", err)
+		}
+	}
+	if hits.Load() != wire {
+		t.Fatalf("open breaker leaked %d requests to the wire", hits.Load()-wire)
+	}
+	if cl.Breaker.State() != "open" {
+		t.Fatalf("state = %s", cl.Breaker.State())
+	}
+}
+
+// TestBreakerRecoversThroughClient: after the cooldown, one successful
+// probe closes the breaker and normal service resumes.
+func TestBreakerRecoversThroughClient(t *testing.T) {
+	var failing atomic.Bool
+	failing.Store(true)
+	real := server.New(server.Config{})
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if failing.Load() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			_ = json.NewEncoder(w).Encode(map[string]string{"error": "down"})
+			return
+		}
+		real.ServeHTTP(w, r)
+	}))
+	defer ts.Close()
+
+	cl := client.New(ts.URL)
+	cl.MaxRetries = -1
+	cl.Breaker = client.NewBreaker(nil)
+	cl.Breaker.Threshold = 2
+	cl.Breaker.Cooldown = 10 * time.Millisecond
+
+	req := &api.SolveRequest{Instance: testInstance()}
+	for i := 0; i < 2; i++ {
+		_, _ = cl.Solve(context.Background(), req)
+	}
+	if cl.Breaker.State() != "open" {
+		t.Fatalf("state = %s, want open", cl.Breaker.State())
+	}
+	failing.Store(false)
+	time.Sleep(20 * time.Millisecond) // past cooldown
+	out, err := cl.Solve(context.Background(), req)
+	if err != nil || out.Schedule == nil {
+		t.Fatalf("probe solve failed: %v", err)
+	}
+	if cl.Breaker.State() != "closed" {
+		t.Fatalf("state after recovery = %s", cl.Breaker.State())
+	}
+}

@@ -5,13 +5,28 @@
 //
 // Usage:
 //
-//	isebatch [-workers N] [-dedup] [-csv out.csv] [-timeout D]
-//	         [-budget N] [-trace] [-metrics] [-metrics-out FILE]
+//	isebatch [-workers N] [-dedup] [-checkpoint FILE] [-csv out.csv]
+//	         [-timeout D] [-budget N] [-faults SPEC] [-fault-seed N]
+//	         [-trace] [-metrics] [-metrics-out FILE]
 //	         [-pprof addr] dir/
 //
 // -timeout and -budget bound each individual policy solve; the LP
 // pipeline policies report an error row when a limit trips, while the
 // "robust" policy degrades to a cheaper solver and still answers.
+//
+// -checkpoint makes the run crash-safe: every completed (instance,
+// policy) row is appended — CRC-stamped and fsynced — to FILE the
+// moment it finishes. Re-running the same command after a crash (or
+// SIGKILL) resumes: checkpointed rows are replayed verbatim, only the
+// missing ones are solved, and the final report matches an
+// uninterrupted run row-for-row. Mutually exclusive with -dedup
+// (deduplicated rows derive from their twin's solve, so per-row
+// journaling would record derived data as primary).
+//
+// -faults arms deterministic fault injection in the solver pipeline
+// (chaos testing; see docs/ROBUSTNESS.md), e.g. -faults
+// solve_panic:0.2 makes the "robust" policy absorb injected panics
+// while the plain LP policies report them as error rows.
 //
 // -dedup groups instances that are equivalent up to job order and a
 // uniform time shift (internal/canon), solves each group once per
@@ -35,6 +50,7 @@ import (
 	"calib/internal/batch"
 	"calib/internal/cliobs"
 	"calib/internal/exp"
+	"calib/internal/fault"
 	"calib/internal/ise"
 )
 
@@ -49,10 +65,15 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("isebatch", flag.ContinueOnError)
 	workers := fs.Int("workers", runtime.NumCPU(), "parallel workers")
 	dedup := fs.Bool("dedup", false, "solve canonically equivalent instances once and replay the schedule for their twins")
+	ckPath := fs.String("checkpoint", "", "journal completed rows to this file and resume from it (crash-safe; incompatible with -dedup)")
 	csvPath := fs.String("csv", "", "also write the full report as CSV")
+	faults := fault.Register(fs)
 	tele := cliobs.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *ckPath != "" && *dedup {
+		return fmt.Errorf("-checkpoint and -dedup are mutually exclusive")
 	}
 	if err := tele.Start("isebatch", stderr); err != nil {
 		return err
@@ -82,13 +103,35 @@ func run(args []string, stdout, stderr io.Writer) error {
 		items = append(items, batch.Item{Name: filepath.Base(f), Instance: inst})
 	}
 
+	inj, err := faults.Build(tele.Metrics)
+	if err != nil {
+		return err
+	}
 	policies := batch.DefaultPoliciesCtl(batch.Limits{
 		Timeout: tele.Timeout(), Budget: tele.Budget(), Metrics: tele.Metrics,
+		Fault: inj,
 	})
 	var rep *batch.Report
-	if *dedup {
+	switch {
+	case *dedup:
 		rep = batch.RunDedup(items, policies, *workers, tele.Metrics)
-	} else {
+	case *ckPath != "":
+		ck, err := batch.OpenCheckpoint(*ckPath)
+		if err != nil {
+			return err
+		}
+		if done, skipped := ck.Len(), ck.Skipped; done > 0 || skipped > 0 {
+			fmt.Fprintf(stderr, "isebatch: resuming from %s: %d rows checkpointed, %d damaged lines discarded\n",
+				*ckPath, done, skipped)
+		}
+		rep, err = batch.RunCheckpoint(items, policies, *workers, ck)
+		if cerr := ck.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+	default:
 		rep = batch.Run(items, policies, *workers)
 	}
 	table := exp.NewTable(fmt.Sprintf("batch report — %d instances x %d policies", len(items), len(policies)),

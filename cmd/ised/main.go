@@ -8,7 +8,9 @@
 //	ised [-addr host:port] [-addr-file FILE]
 //	     [-max-inflight N] [-max-queue N] [-queue-wait D]
 //	     [-cache N] [-warm] [-par N]
+//	     [-cache-file FILE] [-cache-save-interval D] [-drain-wait D]
 //	     [-timeout D] [-budget N]
+//	     [-faults SPEC] [-fault-seed N]
 //	     [-trace] [-trace-json FILE] [-metrics] [-metrics-out FILE]
 //	     [-pprof addr]
 //
@@ -18,9 +20,22 @@
 // service port. -timeout and -budget here are the per-request maxima:
 // a request may ask for less via timeout_ms/budget, never more.
 //
-// The daemon shuts down gracefully on SIGINT/SIGTERM: in-flight solves
-// finish (they are already bounded by -timeout/-budget), new requests
-// are refused.
+// With -cache-file the schedule cache survives restarts: it is
+// restored at boot (corrupt entries discarded, counted in
+// cache_restore_corrupt_total) and snapshotted atomically on graceful
+// shutdown and every -cache-save-interval, so even a SIGKILLed daemon
+// comes back with its last periodic snapshot.
+//
+// The daemon shuts down gracefully on SIGINT/SIGTERM: /v1/healthz
+// flips to 503 {"draining": true} immediately, -drain-wait gives load
+// balancers time to divert traffic, in-flight solves finish (they are
+// already bounded by -timeout/-budget), and the cache is saved. A
+// second signal kills the process the hard way.
+//
+// -faults arms deterministic fault injection (chaos testing only; see
+// docs/ROBUSTNESS.md): a comma-separated list of point:rate[:arg],
+// e.g. -faults solve_panic:0.1,solve_latency:0.5:20ms, driven by the
+// seeded schedule of -fault-seed.
 package main
 
 import (
@@ -37,6 +52,7 @@ import (
 	"time"
 
 	"calib/internal/cliobs"
+	"calib/internal/fault"
 	"calib/internal/obs"
 	"calib/internal/obs/obshttp"
 	"calib/internal/server"
@@ -62,6 +78,10 @@ func run(ctx context.Context, args []string, stderr io.Writer) error {
 	cacheSize := fs.Int("cache", 0, "canonical schedule cache capacity in entries (0 = 4096, -1 = disabled)")
 	warm := fs.Bool("warm", false, "enable LP warm starts in the solving pipeline")
 	par := fs.Int("par", 0, "per-solve component parallelism (0 = sequential)")
+	cacheFile := fs.String("cache-file", "", "persist the schedule cache to this snapshot file (restored at boot, saved on shutdown)")
+	cacheEvery := fs.Duration("cache-save-interval", 0, "also snapshot the cache periodically (0 = only on graceful shutdown)")
+	drainWait := fs.Duration("drain-wait", 0, "after the first signal, serve with healthz draining for this long before closing the listener")
+	faults := fault.Register(fs)
 	tele := cliobs.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -81,6 +101,11 @@ func run(ctx context.Context, args []string, stderr io.Writer) error {
 	}
 	obs.DeclareService(reg)
 
+	inj, err := faults.Build(reg)
+	if err != nil {
+		return err
+	}
+
 	srv := server.New(server.Config{
 		MaxInFlight:  *maxInflight,
 		MaxQueue:     *maxQueue,
@@ -91,7 +116,21 @@ func run(ctx context.Context, args []string, stderr io.Writer) error {
 		WarmStart:    *warm,
 		Parallelism:  *par,
 		Metrics:      reg,
+		Fault:        inj,
 	})
+
+	if *cacheFile != "" {
+		// A damaged or unreadable snapshot costs cache entries, never
+		// the boot: intact entries load, the rest are counted and the
+		// daemon starts cold for them.
+		st, err := srv.LoadCache(*cacheFile)
+		if err != nil {
+			fmt.Fprintf(stderr, "ised: cache restore from %s failed (starting cold): %v\n", *cacheFile, err)
+		} else if st.Restored > 0 || st.Corrupt > 0 {
+			fmt.Fprintf(stderr, "ised: cache restored from %s: %d entries, %d corrupt discarded\n",
+				*cacheFile, st.Restored, st.Corrupt)
+		}
+	}
 
 	mux := http.NewServeMux()
 	mux.Handle("/v1/", srv)
@@ -114,10 +153,41 @@ func run(ctx context.Context, args []string, stderr io.Writer) error {
 	done := make(chan error, 1)
 	go func() { done <- hs.Serve(ln) }()
 
+	// Periodic snapshots make SIGKILL survivable: the worst case loses
+	// one interval of cache warmth, never the file (saves are atomic).
+	saverDone := make(chan struct{})
+	if *cacheFile != "" && *cacheEvery > 0 {
+		go func() {
+			defer close(saverDone)
+			t := time.NewTicker(*cacheEvery)
+			defer t.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-t.C:
+					if _, err := srv.SaveCache(*cacheFile); err != nil {
+						fmt.Fprintf(stderr, "ised: periodic cache save failed: %v\n", err)
+					}
+				}
+			}
+		}()
+	} else {
+		close(saverDone)
+	}
+
 	select {
 	case err := <-done:
 		return err
 	case <-ctx.Done():
+	}
+	// Drain before closing the listener: healthz flips to 503 +
+	// draining so load balancers divert new traffic, while solve/batch
+	// keep answering until Shutdown.
+	srv.BeginDrain()
+	fmt.Fprintln(stderr, "ised: draining (healthz now 503)")
+	if *drainWait > 0 {
+		time.Sleep(*drainWait)
 	}
 	fmt.Fprintln(stderr, "ised: shutting down")
 	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
@@ -127,6 +197,14 @@ func run(ctx context.Context, args []string, stderr io.Writer) error {
 	}
 	if err := <-done; !errors.Is(err, http.ErrServerClosed) {
 		return err
+	}
+	<-saverDone
+	if *cacheFile != "" {
+		if n, err := srv.SaveCache(*cacheFile); err != nil {
+			fmt.Fprintf(stderr, "ised: final cache save failed: %v\n", err)
+		} else {
+			fmt.Fprintf(stderr, "ised: cache saved to %s (%d entries)\n", *cacheFile, n)
+		}
 	}
 	return nil
 }

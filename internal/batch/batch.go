@@ -12,6 +12,7 @@ import (
 
 	"calib/internal/bounds"
 	"calib/internal/core"
+	"calib/internal/fault"
 	"calib/internal/heur"
 	"calib/internal/improve"
 	"calib/internal/ise"
@@ -41,6 +42,10 @@ type Limits struct {
 	// Metrics receives the robust_* trip counters (nil = process
 	// default).
 	Metrics *obs.Registry
+	// Fault, when non-nil, arms deterministic fault injection in the
+	// core-pipeline policies (see internal/fault); nil disables it at
+	// zero cost.
+	Fault *fault.Injector
 }
 
 // control builds a per-solve control; both returns are no-ops for the
@@ -75,7 +80,7 @@ func DefaultPoliciesCtl(l Limits) []Policy {
 		{"paper", func(inst *ise.Instance) (*ise.Schedule, error) {
 			ctl, cancel := l.control()
 			defer cancel()
-			r, err := core.Solve(inst, core.Options{Control: ctl})
+			r, err := core.Solve(inst, core.Options{Control: ctl, Fault: l.Fault})
 			if err != nil {
 				return nil, err
 			}
@@ -84,7 +89,7 @@ func DefaultPoliciesCtl(l Limits) []Policy {
 		{"paper+trim+compact", func(inst *ise.Instance) (*ise.Schedule, error) {
 			ctl, cancel := l.control()
 			defer cancel()
-			r, err := core.Solve(inst, core.Options{TrimIdle: true, Control: ctl})
+			r, err := core.Solve(inst, core.Options{TrimIdle: true, Control: ctl, Fault: l.Fault})
 			if err != nil {
 				return nil, err
 			}
@@ -93,7 +98,7 @@ func DefaultPoliciesCtl(l Limits) []Policy {
 		{"paper+improve", func(inst *ise.Instance) (*ise.Schedule, error) {
 			ctl, cancel := l.control()
 			defer cancel()
-			r, err := core.Solve(inst, core.Options{Control: ctl})
+			r, err := core.Solve(inst, core.Options{Control: ctl, Fault: l.Fault})
 			if err != nil {
 				return nil, err
 			}
@@ -106,7 +111,7 @@ func DefaultPoliciesCtl(l Limits) []Policy {
 		{"robust", func(inst *ise.Instance) (*ise.Schedule, error) {
 			ctl, cancel := l.control()
 			defer cancel()
-			r, err := core.SolveRobust(inst, core.RobustOptions{Options: core.Options{Control: ctl}})
+			r, err := core.SolveRobust(inst, core.RobustOptions{Options: core.Options{Control: ctl, Fault: l.Fault}})
 			if err != nil {
 				return nil, err
 			}
@@ -163,27 +168,7 @@ func Run(items []Item, policies []Policy, workers int) *Report {
 		go func() {
 			defer wg.Done()
 			for tk := range tasks {
-				it := items[tk.item]
-				pol := policies[tk.pol]
-				row := Row{Item: it.Name, Policy: pol.Name, N: it.Instance.N(),
-					LowerBound: bounds.Calibrations(it.Instance)}
-				t0 := time.Now()
-				sched, err := pol.Solve(it.Instance)
-				row.Millis = float64(time.Since(t0).Microseconds()) / 1000
-				switch {
-				case err != nil:
-					row.Err = err.Error()
-				default:
-					if verr := ise.Validate(it.Instance, sched); verr != nil {
-						row.Err = fmt.Sprintf("INFEASIBLE: %v", verr)
-						break
-					}
-					rep := sim.Replay(it.Instance, sched)
-					row.Calibrations = sched.NumCalibrations()
-					row.Machines = sched.MachinesUsed()
-					row.Utilization = rep.Utilization
-				}
-				rows[tk.item*len(policies)+tk.pol] = row
+				rows[tk.item*len(policies)+tk.pol] = solveRow(items[tk.item], policies[tk.pol])
 			}
 		}()
 	}
@@ -195,6 +180,31 @@ func Run(items []Item, policies []Policy, workers int) *Report {
 	close(tasks)
 	wg.Wait()
 	return &Report{Rows: rows}
+}
+
+// solveRow evaluates one (instance, policy) pair: solve, validate,
+// replay, time. Errors and infeasibility are recorded in the row, not
+// returned — a batch always finishes.
+func solveRow(it Item, pol Policy) Row {
+	row := Row{Item: it.Name, Policy: pol.Name, N: it.Instance.N(),
+		LowerBound: bounds.Calibrations(it.Instance)}
+	t0 := time.Now()
+	sched, err := pol.Solve(it.Instance)
+	row.Millis = float64(time.Since(t0).Microseconds()) / 1000
+	switch {
+	case err != nil:
+		row.Err = err.Error()
+	default:
+		if verr := ise.Validate(it.Instance, sched); verr != nil {
+			row.Err = fmt.Sprintf("INFEASIBLE: %v", verr)
+			break
+		}
+		rep := sim.Replay(it.Instance, sched)
+		row.Calibrations = sched.NumCalibrations()
+		row.Machines = sched.MachinesUsed()
+		row.Utilization = rep.Utilization
+	}
+	return row
 }
 
 // Best returns, per item, the policy with the fewest calibrations

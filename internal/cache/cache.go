@@ -18,19 +18,30 @@ import (
 
 	"sync"
 
+	"calib/internal/fault"
 	"calib/internal/obs"
 )
 
 const numShards = 16
+
+// Aliases for the injection points the snapshot layer consults, so
+// snapshot.go reads without the package qualifier.
+const (
+	faultCacheCorrupt = fault.CacheCorrupt
+	faultSnapTruncate = fault.SnapTruncate
+)
 
 // Cache is a sharded LRU with singleflight, generic over the cached
 // value type. Create with New.
 type Cache[V any] struct {
 	capPerShard int
 	shards      [numShards]shard[V]
+	fault       *fault.Injector
 
 	hits, misses, evictions, shared *obs.Counter
-	entries                         *obs.Gauge
+	snapshots, restored             *obs.Counter
+	restoreCorrupt                  *obs.Counter
+	entries, snapEntries            *obs.Gauge
 }
 
 type shard[V any] struct {
@@ -63,12 +74,16 @@ func New[V any](capacity int, met *obs.Registry) *Cache[V] {
 		per = (capacity + numShards - 1) / numShards
 	}
 	c := &Cache[V]{
-		capPerShard: per,
-		hits:        met.Counter(obs.MCacheHits),
-		misses:      met.Counter(obs.MCacheMisses),
-		evictions:   met.Counter(obs.MCacheEvictions),
-		shared:      met.Counter(obs.MCacheShared),
-		entries:     met.Gauge(obs.MCacheEntries),
+		capPerShard:    per,
+		hits:           met.Counter(obs.MCacheHits),
+		misses:         met.Counter(obs.MCacheMisses),
+		evictions:      met.Counter(obs.MCacheEvictions),
+		shared:         met.Counter(obs.MCacheShared),
+		snapshots:      met.Counter(obs.MCacheSnapshots),
+		restored:       met.Counter(obs.MCacheRestored),
+		restoreCorrupt: met.Counter(obs.MCacheRestoreCorrupt),
+		entries:        met.Gauge(obs.MCacheEntries),
+		snapEntries:    met.Gauge(obs.MCacheSnapshotDirty),
 	}
 	for i := range c.shards {
 		c.shards[i].items = map[uint64]*list.Element{}
@@ -79,6 +94,12 @@ func New[V any](capacity int, met *obs.Registry) *Cache[V] {
 }
 
 func (c *Cache[V]) shard(key uint64) *shard[V] { return &c.shards[key%numShards] }
+
+// SetFault installs the deterministic fault injector consulted by the
+// snapshot layer (cache_corrupt on restore reads, snapshot_truncate
+// on saves). Call before any snapshot activity; nil (the default)
+// disables injection at zero cost.
+func (c *Cache[V]) SetFault(f *fault.Injector) { c.fault = f }
 
 // Get returns the cached value for key, marking it most recently used.
 func (c *Cache[V]) Get(key uint64) (V, bool) {

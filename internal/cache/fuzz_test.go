@@ -1,0 +1,60 @@
+package cache
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzRestore is the nightly crash-safety fuzzer for snapshot
+// decoding: arbitrary bytes fed to Restore must never panic, never
+// force a giant allocation, and never poison the cache — every entry
+// that survives the CRC must decode cleanly and be self-consistent.
+// Seeds cover a valid snapshot, single-byte damage, truncations, and
+// pure garbage.
+func FuzzRestore(f *testing.F) {
+	c := New[[]byte](64, nil)
+	for i := 0; i < 8; i++ {
+		c.Put(uint64(i), []byte(strings.Repeat("x", i+1)))
+	}
+	var buf bytes.Buffer
+	if _, err := c.Snapshot(&buf, func(v []byte) ([]byte, error) { return v, nil }); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	damaged := append([]byte(nil), valid...)
+	damaged[len(damaged)/3] ^= 0x40
+	f.Add(damaged)
+	f.Add([]byte{})
+	f.Add([]byte(snapMagic))
+	f.Add([]byte("ISECSNP1\x01\x00\x00\x00\x00\x00\x00\x00\xff\xff\xff\xff"))
+	f.Add([]byte("not a snapshot at all"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := New[[]byte](64, nil)
+		decoded := 0
+		st, err := r.Restore(bytes.NewReader(data), func(b []byte) ([]byte, error) {
+			decoded++
+			return append([]byte(nil), b...), nil
+		})
+		if err != nil {
+			// Only a missing/bad header or I/O error may be fatal;
+			// bytes.Reader never errors, so the header must be at fault.
+			if len(data) >= len(snapMagic) && string(data[:len(snapMagic)]) == snapMagic {
+				t.Fatalf("restore errored despite valid magic: %v", err)
+			}
+			return
+		}
+		if st.Restored != decoded {
+			t.Fatalf("restored %d but decoded %d", st.Restored, decoded)
+		}
+		if st.Restored < 0 || st.Corrupt < 0 {
+			t.Fatalf("negative stats: %+v", st)
+		}
+		if r.Len() > st.Restored {
+			t.Fatalf("cache holds %d entries but only %d were restored", r.Len(), st.Restored)
+		}
+	})
+}

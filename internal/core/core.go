@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"calib/internal/decomp"
+	"calib/internal/fault"
 	"calib/internal/ise"
 	"calib/internal/mm"
 	"calib/internal/obs"
@@ -65,6 +66,12 @@ type Options struct {
 	// into every long-running loop of the pipeline (LP pivots, cut
 	// rounds, MM probes, the decomposition pool). nil means no limits.
 	Control *robust.Control
+	// Fault, when non-nil, arms deterministic fault injection at the
+	// solver-phase points (solve_panic, solve_latency, budget_burn) —
+	// the chaos suite's way of proving the containment layers work. nil
+	// (the default) disables injection at the same zero cost as a nil
+	// Control.
+	Fault *fault.Injector
 }
 
 // Result is the output of Solve.
@@ -160,6 +167,9 @@ func Solve(inst *ise.Instance, opts Options) (*Result, error) {
 // receives the partition/long/short phase spans; met the per-component
 // solve-time histogram (both may be nil).
 func solveMono(inst *ise.Instance, opts Options, gamma int, parent *obs.Span, met *obs.Registry) (*Result, error) {
+	if err := injectFaults(opts); err != nil {
+		return nil, err
+	}
 	t0 := time.Now()
 	psp := parent.Start("partition")
 	long, short, longIDs, shortIDs := inst.PartitionAt(ise.Time(gamma) * inst.T)
@@ -215,6 +225,29 @@ func solveMono(inst *ise.Instance, opts Options, gamma int, parent *obs.Span, me
 	res.Schedule = merged
 	met.Histogram(obs.MDecompCompSecs, nil).Observe(time.Since(t0).Seconds())
 	return res, nil
+}
+
+// injectFaults runs the armed solver-phase injection points at the
+// start of a component solve: artificial latency first (the solve
+// slows down), then a budget burn charged against the solve's Control
+// (a burned budget trips ErrBudgetExhausted exactly like real work
+// would), then a panic (absorbed by the same containment —
+// RecoverTo, the ladder — that guards real solver panics). With a nil
+// injector all three are nil-check no-ops.
+func injectFaults(opts Options) error {
+	f := opts.Fault
+	if f.Hit(fault.SolveLatency) {
+		time.Sleep(f.Duration(fault.SolveLatency))
+	}
+	if f.Hit(fault.BudgetBurn) {
+		if err := opts.Control.Charge(f.Amount(fault.BudgetBurn)); err != nil {
+			return err
+		}
+	}
+	if f.Hit(fault.SolvePanic) {
+		panic("fault: injected solver panic (solve_panic)")
+	}
+	return nil
 }
 
 // testHookComponent, when non-nil, runs at the start of every

@@ -1,0 +1,36 @@
+package fault
+
+import "testing"
+
+// BenchmarkFaultOverhead is the CI gate for the strictly-off default:
+// a nil *Injector consulted at every injection point of a hot solve
+// must compile down to nil checks — 0 allocs/op, enforced by
+// .github/workflows/ci.yml exactly like BenchmarkObsOverhead gates
+// the disabled-telemetry path.
+func BenchmarkFaultOverhead(b *testing.B) {
+	var f *Injector
+	buf := []byte{0}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if f.Hit(SolvePanic) {
+			b.Fatal("nil injector fired")
+		}
+		f.Hit(SolveLatency)
+		_ = f.Duration(SolveLatency)
+		f.Hit(BudgetBurn)
+		_ = f.Amount(BudgetBurn)
+		f.Corrupt(CacheCorrupt, buf)
+		f.Hit(SnapTruncate)
+	}
+}
+
+// BenchmarkFaultArmed measures the live cost of an armed draw, for
+// the overhead table in docs/ROBUSTNESS.md.
+func BenchmarkFaultArmed(b *testing.B) {
+	f := New(1, nil).Arm(SolvePanic, 0.01)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.Hit(SolvePanic)
+	}
+}

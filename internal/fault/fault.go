@@ -1,0 +1,278 @@
+// Package fault is the solver service's deterministic fault-injection
+// subsystem: a seeded schedule of failures — solver-phase panics,
+// artificial latency, budget burn, cache read corruption, snapshot
+// write truncation — threaded through the core pipeline, the schedule
+// cache, the serving layer, and the batch runner, and exercised by the
+// chaos conformance suite (chaos_conformance_test.go,
+// scripts/chaos_smoke.sh).
+//
+// Two properties are load-bearing and tested:
+//
+//   - Determinism. Every injection point draws from its own PRNG
+//     stream, derived from the injector seed and the point name, so
+//     the decision sequence at a point depends only on (seed, point,
+//     draw index) — never on arming order, other points' traffic, or
+//     goroutine interleaving between points. Same seed ⇒ same
+//     injection schedule, replayable from a one-line CLI flag.
+//
+//   - Zero cost when disabled. A nil *Injector means "no faults" and
+//     every method on it is a nil check that returns immediately —
+//     the same contract robust.Control gives the hot loops, gated the
+//     same way (BenchmarkFaultOverhead must report 0 allocs/op in CI).
+//
+// Every fired injection is counted in fault_injected_total{point}, so
+// a chaos run's metrics say exactly which faults actually happened.
+package fault
+
+import (
+	"flag"
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"calib/internal/obs"
+)
+
+// Point identifies one injection site in the pipeline.
+type Point string
+
+// The injection points. Each names the site that consults it, not the
+// failure mode observed downstream (a solve_panic surfaces to callers
+// as a robust.ErrPanic taxonomy error after containment).
+const (
+	// SolvePanic panics at the start of a component solve; the robust
+	// layer must contain it (ladder rung fall or pool recovery).
+	SolvePanic Point = "solve_panic"
+	// SolveLatency sleeps for the armed duration at the start of a
+	// component solve, widening race windows for kill testing.
+	SolveLatency Point = "solve_latency"
+	// BudgetBurn charges the armed amount of work units against the
+	// solve's robust.Control, forcing early budget exhaustion.
+	BudgetBurn Point = "budget_burn"
+	// CacheCorrupt flips a byte of a snapshot entry as it is read
+	// back, which the CRC check must catch and discard.
+	CacheCorrupt Point = "cache_corrupt"
+	// SnapTruncate truncates a cache snapshot as it is written,
+	// simulating a torn write that restore must survive.
+	SnapTruncate Point = "snapshot_truncate"
+)
+
+// Points lists every injection point, for CLI validation and docs.
+var Points = []Point{SolvePanic, SolveLatency, BudgetBurn, CacheCorrupt, SnapTruncate}
+
+// site is one armed injection point: its private PRNG stream, firing
+// rate, and point-specific argument (a duration for SolveLatency, a
+// work amount for BudgetBurn).
+type site struct {
+	mu   sync.Mutex
+	rng  *rand.Rand
+	rate float64
+	dur  time.Duration
+	amt  int64
+	hits *obs.Counter
+}
+
+// Injector is a deterministic fault schedule. nil disables injection
+// at zero cost; create with New and arm points before use (the site
+// table is read-only once injection starts).
+type Injector struct {
+	seed  int64
+	met   *obs.Registry
+	sites map[Point]*site
+}
+
+// New returns an injector with no points armed. met receives
+// fault_injected_total{point}; nil disables the counters.
+func New(seed int64, met *obs.Registry) *Injector {
+	return &Injector{seed: seed, met: met, sites: map[Point]*site{}}
+}
+
+// stream derives the point's private PRNG seed from the injector seed
+// and the point name, making each point's decision sequence
+// independent of every other point's.
+func stream(seed int64, p Point) *rand.Rand {
+	h := fnv.New64a()
+	h.Write([]byte(p))
+	return rand.New(rand.NewSource(seed ^ int64(h.Sum64())))
+}
+
+// Arm enables p with the given firing probability per draw (rate >= 1
+// fires every time). Arm all points before injection starts; Arm is
+// not safe concurrently with Hit.
+func (f *Injector) Arm(p Point, rate float64) *Injector {
+	s := &site{rng: stream(f.seed, p), rate: rate,
+		hits: f.met.CounterWith(obs.MFaultInjected, "point", string(p))}
+	f.sites[p] = s
+	return f
+}
+
+// ArmDuration is Arm with the point's duration argument (SolveLatency).
+func (f *Injector) ArmDuration(p Point, rate float64, d time.Duration) *Injector {
+	f.Arm(p, rate)
+	f.sites[p].dur = d
+	return f
+}
+
+// ArmAmount is Arm with the point's amount argument (BudgetBurn).
+func (f *Injector) ArmAmount(p Point, rate float64, n int64) *Injector {
+	f.Arm(p, rate)
+	f.sites[p].amt = n
+	return f
+}
+
+// Hit draws the next decision from p's stream: true when the fault
+// fires (counted in fault_injected_total{point}). Nil-safe and false
+// for unarmed points.
+func (f *Injector) Hit(p Point) bool {
+	if f == nil {
+		return false
+	}
+	s := f.sites[p]
+	if s == nil {
+		return false
+	}
+	s.mu.Lock()
+	hit := s.rate > 0 && s.rng.Float64() < s.rate
+	s.mu.Unlock()
+	if hit {
+		s.hits.Inc()
+	}
+	return hit
+}
+
+// Duration returns p's armed duration argument (0 when unarmed or
+// armed without one).
+func (f *Injector) Duration(p Point) time.Duration {
+	if f == nil {
+		return 0
+	}
+	if s := f.sites[p]; s != nil {
+		return s.dur
+	}
+	return 0
+}
+
+// Amount returns p's armed amount argument (0 when unarmed or armed
+// without one).
+func (f *Injector) Amount(p Point) int64 {
+	if f == nil {
+		return 0
+	}
+	if s := f.sites[p]; s != nil {
+		return s.amt
+	}
+	return 0
+}
+
+// Corrupt draws a decision from p's stream and, on a hit, flips one
+// deterministically chosen byte of b in place. Reports whether b was
+// corrupted. Nil-safe; false for unarmed points or empty b.
+func (f *Injector) Corrupt(p Point, b []byte) bool {
+	if f == nil || len(b) == 0 {
+		return false
+	}
+	s := f.sites[p]
+	if s == nil {
+		return false
+	}
+	s.mu.Lock()
+	hit := s.rate > 0 && s.rng.Float64() < s.rate
+	idx := 0
+	if hit {
+		idx = s.rng.Intn(len(b))
+	}
+	s.mu.Unlock()
+	if !hit {
+		return false
+	}
+	b[idx] ^= 0xA5
+	s.hits.Inc()
+	return true
+}
+
+// ParseSpec builds an injector from a CLI spec: comma-separated
+// entries "point:rate[:arg]", where arg is a duration for
+// solve_latency (default 10ms) and a work amount for budget_burn
+// (default 1e6). Example:
+//
+//	solve_panic:0.01,solve_latency:0.5:25ms,budget_burn:1:5000
+//
+// An empty spec returns nil — injection disabled at zero cost.
+func ParseSpec(spec string, seed int64, met *obs.Registry) (*Injector, error) {
+	if strings.TrimSpace(spec) == "" {
+		return nil, nil
+	}
+	f := New(seed, met)
+	for _, entry := range strings.Split(spec, ",") {
+		parts := strings.SplitN(strings.TrimSpace(entry), ":", 3)
+		if len(parts) < 2 {
+			return nil, fmt.Errorf("fault: entry %q: want point:rate[:arg]", entry)
+		}
+		p := Point(parts[0])
+		if !known(p) {
+			return nil, fmt.Errorf("fault: unknown point %q (have %v)", parts[0], Points)
+		}
+		rate, err := strconv.ParseFloat(parts[1], 64)
+		if err != nil || rate < 0 {
+			return nil, fmt.Errorf("fault: entry %q: bad rate %q", entry, parts[1])
+		}
+		switch p {
+		case SolveLatency:
+			d := 10 * time.Millisecond
+			if len(parts) == 3 {
+				if d, err = time.ParseDuration(parts[2]); err != nil {
+					return nil, fmt.Errorf("fault: entry %q: bad duration %q", entry, parts[2])
+				}
+			}
+			f.ArmDuration(p, rate, d)
+		case BudgetBurn:
+			var n int64 = 1_000_000
+			if len(parts) == 3 {
+				if n, err = strconv.ParseInt(parts[2], 10, 64); err != nil {
+					return nil, fmt.Errorf("fault: entry %q: bad amount %q", entry, parts[2])
+				}
+			}
+			f.ArmAmount(p, rate, n)
+		default:
+			if len(parts) == 3 {
+				return nil, fmt.Errorf("fault: entry %q: point %s takes no argument", entry, p)
+			}
+			f.Arm(p, rate)
+		}
+	}
+	return f, nil
+}
+
+func known(p Point) bool {
+	for _, q := range Points {
+		if q == p {
+			return true
+		}
+	}
+	return false
+}
+
+// Flags is the parsed fault-injection flag pair; see Register.
+type Flags struct {
+	spec *string
+	seed *int64
+}
+
+// Register installs the shared -faults and -fault-seed flags on fs,
+// so every command arms injection with the same syntax.
+func Register(fs *flag.FlagSet) *Flags {
+	f := &Flags{}
+	f.spec = fs.String("faults", "", `deterministic fault injection spec "point:rate[:arg],..." (points: solve_panic, solve_latency, budget_burn, cache_corrupt, snapshot_truncate); empty = disabled`)
+	f.seed = fs.Int64("fault-seed", 1, "seed of the fault injection schedule; the same seed replays the same schedule")
+	return f
+}
+
+// Build materializes the parsed flags into an injector (nil when
+// -faults was not given). met receives fault_injected_total{point}.
+func (f *Flags) Build(met *obs.Registry) (*Injector, error) {
+	return ParseSpec(*f.spec, *f.seed, met)
+}

@@ -1,0 +1,189 @@
+package fault
+
+import (
+	"flag"
+	"testing"
+	"time"
+
+	"calib/internal/obs"
+)
+
+// schedule materializes the first n decisions of a point's stream.
+func schedule(f *Injector, p Point, n int) []bool {
+	out := make([]bool, n)
+	for i := range out {
+		out[i] = f.Hit(p)
+	}
+	return out
+}
+
+// TestDeterministicSchedule is the acceptance property: the same seed
+// produces the same injection schedule, draw for draw.
+func TestDeterministicSchedule(t *testing.T) {
+	const n = 500
+	for _, p := range Points {
+		a := New(42, nil).Arm(p, 0.3)
+		b := New(42, nil).Arm(p, 0.3)
+		sa, sb := schedule(a, p, n), schedule(b, p, n)
+		hits := 0
+		for i := range sa {
+			if sa[i] != sb[i] {
+				t.Fatalf("%s: draw %d differs under equal seeds", p, i)
+			}
+			if sa[i] {
+				hits++
+			}
+		}
+		if hits == 0 || hits == n {
+			t.Fatalf("%s: degenerate schedule at rate 0.3: %d/%d hits", p, hits, n)
+		}
+	}
+}
+
+// TestSeedChangesSchedule: a different seed must produce a different
+// schedule (with 500 draws at rate 0.3, a collision is astronomically
+// unlikely).
+func TestSeedChangesSchedule(t *testing.T) {
+	a := New(1, nil).Arm(SolvePanic, 0.3)
+	b := New(2, nil).Arm(SolvePanic, 0.3)
+	sa, sb := schedule(a, SolvePanic, 500), schedule(b, SolvePanic, 500)
+	same := true
+	for i := range sa {
+		if sa[i] != sb[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("seeds 1 and 2 produced identical 500-draw schedules")
+	}
+}
+
+// TestStreamsIndependent: draws at one point must not perturb another
+// point's schedule — the per-point streams are what makes concurrent
+// chaos runs replayable.
+func TestStreamsIndependent(t *testing.T) {
+	a := New(7, nil).Arm(SolvePanic, 0.5).Arm(CacheCorrupt, 0.5)
+	b := New(7, nil).Arm(SolvePanic, 0.5).Arm(CacheCorrupt, 0.5)
+	// Interleave heavy traffic on CacheCorrupt into a only.
+	for i := 0; i < 1000; i++ {
+		a.Hit(CacheCorrupt)
+	}
+	sa, sb := schedule(a, SolvePanic, 200), schedule(b, SolvePanic, 200)
+	for i := range sa {
+		if sa[i] != sb[i] {
+			t.Fatalf("SolvePanic draw %d perturbed by CacheCorrupt traffic", i)
+		}
+	}
+}
+
+func TestRateEndpoints(t *testing.T) {
+	f := New(3, nil).Arm(SolvePanic, 1).Arm(CacheCorrupt, 0)
+	for i := 0; i < 50; i++ {
+		if !f.Hit(SolvePanic) {
+			t.Fatal("rate 1 did not fire")
+		}
+		if f.Hit(CacheCorrupt) {
+			t.Fatal("rate 0 fired")
+		}
+		if f.Hit(SolveLatency) {
+			t.Fatal("unarmed point fired")
+		}
+	}
+}
+
+func TestCorruptFlipsExactlyOneByte(t *testing.T) {
+	f := New(11, nil).Arm(CacheCorrupt, 1)
+	orig := []byte{1, 2, 3, 4, 5, 6, 7, 8}
+	b := append([]byte(nil), orig...)
+	if !f.Corrupt(CacheCorrupt, b) {
+		t.Fatal("rate-1 Corrupt did not fire")
+	}
+	diff := 0
+	for i := range b {
+		if b[i] != orig[i] {
+			diff++
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("Corrupt changed %d bytes, want 1", diff)
+	}
+	if f.Corrupt(CacheCorrupt, nil) {
+		t.Fatal("Corrupt fired on empty buffer")
+	}
+}
+
+func TestMetricsCount(t *testing.T) {
+	met := obs.NewRegistry()
+	f := New(5, met).ArmDuration(SolveLatency, 1, time.Millisecond)
+	for i := 0; i < 7; i++ {
+		f.Hit(SolveLatency)
+	}
+	got := met.CounterWith(obs.MFaultInjected, "point", string(SolveLatency)).Value()
+	if got != 7 {
+		t.Fatalf("fault_injected_total{point=solve_latency} = %d, want 7", got)
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	f, err := ParseSpec("solve_panic:0.25,solve_latency:1:25ms,budget_burn:0.5:123", 9, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := f.Duration(SolveLatency); d != 25*time.Millisecond {
+		t.Fatalf("latency arg = %v", d)
+	}
+	if n := f.Amount(BudgetBurn); n != 123 {
+		t.Fatalf("burn arg = %d", n)
+	}
+	if f.sites[SolvePanic].rate != 0.25 {
+		t.Fatalf("panic rate = %v", f.sites[SolvePanic].rate)
+	}
+
+	if f, err := ParseSpec("   ", 9, nil); err != nil || f != nil {
+		t.Fatalf("blank spec: (%v, %v), want (nil, nil)", f, err)
+	}
+	for _, bad := range []string{
+		"nope:1", "solve_panic", "solve_panic:x", "solve_panic:-1",
+		"solve_latency:1:zzz", "budget_burn:1:zzz", "solve_panic:1:arg",
+	} {
+		if _, err := ParseSpec(bad, 9, nil); err == nil {
+			t.Errorf("ParseSpec(%q) accepted", bad)
+		}
+	}
+}
+
+func TestFlags(t *testing.T) {
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	ff := Register(fs)
+	if err := fs.Parse([]string{"-faults", "solve_panic:1", "-fault-seed", "77"}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := ff.Build(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f == nil || f.seed != 77 {
+		t.Fatalf("Build: %+v", f)
+	}
+	fs2 := flag.NewFlagSet("t2", flag.ContinueOnError)
+	ff2 := Register(fs2)
+	if err := fs2.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if f, err := ff2.Build(nil); err != nil || f != nil {
+		t.Fatalf("no -faults: (%v, %v), want (nil, nil)", f, err)
+	}
+}
+
+// TestNilInjector: the disabled path must behave as "never fire" from
+// every accessor.
+func TestNilInjector(t *testing.T) {
+	var f *Injector
+	if f.Hit(SolvePanic) || f.Corrupt(CacheCorrupt, []byte{1}) {
+		t.Fatal("nil injector fired")
+	}
+	if f.Duration(SolveLatency) != 0 || f.Amount(BudgetBurn) != 0 {
+		t.Fatal("nil injector has arguments")
+	}
+}

@@ -44,6 +44,21 @@ const (
 	MCacheEntries   = "cache_entries"                   // gauge: live entries across all shards
 	MCacheShared    = "cache_singleflight_shared_total" // callers who joined another caller's in-flight solve
 
+	// internal/cache — crash-safe snapshot persistence.
+	MCacheSnapshots      = "cache_snapshot_total"        // snapshots written (periodic + shutdown)
+	MCacheSnapshotDirty  = "cache_snapshot_entries"      // gauge: entries in the last snapshot written
+	MCacheRestored       = "cache_restore_entries_total" // entries accepted from restored snapshots
+	MCacheRestoreCorrupt = "cache_restore_corrupt_total" // snapshot entries discarded (CRC/decode/truncation)
+
+	// internal/fault — deterministic fault injection (chaos suite).
+	MFaultInjected = "fault_injected_total" // faults fired; labeled point=solve_panic|solve_latency|...
+
+	// client — circuit breaker around the ised HTTP client.
+	MBreakerState     = "breaker_state"           // gauge: 0 closed, 1 half-open, 2 open
+	MBreakerOpens     = "breaker_opens_total"     // closed/half-open -> open transitions
+	MBreakerFastFails = "breaker_fast_fail_total" // calls refused locally while open
+	MBreakerProbes    = "breaker_probes_total"    // half-open trial requests allowed through
+
 	// internal/server + internal/batch — the ised serving layer.
 	MServiceRequests    = "service_requests_total"    // HTTP requests; labeled endpoint=solve|batch|healthz
 	MServiceErrors      = "service_errors_total"      // non-2xx responses; labeled endpoint=...
@@ -108,6 +123,7 @@ func DeclareService(r *Registry) {
 	}
 	for _, n := range []string{
 		MCacheHits, MCacheMisses, MCacheEvictions, MCacheShared,
+		MCacheSnapshots, MCacheRestored, MCacheRestoreCorrupt,
 		MServiceShed, MBatchDedup,
 	} {
 		r.Counter(n)
@@ -117,6 +133,7 @@ func DeclareService(r *Registry) {
 		r.CounterWith(MServiceErrors, "endpoint", ep)
 	}
 	r.Gauge(MCacheEntries)
+	r.Gauge(MCacheSnapshotDirty)
 	r.Gauge(MServiceInflight)
 	r.Gauge(MServiceInflightMax)
 	r.Gauge(MServiceQueueDepth)

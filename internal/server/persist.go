@@ -1,0 +1,67 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+
+	"calib/internal/cache"
+)
+
+// Cache persistence: the daemon's crash-safe warm-restart path. The
+// canonical schedule cache is snapshotted to disk (periodically and on
+// graceful shutdown) and restored at boot, so a restarted daemon —
+// even one that was SIGKILLed between snapshots — serves its old
+// cache hits without re-solving. The heavy lifting (per-entry CRCs,
+// atomic temp-file+rename writes, corrupt-entry discarding) lives in
+// internal/cache's snapshot layer; this file supplies the *Result
+// JSON codec and re-validates restored entries, because a snapshot is
+// input: a corrupt file may cost cache entries, never correctness.
+
+// encodeResult is the snapshot codec's encode half.
+func encodeResult(r *Result) ([]byte, error) {
+	if r == nil || r.Schedule == nil {
+		return nil, errors.New("refusing to snapshot a nil result")
+	}
+	return json.Marshal(r)
+}
+
+// decodeResult is the decode half. Structural validation happens here
+// — an entry that decodes but carries no schedule is as useless as a
+// failed CRC, and Restore counts it corrupt the same way. Feasibility
+// is still re-verified per request (Server.respond validates against
+// the requester's instance), so a restored entry can never produce a
+// silently wrong schedule.
+func decodeResult(b []byte) (*Result, error) {
+	var r Result
+	if err := json.Unmarshal(b, &r); err != nil {
+		return nil, err
+	}
+	if r.Schedule == nil {
+		return nil, errors.New("snapshot entry has no schedule")
+	}
+	if r.Calibrations != r.Schedule.NumCalibrations() {
+		return nil, fmt.Errorf("snapshot entry inconsistent: calibrations %d vs schedule %d",
+			r.Calibrations, r.Schedule.NumCalibrations())
+	}
+	return &r, nil
+}
+
+// SaveCache atomically snapshots the schedule cache to path. Safe to
+// call concurrently with serving; returns the number of entries saved.
+func (s *Server) SaveCache(path string) (int, error) {
+	return s.cache.SaveFile(path, encodeResult)
+}
+
+// LoadCache restores the schedule cache from the snapshot at path. A
+// missing file is a clean first boot (zero stats, nil error); a
+// damaged one restores every intact entry and counts the rest in
+// cache_restore_corrupt_total.
+func (s *Server) LoadCache(path string) (cache.RestoreStats, error) {
+	st, err := s.cache.LoadFile(path, decodeResult)
+	if errors.Is(err, os.ErrNotExist) {
+		return cache.RestoreStats{}, nil
+	}
+	return st, err
+}

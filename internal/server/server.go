@@ -26,12 +26,14 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"sync/atomic"
 	"time"
 
 	"calib"
 	"calib/api"
 	"calib/internal/cache"
 	"calib/internal/canon"
+	"calib/internal/fault"
 	"calib/internal/ise"
 	"calib/internal/obs"
 	"calib/internal/robust"
@@ -87,6 +89,10 @@ type Config struct {
 	Metrics *obs.Registry
 	// Solve overrides the solver (tests). nil = calib.SolveRobust.
 	Solve SolveFunc
+	// Fault, when non-nil, arms deterministic fault injection in the
+	// solver pipeline and the cache's snapshot layer (see
+	// internal/fault). nil disables injection at zero cost.
+	Fault *fault.Injector
 }
 
 func (c Config) withDefaults() Config {
@@ -132,6 +138,11 @@ type Server struct {
 	mux   *http.ServeMux
 	start time.Time
 
+	// draining flips once at the start of graceful shutdown (BeginDrain)
+	// and never flips back: healthz switches to 503 + draining so load
+	// balancers divert traffic while in-flight solves finish.
+	draining atomic.Bool
+
 	latency *obs.Histogram
 }
 
@@ -151,6 +162,7 @@ func New(cfg Config) *Server {
 	if s.solve == nil {
 		s.solve = s.defaultSolve
 	}
+	s.cache.SetFault(cfg.Fault)
 	s.mux.HandleFunc("/v1/solve", s.handleSolve)
 	s.mux.HandleFunc("/v1/batch", s.handleBatch)
 	s.mux.HandleFunc("/v1/healthz", s.handleHealthz)
@@ -162,6 +174,16 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.Serve
 
 // Metrics returns the registry the server reports into.
 func (s *Server) Metrics() *obs.Registry { return s.cfg.Metrics }
+
+// BeginDrain marks the server as draining: from this call on,
+// /v1/healthz answers 503 with "draining": true while solve/batch
+// keep serving, so callers sequence shutdown as BeginDrain → (load
+// balancer notices) → http.Server.Shutdown → final cache save.
+// Idempotent.
+func (s *Server) BeginDrain() { s.draining.Store(true) }
+
+// Draining reports whether BeginDrain has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
 
 // defaultSolve runs the robust ladder on the canonical instance. The
 // solve is detached from the request context (context.WithoutCancel in
@@ -176,6 +198,7 @@ func (s *Server) defaultSolve(ctx context.Context, inst *ise.Instance, timeout t
 		Context:     ctx,
 		Timeout:     timeout,
 		Budget:      budget,
+		Fault:       s.cfg.Fault,
 	})
 	if err != nil {
 		return nil, err
@@ -348,8 +371,16 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	met := s.cfg.Metrics
-	writeJSON(w, http.StatusOK, &api.Health{
-		Status:        "ok",
+	status, health := http.StatusOK, "ok"
+	draining := s.draining.Load()
+	if draining {
+		// 503 tells load balancers to route elsewhere; the body still
+		// carries the full statistics for operators watching the drain.
+		status, health = http.StatusServiceUnavailable, "draining"
+	}
+	writeJSON(w, status, &api.Health{
+		Status:        health,
+		Draining:      draining,
 		InFlight:      s.adm.InFlight(),
 		MaxInFlight:   s.cfg.MaxInFlight,
 		QueueDepth:    s.adm.QueueDepth(),

@@ -371,3 +371,112 @@ func TestRealSolverDegradesUnderTimeout(t *testing.T) {
 		t.Fatalf("degraded schedule infeasible: %v", err)
 	}
 }
+
+// TestDrainSequencing is the drain-aware shutdown contract: healthz is
+// 200 before BeginDrain, 503 with "draining": true after — while
+// /v1/solve keeps answering — so a load balancer stops routing before
+// the listener ever closes.
+func TestDrainSequencing(t *testing.T) {
+	var calls atomic.Int64
+	srv := New(Config{Solve: countingSolver(&calls)})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pre-drain healthz = %d", resp.StatusCode)
+	}
+	if h := decode[api.Health](t, resp); h.Draining || h.Status != "ok" {
+		t.Fatalf("pre-drain health body: %+v", h)
+	}
+
+	srv.BeginDrain()
+	srv.BeginDrain() // idempotent
+	if !srv.Draining() {
+		t.Fatal("Draining() false after BeginDrain")
+	}
+	resp, err = http.Get(ts.URL + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining healthz = %d, want 503", resp.StatusCode)
+	}
+	h := decode[api.Health](t, resp)
+	if !h.Draining || h.Status != "draining" {
+		t.Fatalf("draining health body: %+v", h)
+	}
+
+	// In-flight traffic still works during the drain window.
+	sresp := postJSON(t, ts.URL+"/v1/solve", api.SolveRequest{Instance: testInstance(0)})
+	if sresp.StatusCode != http.StatusOK {
+		t.Fatalf("solve during drain = %d, want 200", sresp.StatusCode)
+	}
+	sresp.Body.Close()
+}
+
+// TestCachePersistenceAcrossRestart simulates the daemon lifecycle:
+// serve, save, "crash", boot a fresh server from the snapshot, and
+// assert the old cache hits come back without the solver running.
+func TestCachePersistenceAcrossRestart(t *testing.T) {
+	path := t.TempDir() + "/cache.snap"
+	var calls atomic.Int64
+	srv := New(Config{Solve: countingSolver(&calls)})
+	ts := httptest.NewServer(srv)
+	inst := testInstance(0)
+	first := decode[api.SolveResponse](t, postJSON(t, ts.URL+"/v1/solve", api.SolveRequest{Instance: inst}))
+	if n, err := srv.SaveCache(path); err != nil || n == 0 {
+		t.Fatalf("SaveCache: (%d, %v)", n, err)
+	}
+	ts.Close()
+
+	var calls2 atomic.Int64
+	srv2 := New(Config{Solve: countingSolver(&calls2)})
+	if st, err := srv2.LoadCache(path); err != nil || st.Restored == 0 || st.Corrupt != 0 {
+		t.Fatalf("LoadCache: (%+v, %v)", st, err)
+	}
+	ts2 := httptest.NewServer(srv2)
+	defer ts2.Close()
+	out := decode[api.SolveResponse](t, postJSON(t, ts2.URL+"/v1/solve", api.SolveRequest{Instance: inst}))
+	if !out.Cached {
+		t.Fatal("restored server did not serve from cache")
+	}
+	if calls2.Load() != 0 {
+		t.Fatalf("restored server invoked the solver %d times", calls2.Load())
+	}
+	if out.Calibrations != first.Calibrations || out.Key != first.Key {
+		t.Fatalf("restored answer differs: %+v vs %+v", out, first)
+	}
+	if err := ise.Validate(inst, out.Schedule); err != nil {
+		t.Fatalf("restored schedule infeasible: %v", err)
+	}
+}
+
+// TestLoadCacheMissingFileIsCleanBoot: no snapshot file means a cold
+// start, not an error.
+func TestLoadCacheMissingFileIsCleanBoot(t *testing.T) {
+	srv := New(Config{})
+	st, err := srv.LoadCache(t.TempDir() + "/nope.snap")
+	if err != nil || st.Restored != 0 || st.Corrupt != 0 {
+		t.Fatalf("missing snapshot: (%+v, %v)", st, err)
+	}
+}
+
+// TestDecodeResultRejectsGarbage: a snapshot entry that decodes but is
+// structurally broken (no schedule, inconsistent counts) must be
+// treated as corrupt, never served.
+func TestDecodeResultRejectsGarbage(t *testing.T) {
+	for _, bad := range []string{
+		`{}`,
+		`{"Calibrations": 3}`,
+		`{"Schedule": {"machines": 1, "speed": 1}, "Calibrations": 99}`,
+		`not json`,
+	} {
+		if _, err := decodeResult([]byte(bad)); err == nil {
+			t.Errorf("decodeResult accepted %q", bad)
+		}
+	}
+}
