@@ -24,6 +24,7 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"calib/api"
@@ -138,14 +139,31 @@ func (c *Client) retries() int {
 	}
 }
 
+// encBuf is a pooled wire-encoding buffer with its encoder bound once,
+// so a steady stream of Solve calls reuses one arena instead of
+// re-allocating the marshalled body (and encoder state) per request.
+type encBuf struct {
+	buf bytes.Buffer
+	enc *json.Encoder
+}
+
+var encPool = sync.Pool{New: func() any {
+	e := new(encBuf)
+	e.enc = json.NewEncoder(&e.buf)
+	return e
+}}
+
 // post sends body and decodes the 200 response into out, retrying
 // retryable failures with capped exponential backoff. The request body
 // is marshalled once and replayed per attempt.
 func (c *Client) post(ctx context.Context, path string, body, out any) error {
-	buf, err := json.Marshal(body)
-	if err != nil {
+	eb := encPool.Get().(*encBuf)
+	defer encPool.Put(eb)
+	eb.buf.Reset()
+	if err := eb.enc.Encode(body); err != nil {
 		return fmt.Errorf("encoding request: %w", err)
 	}
+	buf := eb.buf.Bytes()
 	base := c.BaseDelay
 	if base <= 0 {
 		base = 100 * time.Millisecond

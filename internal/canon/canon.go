@@ -24,8 +24,6 @@
 package canon
 
 import (
-	"encoding/binary"
-	"hash/fnv"
 	"sort"
 
 	"calib/internal/ise"
@@ -52,37 +50,98 @@ type Canonical struct {
 // modified. Jobs with identical (release, deadline, processing) are
 // interchangeable; ties keep input order so the mapping stays a
 // bijection.
+//
+// The returned Canonical owns its memory; hot paths that canonicalize
+// per request should use a pooled Scratch instead.
 func Canonicalize(inst *ise.Instance) *Canonical {
-	order := make([]int, len(inst.Jobs))
+	var s Scratch
+	c := s.Canonicalize(inst)
+	return &Canonical{
+		Instance:    c.Instance.Clone(),
+		Key:         c.Key,
+		Shift:       c.Shift,
+		OriginalIDs: append([]int(nil), c.OriginalIDs...),
+	}
+}
+
+// Scratch is a reusable canonicalization arena for hot paths (the
+// serving layer canonicalizes every request before its cache lookup).
+// Canonicalize on a Scratch performs no allocation once the arena has
+// grown to the working instance size; the returned Canonical and its
+// Instance point into the Scratch and are valid only until the next
+// Canonicalize call on it. The zero value is ready to use.
+type Scratch struct {
+	c    Canonical
+	inst ise.Instance
+	sort jobOrder
+}
+
+// jobOrder sorts an index permutation by job shape. It implements
+// sort.Interface on preallocated state so sort.Stable runs without the
+// closure and swapper allocations of sort.SliceStable.
+type jobOrder struct {
+	jobs  []ise.Job
+	order []int
+}
+
+func (o *jobOrder) Len() int      { return len(o.order) }
+func (o *jobOrder) Swap(a, b int) { o.order[a], o.order[b] = o.order[b], o.order[a] }
+func (o *jobOrder) Less(a, b int) bool {
+	ja, jb := o.jobs[o.order[a]], o.jobs[o.order[b]]
+	if ja.Release != jb.Release {
+		return ja.Release < jb.Release
+	}
+	if ja.Deadline != jb.Deadline {
+		return ja.Deadline < jb.Deadline
+	}
+	return ja.Processing < jb.Processing
+}
+
+// Canonicalize is the allocation-free Canonicalize: identical output
+// (same canonical form, same key) but backed by the Scratch's arena.
+func (s *Scratch) Canonicalize(inst *ise.Instance) *Canonical {
+	n := len(inst.Jobs)
+	if cap(s.sort.order) < n {
+		s.sort.order = make([]int, n)
+	}
+	order := s.sort.order[:n]
 	for i := range order {
 		order[i] = i
 	}
-	sort.SliceStable(order, func(a, b int) bool {
-		ja, jb := inst.Jobs[order[a]], inst.Jobs[order[b]]
-		if ja.Release != jb.Release {
-			return ja.Release < jb.Release
-		}
-		if ja.Deadline != jb.Deadline {
-			return ja.Deadline < jb.Deadline
-		}
-		return ja.Processing < jb.Processing
-	})
+	s.sort.jobs, s.sort.order = inst.Jobs, order
+	// order starts as the identity, so stability preserves input order
+	// among identical job shapes — the tie rule of Canonicalize.
+	sort.Stable(&s.sort)
 	var shift ise.Time
-	if len(inst.Jobs) > 0 {
+	if n > 0 {
 		shift = inst.Jobs[order[0]].Release
 	}
-	c := &Canonical{
-		Instance:    ise.NewInstance(inst.T, inst.M),
-		Shift:       shift,
-		OriginalIDs: make([]int, 0, len(order)),
+	s.inst.T, s.inst.M = inst.T, inst.M
+	if cap(s.inst.Jobs) < n {
+		s.inst.Jobs = make([]ise.Job, 0, n)
 	}
-	for _, idx := range order {
+	s.inst.Jobs = s.inst.Jobs[:0]
+	if cap(s.c.OriginalIDs) < n {
+		s.c.OriginalIDs = make([]int, 0, n)
+	}
+	ids := s.c.OriginalIDs[:0]
+	for k, idx := range order {
 		j := inst.Jobs[idx]
-		c.Instance.AddJob(j.Release-shift, j.Deadline-shift, j.Processing)
-		c.OriginalIDs = append(c.OriginalIDs, j.ID)
+		s.inst.Jobs = append(s.inst.Jobs, ise.Job{
+			ID:         k,
+			Release:    j.Release - shift,
+			Deadline:   j.Deadline - shift,
+			Processing: j.Processing,
+		})
+		ids = append(ids, j.ID)
 	}
-	c.Key = hashInstance(c.Instance)
-	return c
+	s.c = Canonical{
+		Instance:    &s.inst,
+		Key:         hashInstance(&s.inst),
+		Shift:       shift,
+		OriginalIDs: ids,
+	}
+	return &s.c
 }
 
 // Key returns the canonical key of inst without retaining the
@@ -106,28 +165,40 @@ func (c *Canonical) Decanonicalize(s *ise.Schedule) *ise.Schedule {
 	return out
 }
 
+// FNV-1a parameters (offset basis and prime of the 64-bit variant),
+// inlined so hashing allocates no hash.Hash state on the hot path.
+const (
+	fnvOffset64 uint64 = 14695981039346656037
+	fnvPrime64  uint64 = 1099511628211
+)
+
+// fnvWord folds the little-endian bytes of v into an FNV-1a state —
+// byte-for-byte identical to writing the 8-byte LE encoding into
+// hash/fnv's New64a, so keys are stable across the inlining.
+func fnvWord(h, v uint64) uint64 {
+	for i := 0; i < 64; i += 8 {
+		h ^= (v >> i) & 0xff
+		h *= fnvPrime64
+	}
+	return h
+}
+
 // hashInstance is FNV-1a over a fixed-width little-endian
 // serialization of the canonical instance. A leading version tag keeps
 // the key stable across releases unless the serialization itself
 // changes (bump the tag when it does, so stale persisted keys cannot
 // alias).
 func hashInstance(inst *ise.Instance) uint64 {
-	h := fnv.New64a()
-	var buf [8]byte
-	word := func(v uint64) {
-		binary.LittleEndian.PutUint64(buf[:], v)
-		h.Write(buf[:])
-	}
-	word(canonVersion)
-	word(uint64(inst.T))
-	word(uint64(inst.M))
-	word(uint64(len(inst.Jobs)))
+	h := fnvWord(fnvOffset64, canonVersion)
+	h = fnvWord(h, uint64(inst.T))
+	h = fnvWord(h, uint64(inst.M))
+	h = fnvWord(h, uint64(len(inst.Jobs)))
 	for _, j := range inst.Jobs {
-		word(uint64(j.Release))
-		word(uint64(j.Deadline))
-		word(uint64(j.Processing))
+		h = fnvWord(h, uint64(j.Release))
+		h = fnvWord(h, uint64(j.Deadline))
+		h = fnvWord(h, uint64(j.Processing))
 	}
-	return h.Sum64()
+	return h
 }
 
 // canonVersion tags the serialization format hashed above.

@@ -1,0 +1,81 @@
+package canon
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"math/rand"
+	"testing"
+
+	"calib/internal/ise"
+)
+
+func randInstance(rng *rand.Rand) *ise.Instance {
+	inst := ise.NewInstance(ise.Time(2+rng.Intn(20)), 1+rng.Intn(4))
+	n := rng.Intn(12)
+	for j := 0; j < n; j++ {
+		r := ise.Time(rng.Intn(50))
+		p := ise.Time(1 + rng.Intn(int(inst.T)))
+		inst.AddJob(r, r+p+ise.Time(rng.Intn(60)), p)
+	}
+	return inst
+}
+
+// TestScratchMatchesCanonicalize: the pooled arena path must produce
+// the same canonical form, key, and mapping as the allocating path.
+func TestScratchMatchesCanonicalize(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var s Scratch
+	for trial := 0; trial < 200; trial++ {
+		inst := randInstance(rng)
+		want := Canonicalize(inst)
+		got := s.Canonicalize(inst)
+		if got.Key != want.Key || got.Shift != want.Shift {
+			t.Fatalf("trial %d: (key, shift) = (%016x, %d), want (%016x, %d)",
+				trial, got.Key, got.Shift, want.Key, want.Shift)
+		}
+		if len(got.OriginalIDs) != len(want.OriginalIDs) {
+			t.Fatalf("trial %d: %d ids, want %d", trial, len(got.OriginalIDs), len(want.OriginalIDs))
+		}
+		for i := range want.OriginalIDs {
+			if got.OriginalIDs[i] != want.OriginalIDs[i] {
+				t.Fatalf("trial %d: OriginalIDs[%d] = %d, want %d",
+					trial, i, got.OriginalIDs[i], want.OriginalIDs[i])
+			}
+			if got.Instance.Jobs[i] != want.Instance.Jobs[i] {
+				t.Fatalf("trial %d: job %d = %v, want %v",
+					trial, i, got.Instance.Jobs[i], want.Instance.Jobs[i])
+			}
+		}
+	}
+}
+
+// TestInlineFNVMatchesStdlib pins the inlined FNV-1a fold to hash/fnv:
+// persisted cache keys must survive the de-allocation of the hasher.
+func TestInlineFNVMatchesStdlib(t *testing.T) {
+	words := []uint64{0, 1, canonVersion, 42, 1 << 40, ^uint64(0), 14695981039346656037}
+	ref := fnv.New64a()
+	h := fnvOffset64
+	var buf [8]byte
+	for _, w := range words {
+		binary.LittleEndian.PutUint64(buf[:], w)
+		ref.Write(buf[:])
+		h = fnvWord(h, w)
+	}
+	if h != ref.Sum64() {
+		t.Fatalf("inline FNV %016x != hash/fnv %016x", h, ref.Sum64())
+	}
+}
+
+// TestScratchCanonicalizeAllocs: once warmed to the instance size, the
+// Scratch path performs no allocation at all.
+func TestScratchCanonicalizeAllocs(t *testing.T) {
+	inst := ise.NewInstance(10, 2)
+	for j := 0; j < 8; j++ {
+		inst.AddJob(ise.Time(7*j%5), ise.Time(7*j%5)+20, 3)
+	}
+	var s Scratch
+	s.Canonicalize(inst) // warm the arena
+	if n := testing.AllocsPerRun(50, func() { s.Canonicalize(inst) }); n != 0 {
+		t.Fatalf("Scratch.Canonicalize allocates %v per run, want 0", n)
+	}
+}

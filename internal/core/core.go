@@ -30,7 +30,10 @@ type Options struct {
 	// MM is the machine-minimization black box for short-window jobs;
 	// defaults to mm.Greedy{}.
 	MM mm.Solver
-	// Engine selects the LP backend for long-window jobs.
+	// Engine selects the LP backend for long-window jobs: Float64
+	// (dense tableau, default), Rational (exact), Revised (sparse
+	// revised simplex on the LU basis — the hot path), or RevisedDense
+	// (Revised on the dense reference basis, for cross-checking).
 	Engine tise.Engine
 	// TrimIdle enables the short-window idle-calibration trimming
 	// optimization (off = paper-faithful).

@@ -28,13 +28,15 @@ type Basis struct {
 	// Vars and Rows fingerprint the producing problem; a mismatch
 	// beyond "rows were appended" invalidates the basis.
 	Vars, Rows int
-	// binv caches the Rows x Rows basis inverse at extraction time.
-	// Appended rows enter the basis through singleton auxiliary
-	// columns, so the next solve can extend this inverse by a
-	// block-triangular update in O(k*m^2) instead of refactorizing in
-	// O(m^3). The cache is verified against the current constraint
-	// matrix before use (and dropped on any mismatch), so callers may
-	// treat Basis as opaque state.
+	// lu carries the sparse LU factorization of the final basis (the
+	// default representation). The next solve clones and probe-verifies
+	// it against its own columns before adoption, so callers may treat
+	// Basis as opaque state; a failed probe just refactorizes.
+	lu *luFactor
+	// binv is the dense inverse when the producing solve ran on the
+	// dense reference representation. Appended rows extend it by a
+	// block-triangular update in O(k*m^2); the same probe verification
+	// gates its reuse.
 	binv []float64
 }
 
@@ -42,34 +44,43 @@ type Basis struct {
 type RevisedOptions struct {
 	// Warm is a basis from a previous solve of a structurally
 	// compatible problem (same variables; rows may have been appended;
-	// rhs values may differ). The engine re-factorizes it and repairs
-	// primal infeasibility with the dual simplex, skipping phase 1.
-	// Invalid or numerically unusable bases silently fall back to a
-	// cold solve, so passing a stale basis is never incorrect.
+	// rhs values may differ). The engine re-installs its factorization
+	// and repairs primal infeasibility with the dual simplex, skipping
+	// phase 1. Invalid or numerically unusable bases silently fall back
+	// to a cold solve, so passing a stale basis is never incorrect.
 	Warm *Basis
 	// Metrics, when non-nil, receives the engine's counters: warm-start
 	// hits/misses, cold-solve fallbacks labeled by reason, bound flips,
-	// basis-inverse reuse probes, and dual-repair pivots (see the
-	// obs name catalogue). nil is the free default.
+	// factorization reuse probes, LU telemetry (lp_lu_* series), and
+	// dual-repair pivots (see the obs name catalogue). nil is the free
+	// default.
 	Metrics *obs.Registry
 	// Check, when non-nil, is polled every checkEvery pivots with the
 	// work done since the last poll; a non-nil return aborts the solve
 	// with Status Aborted and that error. nil never checks.
 	Check CheckFunc
+	// DenseBasis selects the dense explicit-inverse reference
+	// representation instead of the default sparse LU factorization.
+	// The engine also falls back to it on its own when an LU solve ends
+	// in IterLimit (the divergence guard).
+	DenseBasis bool
 }
 
-// checkEvery is the revised engine's check cadence. A revised pivot is
-// O(m^2); batching 32 of them per poll keeps the hook's cost invisible
-// while still bounding cancel latency to a few milliseconds on the
-// largest relaxations the pipeline builds.
+// checkEvery is the revised engine's check cadence. Batching 32 pivots
+// per poll keeps the hook's cost invisible while still bounding cancel
+// latency to a few milliseconds on the largest relaxations the
+// pipeline builds.
 const checkEvery = 32
 
 // SolveRevised runs the two-phase revised simplex: the constraint
-// matrix is kept sparse by column and only a dense m x m basis inverse
-// is maintained (product-form updates). Compared to the dense tableau
-// of Solve, memory drops from O(m*n) to O(m^2 + nnz) and per-pivot
-// work from O(m*n) to O(m^2 + nnz), which matters for the TISE
-// relaxations whose column count far exceeds the row count.
+// matrix is kept sparse by column and the basis is maintained as a
+// sparse LU factorization (Markowitz-ordered factorize, column-eta
+// product-form updates, refactorization on fill-in or instability).
+// Compared to the dense tableau of Solve, memory drops from O(m*n) to
+// O(nnz) and FTRAN/BTRAN from O(m*n) to O(nnz), which matters for the
+// TISE relaxations whose column count far exceeds the row count. The
+// original dense m x m inverse survives as a reference implementation
+// (RevisedOptions.DenseBasis) and as the divergence-guard fallback.
 //
 // Unlike the dense and rational engines, finite variable upper bounds
 // are handled natively: nonbasic variables rest at either bound and
@@ -85,9 +96,23 @@ func SolveRevised(p *Problem) (*Solution, error) {
 // SolveRevisedWith is SolveRevised with an optional warm-start basis.
 // The returned Solution carries the final basis for chaining.
 func SolveRevisedWith(p *Problem, opts RevisedOptions) (*Solution, error) {
+	sol, err := solveRevised(p, opts)
+	if err == nil && sol != nil && sol.Status == IterLimit && !opts.DenseBasis {
+		// Divergence guard: an LU solve that exhausted its iteration
+		// budget (numerical pathology, cycling, a refactorization that
+		// went singular) is re-run once on the dense reference
+		// representation before the limit is reported.
+		opts.Metrics.Counter(obs.MLPLUDenseFallback).Inc()
+		opts.DenseBasis = true
+		return solveRevised(p, opts)
+	}
+	return sol, err
+}
+
+func solveRevised(p *Problem, opts RevisedOptions) (*Solution, error) {
 	met := opts.Metrics
 	if opts.Warm != nil {
-		sol, ok, reason, err := solveWarm(p, opts.Warm, met, opts.Check)
+		sol, ok, reason, err := solveWarm(p, opts.Warm, met, opts.Check, opts.DenseBasis)
 		if err != nil {
 			// An aborted warm attempt must not silently fall back to a
 			// cold solve: the caller asked to stop.
@@ -107,18 +132,19 @@ func SolveRevisedWith(p *Problem, opts RevisedOptions) (*Solution, error) {
 		met.Counter(obs.MLPWarmMisses).Inc()
 		met.CounterWith(obs.MLPColdFallback, "reason", reason).Inc()
 	}
-	return solveCold(p, met, opts.Check)
+	return solveCold(p, met, opts.Check, opts.DenseBasis)
 }
 
 // solveCold is the from-scratch two-phase solve.
-func solveCold(p *Problem, met *obs.Registry, check CheckFunc) (*Solution, error) {
+func solveCold(p *Problem, met *obs.Registry, check CheckFunc, dense bool) (*Solution, error) {
 	met.Counter(obs.MLPColdSolves).Inc()
-	t := buildSparse(p)
-	t.cBoundFlips = met.Counter(obs.MLPBoundFlips)
+	t := buildSparse(p, met, dense)
+	defer t.release()
 	t.check = check
 	sol := &Solution{}
 	if t.nArt > 0 {
-		cost := make([]float64, t.n)
+		cost := f64s(&t.ws.cost1, t.n)
+		zeroF(cost)
 		for j := t.artLo; j < t.n; j++ {
 			cost[j] = 1
 		}
@@ -158,26 +184,26 @@ func solveCold(p *Problem, met *obs.Registry, check CheckFunc) (*Solution, error
 	return sol, nil
 }
 
-// solveWarm attempts a warm-started solve: refactorize the given
-// basis, repair primal infeasibility with the dual simplex, then run
-// primal phase 2. Returns ok=false when the basis cannot be used (the
-// caller then solves cold) along with the fallback reason (one of the
-// obs.Reason* values; empty on a clean warm hit). An Infeasible
-// verdict from the dual simplex is re-proven by a cold phase 1 before
-// being reported, so a stale warm basis can cost time but never
-// correctness — that path returns ok=true with the reproof reason.
-// A non-nil error means the check hook aborted; the caller must
-// propagate it rather than fall back to a cold solve.
-func solveWarm(p *Problem, warm *Basis, met *obs.Registry, check CheckFunc) (*Solution, bool, string, error) {
+// solveWarm attempts a warm-started solve: re-install the given
+// basis's factorization, repair primal infeasibility with the dual
+// simplex, then run primal phase 2. Returns ok=false when the basis
+// cannot be used (the caller then solves cold) along with the fallback
+// reason (one of the obs.Reason* values; empty on a clean warm hit).
+// An Infeasible verdict from the dual simplex is re-proven by a cold
+// phase 1 before being reported, so a stale warm basis can cost time
+// but never correctness — that path returns ok=true with the reproof
+// reason. A non-nil error means the check hook aborted; the caller
+// must propagate it rather than fall back to a cold solve.
+func solveWarm(p *Problem, warm *Basis, met *obs.Registry, check CheckFunc, dense bool) (*Solution, bool, string, error) {
 	if warm.Vars != p.NumVars() || warm.Rows > p.NumRows() ||
 		len(warm.Basic) != warm.Rows {
 		return nil, false, obs.ReasonBasisShape, nil
 	}
-	t := buildSparse(p)
-	t.cBoundFlips = met.Counter(obs.MLPBoundFlips)
+	t := buildSparse(p, met, dense)
+	defer t.release()
 	t.check = check
-	if !t.installBasis(p, warm, met) {
-		return nil, false, obs.ReasonBasisInstall, nil
+	if ok, reason := t.installBasis(warm, met); !ok {
+		return nil, false, reason, nil
 	}
 	cost := t.phase2Cost(p)
 	sol := &Solution{}
@@ -193,7 +219,7 @@ func solveWarm(p *Problem, warm *Basis, met *obs.Registry, check CheckFunc) (*So
 		case Infeasible:
 			// Trustworthy only if the warm basis was dual feasible;
 			// re-prove with a cold phase 1.
-			cold, err := solveCold(p, met, check)
+			cold, err := solveCold(p, met, check, dense)
 			if err != nil {
 				return cold, false, obs.ReasonInfeasReproof, err
 			}
@@ -232,13 +258,15 @@ type sparseCol struct {
 	val []float64
 }
 
-// revTableau is the revised-simplex state.
+// revTableau is the revised-simplex state. It lives inside a pooled
+// workspace (see pool.go): every slice below points into the pooled
+// arena and nothing may be referenced after release().
 type revTableau struct {
+	ws    *workspace
 	m, n  int
 	cols  []sparseCol
 	b     []float64
 	ub    []float64 // per-column upper bound (+Inf when absent)
-	binv  []float64 // m x m row-major basis inverse
 	xB    []float64 // current basic solution values
 	basis []int
 	nvar  int
@@ -252,11 +280,23 @@ type revTableau struct {
 	// rowSign[i] is -1 when row i was normalized by flipping (rhs<0),
 	// used to map dual values back to the caller's row orientation.
 	rowSign []float64
-	// rowIdx is pivot scratch: nonzero positions of the pivot row.
-	rowIdx []int32
-	// cBoundFlips counts bound-flip ratio-test outcomes; nil (the
-	// default) is a no-op counter.
+	// rep is the factorized basis representation (sparse LU by
+	// default, dense inverse as reference/fallback).
+	rep basisRep
+	// repFail is set when a mid-pivot refactorization came back
+	// singular; the pivot loops then bail with IterLimit and the
+	// divergence guard re-runs on the dense representation.
+	repFail bool
+	// Pooled solve vectors: y/w for pricing and FTRAN, rho for the
+	// dual pivot row, cpos for BTRAN inputs, rvec for xB refreshes.
+	y, w, rho, cpos, rvec []float64
+	// met is consulted for the rare labeled series (refactor reasons);
+	// hot-path instruments are bound once below.
+	met         *obs.Registry
 	cBoundFlips *obs.Counter
+	cLUFact     *obs.Counter
+	gEtaMax     *obs.Gauge
+	gFill       *obs.Gauge
 	// check is polled every checkEvery pivots by both pivot loops; when
 	// it fails they return Aborted and leave the error in checkErr.
 	check    CheckFunc
@@ -277,12 +317,16 @@ func (t *revTableau) checkpoint(iter int) bool {
 	return false
 }
 
-// buildSparse converts p to sparse standard form. The numbering is
-// stable under row appends so warm bases stay valid: structural
-// columns first, then exactly one auxiliary column per row (slack for
-// <=, surplus for >=, an empty unusable column for =), then
-// artificials for >= and = rows.
-func buildSparse(p *Problem) *revTableau {
+// buildSparse converts p to sparse standard form on a pooled
+// workspace. The numbering is stable under row appends so warm bases
+// stay valid: structural columns first, then exactly one auxiliary
+// column per row (slack for <=, surplus for >=, an empty unusable
+// column for =), then artificials for >= and = rows. Structural
+// columns are assembled into one CSR arena (no per-column
+// allocations); duplicate (row, var) terms are summed and zero sums
+// dropped, as the dense engines do.
+func buildSparse(p *Problem, met *obs.Registry, dense bool) *revTableau {
+	ws := wsPool.Get().(*workspace)
 	m := p.NumRows()
 	nArt := 0
 	for _, r := range p.rows {
@@ -292,76 +336,123 @@ func buildSparse(p *Problem) *revTableau {
 	}
 	nv := p.NumVars()
 	n := nv + m + nArt
-	t := &revTableau{
-		m: m, n: n,
-		cols:    make([]sparseCol, n),
-		b:       make([]float64, m),
-		ub:      make([]float64, n),
-		binv:    make([]float64, m*m),
-		xB:      make([]float64, m),
-		basis:   make([]int, m),
-		nvar:    nv,
-		artLo:   nv + m,
-		nArt:    nArt,
-		artOf:   make([]int, m),
-		inBasis: make([]bool, n),
-		atUpper: make([]bool, n),
-		rowSign: make([]float64, m),
+	t := &ws.t
+	*t = revTableau{
+		ws: ws,
+		m:  m, n: n,
+		nvar:  nv,
+		artLo: nv + m,
+		nArt:  nArt,
+		met:   met,
 	}
+	t.b = f64s(&ws.b, m)
+	t.ub = f64s(&ws.ub, n)
+	t.xB = f64s(&ws.xB, m)
+	t.rowSign = f64s(&ws.rowSign, m)
+	t.basis = ints(&ws.basis, m)
+	t.artOf = ints(&ws.artOf, m)
+	t.inBasis = bools(&ws.inBasis, n)
+	t.atUpper = bools(&ws.atUpper, n)
+	t.y = f64s(&ws.y, m)
+	t.w = f64s(&ws.w, m)
+	t.rho = f64s(&ws.rho, m)
+	t.cpos = f64s(&ws.cpos, m)
+	t.rvec = f64s(&ws.rvec, m)
+	if cap(ws.cols) < n {
+		ws.cols = make([]sparseCol, n)
+	}
+	ws.cols = ws.cols[:n]
+	t.cols = ws.cols
 	for j := 0; j < n; j++ {
+		t.cols[j] = sparseCol{}
+		t.inBasis[j] = false
+		t.atUpper[j] = false
 		t.ub[j] = math.Inf(1)
 	}
 	copy(t.ub, p.upper)
-	// Structural columns: accumulate duplicate terms per (row, var).
-	type cell struct {
-		row int
-		v   float64
-	}
-	byVar := make([][]cell, nv)
+	// Structural columns, CSR-assembled: count terms per variable,
+	// carve offsets, then fill row-by-row. A variable's entries arrive
+	// in row order, so duplicate terms of one row are adjacent and
+	// merge in place; entries that sum to zero are compacted away.
+	cnt := i32s(&ws.cnt, nv)
+	zeroI32(cnt)
+	total := 0
 	for i, r := range p.rows {
-		sign := 1.0
-		rhs := r.rhs
+		sign, rhs := 1.0, r.rhs
 		if rhs < 0 {
 			sign, rhs = -1, -rhs
 		}
 		t.rowSign[i] = sign
 		t.b[i] = rhs
+		total += len(r.terms)
 		for _, term := range r.terms {
-			byVar[term.Var] = append(byVar[term.Var], cell{i, sign * term.Coeff})
+			cnt[term.Var]++
 		}
 	}
-	for v, cells := range byVar {
-		sums := map[int]float64{}
-		for _, c := range cells {
-			sums[c.row] += c.v
-		}
-		col := &t.cols[v]
-		for _, c := range cells {
-			if s, ok := sums[c.row]; ok && s != 0 {
-				col.idx = append(col.idx, int32(c.row))
-				col.val = append(col.val, s)
-				delete(sums, c.row)
+	off := i32s(&ws.off, nv)
+	run := int32(0)
+	for v := 0; v < nv; v++ {
+		off[v] = run
+		run += cnt[v]
+		cnt[v] = off[v] // becomes the fill cursor
+	}
+	idx := i32s(&ws.colIdx, total)
+	val := f64s(&ws.colVal, total)
+	for i, r := range p.rows {
+		sign := t.rowSign[i]
+		for _, term := range r.terms {
+			v := term.Var
+			pos := cnt[v]
+			if pos > off[v] && idx[pos-1] == int32(i) {
+				val[pos-1] += sign * term.Coeff
+			} else {
+				idx[pos] = int32(i)
+				val[pos] = sign * term.Coeff
+				cnt[v] = pos + 1
 			}
 		}
 	}
+	for v := 0; v < nv; v++ {
+		lo, hi := off[v], cnt[v]
+		wp := lo
+		for k := lo; k < hi; k++ {
+			if val[k] != 0 {
+				idx[wp], val[wp] = idx[k], val[k]
+				wp++
+			}
+		}
+		t.cols[v] = sparseCol{idx: idx[lo:wp:wp], val: val[lo:wp:wp]}
+	}
+	// Aux and artificial singletons share one small arena.
+	sIdx := i32s(&ws.auxIdx, m+nArt)
+	sVal := f64s(&ws.auxVal, m+nArt)
+	sp := 0
 	art := t.artLo
 	for i, r := range p.rows {
 		aux := nv + i
 		switch normalizedRel(r) {
 		case LE:
-			t.cols[aux] = sparseCol{idx: []int32{int32(i)}, val: []float64{1}}
+			sIdx[sp], sVal[sp] = int32(i), 1
+			t.cols[aux] = sparseCol{idx: sIdx[sp : sp+1 : sp+1], val: sVal[sp : sp+1 : sp+1]}
+			sp++
 			t.basis[i] = aux
 			t.artOf[i] = -1
 		case GE:
-			t.cols[aux] = sparseCol{idx: []int32{int32(i)}, val: []float64{-1}}
-			t.cols[art] = sparseCol{idx: []int32{int32(i)}, val: []float64{1}}
+			sIdx[sp], sVal[sp] = int32(i), -1
+			t.cols[aux] = sparseCol{idx: sIdx[sp : sp+1 : sp+1], val: sVal[sp : sp+1 : sp+1]}
+			sp++
+			sIdx[sp], sVal[sp] = int32(i), 1
+			t.cols[art] = sparseCol{idx: sIdx[sp : sp+1 : sp+1], val: sVal[sp : sp+1 : sp+1]}
+			sp++
 			t.basis[i] = art
 			t.artOf[i] = art
 			art++
 		case EQ:
 			// aux stays an empty column: priced at reduced cost 0, it
 			// can never enter; it exists only to keep numbering stable.
-			t.cols[art] = sparseCol{idx: []int32{int32(i)}, val: []float64{1}}
+			sIdx[sp], sVal[sp] = int32(i), 1
+			t.cols[art] = sparseCol{idx: sIdx[sp : sp+1 : sp+1], val: sVal[sp : sp+1 : sp+1]}
+			sp++
 			t.basis[i] = art
 			t.artOf[i] = art
 			art++
@@ -370,25 +461,40 @@ func buildSparse(p *Problem) *revTableau {
 	for _, b := range t.basis {
 		t.inBasis[b] = true
 	}
-	// Initial basis is the identity, so Binv = I and xB = b.
-	for i := 0; i < m; i++ {
-		t.binv[i*m+i] = 1
+	if dense {
+		t.rep = &ws.dense
+	} else {
+		t.rep = &ws.lu
 	}
+	// Initial basis is exactly the identity (slack/artificial unit
+	// columns), so no factorization is needed and xB = b.
+	t.rep.setIdentity(m)
 	copy(t.xB, t.b)
+	t.cBoundFlips = met.Counter(obs.MLPBoundFlips)
+	if !dense {
+		t.cLUFact = met.Counter(obs.MLPLUFactorize)
+		t.gEtaMax = met.Gauge(obs.MLPLUEtaLenMax)
+		t.gFill = met.Gauge(obs.MLPLUFillRatio)
+	}
 	return t
 }
 
 // phase2Cost returns the standard-form phase-2 cost vector.
 func (t *revTableau) phase2Cost(p *Problem) []float64 {
-	cost := make([]float64, t.n)
-	copy(cost, p.obj)
+	cost := f64s(&t.ws.cost2, t.n)
+	k := copy(cost, p.obj)
+	for j := k; j < t.n; j++ {
+		cost[j] = 0
+	}
 	return cost
 }
 
-// installBasis maps a warm basis into t's numbering, refactorizes it,
-// and computes xB. Returns false when the basis is structurally or
-// numerically unusable.
-func (t *revTableau) installBasis(p *Problem, warm *Basis, met *obs.Registry) bool {
+// installBasis maps a warm basis into t's numbering, re-installs its
+// factorization, and computes xB. The failure reason distinguishes a
+// structural mismatch (the basis does not map onto the problem) from a
+// numerical one (it mapped, but the refactorization was singular) so
+// lp_cold_fallback_total stays actionable.
+func (t *revTableau) installBasis(warm *Basis, met *obs.Registry) (bool, string) {
 	remap := func(e int) int {
 		if e < t.nvar+warm.Rows {
 			return e // structural or aux of a surviving row
@@ -404,7 +510,7 @@ func (t *revTableau) installBasis(p *Problem, warm *Basis, met *obs.Registry) bo
 	for i, e := range warm.Basic {
 		e = remap(e)
 		if e < 0 || e >= t.n || t.inBasis[e] {
-			return false
+			return false, obs.ReasonBasisStructural
 		}
 		t.basis[i] = e
 		t.inBasis[e] = true
@@ -417,7 +523,7 @@ func (t *revTableau) installBasis(p *Problem, warm *Basis, met *obs.Registry) bo
 			e = t.artOf[i]
 		}
 		if e < 0 || t.inBasis[e] {
-			return false
+			return false, obs.ReasonBasisStructural
 		}
 		t.basis[i] = e
 		t.inBasis[e] = true
@@ -425,202 +531,26 @@ func (t *revTableau) installBasis(p *Problem, warm *Basis, met *obs.Registry) bo
 	for _, e := range warm.AtUpper {
 		e = remap(e)
 		if e < 0 || e >= t.n || t.inBasis[e] || math.IsInf(t.ub[e], 1) {
-			return false
+			return false, obs.ReasonBasisStructural
 		}
 		t.atUpper[e] = true
 	}
-	if t.reuseBinv(warm) {
+	if t.rep.adoptWarm(t, warm) {
 		met.Counter(obs.MLPBinvHits).Inc()
 	} else {
 		met.Counter(obs.MLPBinvMisses).Inc()
-		if !t.factorize() {
-			return false
+		if !t.rep.refactorize(t) {
+			return false, obs.ReasonBasisRefactor
 		}
 	}
 	t.computeXB()
-	return true
+	return true, ""
 }
 
-// reuseBinv extends the cached inverse of the warm basis to the
-// current (possibly row-extended) problem. With old basis B and k
-// appended rows whose basic columns are singletons s_i*e_i in their
-// own row, the new basis is the block matrix [[B,0],[R,S]] and its
-// inverse is [[Binv,0],[-Sinv*R*Binv,Sinv]] — an O(k*m^2) update. The
-// result is verified against the actual columns (Binv*B ≈ I); any
-// mismatch (changed coefficients, flipped row signs, a hand-built
-// basis) returns false and the caller refactorizes from scratch.
-func (t *revTableau) reuseBinv(warm *Basis) bool {
-	om, m := warm.Rows, t.m
-	if warm.binv == nil || len(warm.binv) != om*om || m == 0 {
-		return false
-	}
-	for i := 0; i < om; i++ {
-		row := t.binv[i*m : (i+1)*m]
-		copy(row[:om], warm.binv[i*om:(i+1)*om])
-		for k := om; k < m; k++ {
-			row[k] = 0
-		}
-	}
-	// Appended rows must be basic in their own singleton column.
-	for i := om; i < m; i++ {
-		c := &t.cols[t.basis[i]]
-		if len(c.idx) != 1 || int(c.idx[0]) != i || c.val[0] == 0 {
-			return false
-		}
-		row := t.binv[i*m : (i+1)*m]
-		for k := range row {
-			row[k] = 0
-		}
-	}
-	// Bottom-left block: accumulate -R*Binv from the old basic columns'
-	// entries in the appended rows (R is extremely sparse: cut rows
-	// touch a handful of variables).
-	for j := 0; j < om; j++ {
-		bc := &t.cols[t.basis[j]]
-		orow := warm.binv[j*om : (j+1)*om]
-		for k, ri := range bc.idx {
-			i := int(ri)
-			if i < om {
-				continue
-			}
-			f := bc.val[k]
-			row := t.binv[i*m : i*m+om]
-			for q := range orow {
-				row[q] -= f * orow[q]
-			}
-		}
-	}
-	for i := om; i < m; i++ {
-		inv := 1 / t.cols[t.basis[i]].val[0]
-		row := t.binv[i*m : (i+1)*m]
-		if inv != 1 {
-			for q := 0; q < om; q++ {
-				row[q] *= inv
-			}
-		}
-		row[i] = inv
-	}
-	return t.verifyBinv()
-}
-
-// verifyBinv checks Binv*B ≈ I with deterministic pseudo-random probe
-// vectors: for each probe u it forms z = B*u (sparse, O(nnz)) and
-// tests Binv*z ≈ u (dense row-major, O(m^2)). Any coefficient change,
-// row-sign flip, or basis/inverse mismatch perturbs z and fails the
-// residual with overwhelming probability, at a cost far below both a
-// refactorization and an explicit column-by-column check.
-func (t *revTableau) verifyBinv() bool {
-	m := t.m
-	u := make([]float64, m)
-	z := make([]float64, m)
-	for probe := 0; probe < 2; probe++ {
-		// splitmix64-style hash, scaled into [0.5, 1.5): well away from
-		// zero so no basis column is masked.
-		seed := uint64(probe)*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d
-		for i := range u {
-			x := uint64(i+1)*0x9e3779b97f4a7c15 + seed
-			x ^= x >> 30
-			x *= 0xbf58476d1ce4e5b9
-			x ^= x >> 27
-			u[i] = 0.5 + float64(x>>11)/(1<<53)
-			z[i] = 0
-		}
-		zmax := 0.0
-		for j, b := range t.basis {
-			c := &t.cols[b]
-			uj := u[j]
-			for k, ri := range c.idx {
-				z[ri] += uj * c.val[k]
-			}
-		}
-		for _, v := range z {
-			if a := math.Abs(v); a > zmax {
-				zmax = a
-			}
-		}
-		tol := 1e-6 * (1 + zmax)
-		for i := 0; i < m; i++ {
-			row := t.binv[i*m : (i+1)*m]
-			v := 0.0
-			for k, zk := range z {
-				v += row[k] * zk
-			}
-			if math.Abs(v-u[i]) > tol {
-				return false
-			}
-		}
-	}
-	return true
-}
-
-// factorize rebuilds binv = B^{-1} from the current basis by
-// Gauss-Jordan elimination with partial pivoting. Returns false when
-// the basis matrix is (numerically) singular.
-func (t *revTableau) factorize() bool {
-	m := t.m
-	if m == 0 {
-		return true
-	}
-	// a = [B | I], eliminated in place to [I | B^{-1}].
-	a := make([]float64, m*2*m)
-	for col, b := range t.basis {
-		c := &t.cols[b]
-		for k, ri := range c.idx {
-			a[int(ri)*2*m+col] = c.val[k]
-		}
-	}
-	for i := 0; i < m; i++ {
-		a[i*2*m+m+i] = 1
-	}
-	for col := 0; col < m; col++ {
-		piv, pv := -1, 1e-10
-		for i := col; i < m; i++ {
-			if v := math.Abs(a[i*2*m+col]); v > pv {
-				piv, pv = i, v
-			}
-		}
-		if piv < 0 {
-			return false
-		}
-		if piv != col {
-			// A row interchange is an elementary operation on [B | I];
-			// the basis order itself is untouched.
-			pr, cr := a[piv*2*m:(piv+1)*2*m], a[col*2*m:(col+1)*2*m]
-			for k := range pr {
-				pr[k], cr[k] = cr[k], pr[k]
-			}
-		}
-		cr := a[col*2*m : (col+1)*2*m]
-		inv := 1 / cr[col]
-		for k := range cr {
-			cr[k] *= inv
-		}
-		cr[col] = 1
-		for i := 0; i < m; i++ {
-			if i == col {
-				continue
-			}
-			ri := a[i*2*m : (i+1)*2*m]
-			f := ri[col]
-			if f == 0 {
-				continue
-			}
-			for k := range ri {
-				ri[k] -= f * cr[k]
-			}
-			ri[col] = 0
-		}
-	}
-	for i := 0; i < m; i++ {
-		copy(t.binv[i*m:(i+1)*m], a[i*2*m+m:(i+1)*2*m])
-	}
-	return true
-}
-
-// computeXB recomputes xB = Binv * (b - sum of at-upper nonbasic
-// columns at their bounds), shedding incremental drift.
+// computeXB recomputes xB = B⁻¹ (b - sum of at-upper nonbasic columns
+// at their bounds), shedding incremental drift.
 func (t *revTableau) computeXB() {
-	r := make([]float64, t.m)
+	r := t.rvec
 	copy(r, t.b)
 	for j := 0; j < t.n; j++ {
 		if !t.atUpper[j] || t.inBasis[j] {
@@ -632,16 +562,11 @@ func (t *revTableau) computeXB() {
 			r[int(ri)] -= u * c.val[k]
 		}
 	}
+	t.rep.ftranVec(r, t.xB)
 	for i := 0; i < t.m; i++ {
-		v := 0.0
-		row := t.binv[i*t.m : (i+1)*t.m]
-		for k := 0; k < t.m; k++ {
-			v += row[k] * r[k]
+		if t.xB[i] < 0 && t.xB[i] > -1e-11 {
+			t.xB[i] = 0
 		}
-		if v < 0 && v > -1e-11 {
-			v = 0
-		}
-		t.xB[i] = v
 	}
 }
 
@@ -656,38 +581,12 @@ func (t *revTableau) primalFeasible() bool {
 	return true
 }
 
-// applyBinv computes w = Binv * A_col for a sparse column.
-func (t *revTableau) applyBinv(col *sparseCol, w []float64) {
-	for i := range w {
-		w[i] = 0
-	}
-	for k, ri := range col.idx {
-		v := col.val[k]
-		if v == 0 {
-			continue
-		}
-		c := int(ri)
-		for i := 0; i < t.m; i++ {
-			w[i] += t.binv[i*t.m+c] * v
-		}
-	}
-}
-
-// duals computes y = cB^T * Binv into y.
+// duals computes y = cB^T B⁻¹ into y.
 func (t *revTableau) duals(cost, y []float64) {
-	for i := range y {
-		y[i] = 0
-	}
 	for k, b := range t.basis {
-		cb := cost[b]
-		if cb == 0 {
-			continue
-		}
-		row := t.binv[k*t.m : (k+1)*t.m]
-		for i := 0; i < t.m; i++ {
-			y[i] += cb * row[i]
-		}
+		t.cpos[k] = cost[b]
 	}
+	t.rep.btran(t.cpos, y)
 }
 
 // objective returns the full objective value including at-upper
@@ -716,12 +615,14 @@ func (t *revTableau) iterate(cost []float64, phase1 bool) (Status, int) {
 	if !phase1 {
 		hi = t.artLo
 	}
-	y := make([]float64, t.m)
-	w := make([]float64, t.m)
+	y, w := t.y, t.w
 	stall := 0
 	bland := false
 	lastObj := math.Inf(1)
 	for iter := 0; iter < maxIters; iter++ {
+		if t.repFail {
+			return IterLimit, iter
+		}
 		if t.checkpoint(iter) {
 			return Aborted, iter
 		}
@@ -766,7 +667,7 @@ func (t *revTableau) iterate(cost []float64, phase1 bool) (Status, int) {
 		if enter < 0 {
 			return Optimal, iter
 		}
-		t.applyBinv(&t.cols[enter], w)
+		t.rep.ftranCol(&t.cols[enter], w)
 		// Bounded ratio test: theta is how far the entering variable
 		// moves (increasing from 0 when dir=+1, decreasing from its
 		// upper bound when dir=-1).
@@ -842,12 +743,11 @@ func (t *revTableau) iterateDual(cost []float64) (Status, int) {
 	// cold solve on IterLimit. Legitimate repairs measured across the
 	// cut loops stay under one pivot per row, so the budget is tight.
 	maxIters := 4*t.m + 400
-	y := make([]float64, t.m)
-	w := make([]float64, t.m)
-	d := make([]float64, t.n)
-	alpha := make([]float64, t.artLo)
+	y, w := t.y, t.w
+	d := f64s(&t.ws.d, t.n)
+	alpha := f64s(&t.ws.alpha, t.artLo)
 	// Reduced costs are maintained incrementally across pivots (the
-	// O(m^2) dual recomputation per iteration dominated warm repairs
+	// per-iteration dual recomputation dominated warm repairs
 	// otherwise) and refreshed periodically against drift.
 	refreshD := func() {
 		t.duals(cost, y)
@@ -871,6 +771,9 @@ func (t *revTableau) iterateDual(cost []float64) (Status, int) {
 	stall := 0
 	stallCap := t.m/2 + 200
 	for iter := 0; iter < maxIters; iter++ {
+		if t.repFail {
+			return IterLimit, iter
+		}
 		if t.checkpoint(iter) {
 			return Aborted, iter
 		}
@@ -890,10 +793,10 @@ func (t *revTableau) iterateDual(cost []float64) (Status, int) {
 		if r < 0 {
 			return Optimal, iter
 		}
-		// Entering column: dual ratio test on row r of Binv*N. s
-		// orients the row so the leaving variable moves back toward
-		// its violated bound.
-		rowr := t.binv[r*t.m : (r+1)*t.m]
+		// Entering column: dual ratio test on row r of B⁻¹N. s orients
+		// the row so the leaving variable moves back toward its
+		// violated bound.
+		rowr := t.rep.btranUnit(r, t.rho)
 		s := 1.0
 		if leaveAtUpper {
 			s = -1
@@ -956,7 +859,7 @@ func (t *revTableau) iterateDual(cost []float64) (Status, int) {
 			return IterLimit, iter
 		}
 		leaving := t.basis[r]
-		t.applyBinv(&t.cols[enter], w)
+		t.rep.ftranCol(&t.cols[enter], w)
 		target := 0.0
 		if leaveAtUpper {
 			target = t.ub[t.basis[r]]
@@ -987,10 +890,15 @@ func (t *revTableau) iterateDual(cost []float64) (Status, int) {
 	return IterLimit, maxIters
 }
 
-// pivot applies the product-form update: the entering column becomes
-// basic in row r with value newVal; every other basic value moves by
-// -delta*w (delta is the signed change of the entering variable). The
-// leaving variable becomes nonbasic at its lower or upper bound.
+// pivot makes the entering column basic in row r with value newVal;
+// every other basic value moves by -delta*w (delta is the signed
+// change of the entering variable), the leaving variable becomes
+// nonbasic at its lower or upper bound, and the basis representation
+// folds in the pivot — by product-form inverse update or column eta.
+// When the representation asks for a refactorization instead (eta
+// limit, fill-in, instability) it happens here, against the just-
+// updated basis; a singular refactorization flags repFail for the
+// divergence guard.
 func (t *revTableau) pivot(r, enter int, w []float64, delta, newVal float64, leaveAtUpper bool) {
 	leaving := t.basis[r]
 	for i := 0; i < t.m; i++ {
@@ -1000,48 +908,28 @@ func (t *revTableau) pivot(r, enter int, w []float64, delta, newVal float64, lea
 		}
 	}
 	t.xB[r] = newVal
-	inv := 1 / w[r]
-	rrow := t.binv[r*t.m : (r+1)*t.m]
-	// The pivot row of Binv is sparse until fill-in accumulates;
-	// updating only its nonzero positions makes each pivot
-	// O(touched rows * nnz(rrow)) instead of O(m^2).
-	if cap(t.rowIdx) < t.m {
-		t.rowIdx = make([]int32, 0, t.m)
-	}
-	idx := t.rowIdx[:0]
-	for k, v := range rrow {
-		if v != 0 {
-			rrow[k] = v * inv
-			idx = append(idx, int32(k))
-		}
-	}
-	t.rowIdx = idx
-	for i := 0; i < t.m; i++ {
-		if i == r {
-			continue
-		}
-		f := w[i] // rrow is already scaled by 1/w[r]
-		if f == 0 {
-			continue
-		}
-		irow := t.binv[i*t.m : (i+1)*t.m]
-		for _, k := range idx {
-			irow[k] -= f * rrow[k]
-		}
-	}
 	t.basis[r] = enter
 	t.inBasis[enter] = true
 	t.atUpper[enter] = false
 	t.inBasis[leaving] = false
 	t.atUpper[leaving] = leaveAtUpper && !math.IsInf(t.ub[leaving], 1)
+	if ok, reason := t.rep.update(t, r, w); !ok {
+		t.met.CounterWith(obs.MLPLURefactor, "reason", reason).Inc()
+		if !t.rep.refactorize(t) {
+			// Keep the representation in a defined state and let the
+			// pivot loops bail; the divergence guard re-solves dense.
+			t.rep.setIdentity(t.m)
+			t.repFail = true
+		}
+	}
 }
 
 // purgeArtificials drives basic artificials out after phase 1 by
 // degenerate pivots on structural columns; redundant rows keep their
 // artificial basic at zero (phase 2 never prices artificials).
 func (t *revTableau) purgeArtificials() {
-	w := make([]float64, t.m)
-	for r := 0; r < t.m; r++ {
+	w := t.w
+	for r := 0; r < t.m && !t.repFail; r++ {
 		if t.basis[r] < t.artLo {
 			continue
 		}
@@ -1049,7 +937,7 @@ func (t *revTableau) purgeArtificials() {
 			if t.inBasis[j] {
 				continue
 			}
-			t.applyBinv(&t.cols[j], w)
+			t.rep.ftranCol(&t.cols[j], w)
 			if math.Abs(w[r]) > epsPivot {
 				// (Near-)degenerate step: the artificial sits at ~0, so
 				// the entering variable keeps its current value.
@@ -1086,7 +974,7 @@ func (t *revTableau) extract(p *Problem, cost []float64, sol *Solution) {
 		}
 		sol.Objective += p.obj[v] * sol.X[v]
 	}
-	// Duals: y = cB^T * Binv in the normalized system, mapped back
+	// Duals: y = cB^T B⁻¹ in the normalized system, mapped back
 	// through the per-row flip signs.
 	sol.Dual = make([]float64, t.m)
 	t.duals(cost, sol.Dual)
@@ -1097,10 +985,10 @@ func (t *revTableau) extract(p *Problem, cost []float64, sol *Solution) {
 		Basic: append([]int(nil), t.basis...),
 		Vars:  nv,
 		Rows:  t.m,
-		// Ownership of the inverse moves to the Basis; the tableau is
-		// discarded after extraction, so no copy is needed.
-		binv: t.binv,
 	}
+	// Ownership of the factorization moves to the Basis; the tableau
+	// is discarded after extraction, so no copy is needed.
+	t.rep.exportBasis(basis)
 	for j := 0; j < t.n; j++ {
 		if t.atUpper[j] && !t.inBasis[j] {
 			basis.AtUpper = append(basis.AtUpper, j)

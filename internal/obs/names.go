@@ -16,6 +16,13 @@ const (
 	MLPBinvMisses   = "lp_binv_reuse_misses_total"      // extension probes that failed and refactorized
 	MLPDualRepair   = "lp_dual_repair_iterations_total" // dual-simplex pivots spent repairing warm bases
 
+	// internal/lp — sparse LU basis factorization (default representation).
+	MLPLUFactorize     = "lp_lu_factorize_total"      // full Markowitz factorizations (installs + refactorizations)
+	MLPLURefactor      = "lp_lu_refactor_total"       // mid-solve refactorizations; labeled reason=eta_limit|fill_in|instability
+	MLPLUEtaLenMax     = "lp_lu_eta_len_max"          // gauge: longest eta file reached before a refactorization
+	MLPLUFillRatio     = "lp_lu_fill_ratio"           // gauge: nnz(L+U) / nnz(B) of the last factorization
+	MLPLUDenseFallback = "lp_lu_dense_fallback_total" // LU solves that hit IterLimit and re-ran on the dense reference basis
+
 	// internal/tise — long-window LP relaxation and cut loop.
 	MTISEResolves  = "tise_resolves_total"      // LP solves across the lazy-cut chain
 	MTISECutRounds = "tise_cut_rounds_total"    // separation rounds that ran
@@ -79,12 +86,13 @@ const (
 
 // Cold-fallback reasons (the reason label of lp_cold_fallback_total).
 const (
-	ReasonBasisShape    = "basis_shape"         // fingerprint mismatch: different vars or fewer rows
-	ReasonBasisInstall  = "basis_install"       // basis did not map/refactorize onto the problem
-	ReasonDivergence    = "divergence"          // dual repair diverged (stall, cycle, or lost dual feasibility)
-	ReasonPrimalStall   = "primal_stall"        // phase 2 after repair did not reach optimality
-	ReasonArtificial    = "artificial_residual" // an appended row's artificial stayed basic above tolerance
-	ReasonInfeasReproof = "infeasible_reproof"  // dual repair claimed infeasible; re-proven by a cold phase 1
+	ReasonBasisShape      = "basis_shape"         // fingerprint mismatch: different vars or fewer rows
+	ReasonBasisStructural = "structural_mismatch" // basis did not map onto the problem (column collision, bad bound)
+	ReasonBasisRefactor   = "numerical_refactor"  // basis mapped but the factorization was (numerically) singular
+	ReasonDivergence      = "divergence"          // dual repair diverged (stall, cycle, or lost dual feasibility)
+	ReasonPrimalStall     = "primal_stall"        // phase 2 after repair did not reach optimality
+	ReasonArtificial      = "artificial_residual" // an appended row's artificial stayed basic above tolerance
+	ReasonInfeasReproof   = "infeasible_reproof"  // dual repair claimed infeasible; re-proven by a cold phase 1
 )
 
 // Declare pre-registers the headline series at zero so metric dumps
@@ -97,7 +105,7 @@ func Declare(r *Registry) {
 	for _, n := range []string{
 		MLPPivots, MLPBoundFlips, MLPWarmHits, MLPWarmMisses,
 		MLPColdFallback, MLPColdSolves, MLPBinvHits, MLPBinvMisses,
-		MLPDualRepair,
+		MLPDualRepair, MLPLUFactorize, MLPLUDenseFallback,
 		MTISEResolves, MTISECutRounds, MTISECuts, MTISEViolated,
 		MDecompTasks,
 		MRobustFallback, MRobustRungAnswers, MRobustDeadlineHits,
@@ -106,6 +114,11 @@ func Declare(r *Registry) {
 	} {
 		r.Counter(n)
 	}
+	for _, reason := range []string{"eta_limit", "fill_in", "instability"} {
+		r.CounterWith(MLPLURefactor, "reason", reason)
+	}
+	r.Gauge(MLPLUEtaLenMax)
+	r.Gauge(MLPLUFillRatio)
 	r.Gauge(MDecompComponents)
 	r.Gauge(MDecompPoolBusy)
 	r.Gauge(MDecompPoolMax)

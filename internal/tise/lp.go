@@ -19,10 +19,16 @@ const (
 	// Rational uses exact big.Rat simplex (slow; small instances and
 	// cross-validation only).
 	Rational
-	// Revised uses the sparse-column revised simplex with a dense
-	// basis inverse: same float64 arithmetic as Float64 but O(m^2+nnz)
-	// memory instead of the dense tableau's O(m*n).
+	// Revised uses the sparse-column revised simplex with a sparse LU
+	// basis factorization (Markowitz-ordered, Forrest–Tomlin column
+	// updates): same float64 arithmetic as Float64 but O(nnz) memory
+	// and solves instead of the dense tableau's O(m*n).
 	Revised
+	// RevisedDense is Revised on its dense explicit-inverse reference
+	// representation (O(m^2) memory, product-form updates) — the
+	// implementation the LU path is validated against and falls back
+	// to. Selectable for cross-checking and diagnosis.
+	RevisedDense
 )
 
 func (e Engine) String() string {
@@ -33,6 +39,8 @@ func (e Engine) String() string {
 		return "rational"
 	case Revised:
 		return "revised"
+	case RevisedDense:
+		return "revised-dense"
 	default:
 		return fmt.Sprintf("Engine(%d)", int(e))
 	}
@@ -459,8 +467,11 @@ func solveProblem(prob *lp.Problem, engine Engine, warm *lp.Basis, met *obs.Regi
 			xs[i], _ = r.Float64()
 		}
 		return sol.Status, xs, sol.ObjectiveFloat(), sol.Iterations, nil, nil, nil
-	case Revised:
-		sol, err := lp.SolveRevisedWith(prob, lp.RevisedOptions{Warm: warm, Metrics: met, Check: check})
+	case Revised, RevisedDense:
+		sol, err := lp.SolveRevisedWith(prob, lp.RevisedOptions{
+			Warm: warm, Metrics: met, Check: check,
+			DenseBasis: engine == RevisedDense,
+		})
 		if err != nil {
 			return 0, nil, 0, 0, nil, nil, err
 		}
