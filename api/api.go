@@ -70,6 +70,13 @@ type SolveResponse struct {
 	Key string `json:"key"`
 	// ElapsedMillis is the server-side wall clock of this request.
 	ElapsedMillis float64 `json:"elapsed_ms"`
+	// RequestID is the request's flight-recorder ID: the caller's
+	// X-Request-ID if one was sent (sanitized), otherwise minted by the
+	// server. The same ID locates the request in /debug/requests/{id}
+	// and in the -trace-log JSONL. Echoed in the X-Request-ID response
+	// header too. Empty on batch rows (the enclosing BatchResponse
+	// carries the batch's ID).
+	RequestID string `json:"request_id,omitempty"`
 }
 
 // BatchResponse is the body of a successful POST /v1/batch. Results
@@ -77,6 +84,9 @@ type SolveResponse struct {
 // failed has a nil Result and a non-empty Error at its index.
 type BatchResponse struct {
 	Results []*BatchResult `json:"results"`
+	// RequestID identifies the whole batch in the flight recorder and
+	// trace log (see SolveResponse.RequestID).
+	RequestID string `json:"request_id,omitempty"`
 }
 
 // BatchResult is one instance's outcome within a batch.
@@ -122,4 +132,9 @@ type Error struct {
 	// RetryAfterSeconds mirrors the Retry-After header on 429
 	// responses: wait at least this long before retrying.
 	RetryAfterSeconds int `json:"retry_after_seconds,omitempty"`
+	// RequestID identifies the failed request in the server's flight
+	// recorder (/debug/requests/{id}) and trace log, so a reported
+	// failure is greppable server-side. Also in the X-Request-ID
+	// response header.
+	RequestID string `json:"request_id,omitempty"`
 }

@@ -379,6 +379,25 @@ type RobustSolution struct {
 	LadderLower float64
 }
 
+// RungSummary names the ladder rungs that answered, comma-joined and
+// deduplicated in ladder order (e.g. "exact,lp"). The serving layer
+// stamps it into each request's decision record.
+func (r *RobustSolution) RungSummary() string {
+	if r == nil {
+		return ""
+	}
+	return (&core.RobustResult{Reports: r.Reports}).RungSummary()
+}
+
+// Falls flattens the failed rung attempts of every component into
+// "rung:reason" tokens, in component order (empty when not degraded).
+func (r *RobustSolution) Falls() []string {
+	if r == nil {
+		return nil
+	}
+	return (&core.RobustResult{Reports: r.Reports, Degraded: r.Degraded}).Falls()
+}
+
 // SolveRobust runs the pipeline with graceful degradation. The
 // instance is decomposed into independent time components and each
 // descends a ladder — exact branch-and-bound (small components only),

@@ -74,9 +74,33 @@ type APIError struct {
 	Message string
 	// RetryAfter is the server's backoff hint on 429s (0 if absent).
 	RetryAfter time.Duration
+	// RequestID is the request's X-Request-ID: the server's echo when
+	// the body or header carried one, else the ID this client sent.
+	// Grep it in server logs or open /debug/requests/{id} on the daemon.
+	RequestID string
+	// Attempts is the flight history of the whole call, one entry per
+	// HTTP attempt (the entry that produced this error is last).
+	Attempts []AttemptInfo
+}
+
+// AttemptInfo is one HTTP attempt of a retried call.
+type AttemptInfo struct {
+	// Status is the HTTP status answered (0 = transport error).
+	Status int
+	// ElapsedMS is the attempt's wall time in milliseconds.
+	ElapsedMS float64
+	// BackoffMS is the backoff slept after this attempt (0 on the last).
+	BackoffMS float64
+	// BreakerState is the circuit breaker's state after the attempt
+	// reported ("closed", "half-open", "open").
+	BreakerState string
 }
 
 func (e *APIError) Error() string {
+	if e.RequestID != "" {
+		return fmt.Sprintf("ised: %d: %s (request %s, %d attempts)",
+			e.StatusCode, e.Message, e.RequestID, len(e.Attempts))
+	}
 	return fmt.Sprintf("ised: %d: %s", e.StatusCode, e.Message)
 }
 
@@ -153,9 +177,24 @@ var encPool = sync.Pool{New: func() any {
 	return e
 }}
 
+// mintRequestID generates the X-Request-ID for one logical call: 16
+// hex digits, shared by every retry attempt, so the server's decision
+// log shows the attempts of one call under one ID.
+func mintRequestID() string {
+	const digits = "0123456789abcdef"
+	v := rand.Uint64()
+	var b [16]byte
+	for i := 15; i >= 0; i-- {
+		b[i] = digits[v&0xf]
+		v >>= 4
+	}
+	return string(b[:])
+}
+
 // post sends body and decodes the 200 response into out, retrying
 // retryable failures with capped exponential backoff. The request body
-// is marshalled once and replayed per attempt.
+// is marshalled once and replayed per attempt under one request ID;
+// a final *APIError carries that ID and the attempt flight history.
 func (c *Client) post(ctx context.Context, path string, body, out any) error {
 	eb := encPool.Get().(*encBuf)
 	defer encPool.Put(eb)
@@ -172,24 +211,46 @@ func (c *Client) post(ctx context.Context, path string, body, out any) error {
 	if maxDelay <= 0 {
 		maxDelay = 5 * time.Second
 	}
+	id := mintRequestID()
+	var attempts []AttemptInfo
 	var lastErr error
 	for attempt := 0; ; attempt++ {
 		if err := c.Breaker.Allow(); err != nil {
 			return err
 		}
-		lastErr = c.once(ctx, path, buf, out)
+		t0 := time.Now()
+		lastErr = c.once(ctx, path, id, buf, out)
 		retryable, hint := retryInfo(lastErr)
 		// The breaker counts service health, not request validity: a
 		// 422 or 400 is a healthy daemon doing its job, so only
 		// retryable failures (transport, 429, 503) count against it.
 		c.Breaker.Report(!retryable)
+		ai := AttemptInfo{
+			ElapsedMS:    float64(time.Since(t0).Microseconds()) / 1000,
+			BreakerState: c.Breaker.State(),
+		}
+		var ae *APIError
+		if errors.As(lastErr, &ae) {
+			ai.Status = ae.StatusCode
+		} else if lastErr == nil {
+			ai.Status = http.StatusOK
+		}
 		if lastErr == nil {
 			return nil
 		}
 		if !retryable || attempt >= c.retries() {
+			if ae != nil {
+				if ae.RequestID == "" {
+					ae.RequestID = id
+				}
+				ae.Attempts = append(attempts, ai)
+			}
 			return lastErr
 		}
-		timer := time.NewTimer(backoffDelay(base, maxDelay, hint, attempt, rand.Int64N))
+		delay := backoffDelay(base, maxDelay, hint, attempt, rand.Int64N)
+		ai.BackoffMS = float64(delay.Microseconds()) / 1000
+		attempts = append(attempts, ai)
+		timer := time.NewTimer(delay)
 		select {
 		case <-timer.C:
 		case <-ctx.Done():
@@ -221,12 +282,13 @@ func backoffDelay(base, maxDelay, hint time.Duration, attempt int, rnd func(int6
 }
 
 // once performs a single HTTP attempt.
-func (c *Client) once(ctx context.Context, path string, body []byte, out any) error {
+func (c *Client) once(ctx context.Context, path, id string, body []byte, out any) error {
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+path, bytes.NewReader(body))
 	if err != nil {
 		return err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-Request-Id", id)
 	resp, err := c.httpClient().Do(req)
 	if err != nil {
 		return &transportError{err}
@@ -273,7 +335,7 @@ func retryInfo(err error) (retryable bool, hint time.Duration) {
 // Retry-After header — both RFC 9110 forms, delay-seconds and
 // HTTP-date — and the JSON body when present.
 func decodeError(resp *http.Response) error {
-	ae := &APIError{StatusCode: resp.StatusCode}
+	ae := &APIError{StatusCode: resp.StatusCode, RequestID: resp.Header.Get("X-Request-Id")}
 	if ra := resp.Header.Get("Retry-After"); ra != "" {
 		if secs, err := strconv.Atoi(ra); err == nil && secs > 0 {
 			ae.RetryAfter = time.Duration(secs) * time.Second
@@ -289,6 +351,9 @@ func decodeError(resp *http.Response) error {
 		ae.Message = body.Error
 		if ae.RetryAfter == 0 && body.RetryAfterSeconds > 0 {
 			ae.RetryAfter = time.Duration(body.RetryAfterSeconds) * time.Second
+		}
+		if body.RequestID != "" {
+			ae.RequestID = body.RequestID
 		}
 	} else {
 		ae.Message = strings.TrimSpace(string(raw))

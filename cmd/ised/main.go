@@ -11,14 +11,24 @@
 //	     [-cache-file FILE] [-cache-save-interval D] [-drain-wait D]
 //	     [-timeout D] [-budget N]
 //	     [-faults SPEC] [-fault-seed N]
+//	     [-flight N] [-trace-log FILE] [-trace-log-max-bytes N]
+//	     [-slo-objective F] [-slo-threshold D]
 //	     [-trace] [-trace-json FILE] [-metrics] [-metrics-out FILE]
 //	     [-pprof addr]
 //
 // The daemon always exports /metrics (Prometheus text), /debug/vars
-// (expvar) and /debug/pprof on its own address — -pprof adds a second,
-// separate listener for operators who keep debug endpoints off the
-// service port. -timeout and -budget here are the per-request maxima:
-// a request may ask for less via timeout_ms/budget, never more.
+// (expvar), /debug/pprof, and the request flight recorder at
+// /debug/requests on its own address — -pprof adds a second, separate
+// listener for operators who keep debug endpoints off the service
+// port. -timeout and -budget here are the per-request maxima: a
+// request may ask for less via timeout_ms/budget, never more.
+//
+// -trace-log appends every request's decision record — the same record
+// /debug/requests serves — to a CRC-framed JSONL file, size-rotated at
+// -trace-log-max-bytes and torn-tail tolerant like the batch journal,
+// so a day of production traffic can be replayed or audited offline.
+// -slo-objective and -slo-threshold configure the slo_* burn-rate
+// series (defaults: 99% of requests under 500ms, per route).
 //
 // With -cache-file the schedule cache survives restarts: it is
 // restored at boot (corrupt entries discarded, counted in
@@ -81,6 +91,11 @@ func run(ctx context.Context, args []string, stderr io.Writer) error {
 	cacheFile := fs.String("cache-file", "", "persist the schedule cache to this snapshot file (restored at boot, saved on shutdown)")
 	cacheEvery := fs.Duration("cache-save-interval", 0, "also snapshot the cache periodically (0 = only on graceful shutdown)")
 	drainWait := fs.Duration("drain-wait", 0, "after the first signal, serve with healthz draining for this long before closing the listener")
+	flight := fs.Int("flight", 0, "request flight recorder capacity behind /debug/requests (0 = 2048, -1 = disabled)")
+	traceLog := fs.String("trace-log", "", "append every request's decision record to this JSONL file (CRC-framed, crash-tolerant)")
+	traceLogMax := fs.Int64("trace-log-max-bytes", 64<<20, "rotate -trace-log once it would exceed this many bytes, keeping one rotated file (0 = never)")
+	sloObjective := fs.Float64("slo-objective", 0, "fraction of requests that must answer under -slo-threshold (0 = 0.99)")
+	sloThreshold := fs.Duration("slo-threshold", 0, "per-request latency objective for the slo_* series (0 = 500ms)")
 	faults := fault.Register(fs)
 	tele := cliobs.Register(fs)
 	if err := fs.Parse(args); err != nil {
@@ -106,17 +121,35 @@ func run(ctx context.Context, args []string, stderr io.Writer) error {
 		return err
 	}
 
+	var tlog *server.TraceLog
+	if *traceLog != "" {
+		tlog, err = server.OpenTraceLog(*traceLog, *traceLogMax, reg)
+		if err != nil {
+			return fmt.Errorf("trace log: %w", err)
+		}
+		defer func() {
+			if err := tlog.Close(); err != nil {
+				fmt.Fprintf(stderr, "ised: trace log close failed: %v\n", err)
+			}
+		}()
+	}
+
 	srv := server.New(server.Config{
-		MaxInFlight:  *maxInflight,
-		MaxQueue:     *maxQueue,
-		QueueWait:    *queueWait,
-		CacheEntries: *cacheSize,
-		MaxTimeout:   tele.Timeout(),
-		MaxBudget:    tele.Budget(),
-		WarmStart:    *warm,
-		Parallelism:  *par,
-		Metrics:      reg,
-		Fault:        inj,
+		MaxInFlight:   *maxInflight,
+		MaxQueue:      *maxQueue,
+		QueueWait:     *queueWait,
+		CacheEntries:  *cacheSize,
+		MaxTimeout:    tele.Timeout(),
+		MaxBudget:     tele.Budget(),
+		WarmStart:     *warm,
+		Parallelism:   *par,
+		Metrics:       reg,
+		Fault:         inj,
+		FlightRecords: *flight,
+		TraceLog:      tlog,
+		SLOObjective:  *sloObjective,
+		SLOThreshold:  *sloThreshold,
+		Trace:         tele.Trace,
 	})
 
 	if *cacheFile != "" {
@@ -134,6 +167,8 @@ func run(ctx context.Context, args []string, stderr io.Writer) error {
 
 	mux := http.NewServeMux()
 	mux.Handle("/v1/", srv)
+	mux.Handle("/debug/requests", srv)    // flight recorder: list view
+	mux.Handle("/debug/requests/", srv)   // flight recorder: per-request detail
 	mux.Handle("/", obshttp.Handler(reg)) // /metrics, /debug/vars, /debug/pprof
 
 	ln, err := net.Listen("tcp", *addr)

@@ -147,6 +147,31 @@ func (c *Cache[V]) put(s *shard[V], key uint64, val V) {
 	}
 }
 
+// Role says how a Do call obtained its value: from the LRU (RoleHit),
+// by running the solve itself (RoleLeader), or by waiting on another
+// caller's in-flight solve (RoleFollower). The serving layer's flight
+// recorder stamps it into each request's decision record.
+type Role uint8
+
+const (
+	RoleHit Role = iota
+	RoleLeader
+	RoleFollower
+)
+
+// String returns the decision-log spelling of the role.
+func (r Role) String() string {
+	switch r {
+	case RoleHit:
+		return "hit"
+	case RoleLeader:
+		return "leader"
+	case RoleFollower:
+		return "follower"
+	}
+	return "unknown"
+}
+
 // Do returns the value for key, solving at most once across all
 // concurrent callers: a cached value is returned immediately
 // (hit=true); otherwise the first caller runs solve and every
@@ -155,19 +180,25 @@ func (c *Cache[V]) put(s *shard[V], key uint64, val V) {
 // errors are returned to every waiter and nothing is cached, so the
 // next request retries.
 func (c *Cache[V]) Do(key uint64, solve func() (V, error)) (val V, hit bool, err error) {
+	val, role, err := c.DoRole(key, solve)
+	return val, role == RoleHit, err
+}
+
+// DoRole is Do, additionally reporting the caller's singleflight role.
+func (c *Cache[V]) DoRole(key uint64, solve func() (V, error)) (val V, role Role, err error) {
 	s := c.shard(key)
 	s.mu.Lock()
 	if el, ok := s.items[key]; ok {
 		s.lru.MoveToFront(el)
 		c.hits.Inc()
 		s.mu.Unlock()
-		return el.Value.(*entry[V]).val, true, nil
+		return el.Value.(*entry[V]).val, RoleHit, nil
 	}
 	if f, ok := s.flights[key]; ok {
 		c.shared.Inc()
 		s.mu.Unlock()
 		<-f.done
-		return f.val, false, f.err
+		return f.val, RoleFollower, f.err
 	}
 	c.misses.Inc()
 	f := &flight[V]{done: make(chan struct{})}
@@ -191,7 +222,7 @@ func (c *Cache[V]) Do(key uint64, solve func() (V, error)) (val V, hit bool, err
 	}()
 	f.val, f.err = solve()
 	completed = true
-	return f.val, false, f.err
+	return f.val, RoleLeader, f.err
 }
 
 // errPanicked is what waiters see when the leading solve panicked.

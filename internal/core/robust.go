@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"strings"
 	"sync"
 	"time"
 
@@ -95,6 +96,56 @@ type RobustResult struct {
 	// Exact reports that every component was answered by a completed
 	// exact search, making UpperBound the true optimum.
 	Exact bool
+}
+
+// RungSummary names the rungs that answered, comma-joined and
+// deduplicated in ladder order ("exact,lp" when some components
+// answered exactly and others degraded to the LP). The decision log
+// stamps it into each request's record.
+func (r *RobustResult) RungSummary() string {
+	if r == nil || len(r.Reports) == 0 {
+		return ""
+	}
+	var seen [3]bool // exact, lp, heur — ladder order
+	other := ""
+	for _, rep := range r.Reports {
+		switch rep.Rung {
+		case "exact":
+			seen[0] = true
+		case "lp":
+			seen[1] = true
+		case "heur":
+			seen[2] = true
+		default:
+			other = rep.Rung
+		}
+	}
+	parts := make([]string, 0, 4)
+	for i, name := range [3]string{"exact", "lp", "heur"} {
+		if seen[i] {
+			parts = append(parts, name)
+		}
+	}
+	if other != "" {
+		parts = append(parts, other)
+	}
+	return strings.Join(parts, ",")
+}
+
+// Falls flattens every component's failed rung attempts into
+// "rung:reason" tokens, in component order. Empty for an undegraded
+// solve.
+func (r *RobustResult) Falls() []string {
+	if r == nil || !r.Degraded {
+		return nil
+	}
+	var falls []string
+	for _, rep := range r.Reports {
+		for _, a := range rep.Attempts {
+			falls = append(falls, a.String())
+		}
+	}
+	return falls
 }
 
 // componentAnswer is what a ladder rung returns through RunLadder's

@@ -21,7 +21,12 @@ func BenchmarkObsOverhead(b *testing.B) {
 		g := reg.Gauge(MDecompPoolBusy)
 		g.Add(1)
 		g.Add(-1)
+		reg.GaugeWith(MSLOBurnRate, "route", "solve").Set(0.5)
 		reg.Histogram(MDecompCompSecs, nil).Observe(0.001)
+		reg.HistogramWith(MSLOSeconds, "route", "solve", nil).Observe(0.001)
+		_ = lp.ID()
+		_ = lp.ParentID()
+		_ = lp.Trace()
 		lp.End()
 		sp.End()
 	}

@@ -29,21 +29,31 @@ type CounterSnap struct {
 // Key returns the canonical series key.
 func (c CounterSnap) Key() string { return seriesKey(c.Name, c.Label, c.LVal) }
 
-// GaugeSnap is one gauge in a snapshot.
+// GaugeSnap is one gauge series in a snapshot.
 type GaugeSnap struct {
 	Name  string
+	Label string // empty for an unlabeled series
+	LVal  string
 	Value float64
 }
 
-// HistSnap is one histogram in a snapshot. Counts are cumulative
-// (Prometheus "le" semantics); the final bound is +Inf.
+// Key returns the canonical series key.
+func (g GaugeSnap) Key() string { return seriesKey(g.Name, g.Label, g.LVal) }
+
+// HistSnap is one histogram series in a snapshot. Counts are
+// cumulative (Prometheus "le" semantics); the final bound is +Inf.
 type HistSnap struct {
 	Name   string
+	Label  string // empty for an unlabeled series
+	LVal   string
 	Bounds []float64
 	Counts []int64 // cumulative; len(Bounds)+1
 	Sum    float64
 	Count  int64
 }
+
+// Key returns the canonical series key.
+func (h HistSnap) Key() string { return seriesKey(h.Name, h.Label, h.LVal) }
 
 // Snapshot captures the registry state. Safe to call concurrently
 // with instrument updates; nil registries yield an empty snapshot.
@@ -57,15 +67,14 @@ func (r *Registry) Snapshot() Snapshot {
 	for _, e := range r.counters {
 		entries = append(entries, e)
 	}
-	gnames := make([]string, 0, len(r.gauges))
-	for n := range r.gauges {
-		gnames = append(gnames, n)
+	gentries := make([]*gaugeEntry, 0, len(r.gauges))
+	for _, e := range r.gauges {
+		gentries = append(gentries, e)
 	}
-	hnames := make([]string, 0, len(r.hists))
-	for n := range r.hists {
-		hnames = append(hnames, n)
+	hentries := make([]*histEntry, 0, len(r.hists))
+	for _, e := range r.hists {
+		hentries = append(hentries, e)
 	}
-	gmap, hmap := r.gauges, r.hists
 	r.mu.Unlock()
 
 	for _, e := range entries {
@@ -74,14 +83,23 @@ func (r *Registry) Snapshot() Snapshot {
 		})
 	}
 	sort.Slice(s.Counters, func(a, b int) bool { return s.Counters[a].Key() < s.Counters[b].Key() })
-	sort.Strings(gnames)
-	for _, n := range gnames {
-		s.Gauges = append(s.Gauges, GaugeSnap{Name: n, Value: gmap[n].Value()})
+	for _, e := range gentries {
+		s.Gauges = append(s.Gauges, GaugeSnap{
+			Name: e.name, Label: e.label, LVal: e.lval, Value: e.g.Value(),
+		})
 	}
-	sort.Strings(hnames)
-	for _, n := range hnames {
-		h := hmap[n]
-		hs := HistSnap{Name: n, Bounds: append([]float64(nil), h.bounds...), Sum: h.Sum()}
+	sort.Slice(s.Gauges, func(a, b int) bool {
+		if s.Gauges[a].Name != s.Gauges[b].Name {
+			return s.Gauges[a].Name < s.Gauges[b].Name
+		}
+		return s.Gauges[a].LVal < s.Gauges[b].LVal
+	})
+	for _, e := range hentries {
+		h := e.h
+		hs := HistSnap{
+			Name: e.name, Label: e.label, LVal: e.lval,
+			Bounds: append([]float64(nil), h.bounds...), Sum: h.Sum(),
+		}
 		cum := int64(0)
 		for i := range h.counts {
 			cum += h.counts[i].Load()
@@ -90,6 +108,12 @@ func (r *Registry) Snapshot() Snapshot {
 		hs.Count = cum
 		s.Hists = append(s.Hists, hs)
 	}
+	sort.Slice(s.Hists, func(a, b int) bool {
+		if s.Hists[a].Name != s.Hists[b].Name {
+			return s.Hists[a].Name < s.Hists[b].Name
+		}
+		return s.Hists[a].LVal < s.Hists[b].LVal
+	})
 	return s
 }
 
@@ -132,12 +156,12 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 		lines = append(lines, fmt.Sprintf("%s: %d", quote(c.Key()), c.Value))
 	}
 	for _, g := range s.Gauges {
-		lines = append(lines, fmt.Sprintf("%s: %s", quote(g.Name), jsonFloat(g.Value)))
+		lines = append(lines, fmt.Sprintf("%s: %s", quote(g.Key()), jsonFloat(g.Value)))
 	}
 	for _, h := range s.Hists {
 		var b strings.Builder
 		fmt.Fprintf(&b, "%s: {\"count\": %d, \"sum\": %s, \"buckets\": {",
-			quote(h.Name), h.Count, jsonFloat(h.Sum))
+			quote(h.Key()), h.Count, jsonFloat(h.Sum))
 		for i, c := range h.Counts {
 			if i > 0 {
 				b.WriteString(", ")
@@ -165,12 +189,14 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 }
 
 // WritePrometheus writes the registry in the Prometheus text
-// exposition format (version 0.0.4).
+// exposition format (version 0.0.4): a `# HELP` line (for names in
+// the catalogue) and a `# TYPE` line per metric, then every series of
+// that metric, with label values escaped per the exposition rules.
 func (r *Registry) WritePrometheus(w io.Writer) error {
 	s := r.Snapshot()
 	names, total, labeled := s.counterAggregates()
 	for _, n := range names {
-		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n", n); err != nil {
+		if err := writePromHeader(w, n, "counter"); err != nil {
 			return err
 		}
 		if !labeled[n] {
@@ -183,30 +209,101 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			if c.Name != n || c.Label == "" {
 				continue
 			}
-			if _, err := fmt.Fprintf(w, "%s %d\n", c.Key(), c.Value); err != nil {
+			if _, err := fmt.Fprintf(w, "%s %d\n", promSeries(c.Name, c.Label, c.LVal), c.Value); err != nil {
 				return err
 			}
 		}
 	}
+	prevGauge := ""
 	for _, g := range s.Gauges {
-		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n", g.Name, g.Name, promFloat(g.Value)); err != nil {
+		if g.Name != prevGauge {
+			if err := writePromHeader(w, g.Name, "gauge"); err != nil {
+				return err
+			}
+			prevGauge = g.Name
+		}
+		if _, err := fmt.Fprintf(w, "%s %s\n", promSeries(g.Name, g.Label, g.LVal), promFloat(g.Value)); err != nil {
 			return err
 		}
 	}
+	prevHist := ""
 	for _, h := range s.Hists {
-		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", h.Name); err != nil {
-			return err
+		if h.Name != prevHist {
+			if err := writePromHeader(w, h.Name, "histogram"); err != nil {
+				return err
+			}
+			prevHist = h.Name
 		}
 		for i, c := range h.Counts {
-			if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%s\"} %d\n", h.Name, leLabel(h.Bounds, i), c); err != nil {
+			var line string
+			if h.Label == "" {
+				line = fmt.Sprintf("%s_bucket{le=\"%s\"} %d", h.Name, leLabel(h.Bounds, i), c)
+			} else {
+				line = fmt.Sprintf("%s_bucket{%s=\"%s\",le=\"%s\"} %d",
+					h.Name, h.Label, escapeLabel(h.LVal), leLabel(h.Bounds, i), c)
+			}
+			if _, err := fmt.Fprintln(w, line); err != nil {
 				return err
 			}
 		}
-		if _, err := fmt.Fprintf(w, "%s_sum %s\n%s_count %d\n", h.Name, promFloat(h.Sum), h.Name, h.Count); err != nil {
+		sum := promSeries(h.Name+"_sum", h.Label, h.LVal)
+		cnt := promSeries(h.Name+"_count", h.Label, h.LVal)
+		if _, err := fmt.Fprintf(w, "%s %s\n%s %d\n", sum, promFloat(h.Sum), cnt, h.Count); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// writePromHeader emits the `# HELP` (when the name is in the
+// catalogue) and `# TYPE` comment lines for one metric.
+func writePromHeader(w io.Writer, name, typ string) error {
+	if help := Help(name); help != "" {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n", name, escapeHelp(help)); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "# TYPE %s %s\n", name, typ)
+	return err
+}
+
+// promSeries renders one series identity for the text exposition
+// format. Unlike seriesKey (the raw in-process identity), the label
+// value is escaped per the exposition rules.
+func promSeries(name, label, lval string) string {
+	if label == "" {
+		return name
+	}
+	return name + "{" + label + "=\"" + escapeLabel(lval) + "\"}"
+}
+
+// escapeLabel escapes a label value for the Prometheus text format:
+// backslash, double-quote and line feed.
+func escapeLabel(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; c {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteByte(c)
+		}
+	}
+	return b.String()
+}
+
+// escapeHelp escapes HELP text: only backslash and line feed (quotes
+// stay literal in HELP lines).
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
 }
 
 // leLabel is the upper-bound label of bucket i ("+Inf" for the last).
@@ -237,17 +334,28 @@ func promFloat(f float64) string {
 }
 
 // quote JSON-quotes a metric or attribute name. Names are plain
-// identifiers (plus the {label="value"} series syntax), so escaping
-// only needs to cover quotes and backslashes.
+// identifiers (plus the {label="value"} series syntax), but label
+// values and span attributes are arbitrary strings, so control
+// characters must be escaped too for the output to stay valid JSON.
 func quote(s string) string {
 	var b strings.Builder
 	b.WriteByte('"')
 	for i := 0; i < len(s); i++ {
-		c := s[i]
-		if c == '"' || c == '\\' {
+		switch c := s[i]; {
+		case c == '"' || c == '\\':
 			b.WriteByte('\\')
+			b.WriteByte(c)
+		case c == '\n':
+			b.WriteString(`\n`)
+		case c == '\t':
+			b.WriteString(`\t`)
+		case c == '\r':
+			b.WriteString(`\r`)
+		case c < 0x20:
+			fmt.Fprintf(&b, `\u%04x`, c)
+		default:
+			b.WriteByte(c)
 		}
-		b.WriteByte(c)
 	}
 	b.WriteByte('"')
 	return b.String()

@@ -82,6 +82,19 @@ const (
 	MMMLPSolves     = "mm_lp_solves_total"           // LP relaxation solves (LPRound)
 	MMMLPSkipped    = "mm_lp_skipped_total"          // instances over MaxVars that fell back to Greedy
 	MMMTrials       = "mm_rounding_trials_total"     // randomized rounding samples drawn
+
+	// internal/server — request flight recorder and trace-log export.
+	MFlightRecords     = "flight_records_total"    // decision records captured by the flight recorder
+	MTraceLogRecords   = "trace_log_records_total" // records appended to the -trace-log JSONL sink
+	MTraceLogRotations = "trace_log_rotate_total"  // size-triggered trace-log rotations
+	MTraceLogErrors    = "trace_log_errors_total"  // trace-log write/rotate failures (records dropped)
+
+	// internal/server — SLO layer. All labeled route=solve|batch.
+	MSLOSeconds   = "slo_route_request_seconds" // histogram: per-route end-to-end latency
+	MSLOObjective = "slo_objective_ratio"       // gauge: configured success objective (e.g. 0.99)
+	MSLOThreshold = "slo_threshold_seconds"     // gauge: configured latency threshold
+	MSLOBurnRate  = "slo_burn_rate"             // gauge: error-budget burn over the rolling window (1.0 = burning exactly the budget)
+	MSLOBreaches  = "slo_breach_total"          // requests over threshold or failed (budget-burning events)
 )
 
 // Cold-fallback reasons (the reason label of lp_cold_fallback_total).
@@ -138,12 +151,20 @@ func DeclareService(r *Registry) {
 		MCacheHits, MCacheMisses, MCacheEvictions, MCacheShared,
 		MCacheSnapshots, MCacheRestored, MCacheRestoreCorrupt,
 		MServiceShed, MBatchDedup,
+		MFlightRecords, MTraceLogRecords, MTraceLogRotations, MTraceLogErrors,
 	} {
 		r.Counter(n)
 	}
 	for _, ep := range []string{"solve", "batch", "healthz"} {
 		r.CounterWith(MServiceRequests, "endpoint", ep)
 		r.CounterWith(MServiceErrors, "endpoint", ep)
+	}
+	for _, route := range []string{"solve", "batch"} {
+		r.CounterWith(MSLOBreaches, "route", route)
+		r.GaugeWith(MSLOObjective, "route", route)
+		r.GaugeWith(MSLOThreshold, "route", route)
+		r.GaugeWith(MSLOBurnRate, "route", route)
+		r.HistogramWith(MSLOSeconds, "route", route, nil)
 	}
 	r.Gauge(MCacheEntries)
 	r.Gauge(MCacheSnapshotDirty)
@@ -152,3 +173,91 @@ func DeclareService(r *Registry) {
 	r.Gauge(MServiceQueueDepth)
 	r.Histogram(MServiceSeconds, nil)
 }
+
+// helpText is the HELP catalogue for the Prometheus export: one line
+// per metric name, emitted as a `# HELP` comment ahead of the `# TYPE`
+// line. Names missing from the map export without a HELP line, so an
+// uncatalogued ad-hoc metric still renders validly.
+var helpText = map[string]string{
+	MLPPivots:       "Simplex pivots across both phases, all engines.",
+	MLPBoundFlips:   "Bound-flip simplex steps that changed no basis column.",
+	MLPWarmHits:     "Warm-started bases accepted end-to-end.",
+	MLPWarmMisses:   "Warm-started bases abandoned for a cold solve.",
+	MLPColdFallback: "Cold solves forced by a failed warm start, by reason.",
+	MLPColdSolves:   "From-scratch two-phase LP solves, including fallbacks.",
+	MLPBinvHits:     "Block-triangular basis-inverse extensions that verified.",
+	MLPBinvMisses:   "Basis-inverse extension probes that refactorized instead.",
+	MLPDualRepair:   "Dual-simplex pivots spent repairing warm bases.",
+
+	MLPLUFactorize:     "Full Markowitz LU factorizations of the simplex basis.",
+	MLPLURefactor:      "Mid-solve LU refactorizations, by trigger reason.",
+	MLPLUEtaLenMax:     "Longest Forrest-Tomlin eta file reached before refactorization.",
+	MLPLUFillRatio:     "nnz(L+U) over nnz(B) of the last LU factorization.",
+	MLPLUDenseFallback: "LU solves that re-ran on the dense reference basis.",
+
+	MTISEResolves:  "LP solves across the lazy-cut chain.",
+	MTISECutRounds: "Cut separation rounds.",
+	MTISECuts:      "Constraint rows ever materialized by separation.",
+	MTISEViolated:  "Violated rows found by separation.",
+
+	MDecompComponents: "Time components in the last decomposed solve.",
+	MDecompTasks:      "Component solves dispatched to the worker pool.",
+	MDecompPoolBusy:   "Worker-pool goroutines currently solving.",
+	MDecompPoolMax:    "Peak worker-pool occupancy.",
+	MDecompCompSecs:   "Per-component solve time in seconds.",
+	MSolveSeconds:     "End-to-end pipeline solve time in seconds.",
+
+	MRobustFallback:     "Degradation-ladder falls, by rung and reason.",
+	MRobustRungAnswers:  "Which ladder rung produced the answer.",
+	MRobustDeadlineHits: "Solves that hit their deadline.",
+	MRobustBudgetHits:   "Solves that exhausted their work budget.",
+	MRobustPanics:       "Solver panics contained by the robust layer.",
+
+	MCacheHits:      "Cache lookups answered from the LRU.",
+	MCacheMisses:    "Cache lookups that had to solve.",
+	MCacheEvictions: "Cache entries dropped by LRU pressure.",
+	MCacheEntries:   "Live cache entries across all shards.",
+	MCacheShared:    "Callers who joined another caller's in-flight solve.",
+
+	MCacheSnapshots:      "Cache snapshots written (periodic plus shutdown).",
+	MCacheSnapshotDirty:  "Entries in the last cache snapshot written.",
+	MCacheRestored:       "Entries accepted from restored cache snapshots.",
+	MCacheRestoreCorrupt: "Snapshot entries discarded by CRC or decode checks.",
+
+	MFaultInjected: "Deterministic fault injections fired, by point.",
+
+	MBreakerState:     "Client circuit breaker state: 0 closed, 1 half-open, 2 open.",
+	MBreakerOpens:     "Circuit breaker transitions to open.",
+	MBreakerFastFails: "Calls refused locally while the breaker was open.",
+	MBreakerProbes:    "Half-open trial requests allowed through.",
+
+	MServiceRequests:    "HTTP requests served, by endpoint.",
+	MServiceErrors:      "Non-2xx HTTP responses, by endpoint.",
+	MServiceShed:        "Requests refused with 429 by admission control.",
+	MServiceInflight:    "Admitted requests currently being served.",
+	MServiceInflightMax: "Peak concurrent admitted requests.",
+	MServiceQueueDepth:  "Requests waiting for an admission slot.",
+	MServiceSeconds:     "End-to-end request latency in seconds.",
+	MBatchDedup:         "Batch rows replayed from a canonical twin's solve.",
+
+	MMMLPProbes:     "Machine-minimization feasibility-LP probes.",
+	MMMLPInfeasible: "Feasibility-LP probes that came back infeasible.",
+	MMMLPSolves:     "Machine-minimization LP relaxation solves.",
+	MMMLPSkipped:    "Instances over MaxVars that fell back to Greedy.",
+	MMMTrials:       "Randomized rounding samples drawn.",
+
+	MFlightRecords:     "Decision records captured by the request flight recorder.",
+	MTraceLogRecords:   "Records appended to the trace-log JSONL sink.",
+	MTraceLogRotations: "Size-triggered trace-log rotations.",
+	MTraceLogErrors:    "Trace-log write or rotate failures (records dropped).",
+
+	MSLOSeconds:   "Per-route end-to-end request latency in seconds.",
+	MSLOObjective: "Configured SLO success objective, by route.",
+	MSLOThreshold: "Configured SLO latency threshold in seconds, by route.",
+	MSLOBurnRate:  "Error-budget burn rate over the rolling window, by route.",
+	MSLOBreaches:  "Requests that burned error budget (over threshold or failed), by route.",
+}
+
+// Help returns the catalogue HELP text for a metric name ("" when the
+// name is not catalogued).
+func Help(name string) string { return helpText[name] }

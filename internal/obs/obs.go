@@ -23,6 +23,7 @@ import (
 	"io"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -77,9 +78,16 @@ func (t *Trace) WriteJSON(w io.Writer) error {
 
 // Span is one timed stage of a solve. All methods are nil-safe and
 // safe for concurrent use.
+//
+// Every span carries a process-unique ID and its parent's ID (0 for a
+// root), so a span tree can be flattened into per-span records — the
+// request flight recorder and the trace-log JSONL sink reference spans
+// by these IDs — and reassembled without relying on JSON nesting.
 type Span struct {
-	name  string
-	start time.Time
+	name   string
+	id     uint64
+	parent uint64
+	start  time.Time
 
 	mu       sync.Mutex
 	dur      time.Duration
@@ -87,6 +95,10 @@ type Span struct {
 	attrs    []attr
 	children []*Span
 }
+
+// spanIDs issues process-unique span IDs. Only the enabled path pays
+// the atomic add; nil spans never mint an ID.
+var spanIDs atomic.Uint64
 
 // attr is a typed key=value span attribute. Typed storage (instead of
 // interface{}) keeps the nil-receiver setters allocation-free.
@@ -110,7 +122,7 @@ func (a attr) value() string {
 }
 
 func newSpan(name string) *Span {
-	return &Span{name: name, start: time.Now()}
+	return &Span{name: name, id: spanIDs.Add(1), start: time.Now()}
 }
 
 // Start creates and returns a child span beginning now.
@@ -119,10 +131,39 @@ func (s *Span) Start(name string) *Span {
 		return nil
 	}
 	c := newSpan(name)
+	c.parent = s.id
 	s.mu.Lock()
 	s.children = append(s.children, c)
 	s.mu.Unlock()
 	return c
+}
+
+// ID returns the span's process-unique ID (0 for a nil span).
+func (s *Span) ID() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.id
+}
+
+// ParentID returns the parent span's ID (0 for a root or nil span).
+func (s *Span) ParentID() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.parent
+}
+
+// Trace returns a Trace rooted at s, so a subsystem that accepts a
+// *Trace (the solver pipeline's Options.Trace) records its spans under
+// an existing span — the serving layer uses this to hang each
+// request's solver span tree under a span tagged with the request ID.
+// Nil-safe: a nil span yields a nil trace, telemetry stays off.
+func (s *Span) Trace() *Trace {
+	if s == nil {
+		return nil
+	}
+	return &Trace{root: s}
 }
 
 // End stops the span's clock. Further Ends are no-ops, so deferred and
@@ -220,7 +261,8 @@ func (s *Span) writeText(w io.Writer, depth int) error {
 func (s *Span) writeJSON(w io.Writer, depth int) error {
 	dur, attrs, children := s.snapshot()
 	ind := strings.Repeat("  ", depth)
-	if _, err := fmt.Fprintf(w, "{\"name\": %s, \"us\": %d", quote(s.name), dur.Microseconds()); err != nil {
+	if _, err := fmt.Fprintf(w, "{\"name\": %s, \"id\": %d, \"parent\": %d, \"us\": %d",
+		quote(s.name), s.id, s.parent, dur.Microseconds()); err != nil {
 		return err
 	}
 	if len(attrs) > 0 {

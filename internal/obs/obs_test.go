@@ -165,10 +165,13 @@ func TestGoldenEncodings(t *testing.T) {
 	if err := reg.WritePrometheus(&prom); err != nil {
 		t.Fatal(err)
 	}
-	wantProm := `# TYPE lp_cold_fallback_total counter
+	wantProm := `# HELP lp_cold_fallback_total Cold solves forced by a failed warm start, by reason.
+# TYPE lp_cold_fallback_total counter
 lp_cold_fallback_total{reason="divergence"} 1
+# HELP lp_pivots_total Simplex pivots across both phases, all engines.
 # TYPE lp_pivots_total counter
 lp_pivots_total 42
+# HELP decomp_components Time components in the last decomposed solve.
 # TYPE decomp_components gauge
 decomp_components 2
 # TYPE component_seconds histogram
@@ -212,10 +215,15 @@ func TestNilReceivers(t *testing.T) {
 		t.Fatal("nil gauge has a value")
 	}
 	g.SetMax(9)
+	reg.GaugeWith("g", "a", "b").Set(1)
 	h := reg.Histogram("h", nil)
 	h.Observe(1)
 	if h.Count() != 0 || h.Sum() != 0 {
 		t.Fatal("nil histogram has observations")
+	}
+	reg.HistogramWith("h", "a", "b", nil).Observe(1)
+	if sp.ID() != 0 || sp.ParentID() != 0 || sp.Trace() != nil {
+		t.Fatal("nil span minted an ID or a trace")
 	}
 	Declare(reg)
 	snap := reg.Snapshot()
@@ -244,7 +252,11 @@ func TestNoopZeroAlloc(t *testing.T) {
 		g := reg.Gauge(MDecompPoolBusy)
 		g.Add(1)
 		g.Add(-1)
+		reg.GaugeWith(MSLOBurnRate, "route", "solve").Set(0.5)
 		reg.Histogram(MDecompCompSecs, nil).Observe(0.01)
+		reg.HistogramWith(MSLOSeconds, "route", "solve", nil).Observe(0.01)
+		_ = sp.ID()
+		_ = sp.Trace()
 		sp.End()
 	})
 	if allocs != 0 {

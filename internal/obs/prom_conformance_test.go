@@ -1,0 +1,344 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// This file is the text-exposition conformance gate: a strict parser
+// of the Prometheus 0.0.4 format (comment grammar, label escaping,
+// histogram bucket invariants) that every WritePrometheus output must
+// round-trip through. It exists because /metrics is consumed by real
+// scrapers — a label value with a quote or newline in it must not
+// corrupt the exposition.
+
+// promSample is one parsed sample line.
+type promSample struct {
+	name   string
+	labels map[string]string
+	value  float64
+}
+
+// promMetric is one metric family: its declared type and samples.
+type promMetric struct {
+	help    string
+	typ     string
+	samples []promSample
+}
+
+// parsePromStrict parses text exposition output, failing on anything
+// the format forbids: samples before their TYPE line, duplicate TYPE/
+// HELP, unknown types, malformed label syntax, bad escapes, duplicate
+// label names, or non-numeric values.
+func parsePromStrict(t *testing.T, text string) map[string]*promMetric {
+	t.Helper()
+	metrics := map[string]*promMetric{}
+	var last string // metric family the parser is currently inside
+	for ln, line := range strings.Split(text, "\n") {
+		if line == "" {
+			continue
+		}
+		fail := func(format string, args ...any) {
+			t.Helper()
+			t.Fatalf("line %d %q: %s", ln+1, line, fmt.Sprintf(format, args...))
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) < 4 || fields[0] != "#" {
+				fail("malformed comment")
+			}
+			kind, name := fields[1], fields[2]
+			switch kind {
+			case "HELP":
+				if metrics[name] != nil {
+					fail("HELP after samples or duplicate HELP for %s", name)
+				}
+				metrics[name] = &promMetric{help: fields[3]}
+				last = name
+			case "TYPE":
+				m := metrics[name]
+				if m == nil {
+					m = &promMetric{}
+					metrics[name] = m
+				} else if m.typ != "" || len(m.samples) > 0 {
+					fail("duplicate TYPE or TYPE after samples for %s", name)
+				}
+				switch fields[3] {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					fail("unknown type %q", fields[3])
+				}
+				m.typ = fields[3]
+				last = name
+			default:
+				fail("unknown comment kind %q", kind)
+			}
+			continue
+		}
+		name, labels, val := parsePromSample(t, ln+1, line)
+		fam := name
+		if m := metrics[last]; m != nil && m.typ == "histogram" {
+			for _, suf := range []string{"_bucket", "_sum", "_count"} {
+				if name == last+suf {
+					fam = last
+				}
+			}
+		}
+		m := metrics[fam]
+		if m == nil || m.typ == "" {
+			fail("sample for %s before its TYPE line", fam)
+		}
+		if fam != last {
+			fail("sample for %s inside %s's block", fam, last)
+		}
+		m.samples = append(m.samples, promSample{name: name, labels: labels, value: val})
+	}
+	return metrics
+}
+
+// parsePromSample parses `name{label="value",...} 1.5`, validating
+// the escape grammar byte by byte.
+func parsePromSample(t *testing.T, ln int, line string) (string, map[string]string, float64) {
+	t.Helper()
+	fail := func(format string, args ...any) {
+		t.Helper()
+		t.Fatalf("line %d %q: %s", ln, line, fmt.Sprintf(format, args...))
+	}
+	i := 0
+	for i < len(line) && (isNameByte(line[i]) || (i > 0 && line[i] >= '0' && line[i] <= '9')) {
+		i++
+	}
+	if i == 0 {
+		fail("empty metric name")
+	}
+	name := line[:i]
+	labels := map[string]string{}
+	if i < len(line) && line[i] == '{' {
+		i++
+		for {
+			j := i
+			for j < len(line) && isNameByte(line[j]) || (j > i && line[j] >= '0' && line[j] <= '9') {
+				j++
+			}
+			lname := line[i:j]
+			if lname == "" {
+				fail("empty label name")
+			}
+			if _, dup := labels[lname]; dup {
+				fail("duplicate label %q", lname)
+			}
+			if j+1 >= len(line) || line[j] != '=' || line[j+1] != '"' {
+				fail("label %q not followed by =\"", lname)
+			}
+			i = j + 2
+			var b strings.Builder
+			for {
+				if i >= len(line) {
+					fail("unterminated label value")
+				}
+				c := line[i]
+				if c == '"' {
+					i++
+					break
+				}
+				if c == '\n' {
+					fail("raw newline in label value")
+				}
+				if c == '\\' {
+					if i+1 >= len(line) {
+						fail("dangling backslash")
+					}
+					switch line[i+1] {
+					case '\\':
+						b.WriteByte('\\')
+					case '"':
+						b.WriteByte('"')
+					case 'n':
+						b.WriteByte('\n')
+					default:
+						fail("invalid escape \\%c", line[i+1])
+					}
+					i += 2
+					continue
+				}
+				b.WriteByte(c)
+				i++
+			}
+			labels[lname] = b.String()
+			if i >= len(line) {
+				fail("unterminated label set")
+			}
+			if line[i] == ',' {
+				i++
+				continue
+			}
+			if line[i] == '}' {
+				i++
+				break
+			}
+			fail("unexpected byte %q after label value", line[i])
+		}
+	}
+	if i >= len(line) || line[i] != ' ' {
+		fail("missing space before value")
+	}
+	vs := line[i+1:]
+	var val float64
+	switch vs {
+	case "+Inf", "-Inf", "NaN":
+		val = 0
+	default:
+		v, err := strconv.ParseFloat(vs, 64)
+		if err != nil {
+			fail("bad value %q: %v", vs, err)
+		}
+		val = v
+	}
+	return name, labels, val
+}
+
+func isNameByte(c byte) bool {
+	return c == '_' || c == ':' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+// TestPrometheusConformance round-trips a registry holding every
+// instrument shape — including label values that need escaping —
+// through the strict parser and checks the values survive intact.
+func TestPrometheusConformance(t *testing.T) {
+	tricky := []string{
+		`plain`,
+		`back\slash`,
+		`qu"ote`,
+		"line\nfeed",
+		`mix\"ed` + "\n" + `end\`,
+	}
+	reg := NewRegistry()
+	reg.Counter("bare_total").Add(7)
+	for i, v := range tricky {
+		reg.CounterWith("labeled_total", "val", v).Add(int64(i + 1))
+		reg.GaugeWith("labeled_gauge", "val", v).Set(float64(i) + 0.5)
+	}
+	reg.Gauge("bare_gauge").Set(2.25)
+	reg.Histogram("bare_seconds", []float64{0.1, 1}).Observe(0.5)
+	lh := reg.HistogramWith("labeled_seconds", "route", tricky[2], []float64{0.1, 1})
+	lh.Observe(0.05)
+	lh.Observe(5)
+
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	metrics := parsePromStrict(t, buf.String())
+
+	if m := metrics["bare_total"]; m == nil || m.typ != "counter" || len(m.samples) != 1 || m.samples[0].value != 7 {
+		t.Fatalf("bare_total = %+v", metrics["bare_total"])
+	}
+	lm := metrics["labeled_total"]
+	if lm == nil || len(lm.samples) != len(tricky) {
+		t.Fatalf("labeled_total = %+v, want %d samples", lm, len(tricky))
+	}
+	gotVals := map[string]float64{}
+	for _, s := range lm.samples {
+		gotVals[s.labels["val"]] = s.value
+	}
+	for i, v := range tricky {
+		if gotVals[v] != float64(i+1) {
+			t.Errorf("labeled_total{val=%q} = %v, want %d (escaping did not round-trip)", v, gotVals[v], i+1)
+		}
+	}
+	gm := metrics["labeled_gauge"]
+	if gm == nil || gm.typ != "gauge" || len(gm.samples) != len(tricky) {
+		t.Fatalf("labeled_gauge = %+v", gm)
+	}
+	hm := metrics["labeled_seconds"]
+	if hm == nil || hm.typ != "histogram" {
+		t.Fatalf("labeled_seconds = %+v", hm)
+	}
+	checkHistogram(t, hm, tricky[2], 2)
+	checkHistogram(t, metrics["bare_seconds"], "", 1)
+}
+
+// checkHistogram asserts the bucket invariants: cumulative counts,
+// ascending le bounds ending at +Inf, and _count == +Inf bucket.
+func checkHistogram(t *testing.T, m *promMetric, wantRoute string, wantCount float64) {
+	t.Helper()
+	var les []string
+	var counts []float64
+	var sumSeen, countSeen bool
+	var count float64
+	for _, s := range m.samples {
+		if route, ok := s.labels["route"]; ok != (wantRoute != "") || (ok && route != wantRoute) {
+			t.Fatalf("sample %s has route %q, want %q", s.name, route, wantRoute)
+		}
+		switch {
+		case strings.HasSuffix(s.name, "_bucket"):
+			les = append(les, s.labels["le"])
+			counts = append(counts, s.value)
+		case strings.HasSuffix(s.name, "_sum"):
+			sumSeen = true
+		case strings.HasSuffix(s.name, "_count"):
+			countSeen, count = true, s.value
+		}
+	}
+	if !sumSeen || !countSeen {
+		t.Fatalf("histogram missing _sum or _count: %+v", m)
+	}
+	if len(les) == 0 || les[len(les)-1] != "+Inf" {
+		t.Fatalf("le labels %v must end at +Inf", les)
+	}
+	prev := -1.0
+	for i, le := range les[:len(les)-1] {
+		b, err := strconv.ParseFloat(le, 64)
+		if err != nil || b <= prev {
+			t.Fatalf("le labels %v not ascending numerics", les)
+		}
+		prev = b
+		if counts[i+1] < counts[i] {
+			t.Fatalf("bucket counts %v not cumulative", counts)
+		}
+	}
+	if counts[len(counts)-1] != count || count != wantCount {
+		t.Fatalf("+Inf bucket %v != _count %v (want %v)", counts[len(counts)-1], count, wantCount)
+	}
+}
+
+// TestJSONExportEscaping: the expvar-style JSON must stay parseable
+// when label values carry quotes, backslashes and newlines, and
+// labeled gauge/histogram series must appear under their full keys.
+func TestJSONExportEscaping(t *testing.T) {
+	reg := NewRegistry()
+	reg.CounterWith("c_total", "val", "a\"b\\c\nd").Inc()
+	reg.GaugeWith("g", "route", "solve").Set(1.5)
+	reg.HistogramWith("h_seconds", "route", "solve", []float64{1}).Observe(0.5)
+
+	var buf bytes.Buffer
+	if err := reg.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var parsed map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
+		t.Fatalf("JSON export does not parse: %v\n%s", err, buf.String())
+	}
+	var keys []string
+	for k := range parsed {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, want := range []string{
+		"c_total{val=\"a\"b\\c\nd\"}", // raw series key, JSON-escaped on the wire
+		`g{route="solve"}`,
+		`h_seconds{route="solve"}`,
+	} {
+		if _, ok := parsed[want]; !ok {
+			t.Errorf("JSON export missing key %q (have %q)", want, keys)
+		}
+	}
+	if parsed[`g{route="solve"}`] != 1.5 {
+		t.Errorf("labeled gauge = %v", parsed[`g{route="solve"}`])
+	}
+}

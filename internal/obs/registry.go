@@ -17,24 +17,35 @@ import (
 type Registry struct {
 	mu       sync.Mutex
 	counters map[string]*counterEntry
-	gauges   map[string]*Gauge
-	hists    map[string]*Histogram
+	gauges   map[string]*gaugeEntry
+	hists    map[string]*histEntry
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
 	return &Registry{
 		counters: map[string]*counterEntry{},
-		gauges:   map[string]*Gauge{},
-		hists:    map[string]*Histogram{},
+		gauges:   map[string]*gaugeEntry{},
+		hists:    map[string]*histEntry{},
 	}
 }
 
 // counterEntry is one counter series: a bare name, or a name plus a
-// single label pair (the only label shape the solver needs).
+// single label pair (the only label shape the solver needs). Gauges
+// and histograms use the same shape (gaugeEntry, histEntry).
 type counterEntry struct {
 	name, label, lval string
 	c                 Counter
+}
+
+type gaugeEntry struct {
+	name, label, lval string
+	g                 Gauge
+}
+
+type histEntry struct {
+	name, label, lval string
+	h                 *Histogram
 }
 
 // seriesKey is the canonical series identity, also used verbatim in
@@ -80,17 +91,33 @@ func (r *Registry) counterSeries(name, label, lval string) *Counter {
 // Gauge returns the gauge registered under name, creating it at zero
 // on first use.
 func (r *Registry) Gauge(name string) *Gauge {
+	return r.gaugeSeries(name, "", "")
+}
+
+// GaugeWith returns the labeled gauge series name{label="value"}. The
+// label pair is part of the series identity; unlike counters, labeled
+// gauges do not fold into an aggregate (summing occupancy gauges from
+// different routes would be meaningless).
+func (r *Registry) GaugeWith(name, label, value string) *Gauge {
 	if r == nil {
 		return nil
 	}
+	return r.gaugeSeries(name, label, value)
+}
+
+func (r *Registry) gaugeSeries(name, label, lval string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	key := seriesKey(name, label, lval)
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	g, ok := r.gauges[name]
+	e, ok := r.gauges[key]
 	if !ok {
-		g = &Gauge{}
-		r.gauges[name] = g
+		e = &gaugeEntry{name: name, label: label, lval: lval}
+		r.gauges[key] = e
 	}
-	return g
+	return &e.g
 }
 
 // Histogram returns the histogram registered under name, creating it
@@ -98,20 +125,39 @@ func (r *Registry) Gauge(name string) *Gauge {
 // select DurationBuckets). Bounds are fixed at creation; later calls
 // ignore the argument.
 func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	return r.histSeries(name, "", "", bounds)
+}
+
+// HistogramWith returns the labeled histogram series
+// name{label="value"} — one bucket set per series, rendered in the
+// Prometheus export as name_bucket{label="value",le="..."}. Like
+// gauges, labeled histograms are not folded into an aggregate.
+func (r *Registry) HistogramWith(name, label, value string, bounds []float64) *Histogram {
 	if r == nil {
 		return nil
 	}
+	return r.histSeries(name, label, value, bounds)
+}
+
+func (r *Registry) histSeries(name, label, lval string, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	key := seriesKey(name, label, lval)
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	h, ok := r.hists[name]
+	e, ok := r.hists[key]
 	if !ok {
 		if bounds == nil {
 			bounds = DurationBuckets
 		}
-		h = &Histogram{bounds: bounds, counts: make([]atomic.Int64, len(bounds)+1)}
-		r.hists[name] = h
+		e = &histEntry{
+			name: name, label: label, lval: lval,
+			h: &Histogram{bounds: bounds, counts: make([]atomic.Int64, len(bounds)+1)},
+		}
+		r.hists[key] = e
 	}
-	return h
+	return e.h
 }
 
 // Counter is a monotonically increasing int64.

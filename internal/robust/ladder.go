@@ -36,6 +36,10 @@ type Attempt struct {
 	Err error
 }
 
+// String renders the attempt as the "rung:reason" token used by the
+// robust_fallback_total label and the request decision log.
+func (a Attempt) String() string { return a.Rung + ":" + a.Reason }
+
 // LadderResult is the outcome of RunLadder.
 type LadderResult struct {
 	// Value is the answering rung's result.

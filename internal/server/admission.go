@@ -51,20 +51,28 @@ func newAdmission(maxInflight, maxQueue int, queueWait time.Duration, met *obs.R
 // It reports false — after counting the shed — when the request must
 // be refused. ctx aborts the queue wait early (client gone).
 func (a *admission) acquire(ctx context.Context) bool {
+	admitted, _ := a.acquireInfo(ctx)
+	return admitted
+}
+
+// acquireInfo is acquire plus provenance for the decision log: queued
+// reports whether the verdict came from the bounded wait queue rather
+// than immediately (a free slot, or a shed with the queue already full).
+func (a *admission) acquireInfo(ctx context.Context) (admitted, queued bool) {
 	select {
 	case <-a.tokens:
 		a.admitted()
-		return true
+		return true, false
 	default:
 	}
 	if a.maxQueue <= 0 || a.queueWait <= 0 {
 		a.shed.Inc()
-		return false
+		return false, false
 	}
 	if a.waiting.Add(1) > a.maxQueue {
 		a.waiting.Add(-1)
 		a.shed.Inc()
-		return false
+		return false, false
 	}
 	a.queueDepth.Set(float64(a.waiting.Load()))
 	defer func() {
@@ -76,12 +84,12 @@ func (a *admission) acquire(ctx context.Context) bool {
 	select {
 	case <-a.tokens:
 		a.admitted()
-		return true
+		return true, true
 	case <-timer.C:
 	case <-ctx.Done():
 	}
 	a.shed.Inc()
-	return false
+	return false, true
 }
 
 func (a *admission) admitted() {

@@ -1,0 +1,99 @@
+package server
+
+import (
+	"errors"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// /debug/requests — the flight recorder's HTTP surface.
+//
+//	GET /debug/requests          recent decision records + SLO status;
+//	                             filters: ?route= ?outcome= ?cache=
+//	                             ?admission= ?errors=1 ?slow=1 ?limit=
+//	GET /debug/requests/{id}     one request's full record and its
+//	                             span tree
+//
+// The list view also carries the SLO burn-rate readings with their
+// breach exemplar IDs, each of which resolves via the detail view —
+// that is the path from "the burn-rate alert fired" to "this exact
+// request, shed at admission after 97ms of queueing".
+
+// debugRequestList is the body of GET /debug/requests.
+type debugRequestList struct {
+	SLO      []sloStatus `json:"slo"`
+	Requests []Record    `json:"requests"`
+}
+
+// debugRequestDetail is the body of GET /debug/requests/{id}.
+type debugRequestDetail struct {
+	Record Record      `json:"record"`
+	Spans  []debugSpan `json:"spans"`
+}
+
+// debugSpan is one node of the reconstructed request span tree.
+type debugSpan struct {
+	Name string `json:"name"`
+	// ID is the obs span ID when solver tracing was armed (0 = the
+	// span is reconstructed from the record's timing fields only).
+	ID       uint64      `json:"id,omitempty"`
+	US       int64       `json:"us"`
+	Children []debugSpan `json:"children,omitempty"`
+}
+
+func (s *Server) handleDebugRequests(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.fail(w, nil, http.StatusMethodNotAllowed, errors.New("use GET"), "")
+		return
+	}
+	if s.flight == nil {
+		s.fail(w, nil, http.StatusNotFound, errors.New("flight recorder disabled (-flight < 0)"), "")
+		return
+	}
+	id := strings.Trim(strings.TrimPrefix(r.URL.Path, "/debug/requests"), "/")
+	if id != "" {
+		rec, ok := s.flight.Get(id)
+		if !ok {
+			s.fail(w, nil, http.StatusNotFound,
+				errors.New("request "+id+" not retained (evicted or never seen)"), id)
+			return
+		}
+		writeJSON(w, http.StatusOK, &debugRequestDetail{Record: rec, Spans: recordSpans(rec)})
+		return
+	}
+	q := r.URL.Query()
+	limit, _ := strconv.Atoi(q.Get("limit"))
+	writeJSON(w, http.StatusOK, &debugRequestList{
+		SLO: s.slo.status(),
+		Requests: s.flight.List(RecordFilter{
+			Route:     q.Get("route"),
+			Outcome:   q.Get("outcome"),
+			Cache:     q.Get("cache"),
+			Admission: q.Get("admission"),
+			Slow:      q.Get("slow") != "",
+			Errors:    q.Get("errors") != "",
+			Limit:     limit,
+		}),
+	})
+}
+
+// recordSpans reconstructs the request's span tree from the decision
+// record. The stage timings are recorded flat (the hot path must not
+// build span objects per request), so the tree is synthesized here,
+// on the cold debug path; when solver tracing was armed, the root
+// carries the obs span ID the solver's own spans are parented under.
+func recordSpans(rec Record) []debugSpan {
+	root := debugSpan{Name: "request", ID: rec.SpanID, US: rec.TotalNS / 1e3}
+	if rec.Admission != "" && rec.Admission != "bypass" {
+		root.Children = append(root.Children, debugSpan{Name: "admission", US: rec.QueueNS / 1e3})
+	}
+	if rec.Cache != "" {
+		name := "cache_hit"
+		if rec.Cache != "hit" {
+			name = "solve_" + rec.Cache
+		}
+		root.Children = append(root.Children, debugSpan{Name: name, US: rec.SolveNS / 1e3})
+	}
+	return []debugSpan{root}
+}

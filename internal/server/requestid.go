@@ -1,0 +1,62 @@
+package server
+
+import (
+	"net/http"
+	"sync/atomic"
+	"time"
+)
+
+// Request IDs. Every /v1/solve and /v1/batch request gets one: the
+// client's X-Request-ID when it sent a well-formed one, a minted ID
+// otherwise. The ID is echoed in the X-Request-ID response header and
+// the response body (success and error alike), keys the flight
+// recorder and the trace log, and tags the request's span in the
+// solver trace — one handle from client log line to server decision
+// record.
+
+// reqIDSeq and reqIDBase mint process-unique IDs: a per-process base
+// (boot time, bit-mixed) XOR a mixed sequence number. 16 hex digits,
+// one string allocation per mint, no locks.
+var (
+	reqIDSeq  atomic.Uint64
+	reqIDBase = mix64(uint64(time.Now().UnixNano()))
+)
+
+// mix64 is splitmix64's finalizer: a cheap bijective scrambler so
+// consecutive sequence numbers yield unrelated-looking IDs.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// requestID returns the request's ID: the client's X-Request-ID when
+// acceptable, a fresh mint otherwise.
+func requestID(r *http.Request) string {
+	if id := r.Header.Get("X-Request-Id"); validRequestID(id) {
+		return id
+	}
+	return keyString(reqIDBase ^ mix64(reqIDSeq.Add(1)))
+}
+
+// validRequestID accepts 1..128 bytes of [0-9A-Za-z._-]: enough for
+// every common ID scheme (UUIDs, ULIDs, hex) while keeping header
+// echo, log lines, and /debug/requests/{id} URLs injection-free.
+func validRequestID(id string) bool {
+	if len(id) == 0 || len(id) > 128 {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= '0' && c <= '9', c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z',
+			c == '.', c == '_', c == '-':
+		default:
+			return false
+		}
+	}
+	return true
+}

@@ -52,6 +52,10 @@ type Result struct {
 	LowerBound   int
 	Degraded     bool
 	Exact        bool
+	// Rung and Falls are ladder provenance for the decision log: which
+	// rungs answered ("exact,lp") and every "rung:reason" fall.
+	Rung  string
+	Falls []string
 }
 
 // SolveFunc produces a Result for a canonical instance under the
@@ -95,6 +99,24 @@ type Config struct {
 	// solver pipeline and the cache's snapshot layer (see
 	// internal/fault). nil disables injection at zero cost.
 	Fault *fault.Injector
+	// FlightRecords sizes the request flight recorder behind
+	// /debug/requests (0 = 2048 records, < 0 = disabled; the disabled
+	// recorder costs no allocations on the request path).
+	FlightRecords int
+	// TraceLog, when non-nil, receives every decision record as
+	// CRC-framed JSONL (the ised -trace-log sink). The server only
+	// appends; the caller owns Close.
+	TraceLog *TraceLog
+	// SLOObjective and SLOThreshold configure the latency SLO layer:
+	// the target fraction of requests (0 = 0.99) answered under the
+	// threshold (0 = 500ms), exported per route as the slo_* series.
+	SLOObjective float64
+	SLOThreshold time.Duration
+	// Trace, when non-nil, parents each request's solver span tree
+	// under a per-request span tagged with the request ID; the span ID
+	// lands in the decision record. nil keeps tracing at its usual
+	// nil-receiver zero cost.
+	Trace *obs.Trace
 }
 
 func (c Config) withDefaults() Config {
@@ -147,11 +169,25 @@ type Server struct {
 
 	latency *obs.Histogram
 
+	// The flight recorder, trace-log sink, and SLO tracker of the
+	// request decision log. flight == nil and tlog == nil are the
+	// disabled paths (nil-safe methods, no allocations).
+	flight *Recorder
+	tlog   *TraceLog
+	slo    *sloTracker
+
 	// Per-endpoint counter bindings, resolved once in New:
 	// Registry.CounterWith interns a label string per call, which is an
 	// allocation the request hot path must not pay.
 	reqSolve, reqBatch, reqHealthz *obs.Counter
 	errSolve, errBatch, errHealthz *obs.Counter
+
+	// luRefactors and faultCounters are the labeled series delta-sampled
+	// around leader solves to attribute LU refactorizations and injected
+	// faults to individual requests (resolved once here, same reason).
+	luRefactors   []*obs.Counter
+	faultNames    []string
+	faultCounters []*obs.Counter
 }
 
 // reqScratch is the pooled per-request working set of the hot
@@ -168,6 +204,10 @@ type reqScratch struct {
 	body bytes.Buffer
 	out  bytes.Buffer
 	enc  *json.Encoder
+	// rec is the request's decision record, filled along the pipeline
+	// and published (copied) at the end; the handler overwrites it
+	// wholesale at the start of each request.
+	rec Record
 }
 
 var scratchPool = sync.Pool{New: func() any {
@@ -216,11 +256,37 @@ func New(cfg Config) *Server {
 	if s.solve == nil {
 		s.solve = s.defaultSolve
 	}
+	if cfg.FlightRecords >= 0 {
+		s.flight = NewRecorder(cfg.FlightRecords, cfg.Metrics)
+	}
+	s.tlog = cfg.TraceLog
+	s.slo = newSLO(cfg.SLOObjective, cfg.SLOThreshold, cfg.Metrics)
+	for _, reason := range []string{"eta_limit", "fill_in", "instability"} {
+		s.luRefactors = append(s.luRefactors, cfg.Metrics.CounterWith(obs.MLPLURefactor, "reason", reason))
+	}
+	if cfg.Fault != nil {
+		for _, p := range fault.Points {
+			s.faultNames = append(s.faultNames, string(p))
+			s.faultCounters = append(s.faultCounters, cfg.Metrics.CounterWith(obs.MFaultInjected, "point", string(p)))
+		}
+	}
 	s.cache.SetFault(cfg.Fault)
 	s.mux.HandleFunc("/v1/solve", s.handleSolve)
 	s.mux.HandleFunc("/v1/batch", s.handleBatch)
 	s.mux.HandleFunc("/v1/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/debug/requests", s.handleDebugRequests)
+	s.mux.HandleFunc("/debug/requests/", s.handleDebugRequests)
 	return s
+}
+
+// luTotal sums the labeled LU-refactorization counters; sampled before
+// and after a leader solve to attribute refactorizations to a request.
+func (s *Server) luTotal() int64 {
+	var n int64
+	for _, c := range s.luRefactors {
+		n += c.Value()
+	}
+	return n
 }
 
 // ServeHTTP implements http.Handler.
@@ -245,7 +311,7 @@ func (s *Server) Draining() bool { return s.draining.Load() }
 // computed for a disconnected client still lands in the cache and
 // still answers any singleflight waiters.
 func (s *Server) defaultSolve(ctx context.Context, inst *ise.Instance, timeout time.Duration, budget int64) (*Result, error) {
-	sol, err := calib.SolveRobust(inst, &calib.Options{
+	o := &calib.Options{
 		WarmStart:   s.cfg.WarmStart,
 		Parallelism: s.cfg.Parallelism,
 		Metrics:     s.cfg.Metrics,
@@ -253,7 +319,13 @@ func (s *Server) defaultSolve(ctx context.Context, inst *ise.Instance, timeout t
 		Timeout:     timeout,
 		Budget:      budget,
 		Fault:       s.cfg.Fault,
-	})
+	}
+	if sp, ok := ctx.Value(traceSpanKey{}).(*obs.Span); ok {
+		// Hang the solver's span tree under the request span, so
+		// /debug/requests/{id} and the trace share one ID space.
+		o.Trace = sp.Trace()
+	}
+	sol, err := calib.SolveRobust(inst, o)
 	if err != nil {
 		return nil, err
 	}
@@ -265,8 +337,15 @@ func (s *Server) defaultSolve(ctx context.Context, inst *ise.Instance, timeout t
 		LowerBound:   sol.LowerBound,
 		Degraded:     sol.Degraded,
 		Exact:        sol.Exact,
+		Rung:         sol.RungSummary(),
+		Falls:        sol.Falls(),
 	}, nil
 }
+
+// traceSpanKey carries the per-request span to defaultSolve; a context
+// value (rather than a SolveFunc parameter) keeps the SolveFunc
+// signature — a test-override surface — stable.
+type traceSpanKey struct{}
 
 // limits clamps the request's asked-for limits to the server's maxima.
 func (s *Server) limits(o api.SolveOptions) (time.Duration, int64) {
@@ -283,15 +362,19 @@ func (s *Server) limits(o api.SolveOptions) (time.Duration, int64) {
 
 func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	s.reqSolve.Inc()
+	arrival := time.Now()
+	id := requestID(r)
+	w.Header().Set("X-Request-Id", id)
 	if r.Method != http.MethodPost {
-		s.fail(w, s.errSolve, http.StatusMethodNotAllowed, errors.New("use POST"))
+		s.fail(w, s.errSolve, http.StatusMethodNotAllowed, errors.New("use POST"), id)
 		return
 	}
 	rs := scratchPool.Get().(*reqScratch)
 	defer scratchPool.Put(rs)
 	rs.resetSolve()
+	rs.rec = Record{ID: id, Route: "solve", ArrivalNS: arrival.UnixNano()}
 	if err := s.readJSON(w, r, &rs.body, &rs.req); err != nil {
-		s.fail(w, s.errSolve, http.StatusBadRequest, err)
+		s.finish(w, rs, s.errSolve, http.StatusBadRequest, err, arrival)
 		return
 	}
 	inst := rs.req.Instance
@@ -300,15 +383,52 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		// absent (an explicit null nils the pointer instead).
 		inst = nil
 	}
-	t0 := time.Now()
-	status, err := s.solveOne(r.Context(), inst, rs.req.SolveOptions, rs)
-	s.latency.Observe(time.Since(t0).Seconds())
+	ctx := r.Context()
+	if s.cfg.Trace != nil {
+		sp := s.cfg.Trace.Root().Start("request")
+		sp.SetStr("request_id", id)
+		rs.rec.SpanID = sp.ID()
+		ctx = context.WithValue(ctx, traceSpanKey{}, sp)
+		defer sp.End()
+	}
+	status, err := s.solveOne(ctx, inst, rs.req.SolveOptions, rs)
 	if err != nil {
-		s.fail(w, s.errSolve, status, err)
+		s.finish(w, rs, s.errSolve, status, err, arrival)
 		return
 	}
-	rs.resp.ElapsedMillis = float64(time.Since(t0).Microseconds()) / 1000
+	rs.resp.ElapsedMillis = float64(time.Since(arrival).Microseconds()) / 1000
+	rs.resp.RequestID = id
 	s.writeResp(w, http.StatusOK, &rs.resp, rs)
+	s.emit(rs, arrival, http.StatusOK, "")
+}
+
+// emit completes the request's decision record and publishes it: the
+// flight recorder, the trace log, the SLO layer, and the latency
+// histogram all read from the same Record. errStr "" means success.
+func (s *Server) emit(rs *reqScratch, arrival time.Time, status int, errStr string) {
+	total := time.Since(arrival)
+	s.latency.Observe(total.Seconds())
+	rec := &rs.rec
+	rec.TotalNS = int64(total)
+	rec.Status = status
+	rec.Err = errStr
+	switch {
+	case status < 400:
+		rec.Outcome = "ok"
+	case status == http.StatusTooManyRequests:
+		rec.Outcome = "shed"
+	default:
+		rec.Outcome = "error"
+	}
+	s.slo.observe(rec.Route, rec.ID, total, status < 400)
+	s.flight.Add(rec)
+	s.tlog.Append(rec)
+}
+
+// finish is emit for the error paths: record the outcome, then answer.
+func (s *Server) finish(w http.ResponseWriter, rs *reqScratch, errs *obs.Counter, status int, err error, arrival time.Time) {
+	s.emit(rs, arrival, status, err.Error())
+	s.fail(w, errs, status, err, rs.rec.ID)
 }
 
 // errShed marks an admission refusal; solveOne's callers map it to
@@ -320,6 +440,7 @@ var errShed = errors.New("service saturated: admission control refused the solve
 // Canonicalization runs in rs's arena, so the canonical form is only
 // valid within this call.
 func (s *Server) solveOne(ctx context.Context, inst *calib.Instance, o api.SolveOptions, rs *reqScratch) (int, error) {
+	rec := &rs.rec
 	if inst == nil {
 		return http.StatusBadRequest, errors.New("missing \"instance\"")
 	}
@@ -328,23 +449,80 @@ func (s *Server) solveOne(ctx context.Context, inst *calib.Instance, o api.Solve
 	}
 	c := rs.cs.Canonicalize(inst)
 	if res, ok := s.cache.Get(c.Key); ok {
-		return s.respond(inst, c, res, true, &rs.resp)
+		// A cache hit answers before admission control: capacity bounds
+		// solves, not lookups. The record pins that invariant — Cache
+		// "hit" with Admission "bypass" and zero queue time.
+		rec.Admission = "bypass"
+		rec.Cache = cache.RoleHit.String()
+		rec.Warm = "cache"
+		rec.Rung, rec.Falls, rec.Degraded, rec.Exact = res.Rung, res.Falls, res.Degraded, res.Exact
+		status, err := s.respond(inst, c, res, true, &rs.resp)
+		if err == nil {
+			rec.Key = rs.resp.Key
+		}
+		return status, err
 	}
-	if !s.adm.acquire(ctx) {
+	admT := time.Now()
+	admitted, queued := s.adm.acquireInfo(ctx)
+	rec.QueueNS = int64(time.Since(admT))
+	if !admitted {
+		rec.Admission = "shed"
 		return http.StatusTooManyRequests, errShed
+	}
+	rec.Admission = "admitted"
+	if queued {
+		rec.Admission = "queued"
 	}
 	defer s.adm.release()
 	timeout, budget := s.limits(o)
-	res, hit, err := s.cache.Do(c.Key, func() (*Result, error) {
+	rec.TimeoutMS = int64(timeout / time.Millisecond)
+	rec.Budget = budget
+	solveT := time.Now()
+	res, role, err := s.cache.DoRole(c.Key, func() (*Result, error) {
+		// Delta-sample the LU-refactorization and fault counters around
+		// the solve to attribute them to this request (approximate when
+		// solves overlap; exact in the common serial case).
+		lu0 := s.luTotal()
+		var f0 []int64
+		if len(s.faultCounters) > 0 {
+			f0 = make([]int64, len(s.faultCounters))
+			for i, fc := range s.faultCounters {
+				f0[i] = fc.Value()
+			}
+		}
 		// The canonical instance lives in pooled scratch; clone it so
 		// the solver cannot retain memory the pool will hand to the
 		// next request (warm-start state outlives this call).
-		return s.solve(context.WithoutCancel(ctx), c.Instance.Clone(), timeout, budget)
+		r, err := s.solve(context.WithoutCancel(ctx), c.Instance.Clone(), timeout, budget)
+		rec.LURefactors = s.luTotal() - lu0
+		for i, fc := range s.faultCounters {
+			if d := fc.Value() - f0[i]; d > 0 {
+				rec.Faults = append(rec.Faults, s.faultNames[i]+":"+strconv.FormatInt(d, 10))
+			}
+		}
+		return r, err
 	})
+	rec.SolveNS = int64(time.Since(solveT))
+	rec.Cache = role.String()
+	switch {
+	case role == cache.RoleHit:
+		rec.Warm = "cache"
+	case role == cache.RoleFollower:
+		rec.Warm = "singleflight"
+	case s.cfg.WarmStart:
+		rec.Warm = "lp_basis"
+	default:
+		rec.Warm = "cold"
+	}
 	if err != nil {
 		return solveStatus(err), err
 	}
-	return s.respond(inst, c, res, hit, &rs.resp)
+	rec.Rung, rec.Falls, rec.Degraded, rec.Exact = res.Rung, res.Falls, res.Degraded, res.Exact
+	status, rerr := s.respond(inst, c, res, role == cache.RoleHit, &rs.resp)
+	if rerr == nil {
+		rec.Key = rs.resp.Key
+	}
+	return status, rerr
 }
 
 // respond de-canonicalizes the cached result into the request's frame
@@ -385,8 +563,11 @@ func keyString(k uint64) string {
 
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	s.reqBatch.Inc()
+	arrival := time.Now()
+	id := requestID(r)
+	w.Header().Set("X-Request-Id", id)
 	if r.Method != http.MethodPost {
-		s.fail(w, s.errBatch, http.StatusMethodNotAllowed, errors.New("use POST"))
+		s.fail(w, s.errBatch, http.StatusMethodNotAllowed, errors.New("use POST"), id)
 		return
 	}
 	// The batch request itself stays per-call (its instance pointers
@@ -395,24 +576,44 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	// the read/write buffers.
 	rs := scratchPool.Get().(*reqScratch)
 	defer scratchPool.Put(rs)
+	rs.rec = Record{ID: id, Route: "batch", ArrivalNS: arrival.UnixNano()}
 	var req api.BatchRequest
 	if err := s.readJSON(w, r, &rs.body, &req); err != nil {
-		s.fail(w, s.errBatch, http.StatusBadRequest, err)
+		s.finish(w, rs, s.errBatch, http.StatusBadRequest, err, arrival)
 		return
 	}
 	if len(req.Instances) == 0 {
-		s.fail(w, s.errBatch, http.StatusBadRequest, errors.New("empty \"instances\""))
+		s.finish(w, rs, s.errBatch, http.StatusBadRequest, errors.New("empty \"instances\""), arrival)
 		return
 	}
+	rs.rec.Rows = len(req.Instances)
 	// One admission slot covers the whole batch: its unique instances
 	// solve sequentially, so a batch is one unit of in-flight work.
-	if !s.adm.acquire(r.Context()) {
-		s.fail(w, s.errBatch, http.StatusTooManyRequests, errShed)
+	admT := time.Now()
+	admitted, queued := s.adm.acquireInfo(r.Context())
+	rs.rec.QueueNS = int64(time.Since(admT))
+	if !admitted {
+		rs.rec.Admission = "shed"
+		s.finish(w, rs, s.errBatch, http.StatusTooManyRequests, errShed, arrival)
 		return
 	}
+	rs.rec.Admission = "admitted"
+	if queued {
+		rs.rec.Admission = "queued"
+	}
 	defer s.adm.release()
+	ctx := r.Context()
+	if s.cfg.Trace != nil {
+		sp := s.cfg.Trace.Root().Start("request")
+		sp.SetStr("request_id", id)
+		rs.rec.SpanID = sp.ID()
+		ctx = context.WithValue(ctx, traceSpanKey{}, sp)
+		defer sp.End()
+	}
 	t0 := time.Now()
 	timeout, budget := s.limits(req.SolveOptions)
+	rs.rec.TimeoutMS = int64(timeout / time.Millisecond)
+	rs.rec.Budget = budget
 	resp := &api.BatchResponse{Results: make([]*api.BatchResult, len(req.Instances))}
 	solved := map[uint64]*Result{} // batch-local dedup on top of the shared cache
 	for i, inst := range req.Instances {
@@ -430,7 +631,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			var hit bool
 			var err error
 			res, hit, err = s.cache.Do(c.Key, func() (*Result, error) {
-				return s.solve(context.WithoutCancel(r.Context()), c.Instance.Clone(), timeout, budget)
+				return s.solve(context.WithoutCancel(ctx), c.Instance.Clone(), timeout, budget)
 			})
 			if err != nil {
 				resp.Results[i] = &api.BatchResult{Error: err.Error()}
@@ -447,14 +648,16 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		one.ElapsedMillis = float64(time.Since(t0).Microseconds()) / 1000
 		resp.Results[i] = &api.BatchResult{SolveResponse: one}
 	}
-	s.latency.Observe(time.Since(t0).Seconds())
+	rs.rec.SolveNS = int64(time.Since(t0))
+	resp.RequestID = id
 	s.writeResp(w, http.StatusOK, resp, rs)
+	s.emit(rs, arrival, http.StatusOK, "")
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	s.reqHealthz.Inc()
 	if r.Method != http.MethodGet {
-		s.fail(w, s.errHealthz, http.StatusMethodNotAllowed, errors.New("use GET"))
+		s.fail(w, s.errHealthz, http.StatusMethodNotAllowed, errors.New("use GET"), "")
 		return
 	}
 	met := s.cfg.Metrics
@@ -511,11 +714,12 @@ func (s *Server) readJSON(w http.ResponseWriter, r *http.Request, buf *bytes.Buf
 	return nil
 }
 
-// fail writes the error body, counting it and attaching Retry-After
-// on 429s.
-func (s *Server) fail(w http.ResponseWriter, errs *obs.Counter, status int, err error) {
+// fail writes the error body — carrying the request ID when one is
+// known, so a client log line locates the server-side record —
+// counting it and attaching Retry-After on 429s.
+func (s *Server) fail(w http.ResponseWriter, errs *obs.Counter, status int, err error, id string) {
 	errs.Inc()
-	body := &api.Error{Error: err.Error()}
+	body := &api.Error{Error: err.Error(), RequestID: id}
 	if status == http.StatusTooManyRequests {
 		secs := int((s.cfg.RetryAfter + time.Second - 1) / time.Second)
 		if secs < 1 {
@@ -535,7 +739,7 @@ func (s *Server) writeResp(w http.ResponseWriter, status int, body any, rs *reqS
 	if err := rs.enc.Encode(body); err != nil {
 		// Marshal failure of our own wire types is a programming error;
 		// surface it rather than sending a truncated body.
-		s.fail(w, s.errSolve, http.StatusInternalServerError, err)
+		s.fail(w, s.errSolve, http.StatusInternalServerError, err, rs.rec.ID)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json; charset=utf-8")

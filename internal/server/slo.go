@@ -1,0 +1,166 @@
+package server
+
+import (
+	"sync"
+	"time"
+
+	"calib/internal/obs"
+)
+
+// sloTracker implements the serving layer's latency SLOs: per-route
+// latency histograms (slo_route_request_seconds) against a configured
+// objective ("fraction of requests under the threshold") and a
+// burn-rate gauge over a rolling one-minute window. Burn rate is the
+// standard error-budget reading: bad-fraction / (1 - objective), so
+// 1.0 means the route is spending its budget exactly as fast as the
+// objective allows, and anything sustained above it is an alert. Each
+// budget-burning request is counted in slo_breach_total and its
+// request ID retained as an exemplar, linking the gauge to concrete
+// /debug/requests/{id} records.
+type sloTracker struct {
+	objective float64
+	threshold time.Duration
+	solve     sloRoute
+	batch     sloRoute
+}
+
+// sloWindow is the rolling window length in one-second buckets.
+const sloWindow = 60
+
+// sloExemplars is how many recent breach request IDs a route keeps.
+const sloExemplars = 8
+
+type sloRoute struct {
+	name      string
+	objective float64
+	threshold time.Duration
+
+	seconds  *obs.Histogram
+	burn     *obs.Gauge
+	breaches *obs.Counter
+
+	mu        sync.Mutex
+	buckets   [sloWindow]sloBucket
+	exemplars [sloExemplars]string
+	exNext    int
+}
+
+// sloBucket counts one second of traffic; sec says which second, so a
+// stale slot is recognized and reset instead of zeroing on a timer.
+type sloBucket struct {
+	sec       int64
+	good, bad int64
+}
+
+// newSLO builds the tracker. objective <= 0 defaults to 0.99,
+// threshold <= 0 to 500ms.
+func newSLO(objective float64, threshold time.Duration, met *obs.Registry) *sloTracker {
+	if objective <= 0 || objective >= 1 {
+		objective = 0.99
+	}
+	if threshold <= 0 {
+		threshold = 500 * time.Millisecond
+	}
+	t := &sloTracker{objective: objective, threshold: threshold}
+	for _, r := range []*sloRoute{&t.solve, &t.batch} {
+		r.objective = objective
+		r.threshold = threshold
+	}
+	t.solve.name, t.batch.name = "solve", "batch"
+	for _, r := range []*sloRoute{&t.solve, &t.batch} {
+		r.seconds = met.HistogramWith(obs.MSLOSeconds, "route", r.name, nil)
+		r.burn = met.GaugeWith(obs.MSLOBurnRate, "route", r.name)
+		r.breaches = met.CounterWith(obs.MSLOBreaches, "route", r.name)
+		met.GaugeWith(obs.MSLOObjective, "route", r.name).Set(objective)
+		met.GaugeWith(obs.MSLOThreshold, "route", r.name).Set(threshold.Seconds())
+	}
+	return t
+}
+
+// route maps an endpoint name onto its tracker ("solve" on unknown
+// names, which cannot happen from the two call sites).
+func (t *sloTracker) route(name string) *sloRoute {
+	if name == "batch" {
+		return &t.batch
+	}
+	return &t.solve
+}
+
+// observe records one finished request. ok=false (a non-2xx answer)
+// burns budget regardless of latency. Nil-safe.
+func (t *sloTracker) observe(routeName, id string, dur time.Duration, ok bool) {
+	if t == nil {
+		return
+	}
+	r := t.route(routeName)
+	r.seconds.Observe(dur.Seconds())
+	bad := !ok || dur > r.threshold
+	sec := time.Now().Unix()
+	r.mu.Lock()
+	b := &r.buckets[sec%sloWindow]
+	if b.sec != sec {
+		b.sec, b.good, b.bad = sec, 0, 0
+	}
+	if bad {
+		b.bad++
+		r.exemplars[r.exNext] = id
+		r.exNext = (r.exNext + 1) % sloExemplars
+	} else {
+		b.good++
+	}
+	var good, badN int64
+	min := sec - sloWindow + 1
+	for i := range r.buckets {
+		if r.buckets[i].sec >= min {
+			good += r.buckets[i].good
+			badN += r.buckets[i].bad
+		}
+	}
+	r.mu.Unlock()
+	if bad {
+		r.breaches.Inc()
+	}
+	total := good + badN
+	burnRate := 0.0
+	if total > 0 {
+		burnRate = (float64(badN) / float64(total)) / (1 - r.objective)
+	}
+	r.burn.Set(burnRate)
+}
+
+// sloStatus is one route's SLO reading for /debug/requests.
+type sloStatus struct {
+	Route            string   `json:"route"`
+	Objective        float64  `json:"objective"`
+	ThresholdSeconds float64  `json:"threshold_seconds"`
+	BurnRate         float64  `json:"burn_rate"`
+	Breaches         int64    `json:"breaches_total"`
+	Exemplars        []string `json:"breach_exemplars,omitempty"`
+}
+
+// status snapshots both routes. Nil-safe (empty slice).
+func (t *sloTracker) status() []sloStatus {
+	if t == nil {
+		return nil
+	}
+	out := make([]sloStatus, 0, 2)
+	for _, r := range []*sloRoute{&t.solve, &t.batch} {
+		st := sloStatus{
+			Route:            r.name,
+			Objective:        r.objective,
+			ThresholdSeconds: r.threshold.Seconds(),
+			BurnRate:         r.burn.Value(),
+			Breaches:         r.breaches.Value(),
+		}
+		r.mu.Lock()
+		for i := 0; i < sloExemplars; i++ {
+			// Oldest-first from the ring, skipping empty slots.
+			if id := r.exemplars[(r.exNext+i)%sloExemplars]; id != "" {
+				st.Exemplars = append(st.Exemplars, id)
+			}
+		}
+		r.mu.Unlock()
+		out = append(out, st)
+	}
+	return out
+}

@@ -7,7 +7,11 @@
 #   4. the identical re-solve answers "cached": true, and /metrics
 #      shows cache_hits_total > 0 — the canonical cache actually
 #      served it;
-#   5. a burst of distinct solves against a second daemon with
+#   5. a client-sent X-Request-ID comes back in the response header and
+#      body, the request is locatable at /debug/requests/{id} with its
+#      admission verdict and cache outcome, and the -trace-log file
+#      holds the same record after real traffic;
+#   6. a burst of distinct solves against a second daemon with
 #      -max-inflight 1 and no queue sheds at least one request with
 #      429 + Retry-After — admission control actually refuses, it
 #      doesn't queue without bound.
@@ -61,7 +65,7 @@ done
 
 # --- main daemon -----------------------------------------------------
 "$WORK/ised" -addr 127.0.0.1:0 -addr-file "$WORK/addr" \
-	-timeout 10s 2>"$WORK/ised.log" &
+	-timeout 10s -trace-log "$WORK/trace.jsonl" 2>"$WORK/ised.log" &
 PIDS="$PIDS $!"
 ADDR="$(wait_addr "$WORK/addr")"
 BASE="http://$ADDR"
@@ -85,6 +89,34 @@ curl -sf "$BASE/metrics" >"$WORK/metrics.txt"
 HITS="$(awk '$1 == "cache_hits_total" { print $2 }' "$WORK/metrics.txt")"
 [ "${HITS:-0}" -gt 0 ] 2>/dev/null || fail "cache_hits_total = '${HITS:-}' after a cached re-solve"
 echo "service_smoke: cached re-solve confirmed (cache_hits_total=$HITS)"
+
+# --- request tracing -------------------------------------------------
+# A client-sent X-Request-ID is echoed end to end: response header,
+# response body, the flight recorder at /debug/requests/{id}, and the
+# -trace-log JSONL file.
+RID="smoke-req-1"
+curl -sf -H "X-Request-Id: $RID" -D "$WORK/solve3.head" \
+	-d @"$WORK/req.json" "$BASE/v1/solve" >"$WORK/solve3.json"
+grep -qi "^x-request-id: $RID" "$WORK/solve3.head" || fail "X-Request-ID not echoed in header"
+grep -q "\"request_id\": \"$RID\"" "$WORK/solve3.json" || fail "request_id missing from response body"
+
+curl -sf "$BASE/debug/requests/$RID" >"$WORK/flight.json"
+grep -q "\"id\": \"$RID\"" "$WORK/flight.json" || fail "request not in flight recorder: $(cat "$WORK/flight.json")"
+grep -q '"admission": "bypass"' "$WORK/flight.json" || fail "cached re-solve record lacks admission bypass"
+grep -q '"cache": "hit"' "$WORK/flight.json" || fail "cached re-solve record lacks cache hit"
+curl -sf "$BASE/debug/requests?route=solve" >"$WORK/flights.json"
+grep -q '"slo"' "$WORK/flights.json" || fail "/debug/requests missing SLO status"
+
+# The trace log fills within a flush interval (200ms) of real traffic.
+i=0
+while ! grep -qs "\"id\":\"$RID\"" "$WORK/trace.jsonl"; do
+	i=$((i + 1))
+	[ "$i" -le 50 ] || fail "trace log never recorded $RID: $(wc -c <"$WORK/trace.jsonl" 2>/dev/null || echo missing) bytes"
+	sleep 0.1
+done
+[ -s "$WORK/trace.jsonl" ] || fail "trace log empty after traffic"
+grep -q '"crc":' "$WORK/trace.jsonl" || fail "trace log lines not CRC-framed"
+echo "service_smoke: request-ID propagation + trace log confirmed ($RID)"
 
 # --- saturation daemon: one slot, no queue ---------------------------
 "$WORK/ised" -addr 127.0.0.1:0 -addr-file "$WORK/addr2" \
