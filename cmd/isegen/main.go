@@ -40,40 +40,15 @@ func run(args []string, stdout io.Writer) error {
 		return err
 	}
 
+	if *clusters < 1 {
+		return fmt.Errorf("-clusters must be at least 1")
+	}
 	rng := rand.New(rand.NewSource(*seed))
-	var inst *ise.Instance
-	switch *family {
-	case "mixed":
-		inst, _ = workload.Mixed(rng, *n, *m, *T, *longProb)
-	case "long":
-		inst, _ = workload.Long(rng, *n, *m, *T)
-	case "short":
-		inst, _ = workload.Short(rng, *n, *m, *T)
-	case "unit":
-		inst, _ = workload.Unit(rng, *n, *m, *T)
-	case "stockpile":
-		batch := *n / 4
-		if batch < 1 {
-			batch = 1
-		}
-		inst = workload.Stockpile(rng, 4, batch, *m, *T, 3**T)
-	case "partition":
-		inst = workload.PartitionHard(rng, *n, *T)
-	case "crossing":
-		inst = workload.CrossingAdversarial(rng, *n, *m, *T)
-	case "poisson":
-		inst = workload.Poisson(rng, *n, *m, *T, float64(*T))
-	case "clustered":
-		if *clusters < 1 {
-			return fmt.Errorf("-clusters must be at least 1")
-		}
-		per := *n / *clusters
-		if per < 1 {
-			per = 1
-		}
-		inst, _ = workload.Clustered(rng, *clusters, per, *m, *T)
-	default:
-		return fmt.Errorf("unknown family %q", *family)
+	inst, err := workload.Family(rng, *family, workload.FamilyConfig{
+		N: *n, M: *m, T: *T, LongProb: *longProb, Clusters: *clusters,
+	})
+	if err != nil {
+		return err
 	}
 	if err := inst.Validate(); err != nil {
 		return fmt.Errorf("generated invalid instance: %w", err)

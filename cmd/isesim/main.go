@@ -1,0 +1,181 @@
+// Command isesim is the deterministic workload simulator for the ised
+// serving layer (internal/sim): it drives the real server mux under a
+// virtual clock with a multi-class workload spec or a recorded
+// request trace, compares serving policies counterfactually, and
+// writes the capacity report CI gates on. See docs/SIMULATOR.md.
+//
+// Usage:
+//
+//	isesim -spec testdata/sim/steady.json [-seed 1] [-compare a,b]
+//	       [-out BENCH_capacity.json] [-baseline FILE] [-tolerance 0.1]
+//	       [-record trace.jsonl]
+//	isesim -replay trace.jsonl [-spec policies.json] [-slo-ms 100] ...
+//
+// With -spec the workload is generated from the spec's classes; with
+// -replay it is reconstructed from a -trace-log capture, and the spec
+// (when also given) only contributes the policies to compare. Exactly
+// one policy must be selected when -record is set. With -baseline the
+// exit status is 1 when the report regresses past -tolerance.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"calib/internal/obs"
+	"calib/internal/server"
+	"calib/internal/sim"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "isesim:", err)
+		os.Exit(1)
+	}
+}
+
+// defaultPolicies serves -replay without a spec: the served
+// configuration and one roomier counterfactual.
+func defaultPolicies() []sim.PolicySpec {
+	return []sim.PolicySpec{
+		{Name: "baseline", MaxInflight: 4, MaxQueue: 8, QueueWaitMS: 50, CacheEntries: 1024},
+		{Name: "wide", MaxInflight: 16, MaxQueue: 32, QueueWaitMS: 50, CacheEntries: 4096},
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("isesim", flag.ContinueOnError)
+	specPath := fs.String("spec", "", "workload spec file (JSON; see docs/SIMULATOR.md)")
+	replayPath := fs.String("replay", "", "replay a -trace-log JSONL capture instead of generating arrivals")
+	seed := fs.Int64("seed", 0, "PRNG seed (0 = the spec's seed, or 1)")
+	compare := fs.String("compare", "", "comma-separated policy names to run (default: all)")
+	out := fs.String("out", "BENCH_capacity.json", "report output path")
+	baseline := fs.String("baseline", "", "baseline report to gate against (single report or merged {\"runs\":[...]})")
+	tolerance := fs.Float64("tolerance", 0.10, "allowed relative regression vs -baseline")
+	record := fs.String("record", "", "record the run's decision trace to this JSONL file (single policy only)")
+	sloMS := fs.Float64("slo-ms", 100, "latency SLO threshold for -replay workloads, milliseconds")
+	verbose := fs.Bool("v", false, "print per-class latency lines")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *specPath == "" && *replayPath == "" {
+		return fmt.Errorf("need -spec or -replay")
+	}
+
+	var spec *sim.Spec
+	if *specPath != "" {
+		var err error
+		if spec, err = sim.LoadSpec(*specPath); err != nil {
+			return err
+		}
+	}
+	runSeed := *seed
+	if runSeed == 0 {
+		runSeed = 1
+		if spec != nil {
+			runSeed = spec.Seed
+		}
+	}
+
+	var w *sim.Workload
+	if *replayPath != "" {
+		recs, skipped, err := server.ReadTraceLog(*replayPath)
+		if err != nil {
+			return fmt.Errorf("read trace: %w", err)
+		}
+		if skipped > 0 {
+			fmt.Fprintf(stdout, "trace: skipped %d corrupt record(s)\n", skipped)
+		}
+		name := "replay"
+		if spec != nil {
+			name = spec.Name
+		}
+		if w, err = sim.ReplayWorkload(name, recs, runSeed, *sloMS); err != nil {
+			return err
+		}
+	} else {
+		var err error
+		if w, err = sim.BuildWorkload(spec, runSeed); err != nil {
+			return err
+		}
+	}
+
+	policies := defaultPolicies()
+	if spec != nil {
+		policies = spec.Policies
+	}
+	if *compare != "" {
+		var sel []sim.PolicySpec
+		for _, name := range strings.Split(*compare, ",") {
+			name = strings.TrimSpace(name)
+			found := false
+			for _, p := range policies {
+				if p.Name == name {
+					sel = append(sel, p)
+					found = true
+					break
+				}
+			}
+			if !found {
+				return fmt.Errorf("-compare: unknown policy %q", name)
+			}
+		}
+		policies = sel
+	}
+
+	var tlog *server.TraceLog
+	if *record != "" {
+		if len(policies) != 1 {
+			return fmt.Errorf("-record needs exactly one policy (use -compare), got %d", len(policies))
+		}
+		var err error
+		if tlog, err = server.OpenTraceLog(*record, 0, obs.NewRegistry()); err != nil {
+			return err
+		}
+		defer tlog.Close()
+	}
+
+	rep, err := sim.Simulate(w, runSeed, policies, tlog)
+	if err != nil {
+		return err
+	}
+	if tlog != nil {
+		if err := tlog.Flush(); err != nil {
+			return fmt.Errorf("flush trace: %w", err)
+		}
+	}
+	if err := sim.WriteReport(*out, rep); err != nil {
+		return err
+	}
+
+	fmt.Fprintf(stdout, "%s: %d requests over %.0fms virtual (seed %d) -> %s\n",
+		rep.Name, rep.Requests, rep.VirtualDurationMS, rep.Seed, *out)
+	for _, p := range rep.Policies {
+		fmt.Fprintf(stdout, "  %-12s shed %5.1f%%  hit %5.1f%%  solves %d  queued %d\n",
+			p.Name, p.ShedRate*100, p.CacheHitRate*100, p.Solves, p.Queued)
+		if *verbose {
+			for _, c := range p.Classes {
+				fmt.Fprintf(stdout, "    %-12s p50 %7.3fms  p99 %7.3fms  slo %4.0fms  attain %5.1f%%  burn %.2f\n",
+					c.Name, c.P50MS, c.P99MS, c.SLOMS, c.Attainment*100, c.BurnRate)
+			}
+		}
+	}
+
+	if *baseline != "" {
+		base, err := sim.LoadBaseline(*baseline, rep.Name)
+		if err != nil {
+			return err
+		}
+		if bad := sim.Compare(base, rep, *tolerance); len(bad) > 0 {
+			for _, b := range bad {
+				fmt.Fprintln(stdout, "REGRESSION:", b)
+			}
+			return fmt.Errorf("%d capacity regression(s) vs %s", len(bad), *baseline)
+		}
+		fmt.Fprintf(stdout, "capacity gate: within %.0f%% of %s\n", *tolerance*100, *baseline)
+	}
+	return nil
+}

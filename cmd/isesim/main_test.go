@@ -1,0 +1,161 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const cliSpec = `{
+  "name": "cli",
+  "seed": 5,
+  "duration_ms": 250,
+  "cost": {"base_us": 12000, "per_job_us": 400, "jitter": 0.2},
+  "classes": [
+    {"name": "only", "arrival": {"process": "poisson", "rate_per_sec": 50},
+     "instances": {"family": "mixed", "n": 10, "t": 8, "distinct": 5}, "slo_ms": 25}
+  ],
+  "policies": [
+    {"name": "tight", "max_inflight": 1, "max_queue": 2, "queue_wait_ms": 10, "cache_entries": 64},
+    {"name": "roomy", "max_inflight": 8, "max_queue": 8, "queue_wait_ms": 20, "cache_entries": 1024}
+  ]
+}`
+
+func writeSpec(t *testing.T, dir string) string {
+	t.Helper()
+	path := filepath.Join(dir, "spec.json")
+	if err := os.WriteFile(path, []byte(cliSpec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunSpecDeterministic(t *testing.T) {
+	dir := t.TempDir()
+	spec := writeSpec(t, dir)
+	out1 := filepath.Join(dir, "a.json")
+	out2 := filepath.Join(dir, "b.json")
+
+	var buf bytes.Buffer
+	if err := run([]string{"-spec", spec, "-out", out1}, &buf); err != nil {
+		t.Fatalf("run 1: %v\n%s", err, buf.String())
+	}
+	if err := run([]string{"-spec", spec, "-out", out2}, &buf); err != nil {
+		t.Fatalf("run 2: %v\n%s", err, buf.String())
+	}
+	a, err := os.ReadFile(out1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(out2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("two runs of the same spec+seed wrote different reports")
+	}
+	if !strings.Contains(string(a), `"schema": "ise-capacity/v1"`) {
+		t.Fatalf("report missing schema stamp:\n%s", a)
+	}
+}
+
+func TestRunBaselineGate(t *testing.T) {
+	dir := t.TempDir()
+	spec := writeSpec(t, dir)
+	base := filepath.Join(dir, "base.json")
+
+	var buf bytes.Buffer
+	if err := run([]string{"-spec", spec, "-out", base}, &buf); err != nil {
+		t.Fatalf("baseline run: %v\n%s", err, buf.String())
+	}
+	// Same spec vs its own report: must pass the gate.
+	out := filepath.Join(dir, "cur.json")
+	buf.Reset()
+	if err := run([]string{"-spec", spec, "-out", out, "-baseline", base}, &buf); err != nil {
+		t.Fatalf("self-comparison failed the gate: %v\n%s", err, buf.String())
+	}
+	if !strings.Contains(buf.String(), "capacity gate") {
+		t.Fatalf("no gate verdict in output:\n%s", buf.String())
+	}
+	// Doctor the baseline's numbers below what any run produces; with
+	// zero tolerance the gate must fail deterministically.
+	mangle, err := os.ReadFile(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lowered := strings.ReplaceAll(string(mangle), `"shed_rate": 0.`, `"shed_rate": 0.000`)
+	lowered = zeroOut(lowered, `"p99_ms": `)
+	if err := os.WriteFile(base, []byte(lowered), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	err = run([]string{"-spec", spec, "-out", out, "-baseline", base, "-tolerance", "0"}, &buf)
+	if err == nil {
+		t.Fatalf("gate passed against a zeroed baseline:\n%s", buf.String())
+	}
+	if !strings.Contains(buf.String(), "REGRESSION:") {
+		t.Fatalf("no REGRESSION lines:\n%s", buf.String())
+	}
+}
+
+// zeroOut rewrites every `"field": <num>` occurrence to 0.
+func zeroOut(s, prefix string) string {
+	var b strings.Builder
+	for {
+		i := strings.Index(s, prefix)
+		if i < 0 {
+			b.WriteString(s)
+			return b.String()
+		}
+		b.WriteString(s[:i+len(prefix)])
+		b.WriteString("0")
+		s = s[i+len(prefix):]
+		j := strings.IndexAny(s, ",\n}")
+		if j < 0 {
+			return b.String()
+		}
+		s = s[j:]
+	}
+}
+
+func TestRunRecordReplay(t *testing.T) {
+	dir := t.TempDir()
+	spec := writeSpec(t, dir)
+	trace := filepath.Join(dir, "trace.jsonl")
+
+	var buf bytes.Buffer
+	err := run([]string{"-spec", spec, "-record", trace,
+		"-out", filepath.Join(dir, "rec.json")}, &buf)
+	if err == nil {
+		t.Fatal("-record with two policies accepted")
+	}
+
+	buf.Reset()
+	if err := run([]string{"-spec", spec, "-compare", "tight", "-record", trace,
+		"-out", filepath.Join(dir, "rec.json")}, &buf); err != nil {
+		t.Fatalf("record run: %v\n%s", err, buf.String())
+	}
+	buf.Reset()
+	if err := run([]string{"-replay", trace, "-spec", spec, "-compare", "tight,roomy",
+		"-slo-ms", "25", "-out", filepath.Join(dir, "replay.json")}, &buf); err != nil {
+		t.Fatalf("replay run: %v\n%s", err, buf.String())
+	}
+	if !strings.Contains(buf.String(), "tight") || !strings.Contains(buf.String(), "roomy") {
+		t.Fatalf("replay summary missing policies:\n%s", buf.String())
+	}
+}
+
+func TestRunFlagErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(nil, &buf); err == nil {
+		t.Error("no -spec/-replay accepted")
+	}
+	dir := t.TempDir()
+	spec := writeSpec(t, dir)
+	if err := run([]string{"-spec", spec, "-compare", "nope",
+		"-out", filepath.Join(dir, "x.json")}, &buf); err == nil {
+		t.Error("unknown -compare policy accepted")
+	}
+}

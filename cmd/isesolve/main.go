@@ -28,7 +28,7 @@ import (
 	"calib/internal/cliobs"
 	"calib/internal/exp"
 	"calib/internal/ise"
-	"calib/internal/sim"
+	"calib/internal/replay"
 )
 
 func main() {
@@ -160,7 +160,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		return fmt.Errorf("internal error: produced an infeasible schedule: %w", err)
 	}
 	if *verbose {
-		rep := sim.Replay(inst, sched)
+		rep := replay.Replay(inst, sched)
 		fmt.Fprintf(stderr, "replay: %d jobs completed, utilization %.1f%% (%d busy / %d calibrated ticks)\n",
 			rep.JobsCompleted, 100*rep.Utilization, rep.BusyTicks, rep.CalibratedTicks)
 	}

@@ -20,7 +20,7 @@ import (
 	"calib"
 	"calib/internal/exp"
 	"calib/internal/ise"
-	"calib/internal/sim"
+	"calib/internal/replay"
 )
 
 func main() {
@@ -75,7 +75,7 @@ func run(args []string, stdout io.Writer) error {
 	fmt.Fprintln(stdout)
 	fmt.Fprint(stdout, exp.Gantt(inst, sched))
 	if *stats {
-		rep := sim.Replay(inst, sched)
+		rep := replay.Replay(inst, sched)
 		fmt.Fprintln(stdout)
 		if !rep.Feasible {
 			fmt.Fprintf(stdout, "replay: INFEASIBLE (%s)\n", rep.Violation)

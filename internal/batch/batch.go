@@ -17,8 +17,8 @@ import (
 	"calib/internal/improve"
 	"calib/internal/ise"
 	"calib/internal/obs"
+	"calib/internal/replay"
 	"calib/internal/robust"
-	"calib/internal/sim"
 	"calib/internal/unitise"
 )
 
@@ -199,7 +199,7 @@ func solveRow(it Item, pol Policy) Row {
 			row.Err = fmt.Sprintf("INFEASIBLE: %v", verr)
 			break
 		}
-		rep := sim.Replay(it.Instance, sched)
+		rep := replay.Replay(it.Instance, sched)
 		row.Calibrations = sched.NumCalibrations()
 		row.Machines = sched.MachinesUsed()
 		row.Utilization = rep.Utilization

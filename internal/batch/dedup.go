@@ -8,7 +8,7 @@ import (
 	"calib/internal/canon"
 	"calib/internal/ise"
 	"calib/internal/obs"
-	"calib/internal/sim"
+	"calib/internal/replay"
 )
 
 // RunDedup is Run with canonical deduplication: items that are
@@ -81,7 +81,7 @@ func RunDedup(items []Item, policies []Policy, workers int, met *obs.Registry) *
 							row.Err = fmt.Sprintf("INFEASIBLE: %v", verr)
 							break
 						}
-						rep := sim.Replay(items[i].Instance, own)
+						rep := replay.Replay(items[i].Instance, own)
 						row.Calibrations = own.NumCalibrations()
 						row.Machines = own.MachinesUsed()
 						row.Utilization = rep.Utilization

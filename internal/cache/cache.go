@@ -116,6 +116,18 @@ func (c *Cache[V]) Get(key uint64) (V, bool) {
 	return zero, false
 }
 
+// Peek reports whether key is cached without touching LRU order or the
+// hit/miss counters. It exists for observers — the workload simulator
+// predicts the serving layer's cache verdict with it — and must never
+// be used on the request path, where Get's accounting is the point.
+func (c *Cache[V]) Peek(key uint64) bool {
+	s := c.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.items[key]
+	return ok
+}
+
 // Put stores val under key (most recently used), evicting the least
 // recently used entry of the shard when over capacity. A no-op when
 // storage is disabled.

@@ -5,7 +5,7 @@ import (
 	"testing"
 
 	"calib/internal/ise"
-	"calib/internal/sim"
+	"calib/internal/replay"
 	"calib/internal/tise"
 	"calib/internal/workload"
 )
@@ -25,7 +25,7 @@ func TestParallelDecomposedFeasible(t *testing.T) {
 			if err := ise.Validate(inst, res.Schedule); err != nil {
 				t.Fatalf("trial %d par %d: %v", trial, par, err)
 			}
-			if rep := sim.Replay(inst, res.Schedule); !rep.Feasible {
+			if rep := replay.Replay(inst, res.Schedule); !rep.Feasible {
 				t.Fatalf("trial %d par %d: simulator rejected: %s", trial, par, rep.Violation)
 			}
 			if res.Components < 2 {

@@ -8,7 +8,7 @@ import (
 	"calib/internal/exact"
 	"calib/internal/heur"
 	"calib/internal/ise"
-	"calib/internal/sim"
+	"calib/internal/replay"
 )
 
 // CrossCheck runs every solver and oracle in the module on one
@@ -32,7 +32,7 @@ func CrossCheck(inst *ise.Instance, witness *ise.Schedule) (string, error) {
 		if err := ise.Validate(inst, s); err != nil {
 			return fmt.Errorf("%s: validator rejected: %w", name, err)
 		}
-		if rep := sim.Replay(inst, s); !rep.Feasible {
+		if rep := replay.Replay(inst, s); !rep.Feasible {
 			return fmt.Errorf("%s: simulator rejected: %s", name, rep.Violation)
 		}
 		return nil

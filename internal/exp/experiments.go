@@ -15,8 +15,8 @@ import (
 	"calib/internal/ise"
 	"calib/internal/mm"
 	"calib/internal/online"
+	"calib/internal/replay"
 	"calib/internal/shortwin"
-	"calib/internal/sim"
 	"calib/internal/tise"
 	"calib/internal/unitise"
 	"calib/internal/workload"
@@ -679,7 +679,7 @@ func T12Utilization(cfg Config) *Table {
 				panic(err)
 			}
 			mustValidate(inst, sched)
-			rep := sim.Replay(inst, sched)
+			rep := replay.Replay(inst, sched)
 			if !rep.Feasible {
 				panic("exp: simulator rejected a validated schedule: " + rep.Violation)
 			}

@@ -95,8 +95,19 @@ func New(seed int64, met *obs.Registry) *Injector {
 // and the point name, making each point's decision sequence
 // independent of every other point's.
 func stream(seed int64, p Point) *rand.Rand {
+	return Stream(seed, string(p))
+}
+
+// Stream returns a PRNG whose seed is derived from seed and name, so
+// every named consumer draws an independent, reproducible sequence.
+// The fault injector keys its per-point streams this way, and the
+// workload simulator (internal/sim) keys its arrival, instance, and
+// cost streams the same way: drawing more from one stream never
+// shifts any other, which is what keeps counterfactual runs over the
+// same seed comparable draw-for-draw.
+func Stream(seed int64, name string) *rand.Rand {
 	h := fnv.New64a()
-	h.Write([]byte(p))
+	h.Write([]byte(name))
 	return rand.New(rand.NewSource(seed ^ int64(h.Sum64())))
 }
 

@@ -89,6 +89,16 @@ const (
 	MTraceLogRotations = "trace_log_rotate_total"  // size-triggered trace-log rotations
 	MTraceLogErrors    = "trace_log_errors_total"  // trace-log write/rotate failures (records dropped)
 
+	// internal/sim — deterministic workload simulator.
+	MSimRequests       = "sim_requests_total"   // virtual requests issued; labeled class=...
+	MSimShed           = "sim_shed_total"       // virtual requests shed by admission (immediately or from the queue)
+	MSimQueued         = "sim_queued_total"     // virtual requests that waited in the virtual admission queue
+	MSimCacheHits      = "sim_cache_hits_total" // virtual requests answered from the schedule cache
+	MSimFollowers      = "sim_followers_total"  // virtual requests that joined an in-flight solve (singleflight)
+	MSimSolves         = "sim_solves_total"     // virtual requests that ran a leader solve
+	MSimEvents         = "sim_events_total"     // discrete events processed by the engine
+	MSimVirtualSeconds = "sim_virtual_seconds"  // gauge: virtual clock position at end of run
+
 	// internal/server — SLO layer. All labeled route=solve|batch.
 	MSLOSeconds   = "slo_route_request_seconds" // histogram: per-route end-to-end latency
 	MSLOObjective = "slo_objective_ratio"       // gauge: configured success objective (e.g. 0.99)
@@ -174,6 +184,23 @@ func DeclareService(r *Registry) {
 	r.Histogram(MServiceSeconds, nil)
 }
 
+// DeclareSim pre-registers the workload simulator's series so a
+// simulated run's metric dump carries the full sim_* catalogue even
+// when a path (shedding, queueing) never fired. cmd/isesim calls it
+// next to Declare and DeclareService.
+func DeclareSim(r *Registry) {
+	if r == nil {
+		return
+	}
+	for _, n := range []string{
+		MSimRequests, MSimShed, MSimQueued, MSimCacheHits,
+		MSimFollowers, MSimSolves, MSimEvents,
+	} {
+		r.Counter(n)
+	}
+	r.Gauge(MSimVirtualSeconds)
+}
+
 // helpText is the HELP catalogue for the Prometheus export: one line
 // per metric name, emitted as a `# HELP` comment ahead of the `# TYPE`
 // line. Names missing from the map export without a HELP line, so an
@@ -250,6 +277,15 @@ var helpText = map[string]string{
 	MTraceLogRecords:   "Records appended to the trace-log JSONL sink.",
 	MTraceLogRotations: "Size-triggered trace-log rotations.",
 	MTraceLogErrors:    "Trace-log write or rotate failures (records dropped).",
+
+	MSimRequests:       "Virtual requests issued by the workload simulator, by class.",
+	MSimShed:           "Virtual requests shed by admission control.",
+	MSimQueued:         "Virtual requests that waited in the virtual admission queue.",
+	MSimCacheHits:      "Virtual requests answered from the schedule cache.",
+	MSimFollowers:      "Virtual requests that joined an in-flight solve.",
+	MSimSolves:         "Virtual requests that ran a leader solve.",
+	MSimEvents:         "Discrete events processed by the simulation engine.",
+	MSimVirtualSeconds: "Virtual clock position at the end of the simulated run.",
 
 	MSLOSeconds:   "Per-route end-to-end request latency in seconds.",
 	MSLOObjective: "Configured SLO success objective, by route.",

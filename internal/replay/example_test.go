@@ -1,10 +1,10 @@
-package sim_test
+package replay_test
 
 import (
 	"fmt"
 
 	"calib/internal/ise"
-	"calib/internal/sim"
+	"calib/internal/replay"
 )
 
 // Example replays a two-job schedule and reads the utilization.
@@ -16,7 +16,7 @@ func Example() {
 	s.Calibrate(0, 0)
 	s.Place(0, 0, 0)
 	s.Place(1, 0, 4)
-	rep := sim.Replay(inst, s)
+	rep := replay.Replay(inst, s)
 	fmt.Println("feasible:", rep.Feasible)
 	fmt.Println("jobs completed:", rep.JobsCompleted)
 	fmt.Printf("utilization: %.0f%%\n", 100*rep.Utilization)

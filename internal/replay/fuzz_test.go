@@ -1,4 +1,4 @@
-package sim
+package replay
 
 import (
 	"encoding/binary"

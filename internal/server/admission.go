@@ -2,7 +2,7 @@ package server
 
 import (
 	"context"
-	"sync/atomic"
+	"sync"
 	"time"
 
 	"calib/internal/obs"
@@ -16,11 +16,20 @@ import (
 // under overload the daemon's latency stays flat and clients retry
 // with backoff, rather than every request timing out behind an
 // ever-growing queue.
+//
+// Waiters form an explicit FIFO list and a released slot is handed
+// directly to the list head — never broadcast for waiters to race
+// over. That makes the tie-break deterministic (arrival order), which
+// both keeps tail latency fair under saturation (no waiter starves
+// behind later arrivals) and lets the workload simulator
+// (internal/sim) reproduce admission verdicts exactly.
 type admission struct {
-	tokens    chan struct{}
-	maxQueue  int64
 	queueWait time.Duration
-	waiting   atomic.Int64
+	maxQueue  int
+
+	mu      sync.Mutex
+	free    int       // slots not held by anyone
+	waiters []*waiter // FIFO; timed-out entries stay until popped (w.removed)
 
 	inflight    *obs.Gauge
 	inflightMax *obs.Gauge
@@ -28,23 +37,29 @@ type admission struct {
 	shed        *obs.Counter
 }
 
+// waiter is one queued request. A releasing request grants the slot by
+// setting granted and closing ch while holding admission.mu; a waiter
+// that times out marks itself removed under the same lock, so exactly
+// one side wins and the decision is replayable.
+type waiter struct {
+	ch      chan struct{}
+	granted bool
+	removed bool
+}
+
 // newAdmission builds an admission controller with maxInflight slots
 // and a wait queue of at most maxQueue requests (0 = no queueing:
 // shed the moment no slot is free) that each wait at most queueWait.
 func newAdmission(maxInflight, maxQueue int, queueWait time.Duration, met *obs.Registry) *admission {
-	a := &admission{
-		tokens:      make(chan struct{}, maxInflight),
-		maxQueue:    int64(maxQueue),
+	return &admission{
+		free:        maxInflight,
+		maxQueue:    maxQueue,
 		queueWait:   queueWait,
 		inflight:    met.Gauge(obs.MServiceInflight),
 		inflightMax: met.Gauge(obs.MServiceInflightMax),
 		queueDepth:  met.Gauge(obs.MServiceQueueDepth),
 		shed:        met.Counter(obs.MServiceShed),
 	}
-	for i := 0; i < maxInflight; i++ {
-		a.tokens <- struct{}{}
-	}
-	return a
 }
 
 // acquire claims a slot, waiting up to queueWait in the bounded queue.
@@ -59,51 +74,105 @@ func (a *admission) acquire(ctx context.Context) bool {
 // reports whether the verdict came from the bounded wait queue rather
 // than immediately (a free slot, or a shed with the queue already full).
 func (a *admission) acquireInfo(ctx context.Context) (admitted, queued bool) {
-	select {
-	case <-a.tokens:
+	a.mu.Lock()
+	if a.free > 0 {
+		a.free--
+		a.mu.Unlock()
 		a.admitted()
 		return true, false
-	default:
 	}
-	if a.maxQueue <= 0 || a.queueWait <= 0 {
+	if a.maxQueue <= 0 || a.queueWait <= 0 || a.depthLocked() >= a.maxQueue {
+		a.mu.Unlock()
 		a.shed.Inc()
 		return false, false
 	}
-	if a.waiting.Add(1) > a.maxQueue {
-		a.waiting.Add(-1)
-		a.shed.Inc()
-		return false, false
-	}
-	a.queueDepth.Set(float64(a.waiting.Load()))
-	defer func() {
-		a.waiting.Add(-1)
-		a.queueDepth.Set(float64(a.waiting.Load()))
-	}()
+	w := &waiter{ch: make(chan struct{})}
+	a.waiters = append(a.waiters, w)
+	a.queueDepth.Set(float64(a.depthLocked()))
+	a.mu.Unlock()
+
 	timer := time.NewTimer(a.queueWait)
 	defer timer.Stop()
 	select {
-	case <-a.tokens:
+	case <-w.ch:
 		a.admitted()
 		return true, true
 	case <-timer.C:
 	case <-ctx.Done():
 	}
+	a.mu.Lock()
+	if w.granted {
+		// release handed us the slot in the instant we timed out; the
+		// grant wins (dropping it would leak the slot).
+		a.mu.Unlock()
+		a.admitted()
+		return true, true
+	}
+	w.removed = true
+	a.queueDepth.Set(float64(a.depthLocked()))
+	a.mu.Unlock()
 	a.shed.Inc()
 	return false, true
+}
+
+// depthLocked counts live (non-removed) waiters. Caller holds a.mu.
+func (a *admission) depthLocked() int {
+	n := 0
+	for _, w := range a.waiters {
+		if !w.removed {
+			n++
+		}
+	}
+	return n
+}
+
+// tryAcquire claims a slot only if one is free right now: no queueing,
+// no shed accounting. This is the simulator's occupancy hook (see
+// Server.AcquireSlot); the request path always goes through
+// acquireInfo so every refusal is counted.
+func (a *admission) tryAcquire() bool {
+	a.mu.Lock()
+	if a.free <= 0 {
+		a.mu.Unlock()
+		return false
+	}
+	a.free--
+	a.mu.Unlock()
+	a.admitted()
+	return true
 }
 
 func (a *admission) admitted() {
 	a.inflightMax.SetMax(a.inflight.Add(1))
 }
 
-// release returns the slot claimed by a successful acquire.
+// release returns the slot claimed by a successful acquire, handing it
+// to the oldest live waiter when one exists (direct FIFO handoff).
 func (a *admission) release() {
 	a.inflight.Add(-1)
-	a.tokens <- struct{}{}
+	a.mu.Lock()
+	for len(a.waiters) > 0 {
+		w := a.waiters[0]
+		a.waiters = a.waiters[1:]
+		if w.removed {
+			continue
+		}
+		w.granted = true
+		close(w.ch)
+		a.queueDepth.Set(float64(a.depthLocked()))
+		a.mu.Unlock()
+		return
+	}
+	a.free++
+	a.mu.Unlock()
 }
 
 // InFlight returns the number of currently admitted requests.
 func (a *admission) InFlight() int { return int(a.inflight.Value()) }
 
 // QueueDepth returns the number of requests currently queued.
-func (a *admission) QueueDepth() int { return int(a.waiting.Load()) }
+func (a *admission) QueueDepth() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.depthLocked()
+}

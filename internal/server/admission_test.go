@@ -1,0 +1,173 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"calib/api"
+	"calib/internal/heur"
+	"calib/internal/ise"
+	"calib/internal/obs"
+)
+
+// TestAdmissionFIFOHandoff pins the deterministic queue tie-break the
+// workload simulator depends on: released slots go to waiters in
+// strict arrival order, never to whichever goroutine wins a race.
+func TestAdmissionFIFOHandoff(t *testing.T) {
+	a := newAdmission(1, 8, time.Second, obs.NewRegistry())
+	if !a.acquire(context.Background()) {
+		t.Fatal("first acquire should get the slot")
+	}
+
+	const waiters = 5
+	order := make(chan int, waiters)
+	var wg sync.WaitGroup
+	for i := 0; i < waiters; i++ {
+		// Enqueue one at a time so the FIFO position is known: wait
+		// until the waiter list has grown before starting the next.
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if !a.acquire(context.Background()) {
+				t.Errorf("waiter %d shed", i)
+				return
+			}
+			order <- i
+			a.release()
+		}(i)
+		deadline := time.Now().Add(2 * time.Second)
+		for a.QueueDepth() < i+1 {
+			if time.Now().After(deadline) {
+				t.Fatalf("waiter %d never queued", i)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+
+	a.release() // hand the slot to waiter 0; each waiter chains to the next
+	wg.Wait()
+	close(order)
+	want := 0
+	for got := range order {
+		if got != want {
+			t.Fatalf("handoff order: got waiter %d, want %d", got, want)
+		}
+		want++
+	}
+	if want != waiters {
+		t.Fatalf("only %d waiters ran", want)
+	}
+}
+
+// TestAdmissionTimedOutWaiterSkipped: a waiter that gave up must not
+// swallow a released slot; the release skips it and serves the next
+// live waiter.
+func TestAdmissionTimedOutWaiterSkipped(t *testing.T) {
+	a := newAdmission(1, 8, 30*time.Millisecond, obs.NewRegistry())
+	if !a.acquire(context.Background()) {
+		t.Fatal("first acquire should get the slot")
+	}
+
+	// First waiter times out quickly.
+	ctx, cancel := context.WithCancel(context.Background())
+	timedOut := make(chan bool, 1)
+	go func() { timedOut <- a.acquire(ctx) }()
+	for a.QueueDepth() < 1 {
+		time.Sleep(time.Millisecond)
+	}
+	cancel() // abandon the wait (client gone)
+	if got := <-timedOut; got {
+		t.Fatal("cancelled waiter should be shed")
+	}
+
+	// Second waiter is still live; the release must reach it.
+	granted := make(chan bool, 1)
+	go func() { granted <- a.acquire(context.Background()) }()
+	for a.QueueDepth() < 1 {
+		time.Sleep(time.Millisecond)
+	}
+	a.release()
+	if got := <-granted; !got {
+		t.Fatal("live waiter should receive the released slot")
+	}
+	a.release()
+	if !a.tryAcquire() {
+		t.Fatal("slot should be free after final release")
+	}
+}
+
+// TestTryAcquireNoShedAccounting: the simulator's occupancy probe
+// must not count sheds or queue anyone.
+func TestTryAcquireNoShedAccounting(t *testing.T) {
+	reg := obs.NewRegistry()
+	a := newAdmission(1, 8, time.Second, reg)
+	if !a.tryAcquire() {
+		t.Fatal("tryAcquire with a free slot")
+	}
+	if a.tryAcquire() {
+		t.Fatal("tryAcquire with no free slot should fail")
+	}
+	if got := reg.Counter(obs.MServiceShed).Value(); got != 0 {
+		t.Fatalf("tryAcquire counted %d sheds", got)
+	}
+	if a.InFlight() != 1 {
+		t.Fatalf("InFlight = %d, want 1", a.InFlight())
+	}
+	a.release()
+	if a.InFlight() != 0 {
+		t.Fatalf("InFlight after release = %d, want 0", a.InFlight())
+	}
+}
+
+// TestVirtualClockThreadsThroughRecords: a server on an injected
+// clock stamps decision records in virtual time — the property the
+// workload simulator's determinism rests on.
+func TestVirtualClockThreadsThroughRecords(t *testing.T) {
+	clk := &stubClock{ns: 12345678}
+	srv := New(Config{Clock: clk, Solve: func(_ context.Context, inst *ise.Instance, _ time.Duration, _ int64) (*Result, error) {
+		clk.ns += 5e6 // the solve takes 5 virtual milliseconds
+		sched, err := heur.Lazy(inst, heur.Options{})
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Schedule: sched, Calibrations: sched.NumCalibrations(),
+			MachinesUsed: sched.MachinesUsed(), Components: 1}, nil
+	}})
+
+	buf, err := json.Marshal(api.SolveRequest{Instance: testInstance(0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := httptest.NewRequest(http.MethodPost, "/v1/solve", bytes.NewReader(buf))
+	req.Header.Set("X-Request-Id", "vclock-req")
+	rw := httptest.NewRecorder()
+	srv.ServeHTTP(rw, req)
+	if rw.Code != http.StatusOK {
+		t.Fatalf("status = %d", rw.Code)
+	}
+
+	rec, ok := srv.Flight().Get("vclock-req")
+	if !ok {
+		t.Fatal("no flight record for vclock-req")
+	}
+	if rec.ArrivalNS != 12345678 {
+		t.Errorf("ArrivalNS = %d, want 12345678", rec.ArrivalNS)
+	}
+	if rec.SolveNS != 5e6 {
+		t.Errorf("SolveNS = %d, want 5e6", rec.SolveNS)
+	}
+	if rec.TotalNS != 5e6 {
+		t.Errorf("TotalNS = %d, want 5e6", rec.TotalNS)
+	}
+}
+
+type stubClock struct{ ns int64 }
+
+func (c *stubClock) Now() time.Time                  { return time.Unix(0, c.ns) }
+func (c *stubClock) Since(t time.Time) time.Duration { return time.Duration(c.ns - t.UnixNano()) }

@@ -1,0 +1,27 @@
+package server
+
+import "time"
+
+// Clock abstracts the serving layer's time source. Production servers
+// run on the wall clock (the zero Config); the workload simulator
+// (internal/sim) injects a virtual clock it advances itself, so every
+// timestamp and duration the server records — arrival stamps, queue
+// and solve timings, SLO buckets, uptime — is expressed in simulated
+// time and two runs of the same seeded workload produce byte-identical
+// decision records without a single wall-clock sleep.
+//
+// The contract is deliberately small: Now for stamps, Since for
+// durations. The server never arms timers through the Clock — the only
+// timer on the request path is the admission queue wait, and simulated
+// runs disable server-side queueing (the simulator models the bounded
+// queue in virtual time instead; see internal/sim).
+type Clock interface {
+	Now() time.Time
+	Since(t time.Time) time.Duration
+}
+
+// realClock is the production Clock: plain time.Now/ time.Since.
+type realClock struct{}
+
+func (realClock) Now() time.Time                  { return time.Now() }
+func (realClock) Since(t time.Time) time.Duration { return time.Since(t) }

@@ -478,7 +478,7 @@ func TestTraceLogRotation(t *testing.T) {
 func TestSLOBurnRate(t *testing.T) {
 	reg := obs.NewRegistry()
 	obs.DeclareService(reg)
-	slo := newSLO(0.9, 50*time.Millisecond, reg)
+	slo := newSLO(0.9, 50*time.Millisecond, reg, nil)
 
 	// 8 good, 2 bad (one slow, one 5xx): bad fraction 0.2 against a 0.1
 	// error budget = burn rate 2.0.

@@ -117,6 +117,10 @@ type Config struct {
 	// lands in the decision record. nil keeps tracing at its usual
 	// nil-receiver zero cost.
 	Trace *obs.Trace
+	// Clock is the server's time source (nil = wall clock). The
+	// workload simulator injects a virtual clock here so decision
+	// records carry simulated timestamps; see internal/sim.
+	Clock Clock
 }
 
 func (c Config) withDefaults() Config {
@@ -150,6 +154,9 @@ func (c Config) withDefaults() Config {
 	if c.Metrics == nil {
 		c.Metrics = obs.NewRegistry()
 	}
+	if c.Clock == nil {
+		c.Clock = realClock{}
+	}
 	return c
 }
 
@@ -160,6 +167,7 @@ type Server struct {
 	cache *cache.Cache[*Result]
 	solve SolveFunc
 	mux   *http.ServeMux
+	clock Clock
 	start time.Time
 
 	// draining flips once at the start of graceful shutdown (BeginDrain)
@@ -243,7 +251,8 @@ func New(cfg Config) *Server {
 		cache:   cache.New[*Result](cfg.CacheEntries, cfg.Metrics),
 		solve:   cfg.Solve,
 		mux:     http.NewServeMux(),
-		start:   time.Now(),
+		clock:   cfg.Clock,
+		start:   cfg.Clock.Now(),
 		latency: cfg.Metrics.Histogram(obs.MServiceSeconds, nil),
 
 		reqSolve:   cfg.Metrics.CounterWith(obs.MServiceRequests, "endpoint", "solve"),
@@ -260,7 +269,7 @@ func New(cfg Config) *Server {
 		s.flight = NewRecorder(cfg.FlightRecords, cfg.Metrics)
 	}
 	s.tlog = cfg.TraceLog
-	s.slo = newSLO(cfg.SLOObjective, cfg.SLOThreshold, cfg.Metrics)
+	s.slo = newSLO(cfg.SLOObjective, cfg.SLOThreshold, cfg.Metrics, cfg.Clock)
 	for _, reason := range []string{"eta_limit", "fill_in", "instability"} {
 		s.luRefactors = append(s.luRefactors, cfg.Metrics.CounterWith(obs.MLPLURefactor, "reason", reason))
 	}
@@ -362,7 +371,7 @@ func (s *Server) limits(o api.SolveOptions) (time.Duration, int64) {
 
 func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	s.reqSolve.Inc()
-	arrival := time.Now()
+	arrival := s.clock.Now()
 	id := requestID(r)
 	w.Header().Set("X-Request-Id", id)
 	if r.Method != http.MethodPost {
@@ -396,7 +405,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		s.finish(w, rs, s.errSolve, status, err, arrival)
 		return
 	}
-	rs.resp.ElapsedMillis = float64(time.Since(arrival).Microseconds()) / 1000
+	rs.resp.ElapsedMillis = float64(s.clock.Since(arrival).Microseconds()) / 1000
 	rs.resp.RequestID = id
 	s.writeResp(w, http.StatusOK, &rs.resp, rs)
 	s.emit(rs, arrival, http.StatusOK, "")
@@ -406,7 +415,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 // flight recorder, the trace log, the SLO layer, and the latency
 // histogram all read from the same Record. errStr "" means success.
 func (s *Server) emit(rs *reqScratch, arrival time.Time, status int, errStr string) {
-	total := time.Since(arrival)
+	total := s.clock.Since(arrival)
 	s.latency.Observe(total.Seconds())
 	rec := &rs.rec
 	rec.TotalNS = int64(total)
@@ -462,9 +471,9 @@ func (s *Server) solveOne(ctx context.Context, inst *calib.Instance, o api.Solve
 		}
 		return status, err
 	}
-	admT := time.Now()
+	admT := s.clock.Now()
 	admitted, queued := s.adm.acquireInfo(ctx)
-	rec.QueueNS = int64(time.Since(admT))
+	rec.QueueNS = int64(s.clock.Since(admT))
 	if !admitted {
 		rec.Admission = "shed"
 		return http.StatusTooManyRequests, errShed
@@ -477,7 +486,7 @@ func (s *Server) solveOne(ctx context.Context, inst *calib.Instance, o api.Solve
 	timeout, budget := s.limits(o)
 	rec.TimeoutMS = int64(timeout / time.Millisecond)
 	rec.Budget = budget
-	solveT := time.Now()
+	solveT := s.clock.Now()
 	res, role, err := s.cache.DoRole(c.Key, func() (*Result, error) {
 		// Delta-sample the LU-refactorization and fault counters around
 		// the solve to attribute them to this request (approximate when
@@ -502,7 +511,7 @@ func (s *Server) solveOne(ctx context.Context, inst *calib.Instance, o api.Solve
 		}
 		return r, err
 	})
-	rec.SolveNS = int64(time.Since(solveT))
+	rec.SolveNS = int64(s.clock.Since(solveT))
 	rec.Cache = role.String()
 	switch {
 	case role == cache.RoleHit:
@@ -563,7 +572,7 @@ func keyString(k uint64) string {
 
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	s.reqBatch.Inc()
-	arrival := time.Now()
+	arrival := s.clock.Now()
 	id := requestID(r)
 	w.Header().Set("X-Request-Id", id)
 	if r.Method != http.MethodPost {
@@ -589,9 +598,9 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	rs.rec.Rows = len(req.Instances)
 	// One admission slot covers the whole batch: its unique instances
 	// solve sequentially, so a batch is one unit of in-flight work.
-	admT := time.Now()
+	admT := s.clock.Now()
 	admitted, queued := s.adm.acquireInfo(r.Context())
-	rs.rec.QueueNS = int64(time.Since(admT))
+	rs.rec.QueueNS = int64(s.clock.Since(admT))
 	if !admitted {
 		rs.rec.Admission = "shed"
 		s.finish(w, rs, s.errBatch, http.StatusTooManyRequests, errShed, arrival)
@@ -610,7 +619,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		ctx = context.WithValue(ctx, traceSpanKey{}, sp)
 		defer sp.End()
 	}
-	t0 := time.Now()
+	t0 := s.clock.Now()
 	timeout, budget := s.limits(req.SolveOptions)
 	rs.rec.TimeoutMS = int64(timeout / time.Millisecond)
 	rs.rec.Budget = budget
@@ -645,10 +654,10 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			resp.Results[i] = &api.BatchResult{Error: err.Error()}
 			continue
 		}
-		one.ElapsedMillis = float64(time.Since(t0).Microseconds()) / 1000
+		one.ElapsedMillis = float64(s.clock.Since(t0).Microseconds()) / 1000
 		resp.Results[i] = &api.BatchResult{SolveResponse: one}
 	}
-	rs.rec.SolveNS = int64(time.Since(t0))
+	rs.rec.SolveNS = int64(s.clock.Since(t0))
 	resp.RequestID = id
 	s.writeResp(w, http.StatusOK, resp, rs)
 	s.emit(rs, arrival, http.StatusOK, "")
@@ -678,7 +687,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		CacheHits:     met.Counter(obs.MCacheHits).Value(),
 		CacheMisses:   met.Counter(obs.MCacheMisses).Value(),
 		Shed:          met.Counter(obs.MServiceShed).Value(),
-		UptimeSeconds: time.Since(s.start).Seconds(),
+		UptimeSeconds: s.clock.Since(s.start).Seconds(),
 	})
 }
 

@@ -1,0 +1,38 @@
+package server
+
+import (
+	"calib/internal/canon"
+	"calib/internal/ise"
+)
+
+// This file is the workload simulator's narrow window into the server
+// (see internal/sim). The simulator drives the real mux in-process
+// under a virtual clock; these hooks let it (a) occupy real admission
+// slots for the virtual duration of each solve, so the server's own
+// admission verdicts reflect simulated concurrency, and (b) predict a
+// request's cache verdict without perturbing cache state. None of
+// them are used on the request path.
+
+// AcquireSlot claims one admission slot if one is free right now,
+// without queueing and without counting a shed. The simulator holds a
+// slot for each virtually in-flight solve and returns it with
+// ReleaseSlot at the solve's virtual departure time.
+func (s *Server) AcquireSlot() bool { return s.adm.tryAcquire() }
+
+// ReleaseSlot returns a slot claimed by AcquireSlot, handing it to the
+// oldest queued waiter when one exists.
+func (s *Server) ReleaseSlot() { s.adm.release() }
+
+// PeekCache canonicalizes inst and reports its canonical key and
+// whether the schedule cache currently holds a result for it. LRU
+// order and hit/miss counters are untouched.
+func (s *Server) PeekCache(inst *ise.Instance) (key uint64, cached bool) {
+	var cs canon.Scratch
+	c := cs.Canonicalize(inst)
+	return c.Key, s.cache.Peek(c.Key)
+}
+
+// Flight exposes the flight recorder so the simulator can read back
+// the decision record the server published for a request it issued.
+// Nil when the recorder is disabled.
+func (s *Server) Flight() *Recorder { return s.flight }

@@ -20,6 +20,7 @@ import (
 type sloTracker struct {
 	objective float64
 	threshold time.Duration
+	clock     Clock
 	solve     sloRoute
 	batch     sloRoute
 }
@@ -54,14 +55,17 @@ type sloBucket struct {
 
 // newSLO builds the tracker. objective <= 0 defaults to 0.99,
 // threshold <= 0 to 500ms.
-func newSLO(objective float64, threshold time.Duration, met *obs.Registry) *sloTracker {
+func newSLO(objective float64, threshold time.Duration, met *obs.Registry, clock Clock) *sloTracker {
 	if objective <= 0 || objective >= 1 {
 		objective = 0.99
 	}
 	if threshold <= 0 {
 		threshold = 500 * time.Millisecond
 	}
-	t := &sloTracker{objective: objective, threshold: threshold}
+	if clock == nil {
+		clock = realClock{}
+	}
+	t := &sloTracker{objective: objective, threshold: threshold, clock: clock}
 	for _, r := range []*sloRoute{&t.solve, &t.batch} {
 		r.objective = objective
 		r.threshold = threshold
@@ -95,7 +99,7 @@ func (t *sloTracker) observe(routeName, id string, dur time.Duration, ok bool) {
 	r := t.route(routeName)
 	r.seconds.Observe(dur.Seconds())
 	bad := !ok || dur > r.threshold
-	sec := time.Now().Unix()
+	sec := t.clock.Now().Unix()
 	r.mu.Lock()
 	b := &r.buckets[sec%sloWindow]
 	if b.sec != sec {

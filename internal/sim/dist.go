@@ -1,0 +1,62 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+)
+
+// gapSampler draws one inter-arrival gap in seconds.
+type gapSampler func(rng *rand.Rand) float64
+
+// newGapSampler builds the sampler for an arrival spec. All three
+// distributions are parameterized to a mean gap of 1/rate seconds so
+// rate_per_sec means the same thing regardless of process; shape then
+// only controls variability (gamma shape > 1 is steadier than
+// Poisson, weibull shape < 1 is burstier).
+func newGapSampler(a ArrivalSpec) gapSampler {
+	mean := 1 / a.RatePerSec
+	switch a.Process {
+	case "gamma":
+		shape := a.Shape
+		scale := mean / shape
+		return func(rng *rand.Rand) float64 { return gammaDraw(rng, shape) * scale }
+	case "weibull":
+		shape := a.Shape
+		// E[Weibull(shape, scale)] = scale * Gamma(1 + 1/shape).
+		scale := mean / math.Gamma(1+1/shape)
+		return func(rng *rand.Rand) float64 {
+			u := rng.Float64()
+			return scale * math.Pow(-math.Log(1-u), 1/shape)
+		}
+	default: // poisson
+		return func(rng *rand.Rand) float64 { return rng.ExpFloat64() * mean }
+	}
+}
+
+// gammaDraw samples Gamma(shape, 1) by Marsaglia–Tsang (2000), the
+// standard squeeze method: for shape >= 1 accept d*v where v=(1+c*x)^3
+// with x standard normal; shape < 1 boosts through Gamma(shape+1) and
+// a uniform power. Deterministic given rng.
+func gammaDraw(rng *rand.Rand, shape float64) float64 {
+	if shape < 1 {
+		u := rng.Float64()
+		return gammaDraw(rng, shape+1) * math.Pow(u, 1/shape)
+	}
+	d := shape - 1.0/3.0
+	c := 1 / math.Sqrt(9*d)
+	for {
+		x := rng.NormFloat64()
+		v := 1 + c*x
+		if v <= 0 {
+			continue
+		}
+		v = v * v * v
+		u := rng.Float64()
+		if u < 1-0.0331*x*x*x*x {
+			return d * v
+		}
+		if math.Log(u) < 0.5*x*x+d*(1-v+math.Log(v)) {
+			return d * v
+		}
+	}
+}

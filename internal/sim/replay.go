@@ -1,0 +1,133 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"calib/internal/fault"
+	"calib/internal/ise"
+	"calib/internal/server"
+	"calib/internal/workload"
+)
+
+// replayFamily sizes the instances synthesized for trace keys. The
+// exact shape does not matter — what matters is that every record
+// sharing a trace key maps to the same instance (so cache and
+// singleflight dynamics reproduce) and records with different keys
+// map to different instances.
+var replayFamily = workload.FamilyConfig{N: 16, M: 2, T: 10}
+
+// ReplayWorkload turns a -trace-log capture (ised's or isesim's) into
+// a workload: one request per solve/batch record, arriving at the
+// recorded times (rebased to zero), carrying a synthesized instance
+// keyed by the record's canonical key and the leader's recorded
+// SolveNS as virtual cost. Replaying the workload under the policy
+// that produced the trace reproduces the original admission verdicts
+// and cache outcomes; replaying it under a different policy is the
+// counterfactual.
+//
+// Approximations, by necessity of what a trace records: batch records
+// replay as a single solve of one synthesized instance (the trace
+// holds one record for the whole batch); shed records carry no
+// canonical key, so each synthesizes a unique instance — under the
+// original policy it sheds again identically, under a roomier policy
+// it becomes a cold solve rather than a possible cache hit; keys
+// whose every record is a hit (cache warmed before the capture
+// started) have no recorded SolveNS, so their cost is drawn from a
+// key-seeded stream.
+func ReplayWorkload(name string, recs []server.Record, seed int64, sloMS float64) (*Workload, error) {
+	if sloMS <= 0 {
+		sloMS = 100
+	}
+	w := &Workload{
+		Name:    name,
+		Classes: []Class{{Name: "replay", SLOMS: sloMS, Objective: 0.99}},
+		Cost:    CostModel{}.withDefaults(),
+	}
+
+	type keyInfo struct {
+		inst   *ise.Instance
+		costNS int64
+		budget int64
+	}
+	keys := map[string]*keyInfo{}
+	var kept []server.Record
+	for _, rec := range recs {
+		if rec.Route != "solve" && rec.Route != "batch" {
+			continue
+		}
+		if rec.Status != 0 && rec.Status != 200 && rec.Status != 429 {
+			// Malformed requests (400s) carry no instance identity to
+			// replay; drop them.
+			continue
+		}
+		kept = append(kept, rec)
+		if rec.Key == "" {
+			continue
+		}
+		ki := keys[rec.Key]
+		if ki == nil {
+			ki = &keyInfo{}
+			keys[rec.Key] = ki
+		}
+		if ki.costNS == 0 && rec.Cache == "leader" && rec.SolveNS > 0 {
+			ki.costNS = rec.SolveNS
+			ki.budget = rec.Budget
+		}
+	}
+	if len(kept) == 0 {
+		return nil, fmt.Errorf("trace has no replayable records")
+	}
+
+	// Sort by recorded arrival, preserving file order for ties; rebase
+	// so the first arrival is t=0.
+	sort.SliceStable(kept, func(a, b int) bool { return kept[a].ArrivalNS < kept[b].ArrivalNS })
+	base := kept[0].ArrivalNS
+
+	synth := func(streamName string) *ise.Instance {
+		g := fault.Stream(seed, streamName)
+		inst, err := workload.Family(g, "mixed", replayFamily)
+		if err != nil {
+			panic("sim: replay synthesis: " + err.Error())
+		}
+		return inst
+	}
+	seen := map[string]int{}
+	for _, rec := range kept {
+		id := rec.ID
+		if n := seen[rec.ID]; n > 0 {
+			// Production traces can repeat an ID (client retries); keep
+			// replay IDs unique so flight-record lookups stay exact.
+			id = fmt.Sprintf("%s-r%d", rec.ID, n)
+		}
+		seen[rec.ID]++
+		req := &request{
+			ID:        id,
+			Class:     0,
+			ArrivalNS: rec.ArrivalNS - base,
+		}
+		if rec.Key != "" {
+			ki := keys[rec.Key]
+			if ki.inst == nil {
+				ki.inst = synth("replay/key/" + rec.Key)
+			}
+			req.Inst = ki.inst
+			req.CostNS = ki.costNS
+			req.Budget = ki.budget
+		} else {
+			req.Inst = synth("replay/id/" + rec.ID)
+		}
+		if req.CostNS == 0 {
+			// No leader record for this key: draw a stable fallback in
+			// [200µs, 2ms) from a stream keyed the same way the
+			// instance is.
+			g := fault.Stream(seed, "replay/cost/"+req.ID)
+			if rec.Key != "" {
+				g = fault.Stream(seed, "replay/cost/"+rec.Key)
+			}
+			req.CostNS = int64(200e3 + g.Float64()*1800e3)
+		}
+		w.Requests = append(w.Requests, req)
+	}
+	return w, nil
+}

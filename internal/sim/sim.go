@@ -1,213 +1,66 @@
-// Package sim replays an ISE schedule on a discrete-event model of
-// the calibration lab: machines transition between uncalibrated,
-// calibrated-idle, and busy; every transition is checked against the
-// problem rules. It is an independent second implementation of
-// feasibility (differential-tested against ise.Validate) and the
-// source of the operational statistics (utilization, idle calibrated
-// time) reported by the examples and tools.
+// Package sim is a deterministic virtual-clock workload simulator for
+// the ised serving layer. It drives the real server mux in-process —
+// no sockets, no goroutine races, no wall-clock sleeps — with
+// multi-class workloads (Poisson/Gamma/Weibull arrivals over the
+// cmd/isegen instance families) or with recorded request traces from
+// the -trace-log JSONL format, and replays the identical workload
+// under alternate admission, queueing, and cache policies. The output
+// is a per-policy capacity report (latency quantiles per class, shed
+// rate, cache hit rate, SLO attainment and burn) with a stable JSON
+// schema that CI diffs byte-for-byte and gates against committed
+// baselines (scripts/capacitygate.sh).
+//
+// # Determinism
+//
+// Everything the engine does is a function of the seed. Arrival
+// times, instances, and virtual solve costs are drawn from
+// independent named PRNG streams (fault.Stream) before any policy
+// runs, so every policy sees the identical workload draw-for-draw.
+// The event loop is single-threaded with a total order on events
+// (time, kind, sequence), the server runs on an injected virtual
+// clock (server.Config.Clock) and with server-side queueing disabled
+// — the bounded admission queue is modeled here, in virtual time —
+// and solver calls run with no wall-clock timeout. Two runs of the
+// same seed and spec therefore produce byte-identical reports, which
+// is the property the CI determinism gate asserts.
+//
+// # Modeling
+//
+// The server answers each virtual request synchronously; virtual
+// concurrency is represented by phantom admission-slot occupancy
+// (server.AcquireSlot/ReleaseSlot) held between a solve's virtual
+// start and departure, so the real admission controller sees the
+// simulated in-flight population. Singleflight followers are modeled
+// by a per-key ready time: a request for a key whose leader is still
+// virtually in flight completes when the leader does. Three
+// simulator-vs-production deltas are deliberate and documented in
+// docs/SIMULATOR.md: decision records of simulated runs carry
+// QueueNS=0 (queue waits live in the simulator's report instead),
+// followers are recorded as cache hits (the leader's synchronous
+// solve has already filled the cache), and shed records are
+// synthesized by the simulator rather than the admission controller
+// (the verdict is the simulator's, taken in virtual time).
 package sim
 
-import (
-	"fmt"
-	"sort"
+import "time"
 
-	"calib/internal/ise"
-)
+// vclock is the virtual time source injected into the server
+// (server.Config.Clock). Time is nanoseconds from a fixed zero epoch;
+// the engine sets it around every synchronous request so the server's
+// stamps and durations are expressed in virtual time. It is not safe
+// for concurrent use — the engine is single-threaded by design.
+type vclock struct{ ns int64 }
 
-// EventKind labels replay events.
-type EventKind int
+func (c *vclock) Now() time.Time                  { return time.Unix(0, c.ns) }
+func (c *vclock) Since(t time.Time) time.Duration { return time.Duration(c.ns - t.UnixNano()) }
 
-// Replay event kinds.
-const (
-	EvCalibrate EventKind = iota
-	EvStart
-	EvFinish
-)
+// Set jumps the clock to an absolute virtual time. Jumps backwards
+// are legal: the engine rewinds to a request's arrival time before
+// serving it, so decision records stamp the true arrival even when
+// the request was queued.
+func (c *vclock) Set(ns int64) { c.ns = ns }
 
-func (k EventKind) String() string {
-	switch k {
-	case EvCalibrate:
-		return "calibrate"
-	case EvStart:
-		return "start"
-	case EvFinish:
-		return "finish"
-	default:
-		return fmt.Sprintf("EventKind(%d)", int(k))
-	}
-}
-
-// Event is one replay transition.
-type Event struct {
-	Time    ise.Time
-	Machine int
-	Kind    EventKind
-	Job     int // -1 for calibrations
-}
-
-// MachineStats aggregates one machine's replay.
-type MachineStats struct {
-	Calibrations int
-	// CalibratedTicks is the total usable time bought (Calibrations*T
-	// minus nothing: calibrations never overlap on a machine).
-	CalibratedTicks ise.Time
-	// BusyTicks is the time spent executing jobs.
-	BusyTicks ise.Time
-	// Jobs is the number of jobs executed.
-	Jobs int
-}
-
-// Report is the outcome of a replay.
-type Report struct {
-	// Feasible is true when the replay finished without any rule
-	// violation; Violation holds the first violation otherwise.
-	Feasible  bool
-	Violation string
-	// Events is the full transition log, time-ordered.
-	Events []Event
-	// PerMachine indexes stats by machine.
-	PerMachine []MachineStats
-	// CalibratedTicks and BusyTicks are the fleet totals; Utilization
-	// is their ratio (0 when nothing was calibrated).
-	CalibratedTicks ise.Time
-	BusyTicks       ise.Time
-	Utilization     float64
-	// JobsCompleted counts jobs that finished by their deadline.
-	JobsCompleted int
-}
-
-// Replay simulates s on inst and returns the report. Unlike
-// ise.Validate it never short-circuits model checks into shared
-// helpers: the replay walks each machine's timeline directly, so the
-// two implementations fail independently.
-func Replay(inst *ise.Instance, s *ise.Schedule) *Report {
-	r := &Report{Feasible: true}
-	fail := func(format string, args ...any) {
-		if r.Feasible {
-			r.Feasible = false
-			r.Violation = fmt.Sprintf(format, args...)
-		}
-	}
-	if s.Speed < 1 {
-		fail("speed %d < 1", s.Speed)
-		return r
-	}
-	machines := s.Machines
-	if machines < 1 {
-		fail("no machines")
-		return r
-	}
-	r.PerMachine = make([]MachineStats, machines)
-
-	// Build per-machine timelines.
-	type seg struct {
-		start, end ise.Time
-		job        int // -1 for calibration
-	}
-	cals := make([][]seg, machines)
-	runs := make([][]seg, machines)
-	for _, c := range s.Calibrations {
-		if c.Machine < 0 || c.Machine >= machines {
-			fail("calibration on unknown machine %d", c.Machine)
-			return r
-		}
-		cals[c.Machine] = append(cals[c.Machine], seg{c.Start, c.Start + inst.T, -1})
-	}
-	placed := make([]int, inst.N())
-	for _, p := range s.Placements {
-		if p.Job < 0 || p.Job >= inst.N() {
-			fail("placement of unknown job %d", p.Job)
-			return r
-		}
-		if p.Machine < 0 || p.Machine >= machines {
-			fail("job %d on unknown machine %d", p.Job, p.Machine)
-			return r
-		}
-		j := inst.Jobs[p.Job]
-		if j.Processing%s.Speed != 0 {
-			fail("job %d processing %d not divisible by speed %d", p.Job, j.Processing, s.Speed)
-			return r
-		}
-		placed[p.Job]++
-		runs[p.Machine] = append(runs[p.Machine], seg{p.Start, p.Start + j.Processing/s.Speed, p.Job})
-	}
-	for id, n := range placed {
-		if n != 1 {
-			fail("job %d placed %d times", id, n)
-			return r
-		}
-	}
-
-	for m := 0; m < machines; m++ {
-		cs, rs := cals[m], runs[m]
-		sort.Slice(cs, func(a, b int) bool { return cs[a].start < cs[b].start })
-		sort.Slice(rs, func(a, b int) bool { return rs[a].start < rs[b].start })
-		st := &r.PerMachine[m]
-		st.Calibrations = len(cs)
-		// Calibration spacing.
-		for i := range cs {
-			if i > 0 && cs[i].start < cs[i-1].end {
-				fail("machine %d: calibrations at %d and %d overlap", m, cs[i-1].start, cs[i].start)
-			}
-			st.CalibratedTicks += inst.T
-			r.Events = append(r.Events, Event{cs[i].start, m, EvCalibrate, -1})
-		}
-		// Walk runs: sequential, each inside one calibration, each
-		// inside its window.
-		ci := 0
-		var prevEnd ise.Time
-		for i, run := range rs {
-			j := inst.Jobs[run.job]
-			if i > 0 && run.start < prevEnd {
-				fail("machine %d: job %d starts at %d before previous run ends at %d", m, run.job, run.start, prevEnd)
-			}
-			prevEnd = run.end
-			if run.start < j.Release {
-				fail("job %d starts at %d before release %d", run.job, run.start, j.Release)
-			}
-			if run.end > j.Deadline {
-				fail("job %d ends at %d after deadline %d", run.job, run.end, j.Deadline)
-			} else {
-				r.JobsCompleted++
-			}
-			// Advance to the calibration that could contain this run.
-			for ci < len(cs) && cs[ci].end < run.end {
-				ci++
-			}
-			contained := false
-			for k := ci; k < len(cs) && cs[k].start <= run.start; k++ {
-				if cs[k].start <= run.start && run.end <= cs[k].end {
-					contained = true
-					break
-				}
-			}
-			// ci may have advanced past a containing calibration when
-			// runs nest oddly; rescan defensively on failure.
-			if !contained {
-				for k := range cs {
-					if cs[k].start <= run.start && run.end <= cs[k].end {
-						contained = true
-						break
-					}
-				}
-			}
-			if !contained {
-				fail("machine %d: job %d run [%d,%d) not inside any calibration", m, run.job, run.start, run.end)
-			}
-			st.BusyTicks += run.end - run.start
-			st.Jobs++
-			r.Events = append(r.Events, Event{run.start, m, EvStart, run.job})
-			r.Events = append(r.Events, Event{run.end, m, EvFinish, run.job})
-		}
-		r.CalibratedTicks += st.CalibratedTicks
-		r.BusyTicks += st.BusyTicks
-	}
-	sort.SliceStable(r.Events, func(a, b int) bool { return r.Events[a].Time < r.Events[b].Time })
-	if r.CalibratedTicks > 0 {
-		r.Utilization = float64(r.BusyTicks) / float64(r.CalibratedTicks)
-	}
-	if !r.Feasible {
-		r.JobsCompleted = 0
-	}
-	return r
-}
+// Advance moves the clock forward by d; the simulator's solve
+// function calls it so a leader's SolveNS lands in the decision
+// record as the request's virtual cost.
+func (c *vclock) Advance(d time.Duration) { c.ns += int64(d) }

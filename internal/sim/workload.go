@@ -1,0 +1,122 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"calib/internal/fault"
+	"calib/internal/ise"
+	"calib/internal/workload"
+)
+
+// Class is the runtime metadata of one client population: the name
+// requests are labeled with in the report and the class's SLO.
+type Class struct {
+	Name      string
+	SLOMS     float64
+	Objective float64
+}
+
+// request is one virtual client request, fully determined before any
+// policy runs: the arrival time, the instance (shared by every
+// request that drew the same distinct index, which is what makes
+// cache hits possible), the virtual leader-solve cost, and the solver
+// budget. Policies never mutate requests — per-policy state lives in
+// the engine's runReq wrapper — so every policy replays the identical
+// workload.
+type request struct {
+	ID        string
+	Class     int // index into Workload.Classes
+	ArrivalNS int64
+	Inst      *ise.Instance
+	CostNS    int64
+	Budget    int64
+}
+
+// Workload is the policy-independent input to the engine: the request
+// sequence (sorted by arrival) plus class metadata and the cost
+// model's overhead terms.
+type Workload struct {
+	Name     string
+	Classes  []Class
+	Requests []*request
+	Cost     CostModel
+}
+
+// BuildWorkload materializes the spec's request sequence for the
+// given seed. Each class draws its arrivals, instance picks, and cost
+// jitter from independent named streams (fault.Stream), so the draw
+// for one class never depends on another class's configuration — a
+// spec edit that adds a class leaves every other class's requests
+// identical, and every policy comparison runs over the same
+// sequence.
+func BuildWorkload(spec *Spec, seed int64) (*Workload, error) {
+	w := &Workload{Name: spec.Name, Cost: spec.Cost.withDefaults()}
+	horizonNS := int64(spec.DurationMS * 1e6)
+	for ci, cs := range spec.Classes {
+		w.Classes = append(w.Classes, Class{Name: cs.Name, SLOMS: cs.SLOMS, Objective: cs.Objective})
+
+		insts := make([]*ise.Instance, cs.Instances.Distinct)
+		for i := range insts {
+			g := fault.Stream(seed, fmt.Sprintf("inst/%s/%d", cs.Name, i))
+			inst, err := workload.Family(g, cs.Instances.Family, workload.FamilyConfig{
+				N: cs.Instances.N, M: cs.Instances.M, T: cs.Instances.T,
+				LongProb: cs.Instances.LongProb, Clusters: cs.Instances.Clusters,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("class %s: %w", cs.Name, err)
+			}
+			if err := inst.Validate(); err != nil {
+				return nil, fmt.Errorf("class %s: generated invalid instance: %w", cs.Name, err)
+			}
+			insts[i] = inst
+		}
+
+		arrive := fault.Stream(seed, "arrival/"+cs.Name)
+		pick := fault.Stream(seed, "pick/"+cs.Name)
+		cost := fault.Stream(seed, "cost/"+cs.Name)
+		gap := newGapSampler(cs.Arrival)
+
+		t := 0.0
+		for k := 0; ; k++ {
+			t += gap(arrive)
+			at := int64(t * 1e9)
+			if at >= horizonNS {
+				break
+			}
+			inst := insts[pick.Intn(len(insts))]
+			jitter := 1.0
+			if w.Cost.Jitter > 0 {
+				jitter = 1 + w.Cost.Jitter*(2*cost.Float64()-1)
+			}
+			costNS := int64((w.Cost.BaseUS + w.Cost.PerJobUS*float64(inst.N())) * jitter * 1e3)
+			if costNS < 1 {
+				costNS = 1
+			}
+			w.Requests = append(w.Requests, &request{
+				ID:        fmt.Sprintf("sim-%s-%d", cs.Name, k),
+				Class:     ci,
+				ArrivalNS: at,
+				Inst:      inst,
+				CostNS:    costNS,
+				Budget:    cs.Budget,
+			})
+		}
+	}
+	sortRequests(w.Requests)
+	return w, nil
+}
+
+// sortRequests fixes the total arrival order: by time, then by class
+// index, then by the per-class sequence already encoded in generation
+// order (SliceStable preserves it). The engine's event queue inherits
+// this order for simultaneous arrivals, which is one of the ties the
+// determinism gate depends on.
+func sortRequests(reqs []*request) {
+	sort.SliceStable(reqs, func(a, b int) bool {
+		if reqs[a].ArrivalNS != reqs[b].ArrivalNS {
+			return reqs[a].ArrivalNS < reqs[b].ArrivalNS
+		}
+		return reqs[a].Class < reqs[b].Class
+	})
+}

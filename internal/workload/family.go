@@ -1,0 +1,79 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"calib/internal/ise"
+)
+
+// FamilyConfig sizes a named workload family. It is the shared shape
+// behind cmd/isegen's flags and the simulator's per-class instance
+// specs (internal/sim), so both draw from exactly the same generators.
+type FamilyConfig struct {
+	// N is the approximate number of jobs.
+	N int
+	// M is the number of machines.
+	M int
+	// T is the calibration length.
+	T ise.Time
+	// LongProb is the long-window probability (mixed family; 0 keeps
+	// the generator default of 0.5).
+	LongProb float64
+	// Clusters is the number of independent time components
+	// (clustered family; 0 means 4).
+	Clusters int
+}
+
+// FamilyNames lists the valid Family names, in the order isegen
+// documents them.
+var FamilyNames = []string{
+	"mixed", "long", "short", "unit", "stockpile",
+	"partition", "crossing", "poisson", "clustered",
+}
+
+// Family generates one instance of the named workload family,
+// deterministically from rng. It is the single dispatch shared by
+// cmd/isegen and the workload simulator; an unknown name is an error,
+// never a panic, because both callers receive the name from user
+// input (a flag or a spec file).
+func Family(rng *rand.Rand, name string, cfg FamilyConfig) (*ise.Instance, error) {
+	if cfg.LongProb == 0 {
+		cfg.LongProb = 0.5
+	}
+	if cfg.Clusters <= 0 {
+		cfg.Clusters = 4
+	}
+	var inst *ise.Instance
+	switch name {
+	case "mixed":
+		inst, _ = Mixed(rng, cfg.N, cfg.M, cfg.T, cfg.LongProb)
+	case "long":
+		inst, _ = Long(rng, cfg.N, cfg.M, cfg.T)
+	case "short":
+		inst, _ = Short(rng, cfg.N, cfg.M, cfg.T)
+	case "unit":
+		inst, _ = Unit(rng, cfg.N, cfg.M, cfg.T)
+	case "stockpile":
+		batch := cfg.N / 4
+		if batch < 1 {
+			batch = 1
+		}
+		inst = Stockpile(rng, 4, batch, cfg.M, cfg.T, 3*cfg.T)
+	case "partition":
+		inst = PartitionHard(rng, cfg.N, cfg.T)
+	case "crossing":
+		inst = CrossingAdversarial(rng, cfg.N, cfg.M, cfg.T)
+	case "poisson":
+		inst = Poisson(rng, cfg.N, cfg.M, cfg.T, float64(cfg.T))
+	case "clustered":
+		per := cfg.N / cfg.Clusters
+		if per < 1 {
+			per = 1
+		}
+		inst, _ = Clustered(rng, cfg.Clusters, per, cfg.M, cfg.T)
+	default:
+		return nil, fmt.Errorf("unknown workload family %q", name)
+	}
+	return inst, nil
+}

@@ -1,0 +1,82 @@
+#!/bin/sh
+# Capacity regression + determinism gate, as run by CI's capacity job.
+#
+# For each pinned workload spec under testdata/sim/ (steady: sustained
+# Poisson/gamma load; burst: Weibull bursts over a steady background),
+# isesim drives the real server mux under a virtual clock and writes a
+# capacity report. Two gates per spec:
+#
+#   1. determinism — the same seeded spec is simulated twice and the
+#      two report files are compared byte for byte. Any divergence
+#      means a nondeterministic code path leaked into the serving
+#      stack (map iteration, wall-clock read, racy tie-break) and
+#      fails the build;
+#   2. regression — the report is compared against the committed
+#      baseline BENCH_capacity.json; a policy whose per-class p99 or
+#      shed rate regressed by more than CAPACITYGATE_TOL (default
+#      10%) past the noise floors fails the build.
+#
+# An intended capacity change is committed by regenerating the
+# baseline:  ./scripts/capacitygate.sh -update
+#
+# Usage: ./scripts/capacitygate.sh [-update]
+# Env:   CAPACITYGATE_TOL (default 0.10)
+set -eu
+cd "$(dirname "$0")/.."
+
+SPECS="testdata/sim/steady.json testdata/sim/burst.json"
+BASELINE="BENCH_capacity.json"
+TOL="${CAPACITYGATE_TOL:-0.10}"
+UPDATE=0
+[ "${1:-}" = "-update" ] && UPDATE=1
+
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+
+echo "capacitygate: building isesim"
+go build -o "$WORK/isesim" ./cmd/isesim
+
+REPORTS=""
+for spec in $SPECS; do
+	name="$(basename "$spec" .json)"
+	echo "capacitygate: $name: simulating twice for the determinism gate"
+	"$WORK/isesim" -spec "$spec" -out "$WORK/$name.a.json"
+	"$WORK/isesim" -spec "$spec" -out "$WORK/$name.b.json"
+	if ! cmp -s "$WORK/$name.a.json" "$WORK/$name.b.json"; then
+		echo "capacitygate: FAIL — $name diverged between two runs of the same seed:" >&2
+		diff "$WORK/$name.a.json" "$WORK/$name.b.json" >&2 || true
+		exit 1
+	fi
+	echo "capacitygate: $name: byte-identical reports (determinism ok)"
+	REPORTS="$REPORTS $WORK/$name.a.json"
+
+	if [ "$UPDATE" -eq 0 ]; then
+		[ -f "$BASELINE" ] || {
+			echo "capacitygate: $BASELINE missing; run ./scripts/capacitygate.sh -update and commit it" >&2
+			exit 1
+		}
+		"$WORK/isesim" -spec "$spec" -out "$WORK/$name.gated.json" \
+			-baseline "$BASELINE" -tolerance "$TOL" || {
+			echo "capacitygate: FAIL — $name regressed vs $BASELINE" >&2
+			exit 1
+		}
+	fi
+done
+
+if [ "$UPDATE" -eq 1 ]; then
+	# Merge the per-spec reports into the committed {"runs": [...]}
+	# baseline (isesim's LoadBaseline resolves runs by workload name).
+	{
+		printf '{\n  "runs": [\n'
+		first=1
+		for f in $REPORTS; do
+			[ "$first" -eq 1 ] || printf ',\n'
+			first=0
+			awk '{ printf "%s    %s", sep, $0; sep = "\n" }' "$f"
+		done
+		printf '\n  ]\n}\n'
+	} >"$BASELINE"
+	echo "capacitygate: wrote $BASELINE — review and commit it"
+else
+	echo "capacitygate: OK (within ${TOL} of $BASELINE)"
+fi

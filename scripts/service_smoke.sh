@@ -23,12 +23,23 @@ cd "$(dirname "$0")/.."
 
 WORK="$(mktemp -d)"
 PIDS=""
+CLEANED=0
+# Idempotent cleanup, run on normal exit, on any failed assertion (the
+# EXIT trap fires for `exit 1` under set -e too), and on delivered
+# signals — without the signal traps a ^C or a CI runner's TERM during
+# a mid-script wait could leave both daemons running. The guard makes
+# the signal-then-EXIT double invocation harmless.
 cleanup() {
+	[ "$CLEANED" -eq 1 ] && return 0
+	CLEANED=1
 	for pid in $PIDS; do kill "$pid" 2>/dev/null || true; done
 	for pid in $PIDS; do wait "$pid" 2>/dev/null || true; done
 	rm -rf "$WORK"
 }
 trap cleanup EXIT
+trap 'cleanup; exit 129' HUP
+trap 'cleanup; exit 130' INT
+trap 'cleanup; exit 143' TERM
 
 fail() {
 	echo "service_smoke: $*" >&2
