@@ -125,6 +125,37 @@ type Health struct {
 	UptimeSeconds float64 `json:"uptime_seconds"`
 }
 
+// FleetHealth is the body of GET /v1/healthz on the isedfleet router:
+// the fleet-level view a load balancer or operator sees. Status is
+// "ok" (all nodes routable), "degraded" (some ejected; answered with
+// HTTP 200 — the fleet still serves), or "down" (no routable node;
+// HTTP 503).
+type FleetHealth struct {
+	Status string `json:"status"`
+	// Policy is the active routing policy name.
+	Policy string `json:"policy"`
+	// HealthyNodes counts nodes currently routable; Nodes lists all.
+	HealthyNodes int         `json:"healthy_nodes"`
+	Nodes        []FleetNode `json:"nodes"`
+	// RingPoints is the number of virtual points on the consistent-hash
+	// ring (nodes × replicas).
+	RingPoints int `json:"ring_points"`
+	// UptimeSeconds is the time since the router started.
+	UptimeSeconds float64 `json:"uptime_seconds"`
+}
+
+// FleetNode is one backend's state as the router sees it.
+type FleetNode struct {
+	Name string `json:"name"`
+	URL  string `json:"url"`
+	// Healthy reports that the node is in the routing set (not ejected
+	// by the health state machine).
+	Healthy bool `json:"healthy"`
+	// InFlight is the node's admitted-solve gauge from its last health
+	// probe (the least-loaded policy's input).
+	InFlight int `json:"in_flight"`
+}
+
 // Error is the body of every non-2xx response.
 type Error struct {
 	// Error is a human-readable description.

@@ -1,0 +1,82 @@
+package client
+
+import (
+	"sync"
+	"time"
+
+	"calib/internal/obs"
+)
+
+// BreakerGroup hands out one circuit breaker per endpoint, so failure
+// accounting is per node: a fleet client talking to five backends
+// where one is down must keep four breakers closed — sharing a single
+// Breaker across endpoints would let the bad node's failures open the
+// circuit for the healthy ones. Single-endpoint clients keep using
+// Client.Breaker directly; nothing changes for them.
+//
+// Each breaker exports the breaker_* series labeled with its endpoint
+// (breaker_state{endpoint="http://..."} and so on). The zero value is
+// not usable; create with NewBreakerGroup. Safe for concurrent use.
+type BreakerGroup struct {
+	// Window, Threshold, Cooldown, Probes template every breaker the
+	// group creates; zero values select the Breaker defaults. Set them
+	// before the first For call.
+	Window    time.Duration
+	Threshold int
+	Cooldown  time.Duration
+	Probes    int
+
+	met *obs.Registry
+
+	mu         sync.Mutex
+	byEndpoint map[string]*Breaker
+}
+
+// NewBreakerGroup returns an empty group reporting per-endpoint
+// breaker_* series to met (nil disables telemetry).
+func NewBreakerGroup(met *obs.Registry) *BreakerGroup {
+	return &BreakerGroup{met: met, byEndpoint: make(map[string]*Breaker)}
+}
+
+// For returns the endpoint's breaker, creating it closed on first
+// sight. The same endpoint string always maps to the same breaker, so
+// retries and failovers against one node share its failure history.
+// A nil group returns a nil breaker (the disabled no-op).
+func (g *BreakerGroup) For(endpoint string) *Breaker {
+	if g == nil {
+		return nil
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if b := g.byEndpoint[endpoint]; b != nil {
+		return b
+	}
+	b := &Breaker{
+		Window:    g.Window,
+		Threshold: g.Threshold,
+		Cooldown:  g.Cooldown,
+		Probes:    g.Probes,
+		stateG:    g.met.GaugeWith(obs.MBreakerState, "endpoint", endpoint),
+		opens:     g.met.CounterWith(obs.MBreakerOpens, "endpoint", endpoint),
+		fastFails: g.met.CounterWith(obs.MBreakerFastFails, "endpoint", endpoint),
+		probes:    g.met.CounterWith(obs.MBreakerProbes, "endpoint", endpoint),
+		now:       time.Now,
+	}
+	g.byEndpoint[endpoint] = b
+	return b
+}
+
+// Endpoints returns the endpoints the group has created breakers for,
+// in no particular order.
+func (g *BreakerGroup) Endpoints() []string {
+	if g == nil {
+		return nil
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	eps := make([]string, 0, len(g.byEndpoint))
+	for ep := range g.byEndpoint {
+		eps = append(eps, ep)
+	}
+	return eps
+}

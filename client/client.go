@@ -57,6 +57,11 @@ type Client struct {
 	// service; periodic half-open probes close it when the daemon
 	// recovers. Create with NewBreaker. nil disables the feature.
 	Breaker *Breaker
+	// Breakers, when non-nil and Breaker is nil, scopes the circuit to
+	// this client's BaseURL within a shared BreakerGroup: several
+	// clients pointed at different nodes of one fleet can share the
+	// group while each node's failures trip only that node's breaker.
+	Breakers *BreakerGroup
 }
 
 // New returns a Client for the daemon at baseURL with default
@@ -152,6 +157,16 @@ func (c *Client) httpClient() *http.Client {
 	return http.DefaultClient
 }
 
+// breaker resolves the circuit protecting this client's endpoint: the
+// explicit Breaker when set, else this BaseURL's slot in the shared
+// Breakers group, else none.
+func (c *Client) breaker() *Breaker {
+	if c.Breaker != nil {
+		return c.Breaker
+	}
+	return c.Breakers.For(c.BaseURL)
+}
+
 func (c *Client) retries() int {
 	switch {
 	case c.MaxRetries > 0:
@@ -196,6 +211,13 @@ func mintRequestID() string {
 // is marshalled once and replayed per attempt under one request ID;
 // a final *APIError carries that ID and the attempt flight history.
 func (c *Client) post(ctx context.Context, path string, body, out any) error {
+	return c.postID(ctx, path, mintRequestID(), body, out)
+}
+
+// postID is post with a caller-chosen request ID: the fleet client
+// keeps one ID across its failover attempts on different nodes, so
+// every backend's decision log files the hops under the same request.
+func (c *Client) postID(ctx context.Context, path, id string, body, out any) error {
 	eb := encPool.Get().(*encBuf)
 	defer encPool.Put(eb)
 	eb.buf.Reset()
@@ -211,11 +233,11 @@ func (c *Client) post(ctx context.Context, path string, body, out any) error {
 	if maxDelay <= 0 {
 		maxDelay = 5 * time.Second
 	}
-	id := mintRequestID()
+	br := c.breaker()
 	var attempts []AttemptInfo
 	var lastErr error
 	for attempt := 0; ; attempt++ {
-		if err := c.Breaker.Allow(); err != nil {
+		if err := br.Allow(); err != nil {
 			return err
 		}
 		t0 := time.Now()
@@ -224,10 +246,10 @@ func (c *Client) post(ctx context.Context, path string, body, out any) error {
 		// The breaker counts service health, not request validity: a
 		// 422 or 400 is a healthy daemon doing its job, so only
 		// retryable failures (transport, 429, 503) count against it.
-		c.Breaker.Report(!retryable)
+		br.Report(!retryable)
 		ai := AttemptInfo{
 			ElapsedMS:    float64(time.Since(t0).Microseconds()) / 1000,
-			BreakerState: c.Breaker.State(),
+			BreakerState: br.State(),
 		}
 		var ae *APIError
 		if errors.As(lastErr, &ae) {

@@ -1,0 +1,261 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand/v2"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"calib"
+	"calib/api"
+	"calib/internal/canon"
+	"calib/internal/fleet"
+	"calib/internal/obs"
+)
+
+// FleetConfig parameterizes NewFleet.
+type FleetConfig struct {
+	// Members is the backend roster. Names feed the consistent-hash
+	// ring and must match the ised fleet's roster (same names + same
+	// Replicas = same ring as an isedfleet router, so client-side
+	// routing preserves the routers' cache affinity).
+	Members []fleet.Member
+	// Replicas is the ring's virtual-node count per member (0 =
+	// fleet.DefaultReplicas).
+	Replicas int
+	// HTTPClient is the shared transport (nil = http.DefaultClient).
+	HTTPClient *http.Client
+	// Passes bounds full failover sweeps over the ring sequence: one
+	// call tries every node once per pass, sleeping between passes
+	// (0 = 2; 1 = a single sweep, no backoff).
+	Passes int
+	// BaseDelay / MaxDelay shape the between-pass backoff exactly like
+	// Client's per-attempt backoff (0 = 100ms / 5s); a node's
+	// Retry-After hint floors the sleep.
+	BaseDelay time.Duration
+	MaxDelay  time.Duration
+	// Breakers is the per-node circuit group (nil = a new group on
+	// Metrics). One node's failures open only that node's breaker;
+	// the failover sweep skips open nodes without touching the network.
+	Breakers *BreakerGroup
+	// Metrics receives the per-endpoint breaker_* series (nil = none).
+	Metrics *obs.Registry
+}
+
+// Fleet is the fleet-aware client: it speaks to the ised backends
+// directly, computing the same canonical key -> ring owner mapping an
+// isedfleet router would, so every Solve lands on the node whose cache
+// already holds equivalent instances. When the owner refuses (429/503)
+// or its circuit is open, the call fails over along the ring's replica
+// sequence — the exact nodes that would inherit the key if the owner
+// left — under one request ID, so the hops of one logical call line up
+// in every backend's decision log.
+//
+// The zero value is not usable; create with NewFleet. Safe for
+// concurrent use.
+type Fleet struct {
+	cfg    FleetConfig
+	ring   *fleet.Ring
+	byName map[string]*Client
+}
+
+// NewFleet builds a fleet client over the given members.
+func NewFleet(cfg FleetConfig) (*Fleet, error) {
+	if len(cfg.Members) == 0 {
+		return nil, errors.New("client: fleet needs at least one member")
+	}
+	if err := fleet.ValidateMembers(cfg.Members); err != nil {
+		return nil, err
+	}
+	if cfg.Breakers == nil {
+		cfg.Breakers = NewBreakerGroup(cfg.Metrics)
+	}
+	f := &Fleet{cfg: cfg, byName: make(map[string]*Client, len(cfg.Members))}
+	names := make([]string, 0, len(cfg.Members))
+	for _, m := range cfg.Members {
+		names = append(names, m.Name)
+		f.byName[m.Name] = &Client{
+			BaseURL:    strings.TrimRight(m.URL, "/"),
+			HTTPClient: cfg.HTTPClient,
+			// One attempt per node per sweep: the sweep is the retry.
+			// Per-node backoff here would stall the failover that is the
+			// whole point of having replicas.
+			MaxRetries: -1,
+			Breakers:   cfg.Breakers,
+		}
+	}
+	f.ring = fleet.NewRing(names, cfg.Replicas)
+	return f, nil
+}
+
+// canonScratch pools canonicalization arenas across calls (and across
+// Fleet instances; the arena is instance-shaped, not fleet-shaped).
+var canonScratch = sync.Pool{New: func() any { return new(canon.Scratch) }}
+
+func canonKey(inst *calib.Instance) uint64 {
+	cs := canonScratch.Get().(*canon.Scratch)
+	key := cs.Canonicalize(inst).Key
+	canonScratch.Put(cs)
+	return key
+}
+
+// Owner returns the node name owning inst's canonical key — where the
+// fleet's cached schedule for it lives.
+func (f *Fleet) Owner(inst *calib.Instance) string { return f.ring.Owner(canonKey(inst)) }
+
+// Node returns the per-node client for a member name (nil if unknown);
+// exposed for health checks and tests.
+func (f *Fleet) Node(name string) *Client { return f.byName[name] }
+
+// Solve solves one instance, routed to its affinity owner with ring
+// failover.
+func (f *Fleet) Solve(ctx context.Context, req *api.SolveRequest) (*api.SolveResponse, error) {
+	if req == nil || req.Instance == nil {
+		return nil, errors.New("client: missing instance")
+	}
+	if err := req.Instance.Validate(); err != nil {
+		return nil, err
+	}
+	var out api.SolveResponse
+	if err := f.failover(ctx, canonKey(req.Instance), mintRequestID(), "/v1/solve", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Batch splits the rows by affinity owner — mirroring an isedfleet
+// router's split, so each sub-batch lands where its cache entries
+// live — solves the sub-batches concurrently with per-group failover,
+// and reassembles results in request order. Rows that cannot route
+// (nil or invalid instances) fail locally; a sub-batch whose every
+// candidate node failed reports that error on each of its rows.
+func (f *Fleet) Batch(ctx context.Context, req *api.BatchRequest) (*api.BatchResponse, error) {
+	if req == nil || len(req.Instances) == 0 {
+		return nil, errors.New("client: empty batch")
+	}
+	id := mintRequestID()
+	resp := &api.BatchResponse{Results: make([]*api.BatchResult, len(req.Instances)), RequestID: id}
+	type group struct {
+		key  uint64 // first row's canonical key: routes the sub-batch
+		rows []int  // original indices, in request order
+		sub  api.BatchRequest
+	}
+	groups := map[string]*group{}
+	var ordered []*group
+	for i, inst := range req.Instances {
+		if inst == nil {
+			resp.Results[i] = &api.BatchResult{Error: "missing instance"}
+			continue
+		}
+		if err := inst.Validate(); err != nil {
+			resp.Results[i] = &api.BatchResult{Error: err.Error()}
+			continue
+		}
+		key := canonKey(inst)
+		owner := f.ring.Owner(key)
+		g := groups[owner]
+		if g == nil {
+			g = &group{key: key, sub: api.BatchRequest{SolveOptions: req.SolveOptions}}
+			groups[owner] = g
+			ordered = append(ordered, g)
+		}
+		g.rows = append(g.rows, i)
+		g.sub.Instances = append(g.sub.Instances, inst)
+	}
+
+	var wg sync.WaitGroup
+	var mu sync.Mutex // guards the resp.Results scatter
+	for gi, g := range ordered {
+		wg.Add(1)
+		go func(gi int, g *group) {
+			defer wg.Done()
+			var out api.BatchResponse
+			err := f.failover(ctx, g.key, fmt.Sprintf("%s.g%d", id, gi), "/v1/batch", &g.sub, &out)
+			mu.Lock()
+			defer mu.Unlock()
+			for ri, row := range g.rows {
+				switch {
+				case err != nil:
+					resp.Results[row] = &api.BatchResult{Error: err.Error()}
+				case ri < len(out.Results) && out.Results[ri] != nil:
+					resp.Results[row] = out.Results[ri]
+				default:
+					resp.Results[row] = &api.BatchResult{Error: "backend returned no result for row"}
+				}
+			}
+		}(gi, g)
+	}
+	wg.Wait()
+	return resp, nil
+}
+
+func (f *Fleet) passes() int {
+	if f.cfg.Passes <= 0 {
+		return 2
+	}
+	return f.cfg.Passes
+}
+
+func (f *Fleet) baseDelay() time.Duration {
+	if f.cfg.BaseDelay <= 0 {
+		return 100 * time.Millisecond
+	}
+	return f.cfg.BaseDelay
+}
+
+func (f *Fleet) maxDelay() time.Duration {
+	if f.cfg.MaxDelay <= 0 {
+		return 5 * time.Second
+	}
+	return f.cfg.MaxDelay
+}
+
+// failover walks the key's ring replica sequence — owner first, then
+// the nodes that would inherit the key — giving each node one attempt
+// per pass under the shared request ID. Open breakers are skipped
+// locally; refusals (429/503) and transport errors move to the next
+// replica; a conclusive 4xx/500 returns immediately (it would fail the
+// same on every node). Between passes the call backs off with full
+// jitter, floored by the largest Retry-After any node asked for.
+func (f *Fleet) failover(ctx context.Context, key uint64, id, path string, body, out any) error {
+	seq := f.ring.Sequence(key, 0)
+	var lastErr error
+	for pass := 0; ; pass++ {
+		var hint time.Duration
+		for _, name := range seq {
+			err := f.byName[name].postID(ctx, path, id, body, out)
+			if err == nil {
+				return nil
+			}
+			lastErr = err
+			if errors.Is(err, ErrBreakerOpen) {
+				continue
+			}
+			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				return err
+			}
+			retryable, h := retryInfo(err)
+			if !retryable {
+				return err
+			}
+			if h > hint {
+				hint = h
+			}
+		}
+		if pass+1 >= f.passes() {
+			return lastErr
+		}
+		delay := backoffDelay(f.baseDelay(), f.maxDelay(), hint, pass, rand.Int64N)
+		timer := time.NewTimer(delay)
+		select {
+		case <-timer.C:
+		case <-ctx.Done():
+			timer.Stop()
+			return ctx.Err()
+		}
+	}
+}

@@ -61,6 +61,7 @@ import (
 	"syscall"
 	"time"
 
+	"calib/internal/atomicfile"
 	"calib/internal/cliobs"
 	"calib/internal/fault"
 	"calib/internal/obs"
@@ -177,7 +178,9 @@ func run(ctx context.Context, args []string, stderr io.Writer) error {
 	}
 	bound := ln.Addr().String()
 	if *addrFile != "" {
-		if err := os.WriteFile(*addrFile, []byte(bound+"\n"), 0o644); err != nil {
+		// Atomic (temp + rename): a file-watching fleet roster or smoke
+		// script polling this file must never read a torn address.
+		if err := atomicfile.WriteFile(*addrFile, []byte(bound+"\n"), 0o644); err != nil {
 			ln.Close()
 			return err
 		}

@@ -1,0 +1,175 @@
+// Command isedfleet is the fleet router: it fronts N ised backends
+// with the same /v1 HTTP/JSON surface a single daemon serves,
+// consistent-hashing each request's canonical instance key so
+// equivalent solves always land on the node that already holds the
+// cached schedule (see docs/SERVICE.md, "Fleet").
+//
+// Usage:
+//
+//	isedfleet -backends URL[,URL...] | -roster FILE
+//	          [-addr host:port] [-addr-file FILE]
+//	          [-policy hash-affinity|least-loaded|round-robin]
+//	          [-replicas N] [-probe-interval D] [-probe-timeout D]
+//	          [-fail-after N] [-readmit-after N] [-roster-interval D]
+//	          [-retry-after D]
+//	          [-trace] [-metrics] [-pprof addr]
+//
+// Membership is either static (-backends, comma-separated "name=url"
+// or bare url entries) or declarative (-roster, a JSON file watched
+// for changes: nodes can be added and removed without restarting the
+// router; each ring rebuild is atomic and logged). Every backend is
+// health-probed; a node that fails -fail-after consecutive probes is
+// ejected from routing and readmitted after -readmit-after successful
+// probes once it recovers.
+//
+// The router always exports /metrics (the fleet_* catalogue —
+// spillover by reason, ejections, ring rebuilds — next to the usual
+// export surface), /debug/vars and /debug/pprof on its own address.
+// /v1/healthz answers the fleet-level view: per-node health, the
+// active policy, and ring statistics.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"calib/internal/atomicfile"
+	"calib/internal/cliobs"
+	"calib/internal/fleet"
+	"calib/internal/obs"
+	"calib/internal/obs/obshttp"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "isedfleet:", err)
+		os.Exit(1)
+	}
+}
+
+func run(ctx context.Context, args []string, stderr io.Writer) error {
+	fs := flag.NewFlagSet("isedfleet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", "localhost:8090", "listen address; port 0 picks a free port")
+	addrFile := fs.String("addr-file", "", "write the bound address to this file once listening (atomic; for scripts and CI)")
+	backends := fs.String("backends", "", "static roster: comma-separated name=url or url entries")
+	roster := fs.String("roster", "", "JSON roster file, watched for membership changes (see docs/SERVICE.md)")
+	rosterEvery := fs.Duration("roster-interval", time.Second, "how often to poll -roster for changes")
+	policy := fs.String("policy", fleet.PolicyHashAffinity, "routing policy: hash-affinity, least-loaded, or round-robin")
+	replicas := fs.Int("replicas", 0, "virtual nodes per backend on the consistent-hash ring (0 = 128)")
+	probeEvery := fs.Duration("probe-interval", time.Second, "health probe spacing per backend")
+	probeTimeout := fs.Duration("probe-timeout", 2*time.Second, "health probe timeout")
+	failAfter := fs.Int("fail-after", 3, "consecutive failures that eject a backend from routing")
+	readmitAfter := fs.Int("readmit-after", 2, "consecutive successful probes that readmit an ejected backend")
+	retryAfter := fs.Duration("retry-after", time.Second, "Retry-After hint when every candidate node refused")
+	tele := cliobs.Register(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := tele.Start("isedfleet", stderr); err != nil {
+		return err
+	}
+	defer tele.Finish(stderr)
+
+	var members []fleet.Member
+	var err error
+	switch {
+	case *backends != "" && *roster != "":
+		return errors.New("-backends and -roster are mutually exclusive")
+	case *backends != "":
+		members, err = fleet.ParseStatic(*backends)
+	case *roster != "":
+		members, err = fleet.LoadRoster(*roster)
+	default:
+		return errors.New("no backends: pass -backends or -roster")
+	}
+	if err != nil {
+		return err
+	}
+
+	reg := tele.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	obs.DeclareFleet(reg)
+
+	f, err := fleet.New(fleet.Config{
+		Members:       members,
+		Policy:        *policy,
+		Replicas:      *replicas,
+		ProbeInterval: *probeEvery,
+		ProbeTimeout:  *probeTimeout,
+		FailAfter:     *failAfter,
+		ReadmitAfter:  *readmitAfter,
+		RetryAfter:    *retryAfter,
+		Metrics:       reg,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(stderr, format+"\n", args...)
+		},
+	})
+	if err != nil {
+		return err
+	}
+	f.Start()
+	defer f.Close()
+
+	watcherDone := make(chan struct{})
+	if *roster != "" {
+		go func() {
+			defer close(watcherDone)
+			f.WatchRoster(*roster, *rosterEvery, ctx.Done())
+		}()
+	} else {
+		close(watcherDone)
+	}
+
+	mux := http.NewServeMux()
+	mux.Handle("/v1/", fleet.NewRouter(f))
+	mux.Handle("/", obshttp.Handler(reg)) // /metrics, /debug/vars, /debug/pprof
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	bound := ln.Addr().String()
+	if *addrFile != "" {
+		if err := atomicfile.WriteFile(*addrFile, []byte(bound+"\n"), 0o644); err != nil {
+			ln.Close()
+			return err
+		}
+	}
+	fmt.Fprintf(stderr, "isedfleet: routing %d backends (policy %s) on http://%s\n",
+		len(members), *policy, bound)
+
+	hs := &http.Server{Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+	done := make(chan error, 1)
+	go func() { done <- hs.Serve(ln) }()
+
+	select {
+	case err := <-done:
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Fprintln(stderr, "isedfleet: shutting down")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(shutCtx); err != nil {
+		return err
+	}
+	if err := <-done; !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	<-watcherDone
+	return nil
+}

@@ -1,0 +1,55 @@
+// Package atomicfile writes small files atomically: temp file in the
+// target's directory, fsync, rename. Readers — a fleet roster watcher
+// polling an ised daemon's -addr-file, a script tailing a handshake
+// file — therefore see either the old content or the new, never a torn
+// prefix; and a crash mid-write leaves the previous file intact.
+//
+// The cache snapshot layer (internal/cache) carries its own richer
+// variant (CRC framing, durability counters); this package is the
+// minimal form for plain handshake files.
+package atomicfile
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// WriteFile writes data to path atomically with the given permissions.
+// On any error the target is untouched and the temp file is removed.
+func WriteFile(path string, data []byte, perm os.FileMode) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("atomic write %s: %w", path, err)
+	}
+	tmpName := tmp.Name()
+	defer func() {
+		if tmpName != "" {
+			os.Remove(tmpName)
+		}
+	}()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return fmt.Errorf("atomic write %s: %w", path, err)
+	}
+	if err := tmp.Chmod(perm); err != nil {
+		tmp.Close()
+		return fmt.Errorf("atomic write %s: %w", path, err)
+	}
+	// fsync before rename: without it a power loss can leave the rename
+	// durable but the content not, which is exactly the torn state the
+	// rename is supposed to rule out.
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("atomic write %s: %w", path, err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("atomic write %s: %w", path, err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		return fmt.Errorf("atomic write %s: %w", path, err)
+	}
+	tmpName = "" // renamed away; nothing to clean up
+	return nil
+}

@@ -1,0 +1,100 @@
+package atomicfile
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestWriteFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "addr")
+	if err := WriteFile(path, []byte("127.0.0.1:8080\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "127.0.0.1:8080\n" {
+		t.Fatalf("content = %q", got)
+	}
+	// Overwrite replaces wholesale.
+	if err := WriteFile(path, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := os.ReadFile(path); string(got) != "x" {
+		t.Fatalf("after overwrite: %q", got)
+	}
+	// No temp droppings.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp") {
+			t.Fatalf("temp file left behind: %s", e.Name())
+		}
+	}
+}
+
+func TestWriteFileBadDir(t *testing.T) {
+	if err := WriteFile(filepath.Join(t.TempDir(), "no", "such", "dir", "f"), []byte("x"), 0o644); err == nil {
+		t.Fatal("expected an error for a missing directory")
+	}
+}
+
+// TestWriteFileNeverTorn is the regression test for the fleet roster
+// handshake: a reader polling the file while a writer rewrites it must
+// see a complete old or new payload every single time, never a prefix.
+// Before the atomic write, os.WriteFile could expose a truncated file
+// between its open and write syscalls.
+func TestWriteFileNeverTorn(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "addr")
+	payloads := [][]byte{
+		[]byte(strings.Repeat("a", 4096) + "\n"),
+		[]byte(strings.Repeat("b", 8192) + "\n"),
+	}
+	if err := WriteFile(path, payloads[0], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if err := WriteFile(path, payloads[i%2], 0o644); err != nil {
+				t.Errorf("write: %v", err)
+				return
+			}
+		}
+	}()
+
+	for i := 0; i < 2000; i++ {
+		got, err := os.ReadFile(path)
+		if err != nil {
+			// The rename window can surface ENOENT on some filesystems;
+			// a missing file is "not yet" — only partial content is torn.
+			if os.IsNotExist(err) {
+				continue
+			}
+			t.Fatalf("read: %v", err)
+		}
+		if !bytes.Equal(got, payloads[0]) && !bytes.Equal(got, payloads[1]) {
+			t.Fatalf("torn read: %d bytes, first byte %q", len(got), got[:1])
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

@@ -1,0 +1,149 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"calib/api"
+	"calib/internal/heur"
+	"calib/internal/ise"
+	"calib/internal/obs"
+	"calib/internal/server"
+)
+
+// TestRouterSustains512ConcurrentSolves is the router's counterpart of
+// the backend's 512-way acceptance test (internal/server): under -race
+// the router holds 512 concurrent in-flight forwards — every request
+// parked inside some backend's solver at the same instant — drains
+// them all successfully, and leaks no goroutine (including the fleet's
+// prober, which is started and stopped around the load).
+func TestRouterSustains512ConcurrentSolves(t *testing.T) {
+	if testing.Short() {
+		t.Skip("512-way router concurrency test skipped in -short mode")
+	}
+	const want = 512
+
+	runtime.GC()
+	before := runtime.NumGoroutine()
+
+	var inside atomic.Int64
+	allIn := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	barrier := func(_ context.Context, inst *ise.Instance, _ time.Duration, _ int64) (*server.Result, error) {
+		if inside.Add(1) == want {
+			once.Do(func() { close(allIn) })
+		}
+		<-release
+		sched, err := heur.Lazy(inst, heur.Options{})
+		if err != nil {
+			return nil, err
+		}
+		return &server.Result{Schedule: sched, Calibrations: sched.NumCalibrations(), MachinesUsed: sched.MachinesUsed()}, nil
+	}
+
+	const nodes = 3
+	members := make([]Member, nodes)
+	servers := make([]*httptest.Server, nodes)
+	for i := range members {
+		srv := server.New(server.Config{MaxInFlight: want, MaxQueue: -1, Solve: barrier})
+		servers[i] = httptest.NewServer(srv)
+		members[i] = Member{Name: string(rune('a' + i)), URL: servers[i].URL}
+	}
+
+	reg := obs.NewRegistry()
+	transport := &http.Transport{MaxIdleConns: 2 * want, MaxIdleConnsPerHost: want}
+	f, err := New(Config{
+		Members:       members,
+		ProbeInterval: 50 * time.Millisecond,
+		Metrics:       reg,
+		HTTPClient:    &http.Client{Transport: transport, Timeout: 2 * time.Minute},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Start() // the prober runs under the load and must shut down leak-free
+	routerTS := httptest.NewServer(NewRouter(f))
+
+	clientTransport := &http.Transport{MaxIdleConns: want, MaxIdleConnsPerHost: want}
+	client := &http.Client{Transport: clientTransport, Timeout: 2 * time.Minute}
+
+	var ok, failed atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < want; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// Distinct canonical keys (deadlines encode i), so neither
+			// any backend cache nor singleflight can collapse requests.
+			inst := ise.NewInstance(10, 1)
+			inst.AddJob(0, 20+ise.Time(i), 3)
+			inst.AddJob(5, 40+2*ise.Time(i), 7)
+			buf, err := json.Marshal(api.SolveRequest{Instance: inst})
+			if err != nil {
+				failed.Add(1)
+				return
+			}
+			resp, err := client.Post(routerTS.URL+"/v1/solve", "application/json", bytes.NewReader(buf))
+			if err != nil {
+				failed.Add(1)
+				return
+			}
+			defer resp.Body.Close()
+			var out api.SolveResponse
+			if resp.StatusCode != http.StatusOK || json.NewDecoder(resp.Body).Decode(&out) != nil || out.Schedule == nil {
+				failed.Add(1)
+				return
+			}
+			ok.Add(1)
+		}(i)
+	}
+
+	select {
+	case <-allIn:
+		// All 512 requests are simultaneously inside backend solvers.
+	case <-time.After(90 * time.Second):
+		t.Fatalf("only %d/%d requests made it in-flight concurrently", inside.Load(), want)
+	}
+	if got := int(reg.Gauge(obs.MFleetInflight).Value()); got != want {
+		t.Errorf("fleet_forward_inflight at the barrier = %d, want %d", got, want)
+	}
+
+	close(release)
+	wg.Wait()
+	if failed.Load() != 0 || ok.Load() != want {
+		t.Fatalf("ok=%d failed=%d, want %d/0", ok.Load(), failed.Load(), want)
+	}
+	if got := int(reg.Gauge(obs.MFleetInflight).Value()); got != 0 {
+		t.Errorf("fleet_forward_inflight after drain = %d, want 0", got)
+	}
+
+	f.Close()
+	routerTS.Close()
+	for _, ts := range servers {
+		ts.Close()
+	}
+	transport.CloseIdleConnections()
+	clientTransport.CloseIdleConnections()
+
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		runtime.GC()
+		after := runtime.NumGoroutine()
+		if after <= before+4 { // slack for runtime helpers (GC, netpoll)
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutine leak: %d before, %d after drain", before, after)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}

@@ -1,0 +1,82 @@
+package fleet
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"calib/internal/canon"
+	"calib/internal/workload"
+)
+
+// TestCanonicalKeyDispersion is the load-balance acceptance test for
+// routing real traffic by canonical key: instances drawn from every
+// workload family — not uniform random keys — must spread across a
+// 16-node ring within 15% of uniform. Canonical keys are FNV content
+// hashes of structured, similar-looking instances; if their dispersion
+// through mix64 + the ring were poor, hash-affinity routing would
+// concentrate whole families on a few backends.
+//
+// The ring uses a high virtual-node count (1024) so the measurement
+// isolates key dispersion from ring-arc variance (that property has
+// its own tolerance in TestRingBalance). Deterministic: fixed seeds,
+// fixed membership, fixed generator sizes.
+func TestCanonicalKeyDispersion(t *testing.T) {
+	if testing.Short() {
+		t.Skip("key dispersion sweep skipped in -short mode")
+	}
+	const nodes = 16
+	names := make([]string, nodes)
+	for i := range names {
+		names[i] = fmt.Sprintf("node-%02d", i)
+	}
+	ring := NewRing(names, 1024)
+
+	counts := make(map[string]int, nodes)
+	seen := make(map[uint64]struct{})
+	var cs canon.Scratch
+	total := 0
+	for fi, family := range workload.FamilyNames {
+		rng := rand.New(rand.NewSource(int64(1000 + fi)))
+		for i := 0; i < 1800; i++ {
+			inst, err := workload.Family(rng, family, workload.FamilyConfig{
+				N: 8 + i%17, // small, varied sizes: cheap to generate, structurally diverse
+				M: 1 + i%3,
+				T: 50,
+			})
+			if err != nil {
+				t.Fatalf("family %s: %v", family, err)
+			}
+			key := cs.Canonicalize(inst).Key
+			if _, dup := seen[key]; dup {
+				continue // equivalent draws route identically by design; count each key once
+			}
+			seen[key] = struct{}{}
+			counts[ring.Owner(key)]++
+			total++
+		}
+	}
+	if total < 10000 {
+		t.Fatalf("only %d distinct keys generated; sample too small to judge dispersion", total)
+	}
+
+	want := float64(total) / nodes
+	var chi2 float64
+	for _, n := range names {
+		got := counts[n]
+		dev := (float64(got) - want) / want
+		if dev < -0.15 || dev > 0.15 {
+			t.Errorf("node %s owns %d keys, want %.0f +-15%% (deviation %+.1f%%)",
+				n, got, want, 100*dev)
+		}
+		d := float64(got) - want
+		chi2 += d * d / want
+	}
+	// Chi-square sanity on top of the per-node bound: 16 bins = 15 dof,
+	// p=0.001 critical value ~37.7. A fixed-seed run far above it means
+	// the key mixing regressed even if every bin squeaked under 15%.
+	if chi2 > 37.7 {
+		t.Errorf("chi-square = %.1f over 15 dof (p<0.001); key dispersion regressed", chi2)
+	}
+	t.Logf("dispersion: %d distinct keys over %d nodes, chi-square %.1f", total, nodes, chi2)
+}

@@ -1,0 +1,197 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"calib/api"
+	"calib/internal/canon"
+	"calib/internal/obs"
+	"calib/internal/server"
+)
+
+// killableBackend is an ised server on a plain listener so the test
+// can kill it abruptly (listener and every live connection closed, as
+// a SIGKILL would) and later rebind the same address.
+type killableBackend struct {
+	b    *testBackend
+	addr string
+	hs   *http.Server
+	done chan error
+}
+
+func startKillable(t *testing.T, b *testBackend, addr string) *killableBackend {
+	t.Helper()
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Fatalf("listen %s: %v", addr, err)
+	}
+	k := &killableBackend{b: b, addr: ln.Addr().String(), hs: &http.Server{Handler: b.srv}, done: make(chan error, 1)}
+	go func() { k.done <- k.hs.Serve(ln) }()
+	return k
+}
+
+func (k *killableBackend) kill() {
+	k.hs.Close() // closes the listener and every active connection
+	<-k.done
+}
+
+// TestFleetSurvivesBackendKill is the failover acceptance test: three
+// backends under concurrent load, one killed mid-load. Every request
+// still succeeds (within the client's modest retry budget), the
+// spillover is counted, the dead node is ejected — and once it comes
+// back, it is readmitted and serves its keys again.
+func TestFleetSurvivesBackendKill(t *testing.T) {
+	if testing.Short() {
+		t.Skip("failover load test skipped in -short mode")
+	}
+	reg := obs.NewRegistry()
+	backends := make([]*testBackend, 3)
+	members := make([]Member, 3)
+	for i := 0; i < 2; i++ {
+		b := &testBackend{name: fmt.Sprintf("n%d", i)}
+		b.srv = server.New(server.Config{Solve: b.solve})
+		b.ts = httptest.NewServer(b.srv)
+		defer b.ts.Close()
+		backends[i] = b
+		members[i] = Member{Name: b.name, URL: b.ts.URL}
+	}
+	victim := &testBackend{name: "n2"}
+	victim.srv = server.New(server.Config{Solve: victim.solve})
+	backends[2] = victim
+	k := startKillable(t, victim, "")
+	members[2] = Member{Name: victim.name, URL: "http://" + k.addr}
+
+	f, err := New(Config{Members: members, FailAfter: 2, ReadmitAfter: 1, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	router := httptest.NewServer(NewRouter(f))
+	defer router.Close()
+
+	// solveRetry is the "after retries" of the acceptance criterion: a
+	// request interrupted exactly at the kill (e.g. its response was
+	// mid-stream on the dying connection) gets up to two more tries.
+	httpc := &http.Client{Timeout: 30 * time.Second}
+	solveRetry := func(i int) error {
+		buf, err := json.Marshal(api.SolveRequest{Instance: makeInst(i)})
+		if err != nil {
+			return err
+		}
+		var lastErr error
+		for attempt := 0; attempt < 3; attempt++ {
+			resp, err := httpc.Post(router.URL+"/v1/solve", "application/json", bytes.NewReader(buf))
+			if err != nil {
+				lastErr = err
+				continue
+			}
+			body, err := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if err != nil {
+				lastErr = err
+				continue
+			}
+			if resp.StatusCode != http.StatusOK {
+				lastErr = fmt.Errorf("status %d: %s", resp.StatusCode, bytes.TrimSpace(body))
+				if resp.StatusCode == http.StatusServiceUnavailable || resp.StatusCode == http.StatusBadGateway {
+					continue
+				}
+				return lastErr
+			}
+			var out api.SolveResponse
+			if err := json.Unmarshal(body, &out); err != nil {
+				lastErr = err
+				continue
+			}
+			if out.Schedule == nil {
+				return fmt.Errorf("request %d: empty schedule", i)
+			}
+			return nil
+		}
+		return fmt.Errorf("request %d exhausted retries: %w", i, lastErr)
+	}
+
+	const workers, perWorker = 8, 25
+	var completed atomic.Int64
+	errs := make(chan error, workers*perWorker)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				if err := solveRetry(w*perWorker + i); err != nil {
+					errs <- err
+				}
+				completed.Add(1)
+			}
+		}(w)
+	}
+
+	// Kill the victim once the load is demonstrably flowing.
+	for completed.Load() < workers*perWorker/4 {
+		time.Sleep(time.Millisecond)
+	}
+	k.kill()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Errorf("client-visible error: %v", err)
+	}
+
+	// The kill must have been felt: the victim ejected by its forward
+	// failures, the detours counted as spillover.
+	if f.view.Load().byName[victim.name].Healthy() {
+		t.Error("killed backend still marked healthy after the load")
+	}
+	var spilled int64
+	for _, reason := range []string{SpillUnhealthy, SpillShed, SpillError} {
+		spilled += reg.CounterWith(obs.MFleetSpillover, "reason", reason).Value()
+	}
+	if spilled == 0 {
+		t.Error("no spillover counted across the kill")
+	}
+	if got := reg.Counter(obs.MFleetEjects).Value(); got != 1 {
+		t.Errorf("eject counter = %d, want 1", got)
+	}
+
+	// Recovery: rebind the same address, one probe round readmits
+	// (ReadmitAfter=1), and the node serves its own keys again.
+	k2 := startKillable(t, victim, k.addr)
+	defer k2.kill()
+	deadline := time.Now().Add(10 * time.Second)
+	for !f.view.Load().byName[victim.name].Healthy() {
+		f.ProbeAll(context.Background())
+		if time.Now().After(deadline) {
+			t.Fatal("restarted backend never readmitted")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := reg.Counter(obs.MFleetReadmits).Value(); got != 1 {
+		t.Errorf("readmit counter = %d, want 1", got)
+	}
+	inst, _ := findOwned(t, f, victim.name, 100000)
+	resp, _ := postSolve(t, router.URL, inst)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-readmission solve: status %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get(HeaderNode); got != victim.name {
+		t.Errorf("post-readmission request served by %s, want the readmitted owner %s", got, victim.name)
+	}
+	if canon.Key(inst) == 0 {
+		t.Error("sanity: zero canonical key")
+	}
+}

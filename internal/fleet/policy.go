@@ -1,0 +1,110 @@
+package fleet
+
+import (
+	"fmt"
+	"sort"
+	"sync/atomic"
+)
+
+// Policy names accepted by PolicyByName (and cmd/isedfleet -policy).
+const (
+	PolicyHashAffinity = "hash-affinity"
+	PolicyLeastLoaded  = "least-loaded"
+	PolicyRoundRobin   = "round-robin"
+)
+
+// Policy orders the candidate nodes for one request. The router walks
+// the returned slice in order until a forward succeeds, so a policy is
+// fully described by the preference order it emits; the three built-in
+// policies differ only here.
+//
+// Every policy receives the affinity owner's position: even the
+// policies that do not route by it (least-loaded, round-robin) keep
+// the owner identity observable, because the router reports
+// owner-vs-served divergence as spillover only under hash-affinity,
+// where affinity is the promise being broken.
+type Policy interface {
+	// Name is the policy's registry name.
+	Name() string
+	// Order returns candidates in try order for key. seq is the ring's
+	// replica sequence for the key (owner first) mapped onto live
+	// nodes; policies may reorder but must not invent nodes. Unhealthy
+	// nodes are appended after healthy ones by the caller's contract —
+	// Order receives only healthy nodes and the router falls back to
+	// the raw ring sequence when none are healthy.
+	Order(key uint64, seq []*Node) []*Node
+}
+
+// PolicyByName resolves a policy name. Unknown names are an error,
+// never a panic: the name arrives from a flag.
+func PolicyByName(name string) (Policy, error) {
+	switch name {
+	case PolicyHashAffinity:
+		return &hashAffinity{}, nil
+	case PolicyLeastLoaded:
+		return &leastLoaded{}, nil
+	case PolicyRoundRobin:
+		return &roundRobin{}, nil
+	default:
+		return nil, fmt.Errorf("unknown fleet policy %q (want %s, %s, or %s)",
+			name, PolicyHashAffinity, PolicyLeastLoaded, PolicyRoundRobin)
+	}
+}
+
+// hashAffinity is the default: the ring owner first — that is where
+// the cached schedule lives — then round-robin over the remaining
+// healthy nodes as spillover, so a shedding owner spreads its overflow
+// instead of dogpiling one neighbor.
+type hashAffinity struct {
+	rr atomic.Uint64
+}
+
+func (*hashAffinity) Name() string { return PolicyHashAffinity }
+
+func (p *hashAffinity) Order(_ uint64, seq []*Node) []*Node {
+	if len(seq) <= 2 {
+		return seq
+	}
+	out := make([]*Node, 0, len(seq))
+	out = append(out, seq[0])
+	rest := seq[1:]
+	off := int(p.rr.Add(1)) % len(rest)
+	for i := 0; i < len(rest); i++ {
+		out = append(out, rest[(off+i)%len(rest)])
+	}
+	return out
+}
+
+// leastLoaded orders by live load — the backend's probed in-flight
+// gauge plus the router's own outstanding forwards — breaking ties
+// toward the ring sequence so equal-load fleets still keep affinity.
+type leastLoaded struct{}
+
+func (*leastLoaded) Name() string { return PolicyLeastLoaded }
+
+func (*leastLoaded) Order(_ uint64, seq []*Node) []*Node {
+	out := append([]*Node(nil), seq...)
+	sort.SliceStable(out, func(a, b int) bool { return out[a].Load() < out[b].Load() })
+	return out
+}
+
+// roundRobin rotates over the healthy nodes, ignoring the key: the
+// cache-oblivious baseline (and the policy a benchmark compares
+// affinity against).
+type roundRobin struct {
+	rr atomic.Uint64
+}
+
+func (*roundRobin) Name() string { return PolicyRoundRobin }
+
+func (p *roundRobin) Order(_ uint64, seq []*Node) []*Node {
+	if len(seq) <= 1 {
+		return seq
+	}
+	out := make([]*Node, 0, len(seq))
+	off := int(p.rr.Add(1)) % len(seq)
+	for i := 0; i < len(seq); i++ {
+		out = append(out, seq[(off+i)%len(seq)])
+	}
+	return out
+}

@@ -1,0 +1,133 @@
+package fleet
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+)
+
+// Roster is the declarative membership file of a fleet (cmd/isedfleet
+// -roster): reproducible infrastructure in the Scheduling.jl spirit —
+// the topology is a versionable artifact, not accumulated mutation.
+//
+//	{"nodes": [
+//	  {"name": "a", "url": "http://10.0.0.1:8080"},
+//	  {"name": "b", "url": "http://10.0.0.2:8080"}
+//	]}
+//
+// Writers must replace the file atomically (temp + rename, as
+// internal/atomicfile does and ised's -addr-file now guarantees); the
+// watcher re-reads on any mtime/size change and rejects — keeping the
+// old roster — anything that fails validation.
+type Roster struct {
+	Nodes []Member `json:"nodes"`
+}
+
+// ParseRoster decodes and validates a roster document.
+func ParseRoster(raw []byte) ([]Member, error) {
+	var r Roster
+	if err := json.Unmarshal(raw, &r); err != nil {
+		return nil, fmt.Errorf("parsing roster: %w", err)
+	}
+	if len(r.Nodes) == 0 {
+		return nil, fmt.Errorf("roster has no nodes")
+	}
+	if err := ValidateMembers(r.Nodes); err != nil {
+		return nil, err
+	}
+	return r.Nodes, nil
+}
+
+// LoadRoster reads and parses a roster file.
+func LoadRoster(path string) ([]Member, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return ParseRoster(raw)
+}
+
+// ParseStatic parses the -backends flag form: a comma-separated list
+// of "name=url" or bare "url" entries (a bare URL is named by its
+// host:port part, which stays stable across schemes).
+func ParseStatic(spec string) ([]Member, error) {
+	var out []Member
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		var m Member
+		if name, url, ok := strings.Cut(part, "="); ok && !strings.Contains(name, "/") {
+			m = Member{Name: strings.TrimSpace(name), URL: strings.TrimSpace(url)}
+		} else {
+			m = Member{Name: hostPort(part), URL: part}
+		}
+		m.URL = strings.TrimRight(m.URL, "/")
+		out = append(out, m)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no backends in %q", spec)
+	}
+	return out, ValidateMembers(out)
+}
+
+// hostPort strips the scheme and any path from a URL, leaving the
+// stable node identity a bare -backends entry implies.
+func hostPort(url string) string {
+	if _, rest, ok := strings.Cut(url, "://"); ok {
+		url = rest
+	}
+	if host, _, ok := strings.Cut(url, "/"); ok {
+		url = host
+	}
+	return url
+}
+
+// WatchRoster polls path every interval and applies changed, valid
+// rosters to f until stop is closed. Polling (mtime + size) keeps the
+// watcher dependency-free; sub-second intervals are fine because an
+// unchanged stat costs one syscall. A roster that disappears or stops
+// parsing is logged and skipped — the fleet keeps serving on the last
+// good membership, because an operator fat-fingering a JSON edit must
+// never take the router down. Returns when stop closes.
+func (f *Fleet) WatchRoster(path string, interval time.Duration, stop <-chan struct{}) {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	// The baseline starts zero, so the first tick always reconciles:
+	// an edit landing between the caller's LoadRoster and this
+	// goroutine's first stat would otherwise be missed forever (its
+	// mtime would become the baseline). One redundant identity rebuild
+	// at startup is the cheap price.
+	var lastMod time.Time
+	var lastSize int64
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+		}
+		st, err := os.Stat(path)
+		if err != nil {
+			continue // transient (mid-rename): keep the current roster
+		}
+		if st.ModTime().Equal(lastMod) && st.Size() == lastSize {
+			continue
+		}
+		lastMod, lastSize = st.ModTime(), st.Size()
+		members, err := LoadRoster(path)
+		if err != nil {
+			f.cfg.Logf("fleet: roster %s rejected (keeping %d current nodes): %v",
+				path, len(f.view.Load().nodes), err)
+			continue
+		}
+		if err := f.SetMembers(members); err != nil {
+			f.cfg.Logf("fleet: roster %s rejected: %v", path, err)
+		}
+	}
+}

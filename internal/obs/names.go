@@ -99,6 +99,19 @@ const (
 	MSimEvents         = "sim_events_total"     // discrete events processed by the engine
 	MSimVirtualSeconds = "sim_virtual_seconds"  // gauge: virtual clock position at end of run
 
+	// internal/fleet + cmd/isedfleet — the consistent-hash fleet router.
+	MFleetRequests       = "fleet_requests_total"       // router requests; labeled endpoint=solve|batch|healthz
+	MFleetSpillover      = "fleet_spillover_total"      // forwards that left the affinity owner; labeled reason=unhealthy|shed|error
+	MFleetExhausted      = "fleet_exhausted_total"      // requests that failed on every candidate node (answered 502/503)
+	MFleetNodes          = "fleet_nodes"                // gauge: nodes in the current roster
+	MFleetHealthyNodes   = "fleet_healthy_nodes"        // gauge: nodes currently routable (not ejected)
+	MFleetEjects         = "fleet_eject_total"          // healthy -> ejected transitions of the health state machine
+	MFleetReadmits       = "fleet_readmit_total"        // ejected -> healthy transitions after recovery probes
+	MFleetProbeFails     = "fleet_probe_failures_total" // health probes that failed (transport or non-200)
+	MFleetRebuilds       = "fleet_ring_rebuild_total"   // atomic ring rebuilds (roster changes)
+	MFleetForwardSeconds = "fleet_forward_seconds"      // histogram: single forward attempt latency
+	MFleetInflight       = "fleet_forward_inflight"     // gauge: forwards currently outstanding across all nodes
+
 	// internal/server — SLO layer. All labeled route=solve|batch.
 	MSLOSeconds   = "slo_route_request_seconds" // histogram: per-route end-to-end latency
 	MSLOObjective = "slo_objective_ratio"       // gauge: configured success objective (e.g. 0.99)
@@ -182,6 +195,31 @@ func DeclareService(r *Registry) {
 	r.Gauge(MServiceInflightMax)
 	r.Gauge(MServiceQueueDepth)
 	r.Histogram(MServiceSeconds, nil)
+}
+
+// DeclareFleet pre-registers the fleet router's series so a scrape of
+// a fresh isedfleet already exports the full fleet_* catalogue,
+// including the spillover reasons that have not fired yet.
+func DeclareFleet(r *Registry) {
+	if r == nil {
+		return
+	}
+	for _, n := range []string{
+		MFleetExhausted, MFleetEjects, MFleetReadmits,
+		MFleetProbeFails, MFleetRebuilds,
+	} {
+		r.Counter(n)
+	}
+	for _, ep := range []string{"solve", "batch", "healthz"} {
+		r.CounterWith(MFleetRequests, "endpoint", ep)
+	}
+	for _, reason := range []string{"unhealthy", "shed", "error"} {
+		r.CounterWith(MFleetSpillover, "reason", reason)
+	}
+	r.Gauge(MFleetNodes)
+	r.Gauge(MFleetHealthyNodes)
+	r.Gauge(MFleetInflight)
+	r.Histogram(MFleetForwardSeconds, nil)
 }
 
 // DeclareSim pre-registers the workload simulator's series so a
@@ -286,6 +324,18 @@ var helpText = map[string]string{
 	MSimSolves:         "Virtual requests that ran a leader solve.",
 	MSimEvents:         "Discrete events processed by the simulation engine.",
 	MSimVirtualSeconds: "Virtual clock position at the end of the simulated run.",
+
+	MFleetRequests:       "Fleet router requests, by endpoint.",
+	MFleetSpillover:      "Forwards that left the affinity owner, by reason.",
+	MFleetExhausted:      "Requests that failed on every candidate node.",
+	MFleetNodes:          "Nodes in the current fleet roster.",
+	MFleetHealthyNodes:   "Nodes currently routable (not ejected).",
+	MFleetEjects:         "Node ejections by the health state machine.",
+	MFleetReadmits:       "Node readmissions after recovery probes.",
+	MFleetProbeFails:     "Health probes that failed.",
+	MFleetRebuilds:       "Atomic consistent-hash ring rebuilds.",
+	MFleetForwardSeconds: "Single forward attempt latency in seconds.",
+	MFleetInflight:       "Forwards currently outstanding across all nodes.",
 
 	MSLOSeconds:   "Per-route end-to-end request latency in seconds.",
 	MSLOObjective: "Configured SLO success objective, by route.",

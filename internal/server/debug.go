@@ -11,7 +11,8 @@ import (
 //
 //	GET /debug/requests          recent decision records + SLO status;
 //	                             filters: ?route= ?outcome= ?cache=
-//	                             ?admission= ?errors=1 ?slow=1 ?limit=
+//	                             ?admission= ?node= ?errors=1 ?slow=1
+//	                             ?limit=
 //	GET /debug/requests/{id}     one request's full record and its
 //	                             span tree
 //
@@ -71,6 +72,7 @@ func (s *Server) handleDebugRequests(w http.ResponseWriter, r *http.Request) {
 			Outcome:   q.Get("outcome"),
 			Cache:     q.Get("cache"),
 			Admission: q.Get("admission"),
+			Node:      q.Get("node"),
 			Slow:      q.Get("slow") != "",
 			Errors:    q.Get("errors") != "",
 			Limit:     limit,

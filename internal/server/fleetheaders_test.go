@@ -1,0 +1,97 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"calib/api"
+)
+
+// TestFleetForwardedHeadersRecorded: a request carrying the fleet
+// router's forwarding annotations gets them into its decision record —
+// queryable by ?node= on /debug/requests — and the node identity is
+// echoed on the response. Direct traffic records and echoes nothing.
+func TestFleetForwardedHeadersRecorded(t *testing.T) {
+	srv := New(Config{})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	buf, err := json.Marshal(api.SolveRequest{Instance: testInstance(0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, _ := http.NewRequest(http.MethodPost, ts.URL+"/v1/solve", bytes.NewReader(buf))
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-Request-Id", "routed-req-1")
+	req.Header.Set("X-Fleet-Node", "n1")
+	req.Header.Set("X-Fleet-Route", "spillover:shed")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get("X-Fleet-Node"); got != "n1" {
+		t.Fatalf("X-Fleet-Node echo = %q, want n1", got)
+	}
+
+	// Direct request: no fleet headers in, none out.
+	direct, _ := http.NewRequest(http.MethodPost, ts.URL+"/v1/solve", bytes.NewReader(buf))
+	direct.Header.Set("Content-Type", "application/json")
+	direct.Header.Set("X-Request-Id", "direct-req-1")
+	dresp, err := http.DefaultClient.Do(direct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	if got := dresp.Header.Get("X-Fleet-Node"); got != "" {
+		t.Fatalf("direct response carries X-Fleet-Node %q", got)
+	}
+
+	// An invalid node header (injection shapes) must be ignored.
+	evil, _ := http.NewRequest(http.MethodPost, ts.URL+"/v1/solve", bytes.NewReader(buf))
+	evil.Header.Set("Content-Type", "application/json")
+	evil.Header.Set("X-Fleet-Node", "bad name (spaces)")
+	eresp, err := http.DefaultClient.Do(evil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eresp.Body.Close()
+	if got := eresp.Header.Get("X-Fleet-Node"); got != "" {
+		t.Fatalf("invalid node header echoed as %q", got)
+	}
+
+	// The flight recorder filters by node and the record carries the
+	// route annotation.
+	list := decode[debugRequestList](t, httpGetOK(t, ts.URL+"/debug/requests?node=n1"))
+	if len(list.Requests) != 1 || list.Requests[0].ID != "routed-req-1" {
+		t.Fatalf("?node=n1 -> %+v", list.Requests)
+	}
+	if got := list.Requests[0].FleetRoute; got != "spillover:shed" {
+		t.Fatalf("recorded fleet route = %q", got)
+	}
+	if got := list.Requests[0].Node; got != "n1" {
+		t.Fatalf("recorded node = %q", got)
+	}
+	all := decode[debugRequestList](t, httpGetOK(t, ts.URL+"/debug/requests"))
+	if len(all.Requests) != 3 {
+		t.Fatalf("unfiltered list has %d records, want 3", len(all.Requests))
+	}
+}
+
+func httpGetOK(t *testing.T, url string) *http.Response {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", url, resp.StatusCode)
+	}
+	return resp
+}

@@ -68,6 +68,13 @@ type Record struct {
 	// SpanID is the root span of the request's solver span tree when
 	// tracing is armed (obs span IDs; 0 = tracing off).
 	SpanID uint64 `json:"span_id,omitempty"`
+	// Node and FleetRoute are the fleet router's forwarded-request
+	// annotations (X-Fleet-Node, X-Fleet-Route): the name this backend
+	// has in the fleet and how the request reached it ("affinity",
+	// "spillover:<reason>", or a key-oblivious policy name). Empty on
+	// direct, un-routed traffic.
+	Node       string `json:"node,omitempty"`
+	FleetRoute string `json:"fleet_route,omitempty"`
 	// Err is the error answered, if any.
 	Err string `json:"error,omitempty"`
 }
@@ -204,9 +211,9 @@ func (*recShard) live(ring []Record, next int, full bool) []Record {
 
 // RecordFilter selects records in List. Zero fields match everything.
 type RecordFilter struct {
-	// Route / Outcome / Cache / Admission match the same-named Record
-	// fields exactly when non-empty.
-	Route, Outcome, Cache, Admission string
+	// Route / Outcome / Cache / Admission / Node match the same-named
+	// Record fields exactly when non-empty.
+	Route, Outcome, Cache, Admission, Node string
 	// Slow selects the top-K-by-latency retention instead of the main
 	// rings; Errors selects the error/shed tail retention.
 	Slow, Errors bool
@@ -246,6 +253,9 @@ func (r *Recorder) List(f RecordFilter) []Record {
 				continue
 			}
 			if f.Admission != "" && rec.Admission != f.Admission {
+				continue
+			}
+			if f.Node != "" && rec.Node != f.Node {
 				continue
 			}
 			out = append(out, rec)

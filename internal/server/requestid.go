@@ -42,6 +42,40 @@ func requestID(r *http.Request) string {
 	return keyString(reqIDBase ^ mix64(reqIDSeq.Add(1)))
 }
 
+// fleetForwarded reads the fleet router's forwarded-request headers
+// into the decision record and echoes the node identity back, so a
+// routed request's backend record names the node the roster knows it
+// by and how the router chose it (affinity vs spillover) — the router
+// side of the story, reconstructible from /debug/requests on the
+// backend alone. Direct, un-routed traffic carries neither header and
+// records nothing.
+func fleetForwarded(w http.ResponseWriter, r *http.Request, rec *Record) {
+	if node := r.Header.Get("X-Fleet-Node"); validRequestID(node) {
+		rec.Node = node
+		w.Header().Set("X-Fleet-Node", node)
+	}
+	if route := r.Header.Get("X-Fleet-Route"); validFleetRoute(route) {
+		rec.FleetRoute = route
+	}
+}
+
+// validFleetRoute accepts the router's route annotations: 1..64 bytes
+// of [0-9a-z:-] ("affinity", "spillover:shed", "least-loaded", ...).
+func validFleetRoute(route string) bool {
+	if len(route) == 0 || len(route) > 64 {
+		return false
+	}
+	for i := 0; i < len(route); i++ {
+		c := route[i]
+		switch {
+		case c >= '0' && c <= '9', c >= 'a' && c <= 'z', c == ':', c == '-', c == '_':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
 // validRequestID accepts 1..128 bytes of [0-9A-Za-z._-]: enough for
 // every common ID scheme (UUIDs, ULIDs, hex) while keeping header
 // echo, log lines, and /debug/requests/{id} URLs injection-free.

@@ -382,6 +382,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	defer scratchPool.Put(rs)
 	rs.resetSolve()
 	rs.rec = Record{ID: id, Route: "solve", ArrivalNS: arrival.UnixNano()}
+	fleetForwarded(w, r, &rs.rec)
 	if err := s.readJSON(w, r, &rs.body, &rs.req); err != nil {
 		s.finish(w, rs, s.errSolve, http.StatusBadRequest, err, arrival)
 		return
@@ -586,6 +587,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	rs := scratchPool.Get().(*reqScratch)
 	defer scratchPool.Put(rs)
 	rs.rec = Record{ID: id, Route: "batch", ArrivalNS: arrival.UnixNano()}
+	fleetForwarded(w, r, &rs.rec)
 	var req api.BatchRequest
 	if err := s.readJSON(w, r, &rs.body, &req); err != nil {
 		s.finish(w, rs, s.errBatch, http.StatusBadRequest, err, arrival)
