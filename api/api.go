@@ -151,9 +151,41 @@ type FleetNode struct {
 	// Healthy reports that the node is in the routing set (not ejected
 	// by the health state machine).
 	Healthy bool `json:"healthy"`
+	// Warming reports that the node has recovered but is still
+	// receiving its hinted-handoff backlog and warm transfer; it
+	// re-enters routing when the transfer completes.
+	Warming bool `json:"warming,omitempty"`
 	// InFlight is the node's admitted-solve gauge from its last health
 	// probe (the least-loaded policy's input).
 	InFlight int `json:"in_flight"`
+}
+
+// CacheEntry is one replicated solve on the wire: the solve request it
+// answers (the replica receiver re-derives and checks the canonical
+// key from the instance) and the response the owner produced for it.
+// Both sides are exactly the /v1/solve wire bodies, so a replicator
+// holding the raw request and response bytes forwards them verbatim.
+type CacheEntry struct {
+	Request  *SolveRequest  `json:"request"`
+	Response *SolveResponse `json:"response"`
+}
+
+// CacheEntriesRequest is the JSON body of POST /v1/cache/entries: the
+// fleet's replica write-behind and hinted-handoff replay. (The same
+// endpoint also accepts the binary snapshot wire format for warm
+// transfers; see docs/SERVICE.md.)
+type CacheEntriesRequest struct {
+	Entries []CacheEntry `json:"entries"`
+}
+
+// CacheEntriesResponse reports what a POST /v1/cache/entries did:
+// every entry is either stored, skipped (key already cached — the
+// local entry wins), or rejected (key mismatch or failed validation).
+type CacheEntriesResponse struct {
+	Stored    int    `json:"stored"`
+	Skipped   int    `json:"skipped"`
+	Rejected  int    `json:"rejected"`
+	RequestID string `json:"request_id,omitempty"`
 }
 
 // Error is the body of every non-2xx response.

@@ -2,6 +2,7 @@ package client
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"math/rand/v2"
@@ -44,6 +45,13 @@ type FleetConfig struct {
 	Breakers *BreakerGroup
 	// Metrics receives the per-endpoint breaker_* series (nil = none).
 	Metrics *obs.Registry
+	// Replication enables client-side replica write-behind: after an
+	// uncached Solve answers, the response is re-posted asynchronously
+	// to the key's other ring replicas' /v1/cache/entries, mirroring an
+	// isedfleet router's replication factor — a fleet driven directly
+	// by this client keeps the same key durability. 0 or 1 = off.
+	// Call Close to drain in-flight write-behinds (tests, shutdown).
+	Replication int
 }
 
 // Fleet is the fleet-aware client: it speaks to the ised backends
@@ -61,6 +69,13 @@ type Fleet struct {
 	cfg    FleetConfig
 	ring   *fleet.Ring
 	byName map[string]*Client
+
+	// replWG tracks in-flight write-behind posts; replSem bounds their
+	// concurrency so a solve burst cannot spawn an unbounded goroutine
+	// herd (write-behind past the bound blocks briefly, never drops —
+	// the client, unlike the router, has no queue to shed from).
+	replWG  sync.WaitGroup
+	replSem chan struct{}
 }
 
 // NewFleet builds a fleet client over the given members.
@@ -75,6 +90,9 @@ func NewFleet(cfg FleetConfig) (*Fleet, error) {
 		cfg.Breakers = NewBreakerGroup(cfg.Metrics)
 	}
 	f := &Fleet{cfg: cfg, byName: make(map[string]*Client, len(cfg.Members))}
+	if cfg.Replication >= 2 {
+		f.replSem = make(chan struct{}, 4)
+	}
 	names := make([]string, 0, len(cfg.Members))
 	for _, m := range cfg.Members {
 		names = append(names, m.Name)
@@ -120,12 +138,55 @@ func (f *Fleet) Solve(ctx context.Context, req *api.SolveRequest) (*api.SolveRes
 	if err := req.Instance.Validate(); err != nil {
 		return nil, err
 	}
+	key := canonKey(req.Instance)
 	var out api.SolveResponse
-	if err := f.failover(ctx, canonKey(req.Instance), mintRequestID(), "/v1/solve", req, &out); err != nil {
+	served, err := f.failover(ctx, key, mintRequestID(), "/v1/solve", req, &out)
+	if err != nil {
 		return nil, err
 	}
+	f.replicate(key, served, req, &out)
 	return &out, nil
 }
+
+// replicate write-behinds one fresh solve to the key's other replicas.
+// The body is marshaled synchronously — req and out belong to the
+// caller, who may mutate them the moment Solve returns — and posted
+// asynchronously; failures are ignored (a lost replica write costs a
+// future re-solve, never this call). Batch rows are not replicated:
+// batch is a bulk-load path and replicating it would double its
+// traffic exactly when the fleet is busiest.
+func (f *Fleet) replicate(key uint64, served string, req *api.SolveRequest, out *api.SolveResponse) {
+	if f.cfg.Replication < 2 || out.Cached {
+		return
+	}
+	raw, err := json.Marshal(&api.CacheEntriesRequest{
+		Entries: []api.CacheEntry{{Request: req, Response: out}},
+	})
+	if err != nil {
+		return
+	}
+	for _, name := range f.ring.Sequence(key, f.cfg.Replication) {
+		if name == served {
+			continue
+		}
+		c := f.byName[name]
+		f.replWG.Add(1)
+		f.replSem <- struct{}{}
+		go func() {
+			defer f.replWG.Done()
+			defer func() { <-f.replSem }()
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+			var resp api.CacheEntriesResponse
+			_ = c.postID(ctx, "/v1/cache/entries", mintRequestID(), json.RawMessage(raw), &resp)
+		}()
+	}
+}
+
+// Close drains in-flight replica write-behinds. The Fleet stays usable
+// afterwards — Close is a barrier, not a shutdown — so callers can
+// also use it between a load phase and an assertion phase.
+func (f *Fleet) Close() { f.replWG.Wait() }
 
 // Batch splits the rows by affinity owner — mirroring an isedfleet
 // router's split, so each sub-batch lands where its cache entries
@@ -174,7 +235,7 @@ func (f *Fleet) Batch(ctx context.Context, req *api.BatchRequest) (*api.BatchRes
 		go func(gi int, g *group) {
 			defer wg.Done()
 			var out api.BatchResponse
-			err := f.failover(ctx, g.key, fmt.Sprintf("%s.g%d", id, gi), "/v1/batch", &g.sub, &out)
+			_, err := f.failover(ctx, g.key, fmt.Sprintf("%s.g%d", id, gi), "/v1/batch", &g.sub, &out)
 			mu.Lock()
 			defer mu.Unlock()
 			for ri, row := range g.rows {
@@ -221,7 +282,8 @@ func (f *Fleet) maxDelay() time.Duration {
 // replica; a conclusive 4xx/500 returns immediately (it would fail the
 // same on every node). Between passes the call backs off with full
 // jitter, floored by the largest Retry-After any node asked for.
-func (f *Fleet) failover(ctx context.Context, key uint64, id, path string, body, out any) error {
+// Returns the name of the node that answered, for write-behind.
+func (f *Fleet) failover(ctx context.Context, key uint64, id, path string, body, out any) (string, error) {
 	seq := f.ring.Sequence(key, 0)
 	var lastErr error
 	for pass := 0; ; pass++ {
@@ -229,25 +291,25 @@ func (f *Fleet) failover(ctx context.Context, key uint64, id, path string, body,
 		for _, name := range seq {
 			err := f.byName[name].postID(ctx, path, id, body, out)
 			if err == nil {
-				return nil
+				return name, nil
 			}
 			lastErr = err
 			if errors.Is(err, ErrBreakerOpen) {
 				continue
 			}
 			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
-				return err
+				return "", err
 			}
 			retryable, h := retryInfo(err)
 			if !retryable {
-				return err
+				return "", err
 			}
 			if h > hint {
 				hint = h
 			}
 		}
 		if pass+1 >= f.passes() {
-			return lastErr
+			return "", lastErr
 		}
 		delay := backoffDelay(f.baseDelay(), f.maxDelay(), hint, pass, rand.Int64N)
 		timer := time.NewTimer(delay)
@@ -255,7 +317,7 @@ func (f *Fleet) failover(ctx context.Context, key uint64, id, path string, body,
 		case <-timer.C:
 		case <-ctx.Done():
 			timer.Stop()
-			return ctx.Err()
+			return "", ctx.Err()
 		}
 	}
 }

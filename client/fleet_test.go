@@ -3,6 +3,7 @@ package client
 import (
 	"context"
 	"errors"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -288,6 +289,116 @@ func TestFleetClientBatch(t *testing.T) {
 	}
 	if resp.RequestID == "" {
 		t.Error("batch response missing request ID")
+	}
+}
+
+// TestFleetClientReplicationWriteBehind: with Replication: 2 a fresh
+// solve is write-behind-posted to the key's other ring replica, which
+// then serves the same instance from its own cache — zero solver
+// invocations anywhere but the owner. Mirrors the router's write-behind
+// for fleets driven directly by this client.
+func TestFleetClientReplicationWriteBehind(t *testing.T) {
+	members, calls := fleetBackends(t, 3)
+	fc, err := NewFleet(FleetConfig{Members: members, Replication: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	inst := fleetInst(4)
+	out, err := fc.Solve(context.Background(), &api.SolveRequest{Instance: inst})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Cached {
+		t.Fatal("first solve cached")
+	}
+	fc.Close() // barrier: drain the write-behind posts
+
+	// The key's replica set is the ring sequence; the serving owner got
+	// the solve, the other member of the set got the write-behind.
+	owner := fc.Owner(inst)
+	seq := fc.ring.Sequence(canonKey(inst), 2)
+	if len(seq) != 2 || seq[0] != owner {
+		t.Fatalf("ring sequence = %v, owner %s", seq, owner)
+	}
+	replica := seq[1]
+
+	got, err := fc.Node(replica).Solve(context.Background(), &api.SolveRequest{Instance: inst})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Cached {
+		t.Fatal("replica missed: the write-behind never landed")
+	}
+	if got.Calibrations != out.Calibrations {
+		t.Fatalf("replica answered %d calibrations, owner solved %d", got.Calibrations, out.Calibrations)
+	}
+	for i, m := range members {
+		want := int64(0)
+		if m.Name == owner {
+			want = 1
+		}
+		if calls[i].Load() != want {
+			t.Fatalf("node %s solver invocations = %d, want %d", m.Name, calls[i].Load(), want)
+		}
+	}
+
+	// A cached answer is never re-replicated, and Close stays a
+	// reusable barrier.
+	if again, err := fc.Solve(context.Background(), &api.SolveRequest{Instance: inst}); err != nil || !again.Cached {
+		t.Fatalf("re-solve: %v cached=%v", err, again != nil && again.Cached)
+	}
+	fc.Close()
+}
+
+// TestFleetClientReplicationOffByDefault: the zero-value config (and
+// RF 1) never posts to /v1/cache/entries — byte-for-byte today's
+// behavior.
+func TestFleetClientReplicationOffByDefault(t *testing.T) {
+	members, calls := fleetBackends(t, 2)
+	var entriesPosts atomic.Int64
+	for i := range members {
+		inner := members[i].URL
+		proxy := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if strings.HasPrefix(r.URL.Path, "/v1/cache/entries") {
+				entriesPosts.Add(1)
+			}
+			req, _ := http.NewRequest(r.Method, inner+r.URL.String(), r.Body)
+			req.Header = r.Header
+			resp, err := http.DefaultTransport.RoundTrip(req)
+			if err != nil {
+				w.WriteHeader(http.StatusBadGateway)
+				return
+			}
+			defer resp.Body.Close()
+			for k, v := range resp.Header {
+				w.Header()[k] = v
+			}
+			w.WriteHeader(resp.StatusCode)
+			io.Copy(w, resp.Body)
+		}))
+		t.Cleanup(proxy.Close)
+		members[i].URL = proxy.URL
+	}
+	for _, rf := range []int{0, 1} {
+		fc, err := NewFleet(FleetConfig{Members: members, Replication: rf})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := fc.Solve(context.Background(), &api.SolveRequest{Instance: fleetInst(20 + rf)}); err != nil {
+			t.Fatal(err)
+		}
+		fc.Close()
+	}
+	if got := entriesPosts.Load(); got != 0 {
+		t.Fatalf("replication disabled but %d cache-entry posts observed", got)
+	}
+	var total int64
+	for _, c := range calls {
+		total += c.Load()
+	}
+	if total != 2 {
+		t.Fatalf("fleet-wide solver invocations = %d, want 2", total)
 	}
 }
 

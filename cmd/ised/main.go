@@ -13,6 +13,7 @@
 //	     [-faults SPEC] [-fault-seed N]
 //	     [-flight N] [-trace-log FILE] [-trace-log-max-bytes N]
 //	     [-slo-objective F] [-slo-threshold D]
+//	     [-cache-transfer-open]
 //	     [-trace] [-trace-json FILE] [-metrics] [-metrics-out FILE]
 //	     [-pprof addr]
 //
@@ -97,6 +98,7 @@ func run(ctx context.Context, args []string, stderr io.Writer) error {
 	traceLogMax := fs.Int64("trace-log-max-bytes", 64<<20, "rotate -trace-log once it would exceed this many bytes, keeping one rotated file (0 = never)")
 	sloObjective := fs.Float64("slo-objective", 0, "fraction of requests that must answer under -slo-threshold (0 = 0.99)")
 	sloThreshold := fs.Duration("slo-threshold", 0, "per-request latency objective for the slo_* series (0 = 500ms)")
+	transferOpen := fs.Bool("cache-transfer-open", false, "allow non-loopback peers to use /v1/cache/entries (multi-host fleet replication)")
 	faults := fault.Register(fs)
 	tele := cliobs.Register(fs)
 	if err := fs.Parse(args); err != nil {
@@ -136,21 +138,22 @@ func run(ctx context.Context, args []string, stderr io.Writer) error {
 	}
 
 	srv := server.New(server.Config{
-		MaxInFlight:   *maxInflight,
-		MaxQueue:      *maxQueue,
-		QueueWait:     *queueWait,
-		CacheEntries:  *cacheSize,
-		MaxTimeout:    tele.Timeout(),
-		MaxBudget:     tele.Budget(),
-		WarmStart:     *warm,
-		Parallelism:   *par,
-		Metrics:       reg,
-		Fault:         inj,
-		FlightRecords: *flight,
-		TraceLog:      tlog,
-		SLOObjective:  *sloObjective,
-		SLOThreshold:  *sloThreshold,
-		Trace:         tele.Trace,
+		MaxInFlight:       *maxInflight,
+		MaxQueue:          *maxQueue,
+		QueueWait:         *queueWait,
+		CacheEntries:      *cacheSize,
+		MaxTimeout:        tele.Timeout(),
+		MaxBudget:         tele.Budget(),
+		WarmStart:         *warm,
+		Parallelism:       *par,
+		Metrics:           reg,
+		Fault:             inj,
+		FlightRecords:     *flight,
+		TraceLog:          tlog,
+		SLOObjective:      *sloObjective,
+		SLOThreshold:      *sloThreshold,
+		Trace:             tele.Trace,
+		CacheTransferOpen: *transferOpen,
 	})
 
 	if *cacheFile != "" {

@@ -12,6 +12,8 @@
 //	          [-replicas N] [-probe-interval D] [-probe-timeout D]
 //	          [-fail-after N] [-readmit-after N] [-roster-interval D]
 //	          [-retry-after D]
+//	          [-replication N] [-hint-dir DIR] [-hint-cap N]
+//	          [-replication-queue N]
 //	          [-trace] [-metrics] [-pprof addr]
 //
 // Membership is either static (-backends, comma-separated "name=url"
@@ -21,6 +23,15 @@
 // health-probed; a node that fails -fail-after consecutive probes is
 // ejected from routing and readmitted after -readmit-after successful
 // probes once it recovers.
+//
+// Replication (-replication, default 2) write-behinds every fresh
+// solve's cached schedule to the key's ring successors, so a node loss
+// does not cold-start its keys: the router peeks the surviving replica
+// (X-Fleet-Route: replica-hit) instead of re-solving. Writes aimed at
+// a down node park as hinted handoff (persisted under -hint-dir when
+// set) and replay when it returns, together with a snapshot-diff warm
+// transfer, before the node re-enters routing. -replication 1 turns
+// all of this off and reproduces single-copy routing exactly.
 //
 // The router always exports /metrics (the fleet_* catalogue —
 // spillover by reason, ejections, ring rebuilds — next to the usual
@@ -73,6 +84,11 @@ func run(ctx context.Context, args []string, stderr io.Writer) error {
 	failAfter := fs.Int("fail-after", 3, "consecutive failures that eject a backend from routing")
 	readmitAfter := fs.Int("readmit-after", 2, "consecutive successful probes that readmit an ejected backend")
 	retryAfter := fs.Duration("retry-after", time.Second, "Retry-After hint when every candidate node refused")
+	replication := fs.Int("replication", fleet.DefaultReplication,
+		"replication factor: nodes (owner included) holding each solved key's cache entry; 1 disables replication")
+	hintDir := fs.String("hint-dir", "", "persist hinted-handoff entries for down nodes in this directory (empty = memory only)")
+	hintCap := fs.Int("hint-cap", 0, "max hinted-handoff entries per down node, oldest dropped first (0 = 512)")
+	replQueue := fs.Int("replication-queue", 0, "max pending replica writes, oldest dropped first (0 = 1024)")
 	tele := cliobs.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -105,15 +121,19 @@ func run(ctx context.Context, args []string, stderr io.Writer) error {
 	obs.DeclareFleet(reg)
 
 	f, err := fleet.New(fleet.Config{
-		Members:       members,
-		Policy:        *policy,
-		Replicas:      *replicas,
-		ProbeInterval: *probeEvery,
-		ProbeTimeout:  *probeTimeout,
-		FailAfter:     *failAfter,
-		ReadmitAfter:  *readmitAfter,
-		RetryAfter:    *retryAfter,
-		Metrics:       reg,
+		Members:          members,
+		Policy:           *policy,
+		Replicas:         *replicas,
+		ProbeInterval:    *probeEvery,
+		ProbeTimeout:     *probeTimeout,
+		FailAfter:        *failAfter,
+		ReadmitAfter:     *readmitAfter,
+		RetryAfter:       *retryAfter,
+		Replication:      *replication,
+		HintDir:          *hintDir,
+		HintCap:          *hintCap,
+		ReplicationQueue: *replQueue,
+		Metrics:          reg,
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(stderr, format+"\n", args...)
 		},

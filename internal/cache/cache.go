@@ -150,6 +150,12 @@ func (c *Cache[V]) put(s *shard[V], key uint64, val V) {
 	}
 	s.items[key] = s.lru.PushFront(&entry[V]{key: key, val: val})
 	c.entries.Add(1)
+	c.evictOver(s)
+}
+
+// evictOver drops least-recently-used entries until the shard is back
+// under capacity. Caller holds s.mu.
+func (c *Cache[V]) evictOver(s *shard[V]) {
 	for s.lru.Len() > c.capPerShard {
 		oldest := s.lru.Back()
 		s.lru.Remove(oldest)
@@ -157,6 +163,31 @@ func (c *Cache[V]) put(s *shard[V], key uint64, val V) {
 		c.evictions.Inc()
 		c.entries.Add(-1)
 	}
+}
+
+// PutIfAbsent stores val under key only when the key is not already
+// cached, reporting whether it stored. Unlike Put it never replaces an
+// existing entry and never touches that entry's LRU recency or the
+// hit/miss counters: the fleet's replica write-behind lands here, and
+// a replicated payload racing a fresher local solve must lose, while a
+// remote write must not make an entry look hotter than the traffic
+// this node actually served. A stored entry still enters at the front
+// (it is the newest thing this shard learned) and still evicts over
+// capacity. A no-op returning false when storage is disabled.
+func (c *Cache[V]) PutIfAbsent(key uint64, val V) bool {
+	if c.capPerShard <= 0 {
+		return false
+	}
+	s := c.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.items[key]; ok {
+		return false
+	}
+	s.items[key] = s.lru.PushFront(&entry[V]{key: key, val: val})
+	c.entries.Add(1)
+	c.evictOver(s)
+	return true
 }
 
 // Role says how a Do call obtained its value: from the LRU (RoleHit),

@@ -1,0 +1,164 @@
+package cache
+
+import (
+	"bytes"
+	"testing"
+)
+
+// PutIfAbsent semantics next to Put's: store only when absent, never
+// replace, never bump an existing entry's recency — the contract the
+// fleet's replica write-behind and warm transfer lean on.
+
+func TestPutIfAbsentStoresAndSkips(t *testing.T) {
+	c := New[[]byte](64, nil)
+	if !c.PutIfAbsent(1, val(1)) {
+		t.Fatal("absent key not stored")
+	}
+	if got, ok := c.Get(1); !ok || !bytes.Equal(got, val(1)) {
+		t.Fatalf("stored entry = (%q, %v)", got, ok)
+	}
+	if c.PutIfAbsent(1, val(99)) {
+		t.Fatal("present key reported stored")
+	}
+	if got, _ := c.Get(1); !bytes.Equal(got, val(1)) {
+		t.Fatalf("present entry replaced: %q", got)
+	}
+}
+
+func TestPutIfAbsentDoesNotBumpRecency(t *testing.T) {
+	// 32 entries = 2 per shard; keys 0, 16, 32 share shard 0.
+	c := New[[]byte](32, nil)
+	c.Put(0, val(0))
+	c.Put(16, val(16)) // LRU order in shard 0: 16 (front), 0 (back)
+	if c.PutIfAbsent(0, val(99)) {
+		t.Fatal("present key reported stored")
+	}
+	// Had the skipped PutIfAbsent bumped key 0, this insert would evict
+	// key 16 instead.
+	c.Put(32, val(32))
+	if c.Peek(0) {
+		t.Fatal("LRU entry survived: the skipped PutIfAbsent bumped its recency")
+	}
+	if !c.Peek(16) || !c.Peek(32) {
+		t.Fatal("wrong entry evicted")
+	}
+}
+
+func TestPutIfAbsentEvictsOverCapacity(t *testing.T) {
+	// 16 entries = 1 per shard; keys 0 and 16 share shard 0.
+	c := New[[]byte](16, nil)
+	if !c.PutIfAbsent(0, val(0)) || !c.PutIfAbsent(16, val(16)) {
+		t.Fatal("absent keys not stored")
+	}
+	if c.Peek(0) {
+		t.Fatal("capacity not enforced on the PutIfAbsent path")
+	}
+	if !c.Peek(16) {
+		t.Fatal("newest entry evicted")
+	}
+}
+
+func TestPutIfAbsentDisabledStorage(t *testing.T) {
+	c := New[[]byte](-1, nil)
+	if c.PutIfAbsent(1, val(1)) {
+		t.Fatal("disabled cache reported a store")
+	}
+	if c.Peek(1) {
+		t.Fatal("disabled cache holds an entry")
+	}
+}
+
+// TestWireRoundTrip: the exported wire helpers (the framing hinted
+// handoff files and warm transfers reuse) survive a write/read cycle,
+// stop early when asked, and skip a corrupted entry without losing the
+// rest.
+func TestWireRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteWireHeader(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := WriteWireEntry(&buf, uint64(i), val(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wire := append([]byte(nil), buf.Bytes()...)
+
+	var keys []uint64
+	st, err := ReadWire(bytes.NewReader(wire), func(key uint64, payload []byte) bool {
+		if !bytes.Equal(payload, val(int(key))) {
+			t.Fatalf("key %d payload = %q", key, payload)
+		}
+		keys = append(keys, key)
+		return true
+	})
+	if err != nil || st.Corrupt != 0 {
+		t.Fatalf("read: err %v, stats %+v", err, st)
+	}
+	if len(keys) != 3 || keys[0] != 0 || keys[1] != 1 || keys[2] != 2 {
+		t.Fatalf("keys = %v", keys)
+	}
+
+	// Early stop: fn returning false ends the scan.
+	seen := 0
+	if _, err := ReadWire(bytes.NewReader(wire), func(uint64, []byte) bool {
+		seen++
+		return false
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if seen != 1 {
+		t.Fatalf("scan continued past a false return: %d entries", seen)
+	}
+
+	// Flip one payload byte in the middle entry: it dies on its CRC,
+	// the neighbours survive.
+	corrupt := append([]byte(nil), wire...)
+	entryLen := 12 + len(val(0)) + 4
+	corrupt[len("ISECSNP1")+entryLen+12] ^= 0xff
+	keys = keys[:0]
+	st, err = ReadWire(bytes.NewReader(corrupt), func(key uint64, _ []byte) bool {
+		keys = append(keys, key)
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Corrupt != 1 || len(keys) != 2 || keys[0] != 0 || keys[1] != 2 {
+		t.Fatalf("corrupt middle entry: stats %+v, keys %v", st, keys)
+	}
+
+	// Bad magic is the only hard error.
+	if _, err := ReadWire(bytes.NewReader([]byte("NOTASNAP")), func(uint64, []byte) bool { return true }); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+}
+
+// TestRestoreIfAbsentSkipsPresent: a transferred snapshot never
+// clobbers entries the node already holds — present keys are counted
+// in Skipped and keep their local value.
+func TestRestoreIfAbsentSkipsPresent(t *testing.T) {
+	var buf bytes.Buffer
+	donor := New[[]byte](64, nil)
+	donor.Put(5, []byte("donor-5"))
+	donor.Put(6, []byte("donor-6"))
+	if _, err := donor.Snapshot(&buf, encBytes); err != nil {
+		t.Fatal(err)
+	}
+
+	c := New[[]byte](64, nil)
+	c.Put(5, []byte("local-5"))
+	st, err := c.RestoreIfAbsent(&buf, decBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Restored != 1 || st.Skipped != 1 || st.Corrupt != 0 {
+		t.Fatalf("stats = %+v, want 1 restored / 1 skipped", st)
+	}
+	if got, _ := c.Get(5); !bytes.Equal(got, []byte("local-5")) {
+		t.Fatalf("local entry clobbered: %q", got)
+	}
+	if got, _ := c.Get(6); !bytes.Equal(got, []byte("donor-6")) {
+		t.Fatalf("absent entry not restored: %q", got)
+	}
+}

@@ -8,6 +8,8 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+
+	"calib/internal/fault"
 )
 
 // Snapshot persistence: the cache's durability layer. A snapshot is a
@@ -37,10 +39,11 @@ const snapMagic = "ISECSNP1"
 const maxEntryLen = 64 << 20
 
 // RestoreStats reports a restore's outcome: how many entries were
-// accepted and how many were discarded as corrupt (bad CRC, failed
-// decode, truncated tail, oversized length).
+// accepted, how many were skipped because the key was already cached
+// (RestoreIfAbsent only), and how many were discarded as corrupt (bad
+// CRC, failed decode, truncated tail, oversized length).
 type RestoreStats struct {
-	Restored, Corrupt int
+	Restored, Skipped, Corrupt int
 }
 
 // Snapshot writes every live entry to w, least recently used first,
@@ -52,7 +55,7 @@ type RestoreStats struct {
 // Returns the number of entries written.
 func (c *Cache[V]) Snapshot(w io.Writer, encode func(V) ([]byte, error)) (int, error) {
 	bw := bufio.NewWriter(w)
-	if _, err := bw.WriteString(snapMagic); err != nil {
+	if err := WriteWireHeader(bw); err != nil {
 		return 0, err
 	}
 	written := 0
@@ -70,7 +73,7 @@ func (c *Cache[V]) Snapshot(w io.Writer, encode func(V) ([]byte, error)) (int, e
 			if err != nil {
 				return written, fmt.Errorf("cache: encoding entry %016x: %w", e.key, err)
 			}
-			if err := writeEntry(bw, e.key, payload); err != nil {
+			if err := WriteWireEntry(bw, e.key, payload); err != nil {
 				return written, err
 			}
 			written++
@@ -84,7 +87,19 @@ func (c *Cache[V]) Snapshot(w io.Writer, encode func(V) ([]byte, error)) (int, e
 	return written, nil
 }
 
-func writeEntry(w io.Writer, key uint64, payload []byte) error {
+// WriteWireHeader writes the snapshot magic. Together with
+// WriteWireEntry it exposes the wire format to other durability
+// layers — the fleet's hinted-handoff files and warm-transfer streams
+// reuse the same framing (and therefore the same corruption-tolerant
+// reader) instead of inventing a second one.
+func WriteWireHeader(w io.Writer) error {
+	_, err := io.WriteString(w, snapMagic)
+	return err
+}
+
+// WriteWireEntry writes one CRC-framed entry in the snapshot wire
+// format: key uint64 | len uint32 | payload | crc uint32.
+func WriteWireEntry(w io.Writer, key uint64, payload []byte) error {
 	var hdr [12]byte
 	binary.LittleEndian.PutUint64(hdr[0:8], key)
 	binary.LittleEndian.PutUint32(hdr[8:12], uint32(len(payload)))
@@ -101,15 +116,22 @@ func writeEntry(w io.Writer, key uint64, payload []byte) error {
 	return nil
 }
 
-// Restore reads a snapshot from r and inserts every intact entry via
-// Put (so capacity limits and LRU order apply as usual). Damaged
-// entries are discarded and counted, never returned and never fatal:
-// the error is non-nil only when the stream is not a snapshot at all
-// (bad magic) or reading fails with a real I/O error. When the fault
-// injector's cache_corrupt point is armed, read payloads are
-// deterministically corrupted before the CRC check — the chaos
-// suite's way of proving corrupt entries die here and nowhere else.
-func (c *Cache[V]) Restore(r io.Reader, decode func([]byte) (V, error)) (RestoreStats, error) {
+// ReadWire scans a snapshot-wire stream, calling fn for each intact
+// entry (the payload is freshly allocated and owned by fn); fn returns
+// whether to keep scanning. Damaged entries are counted in Corrupt and
+// skipped when the framing survives, or end the scan when it does not
+// — exactly Restore's corruption semantics, without the cache. The
+// error is non-nil only for a bad magic: a consumer of arbitrary bytes
+// (a hint file, a warm-transfer body) must never panic or trust a
+// corrupt length field.
+func ReadWire(r io.Reader, fn func(key uint64, payload []byte) bool) (RestoreStats, error) {
+	return scanWire(r, nil, fn)
+}
+
+// scanWire is ReadWire plus the deterministic fault injector the
+// cache's own restore path arms (cache_corrupt flips payload bytes
+// before the CRC check).
+func scanWire(r io.Reader, inj *fault.Injector, fn func(key uint64, payload []byte) bool) (RestoreStats, error) {
 	var st RestoreStats
 	br := bufio.NewReader(r)
 	magic := make([]byte, len(snapMagic))
@@ -123,7 +145,7 @@ func (c *Cache[V]) Restore(r io.Reader, decode func([]byte) (V, error)) (Restore
 		var hdr [12]byte
 		if _, err := io.ReadFull(br, hdr[:]); err != nil {
 			if err == io.EOF {
-				break // clean end of snapshot
+				break // clean end of stream
 			}
 			st.Corrupt++ // truncated mid-header
 			break
@@ -146,7 +168,7 @@ func (c *Cache[V]) Restore(r io.Reader, decode func([]byte) (V, error)) (Restore
 			st.Corrupt++ // truncated mid-checksum
 			break
 		}
-		c.fault.Corrupt(faultCacheCorrupt, payload)
+		inj.Corrupt(faultCacheCorrupt, payload)
 		crc := crc32.NewIEEE()
 		crc.Write(hdr[:])
 		crc.Write(payload)
@@ -154,17 +176,60 @@ func (c *Cache[V]) Restore(r io.Reader, decode func([]byte) (V, error)) (Restore
 			st.Corrupt++
 			continue // framing still intact: later entries may be fine
 		}
-		val, err := decode(payload)
-		if err != nil {
-			st.Corrupt++
-			continue
+		if !fn(key, payload) {
+			break
 		}
-		c.Put(key, val)
-		st.Restored++
 	}
+	return st, nil
+}
+
+// Restore reads a snapshot from r and inserts every intact entry via
+// Put (so capacity limits and LRU order apply as usual). Damaged
+// entries are discarded and counted, never returned and never fatal:
+// the error is non-nil only when the stream is not a snapshot at all
+// (bad magic) or reading fails with a real I/O error. When the fault
+// injector's cache_corrupt point is armed, read payloads are
+// deterministically corrupted before the CRC check — the chaos
+// suite's way of proving corrupt entries die here and nowhere else.
+func (c *Cache[V]) Restore(r io.Reader, decode func([]byte) (V, error)) (RestoreStats, error) {
+	return c.restoreWith(r, decode, func(key uint64, val V) bool {
+		c.Put(key, val)
+		return true
+	})
+}
+
+// RestoreIfAbsent is Restore through PutIfAbsent: entries whose key is
+// already cached are left untouched (no value replacement, no recency
+// bump) and counted in Skipped. The fleet's warm-transfer receiver
+// uses it so a freshly transferred snapshot can never clobber entries
+// the warming node solved, or re-solved, on its own.
+func (c *Cache[V]) RestoreIfAbsent(r io.Reader, decode func([]byte) (V, error)) (RestoreStats, error) {
+	return c.restoreWith(r, decode, func(key uint64, val V) bool {
+		return c.PutIfAbsent(key, val)
+	})
+}
+
+// restoreWith is the shared restore core: scan, decode, insert. insert
+// reports whether the entry was actually stored.
+func (c *Cache[V]) restoreWith(r io.Reader, decode func([]byte) (V, error), insert func(uint64, V) bool) (RestoreStats, error) {
+	var st RestoreStats
+	wst, err := scanWire(r, c.fault, func(key uint64, payload []byte) bool {
+		val, derr := decode(payload)
+		if derr != nil {
+			st.Corrupt++
+			return true
+		}
+		if insert(key, val) {
+			st.Restored++
+		} else {
+			st.Skipped++
+		}
+		return true
+	})
+	st.Corrupt += wst.Corrupt
 	c.restored.Add(int64(st.Restored))
 	c.restoreCorrupt.Add(int64(st.Corrupt))
-	return st, nil
+	return st, err
 }
 
 // SaveFile snapshots the cache to path atomically: the snapshot is

@@ -24,6 +24,7 @@
 package canon
 
 import (
+	"fmt"
 	"sort"
 
 	"calib/internal/ise"
@@ -163,6 +164,37 @@ func (c *Canonical) Decanonicalize(s *ise.Schedule) *ise.Schedule {
 		out.Placements[i].Job = c.OriginalIDs[out.Placements[i].Job]
 	}
 	return out
+}
+
+// Recanonicalize is the exact inverse of Decanonicalize: it maps a
+// schedule in the original instance's frame into the canonical frame
+// by translating every calibration and placement by -Shift and
+// rewriting placement job IDs from original back to canonical through
+// the inverted OriginalIDs mapping. The fleet's replication path uses
+// it to turn a wire response (original frame, as served to the client)
+// back into the canonical-frame entry the schedule cache stores. The
+// input schedule is not modified. An original job ID that does not
+// appear in OriginalIDs reports an error rather than fabricating a
+// canonical ID — a replicated response that does not match its
+// instance must be rejected, not stored.
+func (c *Canonical) Recanonicalize(s *ise.Schedule) (*ise.Schedule, error) {
+	toCanonical := make(map[int]int, len(c.OriginalIDs))
+	for canonID, origID := range c.OriginalIDs {
+		toCanonical[origID] = canonID
+	}
+	out := s.Clone()
+	for i := range out.Calibrations {
+		out.Calibrations[i].Start -= c.Shift
+	}
+	for i := range out.Placements {
+		out.Placements[i].Start -= c.Shift
+		canonID, ok := toCanonical[out.Placements[i].Job]
+		if !ok {
+			return nil, fmt.Errorf("canon: schedule places unknown job %d", out.Placements[i].Job)
+		}
+		out.Placements[i].Job = canonID
+	}
+	return out, nil
 }
 
 // FNV-1a parameters (offset basis and prime of the 64-bit variant),

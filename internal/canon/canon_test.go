@@ -2,6 +2,7 @@ package canon_test
 
 import (
 	"math/rand"
+	"reflect"
 	"testing"
 
 	"calib/internal/canon"
@@ -170,6 +171,55 @@ func TestKeyDiscriminates(t *testing.T) {
 		if canon.Key(in) == key {
 			t.Errorf("%s: key collides with base", name)
 		}
+	}
+}
+
+// TestRecanonicalizeRoundTrip: Recanonicalize inverts Decanonicalize
+// exactly — the fleet's replication receiver depends on a wire
+// response (original frame) mapping back onto the canonical-frame
+// entry the cache stores, bit for bit.
+func TestRecanonicalizeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 40; trial++ {
+		inst, _ := workload.Mixed(rng, 3+rng.Intn(12), 1+rng.Intn(2), 8, 0.5)
+		twin := permute(inst.Shift(ise.Time(rng.Intn(2000)-1000)), shuffled(rng, inst.N()))
+		c := canon.Canonicalize(twin)
+		canonSched, err := heur.Lazy(c.Instance, heur.Options{})
+		if err != nil {
+			t.Fatalf("trial %d: lazy on canonical form: %v", trial, err)
+		}
+		dec := c.Decanonicalize(canonSched)
+		rec, err := c.Recanonicalize(dec)
+		if err != nil {
+			t.Fatalf("trial %d: recanonicalize: %v", trial, err)
+		}
+		if !reflect.DeepEqual(rec, canonSched) {
+			t.Fatalf("trial %d: round trip diverged:\n got %+v\nwant %+v", trial, rec, canonSched)
+		}
+		// The input is cloned, not mutated.
+		if !reflect.DeepEqual(dec, c.Decanonicalize(canonSched)) {
+			t.Fatalf("trial %d: Recanonicalize mutated its input", trial)
+		}
+	}
+}
+
+// TestRecanonicalizeRejectsUnknownJob: a schedule placing a job ID the
+// instance never had must be rejected, not silently remapped — it is
+// the replication receiver's proof that response and instance belong
+// together.
+func TestRecanonicalizeRejectsUnknownJob(t *testing.T) {
+	inst := ise.NewInstance(10, 1)
+	inst.AddJob(100, 140, 5)
+	inst.AddJob(130, 170, 8)
+	c := canon.Canonicalize(inst)
+	sched, err := heur.Lazy(c.Instance, heur.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := c.Decanonicalize(sched)
+	bad.Placements[0].Job = 999
+	if _, err := c.Recanonicalize(bad); err == nil {
+		t.Fatal("schedule placing an unknown job accepted")
 	}
 }
 

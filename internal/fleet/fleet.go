@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"net/http"
 	"sync"
 	"sync/atomic"
@@ -48,6 +49,21 @@ type Config struct {
 	RetryAfter time.Duration
 	// MaxBody bounds router-side request bodies in bytes (0 = 16 MiB).
 	MaxBody int64
+	// Replication is the replication factor: how many ring-successive
+	// nodes (the owner included) hold each solved key's cached result.
+	// 0 or 1 disables replication entirely — byte-for-byte today's
+	// single-copy routing. cmd/isedfleet defaults its -replication
+	// flag to DefaultReplication.
+	Replication int
+	// HintDir persists hinted-handoff entries across router restarts
+	// ("" = memory only). Only read when replication is enabled.
+	HintDir string
+	// HintCap bounds hinted-handoff entries per ejected node; the
+	// oldest hint is dropped past it (0 = 512).
+	HintCap int
+	// ReplicationQueue bounds the pending replica-write queue; the
+	// oldest write is dropped past it (0 = 1024).
+	ReplicationQueue int
 	// HTTPClient is the shared forwarding transport (nil = a transport
 	// with a deep idle pool per backend, sized for high fan-in).
 	HTTPClient *http.Client
@@ -81,6 +97,12 @@ func (c Config) withDefaults() Config {
 	if c.MaxBody <= 0 {
 		c.MaxBody = 16 << 20
 	}
+	if c.HintCap <= 0 {
+		c.HintCap = 512
+	}
+	if c.ReplicationQueue <= 0 {
+		c.ReplicationQueue = 1024
+	}
 	if c.HTTPClient == nil {
 		c.HTTPClient = &http.Client{Transport: &http.Transport{
 			MaxIdleConns:        1024,
@@ -105,9 +127,12 @@ type Node struct {
 	Name string
 	URL  string
 
-	// ejected is the health state machine's output: 1 while the node
-	// is out of the routing set.
-	ejected atomic.Bool
+	// state is the health state machine's output: healthy nodes are in
+	// the routing set; ejected nodes are out; warming nodes have
+	// recovered but are receiving their hinted-handoff backlog and warm
+	// transfer before re-entering routing (replication only — without
+	// it, readmission flips ejected -> healthy directly).
+	state atomic.Int32
 	// fails / oks are the consecutive-outcome counters feeding the
 	// state machine (guarded by mu: transitions must be atomic with
 	// the counter check).
@@ -122,8 +147,19 @@ type Node struct {
 	outstanding    atomic.Int64
 }
 
+// Node health states (Node.state).
+const (
+	nodeHealthy int32 = iota
+	nodeEjected
+	nodeWarming
+)
+
 // Healthy reports whether the node is in the routing set.
-func (n *Node) Healthy() bool { return !n.ejected.Load() }
+func (n *Node) Healthy() bool { return n.state.Load() == nodeHealthy }
+
+// Warming reports whether the node is in its post-recovery warming
+// pass (hint replay + warm transfer), not yet routable.
+func (n *Node) Warming() bool { return n.state.Load() == nodeWarming }
 
 // Load is the least-loaded policy's ordering key: the backend's
 // probed in-flight gauge plus this router's own outstanding forwards
@@ -151,17 +187,40 @@ type Fleet struct {
 	probeWG     sync.WaitGroup
 	probeCancel context.CancelFunc
 
+	// ctx scopes the replication and warming machinery to the fleet's
+	// lifetime; Close cancels it before waiting the workers out.
+	ctx    context.Context
+	cancel context.CancelFunc
+	warmWG sync.WaitGroup
+	// repl / hints are the replication write-behind queue and the
+	// hinted-handoff store, nil/unused when Config.Replication <= 1.
+	repl  *replicator
+	hints *hintStore
+
 	nodesG    *obs.Gauge
 	healthyG  *obs.Gauge
+	warmingG  *obs.Gauge
 	inflightG *obs.Gauge
 	ejects    *obs.Counter
 	readmits  *obs.Counter
 	probeFail *obs.Counter
 	rebuilds  *obs.Counter
 	exhausted *obs.Counter
-	fwdSecs   *obs.Histogram
-	spill     map[string]*obs.Counter // by reason, resolved once
+
+	replicaPeeks  *obs.Counter
+	replicaHits   *obs.Counter
+	warmTransfers *obs.Counter
+	warmEntries   *obs.Counter
+	warmErrors    *obs.Counter
+
+	fwdSecs *obs.Histogram
+	spill   map[string]*obs.Counter // by reason, resolved once
 }
+
+// DefaultReplication is the replication factor cmd/isedfleet uses when
+// -replication is not given: every key lives on its owner plus one
+// ring successor.
+const DefaultReplication = 2
 
 // New builds a Fleet from cfg. The initial ring is built synchronously
 // so routing works before the first probe tick; call Start to begin
@@ -174,25 +233,37 @@ func New(cfg Config) (*Fleet, error) {
 		return nil, err
 	}
 	f := &Fleet{
-		cfg:       cfg,
-		policy:    pol,
-		nodesG:    cfg.Metrics.Gauge(obs.MFleetNodes),
-		healthyG:  cfg.Metrics.Gauge(obs.MFleetHealthyNodes),
-		inflightG: cfg.Metrics.Gauge(obs.MFleetInflight),
-		ejects:    cfg.Metrics.Counter(obs.MFleetEjects),
-		readmits:  cfg.Metrics.Counter(obs.MFleetReadmits),
-		probeFail: cfg.Metrics.Counter(obs.MFleetProbeFails),
-		rebuilds:  cfg.Metrics.Counter(obs.MFleetRebuilds),
-		exhausted: cfg.Metrics.Counter(obs.MFleetExhausted),
-		fwdSecs:   cfg.Metrics.Histogram(obs.MFleetForwardSeconds, nil),
-		spill:     make(map[string]*obs.Counter, 3),
+		cfg:           cfg,
+		policy:        pol,
+		nodesG:        cfg.Metrics.Gauge(obs.MFleetNodes),
+		healthyG:      cfg.Metrics.Gauge(obs.MFleetHealthyNodes),
+		warmingG:      cfg.Metrics.Gauge(obs.MFleetWarmingNodes),
+		inflightG:     cfg.Metrics.Gauge(obs.MFleetInflight),
+		ejects:        cfg.Metrics.Counter(obs.MFleetEjects),
+		readmits:      cfg.Metrics.Counter(obs.MFleetReadmits),
+		probeFail:     cfg.Metrics.Counter(obs.MFleetProbeFails),
+		rebuilds:      cfg.Metrics.Counter(obs.MFleetRebuilds),
+		exhausted:     cfg.Metrics.Counter(obs.MFleetExhausted),
+		replicaPeeks:  cfg.Metrics.Counter(obs.MFleetReplicaPeeks),
+		replicaHits:   cfg.Metrics.Counter(obs.MFleetReplicaHits),
+		warmTransfers: cfg.Metrics.Counter(obs.MFleetWarmTransfers),
+		warmEntries:   cfg.Metrics.Counter(obs.MFleetWarmEntries),
+		warmErrors:    cfg.Metrics.Counter(obs.MFleetWarmErrors),
+		fwdSecs:       cfg.Metrics.Histogram(obs.MFleetForwardSeconds, nil),
+		spill:         make(map[string]*obs.Counter, 3),
 	}
+	f.ctx, f.cancel = context.WithCancel(context.Background())
 	for _, reason := range []string{SpillUnhealthy, SpillShed, SpillError} {
 		f.spill[reason] = cfg.Metrics.CounterWith(obs.MFleetSpillover, "reason", reason)
+	}
+	if cfg.Replication >= 2 {
+		f.hints = newHintStore(cfg.HintDir, cfg.HintCap, cfg.Metrics, cfg.Logf)
+		f.repl = newReplicator(f, cfg.ReplicationQueue)
 	}
 	f.view.Store(&view{ring: NewRing(nil, cfg.Replicas), byName: map[string]*Node{}})
 	if len(cfg.Members) > 0 {
 		if err := f.SetMembers(cfg.Members); err != nil {
+			f.Close()
 			return nil, err
 		}
 	}
@@ -278,24 +349,30 @@ func (f *Fleet) Metrics() *obs.Registry { return f.cfg.Metrics }
 func (f *Fleet) Owner(key uint64) string { return f.view.Load().ring.Owner(key) }
 
 func (f *Fleet) updateHealthyGauge(v *view) {
-	healthy := 0
+	healthy, warming := 0, 0
 	for _, n := range v.nodes {
-		if n.Healthy() {
+		switch n.state.Load() {
+		case nodeHealthy:
 			healthy++
+		case nodeWarming:
+			warming++
 		}
 	}
 	f.healthyG.Set(float64(healthy))
+	f.warmingG.Set(float64(warming))
 }
 
 // Start launches the health prober: one goroutine, probing every node
-// each ProbeInterval. Stop with Close.
+// roughly each ProbeInterval (±10% jitter per tick, so a rack of
+// routers restarted together — or one router over a large fleet — does
+// not fire its probe bursts in phase forever). Stop with Close.
 func (f *Fleet) Start() {
 	ctx, cancel := context.WithCancel(context.Background())
 	f.probeCancel = cancel
 	f.probeWG.Add(1)
 	go func() {
 		defer f.probeWG.Done()
-		t := time.NewTicker(f.cfg.ProbeInterval)
+		t := time.NewTimer(probeJitter(f.cfg.ProbeInterval))
 		defer t.Stop()
 		for {
 			select {
@@ -303,17 +380,30 @@ func (f *Fleet) Start() {
 				return
 			case <-t.C:
 				f.ProbeAll(ctx)
+				t.Reset(probeJitter(f.cfg.ProbeInterval))
 			}
 		}
 	}()
 }
 
-// Close stops the prober and waits for it.
+// probeJitter draws one probe delay uniformly from [0.9d, 1.1d].
+func probeJitter(d time.Duration) time.Duration {
+	span := int64(d) / 5
+	return time.Duration(int64(d) - span/2 + rand.Int64N(span+1))
+}
+
+// Close stops the prober, the replication worker, and any in-flight
+// warming passes, and waits for them all.
 func (f *Fleet) Close() {
 	if f.probeCancel != nil {
 		f.probeCancel()
 		f.probeWG.Wait()
 	}
+	f.cancel()
+	if f.repl != nil {
+		f.repl.close()
+	}
+	f.warmWG.Wait()
 }
 
 // ProbeAll probes every node once, concurrently. Exported so tests
@@ -372,9 +462,11 @@ func (f *Fleet) reportFailure(n *Node, via string, err error) {
 	n.mu.Lock()
 	n.oks = 0
 	n.fails++
-	eject := n.fails >= f.cfg.FailAfter && !n.ejected.Load()
+	// A warming node can be ejected too: its warming pass notices the
+	// state change at flip time and abandons the readmission.
+	eject := n.fails >= f.cfg.FailAfter && n.state.Load() != nodeEjected
 	if eject {
-		n.ejected.Store(true)
+		n.state.Store(nodeEjected)
 	}
 	n.mu.Unlock()
 	if eject {
@@ -388,24 +480,48 @@ func (f *Fleet) reportFailure(n *Node, via string, err error) {
 // reportSuccess feeds one success in: a healthy node's failure streak
 // resets; an ejected node needs ReadmitAfter consecutive successful
 // probes to return (one lucky probe against a flapping backend is not
-// recovery).
+// recovery). With replication enabled, recovery enters the warming
+// state first — the node gets its hinted-handoff backlog and a warm
+// transfer before it re-enters routing.
 func (f *Fleet) reportSuccess(n *Node) {
 	n.mu.Lock()
 	n.fails = 0
-	readmit := false
-	if n.ejected.Load() {
+	readmit, beginWarm := false, false
+	if n.state.Load() == nodeEjected {
 		n.oks++
 		if n.oks >= f.cfg.ReadmitAfter {
-			n.ejected.Store(false)
-			readmit = true
+			if f.repl != nil {
+				n.state.Store(nodeWarming)
+				beginWarm = true
+			} else {
+				n.state.Store(nodeHealthy)
+				readmit = true
+			}
 		}
 	}
 	n.mu.Unlock()
+	if beginWarm {
+		f.startWarming(n)
+	}
 	if readmit {
 		f.readmits.Inc()
 		f.updateHealthyGauge(f.view.Load())
 		f.cfg.Logf("fleet: node %s readmitted after %d successful probes", n.Name, f.cfg.ReadmitAfter)
 	}
+}
+
+// startWarming launches one recovered node's warming pass on its own
+// goroutine (Fleet.Close waits it out). The node stays out of routing
+// until warm flips it healthy.
+func (f *Fleet) startWarming(n *Node) {
+	f.updateHealthyGauge(f.view.Load())
+	f.cfg.Logf("fleet: node %s warming after %d successful probes (%d hints pending)",
+		n.Name, f.cfg.ReadmitAfter, f.hints.count(n.Name))
+	f.warmWG.Add(1)
+	go func() {
+		defer f.warmWG.Done()
+		f.warm(n)
+	}()
 }
 
 // Spillover reasons (the reason label of fleet_spillover_total).

@@ -1,0 +1,206 @@
+package fleet
+
+import (
+	"bytes"
+	"net/url"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"calib/internal/atomicfile"
+	"calib/internal/cache"
+	"calib/internal/obs"
+)
+
+// hintStore is the hinted-handoff side of replication: while a node is
+// ejected, the replica writes it should have received accumulate here
+// instead of being dropped, and the warming pass replays them when the
+// node comes back. Hints are per-node FIFO queues with a drop-oldest
+// cap — a node that stays down long enough loses its oldest hints, and
+// the fleet pays a re-solve for those keys instead of unbounded memory.
+//
+// When dir is set, every node's queue is persisted as
+// <dir>/<escaped-name>.hints in the cache snapshot wire format
+// (CRC-framed entries, atomicfile whole-file replace), so a router
+// restart does not orphan a down node's backlog. The payload of each
+// wire entry is one JSON api.CacheEntry object — exactly what the
+// replication queue carries — so replay is a byte-level concatenation
+// into a POST /v1/cache/entries body.
+type hintStore struct {
+	mu      sync.Mutex
+	perNode int
+	dir     string // "" = memory only
+	nodes   map[string]*nodeHints
+	logf    func(format string, args ...any)
+
+	written  *obs.Counter
+	dropped  *obs.Counter
+	replayed *obs.Counter
+	entriesG *obs.Gauge
+	total    int
+}
+
+type nodeHints struct {
+	keys     []uint64 // FIFO, oldest first; parallel to payloads
+	payloads [][]byte
+}
+
+func newHintStore(dir string, perNode int, met *obs.Registry, logf func(string, ...any)) *hintStore {
+	h := &hintStore{
+		perNode:  perNode,
+		dir:      dir,
+		nodes:    map[string]*nodeHints{},
+		logf:     logf,
+		written:  met.Counter(obs.MFleetHintWritten),
+		dropped:  met.Counter(obs.MFleetHintDropped),
+		replayed: met.Counter(obs.MFleetHintReplayed),
+		entriesG: met.Gauge(obs.MFleetHintEntries),
+	}
+	h.load()
+	return h
+}
+
+// hintPath maps a node name to its spill file. Names are URL-escaped:
+// node names commonly look like "127.0.0.1:8081" and may in principle
+// contain path separators.
+func (h *hintStore) hintPath(node string) string {
+	return filepath.Join(h.dir, url.PathEscape(node)+".hints")
+}
+
+// load restores persisted hint queues. Corrupt entries are skipped by
+// the wire reader (same tolerance as a snapshot restore); a file that
+// cannot be read at all is skipped whole — hints are an optimization,
+// never worth failing startup over.
+func (h *hintStore) load() {
+	if h.dir == "" {
+		return
+	}
+	ents, err := os.ReadDir(h.dir)
+	if err != nil {
+		return
+	}
+	for _, ent := range ents {
+		name := ent.Name()
+		if ent.IsDir() || filepath.Ext(name) != ".hints" {
+			continue
+		}
+		node, err := url.PathUnescape(name[:len(name)-len(".hints")])
+		if err != nil {
+			continue
+		}
+		raw, err := os.ReadFile(filepath.Join(h.dir, name))
+		if err != nil {
+			continue
+		}
+		nh := &nodeHints{}
+		st, err := cache.ReadWire(bytes.NewReader(raw), func(key uint64, payload []byte) bool {
+			nh.keys = append(nh.keys, key)
+			nh.payloads = append(nh.payloads, append([]byte(nil), payload...))
+			return len(nh.keys) < h.perNode
+		})
+		if len(nh.keys) > 0 {
+			h.nodes[node] = nh
+			h.total += len(nh.keys)
+		}
+		if err != nil || st.Corrupt > 0 {
+			h.logf("fleet: hint file %s partially recovered (%d entries, %d corrupt, err %v)",
+				name, len(nh.keys), st.Corrupt, err)
+		}
+	}
+	h.entriesG.Set(float64(h.total))
+	if h.total > 0 {
+		h.logf("fleet: recovered %d hinted-handoff entries for %d nodes from %s",
+			h.total, len(h.nodes), h.dir)
+	}
+}
+
+// add queues one replica write for a down node, coalescing by key
+// (a newer payload for a key replaces the pending one in place) and
+// dropping the oldest hint once the per-node cap is hit. The store
+// takes ownership of payload.
+func (h *hintStore) add(node string, key uint64, payload []byte) {
+	h.mu.Lock()
+	nh := h.nodes[node]
+	if nh == nil {
+		nh = &nodeHints{}
+		h.nodes[node] = nh
+	}
+	coalesced := false
+	for i, k := range nh.keys {
+		if k == key {
+			nh.payloads[i] = payload
+			coalesced = true
+			break
+		}
+	}
+	if !coalesced {
+		nh.keys = append(nh.keys, key)
+		nh.payloads = append(nh.payloads, payload)
+		h.total++
+		if len(nh.keys) > h.perNode {
+			nh.keys = nh.keys[1:]
+			nh.payloads = nh.payloads[1:]
+			h.total--
+			h.dropped.Inc()
+		}
+		h.entriesG.Set(float64(h.total))
+	}
+	h.written.Inc()
+	h.persistLocked(node, nh)
+	h.mu.Unlock()
+}
+
+// drain removes and returns every pending hint payload for node, FIFO.
+// The caller counts replayed only after a successful delivery (and may
+// re-add on failure).
+func (h *hintStore) drain(node string) (keys []uint64, payloads [][]byte) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	nh := h.nodes[node]
+	if nh == nil || len(nh.keys) == 0 {
+		return nil, nil
+	}
+	keys, payloads = nh.keys, nh.payloads
+	delete(h.nodes, node)
+	h.total -= len(keys)
+	h.entriesG.Set(float64(h.total))
+	h.persistLocked(node, nil)
+	return keys, payloads
+}
+
+// count returns the number of pending hints for node.
+func (h *hintStore) count(node string) int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if nh := h.nodes[node]; nh != nil {
+		return len(nh.keys)
+	}
+	return 0
+}
+
+// persistLocked rewrites one node's spill file (or removes it when the
+// queue emptied). Whole-file replace through atomicfile: hint traffic
+// only flows while a node is down, and the cap bounds the file, so the
+// rewrite is small and a torn write can never exist on disk.
+func (h *hintStore) persistLocked(node string, nh *nodeHints) {
+	if h.dir == "" {
+		return
+	}
+	path := h.hintPath(node)
+	if nh == nil || len(nh.keys) == 0 {
+		os.Remove(path)
+		return
+	}
+	var buf bytes.Buffer
+	if err := cache.WriteWireHeader(&buf); err != nil {
+		return
+	}
+	for i, k := range nh.keys {
+		if err := cache.WriteWireEntry(&buf, k, nh.payloads[i]); err != nil {
+			return
+		}
+	}
+	if err := atomicfile.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		h.logf("fleet: persisting hints for %s: %v", node, err)
+	}
+}

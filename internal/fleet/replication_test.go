@@ -1,0 +1,456 @@
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"calib/internal/canon"
+	"calib/internal/ise"
+	"calib/internal/obs"
+	"calib/internal/server"
+)
+
+// TestReplicationKillOwner is the replication acceptance test: with
+// RF=2, every key solved before a node dies is answerable from its
+// ring successor without re-invoking any solver (replica hits only),
+// and once the dead node comes back — cold — the warming pass (hint
+// replay + snapshot-diff transfer) hands it its old keys before it
+// re-enters routing, so post-readmission affinity requests are cache
+// hits too. Goroutine-leak-checked around the whole lifecycle.
+func TestReplicationKillOwner(t *testing.T) {
+	runtime.GC()
+	goroutinesBefore := runtime.NumGoroutine()
+
+	reg := obs.NewRegistry()
+	hintDir := t.TempDir()
+	backends := make([]*testBackend, 3)
+	members := make([]Member, 3)
+	var servers []*httptest.Server
+	for i := 0; i < 2; i++ {
+		b := &testBackend{name: fmt.Sprintf("n%d", i)}
+		b.srv = server.New(server.Config{Solve: b.solve})
+		b.ts = httptest.NewServer(b.srv)
+		servers = append(servers, b.ts)
+		backends[i] = b
+		members[i] = Member{Name: b.name, URL: b.ts.URL}
+	}
+	victim := &testBackend{name: "n2"}
+	victim.srv = server.New(server.Config{Solve: victim.solve})
+	backends[2] = victim
+	k := startKillable(t, victim, "")
+	members[2] = Member{Name: victim.name, URL: "http://" + k.addr}
+
+	transport := &http.Transport{MaxIdleConns: 64, MaxIdleConnsPerHost: 16}
+	f, err := New(Config{
+		Members:      members,
+		FailAfter:    2,
+		ReadmitAfter: 1,
+		Replication:  2,
+		HintDir:      hintDir,
+		Metrics:      reg,
+		HTTPClient:   &http.Client{Transport: transport, Timeout: 30 * time.Second},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	router := httptest.NewServer(NewRouter(f))
+
+	counter := func(name string) int64 { return reg.Counter(name).Value() }
+
+	// Phase 1: solve distinct keys owned by the victim; the router
+	// write-behinds each to the key's ring successor.
+	const keys = 4
+	insts := make([]*instKey, keys)
+	from := 0
+	for i := range insts {
+		inst, idx := findOwned(t, f, victim.name, from)
+		from = idx + 1
+		insts[i] = &instKey{inst: inst, key: canon.Key(inst)}
+		resp, out := postSolve(t, router.URL, inst)
+		if resp.StatusCode != http.StatusOK || out.Cached {
+			t.Fatalf("priming solve %d: status %d cached %v", i, resp.StatusCode, out.Cached)
+		}
+		if got := resp.Header.Get(HeaderNode); got != victim.name {
+			t.Fatalf("priming solve %d served by %s, want owner %s", i, got, victim.name)
+		}
+	}
+	f.repl.flush()
+	if got := counter(obs.MFleetReplSent); got != keys {
+		t.Fatalf("fleet_replicate_sent_total after priming = %d, want %d", got, keys)
+	}
+	if got := totalCalls(backends); got != keys {
+		t.Fatalf("solver invocations after priming = %d, want %d", got, keys)
+	}
+
+	// Phase 2: kill the owner. Every pre-kill key must answer from its
+	// surviving replica's cache — zero new solver invocations.
+	k.kill()
+	for i, ik := range insts {
+		resp, out := postSolve(t, router.URL, ik.inst)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("post-kill solve %d: status %d", i, resp.StatusCode)
+		}
+		if got := resp.Header.Get(HeaderRoute); got != "replica-hit" {
+			t.Fatalf("post-kill solve %d: X-Fleet-Route = %q, want replica-hit", i, got)
+		}
+		if !out.Cached {
+			t.Fatalf("post-kill solve %d not served from a replica cache", i)
+		}
+		if got := resp.Header.Get(HeaderNode); got == victim.name {
+			t.Fatalf("post-kill solve %d claims the dead owner served it", i)
+		}
+	}
+	if got := totalCalls(backends); got != keys {
+		t.Fatalf("solver invocations after kill = %d, want %d (replica hits only)", got, keys)
+	}
+	if got := counter(obs.MFleetReplicaHits); got != keys {
+		t.Fatalf("fleet_replica_hit_total = %d, want %d", got, keys)
+	}
+	if f.view.Load().byName[victim.name].Healthy() {
+		t.Fatal("dead owner still healthy after its forward failures")
+	}
+
+	// Phase 3: a fresh victim-owned key solves on a survivor; its
+	// replica write aimed at the ejected victim parks as a hint.
+	hinted, _ := findOwned(t, f, victim.name, from)
+	hintedKey := canon.Key(hinted)
+	resp, out := postSolve(t, router.URL, hinted)
+	if resp.StatusCode != http.StatusOK || out.Cached {
+		t.Fatalf("spill solve: status %d cached %v", resp.StatusCode, out.Cached)
+	}
+	f.repl.flush()
+	if got := counter(obs.MFleetHintWritten); got != 1 {
+		t.Fatalf("fleet_hint_written_total = %d, want 1", got)
+	}
+	if got := f.hints.count(victim.name); got != 1 {
+		t.Fatalf("pending hints for %s = %d, want 1", victim.name, got)
+	}
+	if _, err := os.Stat(f.hints.hintPath(victim.name)); err != nil {
+		t.Fatalf("hint file not persisted: %v", err)
+	}
+
+	// Phase 4: restart the victim cold (fresh server, empty cache, same
+	// address) and probe it back. Readmission goes through warming:
+	// hint replay plus snapshot-diff transfer, then healthy.
+	victim.srv = server.New(server.Config{Solve: victim.solve})
+	k2 := startKillable(t, victim, k.addr)
+	deadline := time.Now().Add(15 * time.Second)
+	for !f.view.Load().byName[victim.name].Healthy() {
+		f.ProbeAll(context.Background())
+		if time.Now().After(deadline) {
+			t.Fatal("restarted victim never finished warming")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := counter(obs.MFleetWarmTransfers); got != 1 {
+		t.Fatalf("fleet_warm_transfer_total = %d, want 1", got)
+	}
+	if got := counter(obs.MFleetHintReplayed); got != 1 {
+		t.Fatalf("fleet_hint_replayed_total = %d, want 1", got)
+	}
+	// keys via snapshot diff + the hinted entry via replay.
+	if got := counter(obs.MFleetWarmEntries); got != keys+1 {
+		t.Fatalf("fleet_warm_transfer_entries_total = %d, want %d", got, keys+1)
+	}
+	if got := counter(obs.MFleetWarmErrors); got != 0 {
+		t.Fatalf("fleet_warm_transfer_errors_total = %d, want 0", got)
+	}
+	if _, err := os.Stat(f.hints.hintPath(victim.name)); !os.IsNotExist(err) {
+		t.Errorf("hint file still present after replay (err %v)", err)
+	}
+
+	// Phase 5: the readmitted owner serves its old keys from the
+	// transferred cache — affinity routing, still zero re-solves.
+	preWarmCalls := totalCalls(backends)
+	for _, ik := range append(insts, &instKey{inst: hinted, key: hintedKey}) {
+		resp, out := postSolve(t, router.URL, ik.inst)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("post-readmit solve: status %d", resp.StatusCode)
+		}
+		if got := resp.Header.Get(HeaderNode); got != victim.name {
+			t.Fatalf("post-readmit solve served by %s, want the warmed owner %s", got, victim.name)
+		}
+		if got := resp.Header.Get(HeaderRoute); got != "affinity" {
+			t.Fatalf("post-readmit route = %q, want affinity", got)
+		}
+		if !out.Cached {
+			t.Fatalf("key %016x missed the warmed owner's cache", ik.key)
+		}
+	}
+	if got := totalCalls(backends); got != preWarmCalls {
+		t.Fatalf("solver invocations after readmission = %d, want %d (warm transfer must prevent re-solves)", got, preWarmCalls)
+	}
+
+	// Teardown + goroutine-leak check: closing the fleet must stop the
+	// replication worker and any warming pass.
+	f.Close()
+	router.Close()
+	k2.kill()
+	for _, ts := range servers {
+		ts.Close()
+	}
+	transport.CloseIdleConnections()
+	http.DefaultTransport.(*http.Transport).CloseIdleConnections()
+	leakDeadline := time.Now().Add(30 * time.Second)
+	for {
+		runtime.GC()
+		after := runtime.NumGoroutine()
+		if after <= goroutinesBefore+4 { // slack for runtime helpers
+			return
+		}
+		if time.Now().After(leakDeadline) {
+			t.Fatalf("goroutine leak: %d before, %d after close", goroutinesBefore, after)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+type instKey struct {
+	inst *ise.Instance
+	key  uint64
+}
+
+// TestReplicationDisabledByDefault: the library zero value keeps
+// replication fully off — no queue, no hint store, no peeks — so a
+// Config that predates replication behaves exactly as before, and
+// -replication 1 at the CLI maps to the same state.
+func TestReplicationDisabledByDefault(t *testing.T) {
+	for _, rf := range []int{0, 1} {
+		f, err := New(Config{Replication: rf, Metrics: obs.NewRegistry()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f.repl != nil || f.hints != nil {
+			t.Fatalf("Replication=%d built replication machinery", rf)
+		}
+		f.Close()
+	}
+	f, err := New(Config{Replication: 2, Metrics: obs.NewRegistry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.repl == nil || f.hints == nil {
+		t.Fatal("Replication=2 did not build replication machinery")
+	}
+	f.Close()
+}
+
+// TestReplicatorCoalesceAndDrop drives the queue's backpressure
+// directly: while the single worker is parked inside a delivery, a
+// same-key re-enqueue coalesces in place and pushes past the bound
+// drop the oldest pending write.
+func TestReplicatorCoalesceAndDrop(t *testing.T) {
+	reg := obs.NewRegistry()
+	release := make(chan struct{})
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-release
+		fmt.Fprint(w, `{}`)
+	}))
+	defer ts.Close()
+
+	f, err := New(Config{
+		Members:          []Member{{Name: "n0", URL: ts.URL}},
+		Replication:      2,
+		ReplicationQueue: 2,
+		Metrics:          reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	payload := func(i int) []byte { return []byte(fmt.Sprintf(`{"i":%d}`, i)) }
+	f.repl.enqueue("n0", 1, payload(1)) // worker takes it, parks in the POST
+	waitFor(t, "worker in flight", func() bool {
+		f.repl.mu.Lock()
+		defer f.repl.mu.Unlock()
+		return f.repl.inflight
+	})
+	f.repl.enqueue("n0", 2, payload(2))
+	f.repl.enqueue("n0", 2, payload(22)) // coalesces onto key 2
+	f.repl.enqueue("n0", 3, payload(3))
+	f.repl.enqueue("n0", 4, payload(4)) // over the bound: key 2 drops
+
+	close(release)
+	f.repl.flush()
+
+	for name, want := range map[string]int64{
+		obs.MFleetReplEnqueued:  5,
+		obs.MFleetReplSent:      3, // keys 1, 3, 4
+		obs.MFleetReplCoalesced: 1,
+		obs.MFleetReplDropped:   1,
+		obs.MFleetReplErrors:    0,
+	} {
+		if got := reg.Counter(name).Value(); got != want {
+			t.Errorf("%s = %d, want %d", name, got, want)
+		}
+	}
+	if got := reg.Gauge(obs.MFleetReplQueue).Value(); got != 0 {
+		t.Errorf("fleet_replicate_queue_depth after flush = %v, want 0", got)
+	}
+}
+
+// TestReplicatorHintsOnEjectedTarget: a delivery whose target is
+// ejected diverts straight to hinted handoff without touching the
+// network.
+func TestReplicatorHintsOnEjectedTarget(t *testing.T) {
+	reg := obs.NewRegistry()
+	posts := make(chan struct{}, 8)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		posts <- struct{}{}
+		fmt.Fprint(w, `{}`)
+	}))
+	defer ts.Close()
+	f, err := New(Config{
+		Members:     []Member{{Name: "n0", URL: ts.URL}},
+		Replication: 2,
+		Metrics:     reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	f.view.Load().byName["n0"].state.Store(nodeEjected)
+
+	f.repl.enqueue("n0", 7, []byte(`{"k":7}`))
+	f.repl.flush()
+	if got := f.hints.count("n0"); got != 1 {
+		t.Fatalf("hints for ejected target = %d, want 1", got)
+	}
+	select {
+	case <-posts:
+		t.Fatal("delivery to an ejected node reached the network")
+	default:
+	}
+	if got := reg.Counter(obs.MFleetHintWritten).Value(); got != 1 {
+		t.Fatalf("fleet_hint_written_total = %d, want 1", got)
+	}
+}
+
+// TestHintStorePersistence: the per-node queues coalesce by key, drop
+// oldest at the cap, survive a restart via their wire-format spill
+// files, and drain FIFO (removing the file).
+func TestHintStorePersistence(t *testing.T) {
+	dir := t.TempDir()
+	reg := obs.NewRegistry()
+	logf := t.Logf
+	h := newHintStore(dir, 3, reg, logf)
+
+	for i := 1; i <= 4; i++ {
+		h.add("node:1", uint64(i), []byte(fmt.Sprintf("p%d", i)))
+	}
+	if got := h.count("node:1"); got != 3 {
+		t.Fatalf("count after overflow = %d, want 3 (cap)", got)
+	}
+	if got := reg.Counter(obs.MFleetHintDropped).Value(); got != 1 {
+		t.Fatalf("fleet_hint_dropped_total = %d, want 1", got)
+	}
+	h.add("node:1", 3, []byte("p3-new")) // coalesce: no growth
+	if got := h.count("node:1"); got != 3 {
+		t.Fatalf("count after coalesce = %d, want 3", got)
+	}
+	if _, err := os.Stat(h.hintPath("node:1")); err != nil {
+		t.Fatalf("spill file missing: %v", err)
+	}
+
+	// A second store over the same dir recovers the queue.
+	h2 := newHintStore(dir, 3, obs.NewRegistry(), logf)
+	if got := h2.count("node:1"); got != 3 {
+		t.Fatalf("recovered count = %d, want 3", got)
+	}
+	keys, payloads := h2.drain("node:1")
+	if len(keys) != 3 || keys[0] != 2 || keys[1] != 3 || keys[2] != 4 {
+		t.Fatalf("drained keys = %v, want FIFO [2 3 4]", keys)
+	}
+	if string(payloads[1]) != "p3-new" {
+		t.Fatalf("coalesced payload = %q, want the newer p3-new", payloads[1])
+	}
+	if got := h2.count("node:1"); got != 0 {
+		t.Fatalf("count after drain = %d, want 0", got)
+	}
+	if _, err := os.Stat(h2.hintPath("node:1")); !os.IsNotExist(err) {
+		t.Fatalf("spill file survived the drain (err %v)", err)
+	}
+}
+
+// TestProbeJitterBounds: every draw stays within ±10% of the interval.
+func TestProbeJitterBounds(t *testing.T) {
+	const d = time.Second
+	lo, hi := 900*time.Millisecond, 1100*time.Millisecond
+	for i := 0; i < 1000; i++ {
+		got := probeJitter(d)
+		if got < lo || got > hi {
+			t.Fatalf("probeJitter(%v) = %v, outside [%v, %v]", d, got, lo, hi)
+		}
+	}
+}
+
+// TestWatchRosterContentHash: a roster rewrite with identical length
+// and a back-dated mtime — invisible to the old stat comparison — is
+// still applied, because the watcher hashes content.
+func TestWatchRosterContentHash(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/roster.json"
+	rosterA := []byte(`{"nodes":[{"name":"aa","url":"http://127.0.0.1:1/x"}]}`)
+	rosterB := []byte(`{"nodes":[{"name":"bb","url":"http://127.0.0.1:2/x"}]}`)
+	if len(rosterA) != len(rosterB) {
+		t.Fatal("test premise broken: rosters must be the same length")
+	}
+	if err := os.WriteFile(path, rosterA, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f, err := New(Config{Metrics: obs.NewRegistry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	stop := make(chan struct{})
+	watcherDone := make(chan struct{})
+	go func() {
+		defer close(watcherDone)
+		f.WatchRoster(path, 5*time.Millisecond, stop)
+	}()
+	defer func() { close(stop); <-watcherDone }()
+
+	hasNode := func(name string) func() bool {
+		return func() bool {
+			for _, m := range f.Members() {
+				if m.Name == name {
+					return true
+				}
+			}
+			return false
+		}
+	}
+	waitFor(t, "initial roster applied", hasNode("aa"))
+
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, rosterB, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Same size, and force the same mtime: only the bytes changed.
+	if err := os.Chtimes(path, info.ModTime(), info.ModTime()); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "same-size same-mtime rewrite applied", hasNode("bb"))
+}
+
+func waitFor(t *testing.T, what string, ok func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !ok() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}

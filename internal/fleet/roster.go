@@ -3,6 +3,7 @@ package fleet
 import (
 	"encoding/json"
 	"fmt"
+	"hash/fnv"
 	"os"
 	"strings"
 	"time"
@@ -87,23 +88,25 @@ func hostPort(url string) string {
 }
 
 // WatchRoster polls path every interval and applies changed, valid
-// rosters to f until stop is closed. Polling (mtime + size) keeps the
-// watcher dependency-free; sub-second intervals are fine because an
-// unchanged stat costs one syscall. A roster that disappears or stops
-// parsing is logged and skipped — the fleet keeps serving on the last
-// good membership, because an operator fat-fingering a JSON edit must
-// never take the router down. Returns when stop closes.
+// rosters to f until stop is closed. Each tick reads the file and
+// compares a content hash of the bytes: an earlier mtime+size stat
+// comparison missed same-size rewrites landing within the filesystem's
+// mtime granularity (exactly what a fast test — or a fast operator
+// script — produces), and rosters are small enough that a read per
+// tick costs about what the stat did. A roster that disappears or
+// stops parsing is logged and skipped — the fleet keeps serving on the
+// last good membership, because an operator fat-fingering a JSON edit
+// must never take the router down. Returns when stop closes.
 func (f *Fleet) WatchRoster(path string, interval time.Duration, stop <-chan struct{}) {
 	if interval <= 0 {
 		interval = time.Second
 	}
-	// The baseline starts zero, so the first tick always reconciles:
-	// an edit landing between the caller's LoadRoster and this
-	// goroutine's first stat would otherwise be missed forever (its
-	// mtime would become the baseline). One redundant identity rebuild
-	// at startup is the cheap price.
-	var lastMod time.Time
-	var lastSize int64
+	// No baseline hash, so the first tick always reconciles: an edit
+	// landing between the caller's LoadRoster and this goroutine's
+	// first read would otherwise be missed forever. One redundant
+	// identity rebuild at startup is the cheap price.
+	var lastHash uint64
+	hashed := false
 	t := time.NewTicker(interval)
 	defer t.Stop()
 	for {
@@ -112,15 +115,20 @@ func (f *Fleet) WatchRoster(path string, interval time.Duration, stop <-chan str
 			return
 		case <-t.C:
 		}
-		st, err := os.Stat(path)
+		raw, err := os.ReadFile(path)
 		if err != nil {
 			continue // transient (mid-rename): keep the current roster
 		}
-		if st.ModTime().Equal(lastMod) && st.Size() == lastSize {
+		h := fnv.New64a()
+		h.Write(raw)
+		sum := h.Sum64()
+		if hashed && sum == lastHash {
 			continue
 		}
-		lastMod, lastSize = st.ModTime(), st.Size()
-		members, err := LoadRoster(path)
+		// Remember the hash before validating, so a bad roster is
+		// logged once, not every tick until it is fixed.
+		lastHash, hashed = sum, true
+		members, err := ParseRoster(raw)
 		if err != nil {
 			f.cfg.Logf("fleet: roster %s rejected (keeping %d current nodes): %v",
 				path, len(f.view.Load().nodes), err)

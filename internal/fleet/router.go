@@ -32,8 +32,16 @@ const (
 	HeaderOwner = "X-Fleet-Owner"
 	// HeaderRoute is "affinity" when the serving node is the owner,
 	// "spillover:<reason>" otherwise, or the policy name for the
-	// key-oblivious policies.
+	// key-oblivious policies. Replication adds "replica-peek" (request
+	// direction: a cache peek at a replica before admitting a spillover
+	// solve) and "replica-hit" (response direction: the peek found the
+	// schedule — no solve was admitted anywhere).
 	HeaderRoute = "X-Fleet-Route"
+	// HeaderPeek marks a /v1/solve forward as a cache peek: hit answers
+	// normally, miss answers 204 instead of admitting a solve. Must
+	// match internal/server's HeaderPeek (the packages share the wire,
+	// not code).
+	HeaderPeek = "X-Fleet-Peek"
 )
 
 // Router is the HTTP front of a Fleet: it serves the same /v1 surface
@@ -173,8 +181,21 @@ func (rt *Router) route(w http.ResponseWriter, r *http.Request, path string, key
 	if owner != nil && !owner.Healthy() {
 		spillReason = SpillUnhealthy
 	}
+	peeked := false
 	for _, n := range order {
-		resp, err := rt.forward(r, n, path, id, body, owner, spillReason)
+		// Owner miss under hash-affinity: before admitting a solve on a
+		// non-owner, ask the key's replicas whether one already holds
+		// the schedule. One peek round per request, ahead of the first
+		// off-owner forward.
+		if f.repl != nil && !peeked && n != owner &&
+			path == "/v1/solve" && f.policy.Name() == PolicyHashAffinity {
+			peeked = true
+			if rt.peekReplicas(w, r, v, key, id, body, owner) {
+				return
+			}
+		}
+		resp, err := rt.forward(r, n, path, id, body, owner,
+			routeLabel(f.policy.Name(), n, owner, spillReason), false)
 		if err != nil {
 			lastErr = err
 			if n == owner && spillReason == "" {
@@ -207,7 +228,12 @@ func (rt *Router) route(w http.ResponseWriter, r *http.Request, path string, key
 		if n != owner && spillReason != "" {
 			f.spillCount(spillReason)
 		}
-		rt.relay(w, resp, n, owner, spillReason)
+		route := routeLabel(f.policy.Name(), n, owner, spillReason)
+		if f.repl != nil && path == "/v1/solve" && resp.StatusCode == http.StatusOK {
+			rt.relayReplicating(w, resp, n, owner, route, key, body)
+		} else {
+			rt.relay(w, resp, n, owner, route)
+		}
 		return
 	}
 	f.exhausted.Inc()
@@ -272,7 +298,7 @@ func (rt *Router) candidates(v *view, key uint64) (owner *Node, order []*Node) {
 // forward performs one attempt against one node. Transport failures
 // feed the health state machine; HTTP answers of any status count as
 // the node being alive.
-func (rt *Router) forward(r *http.Request, n *Node, path, id string, body []byte, owner *Node, spillReason string) (*http.Response, error) {
+func (rt *Router) forward(r *http.Request, n *Node, path, id string, body []byte, owner *Node, route string, peek bool) (*http.Response, error) {
 	f := rt.f
 	req, err := http.NewRequestWithContext(r.Context(), http.MethodPost, n.URL+path, bytes.NewReader(body))
 	if err != nil {
@@ -284,7 +310,10 @@ func (rt *Router) forward(r *http.Request, n *Node, path, id string, body []byte
 	if owner != nil {
 		req.Header.Set(HeaderOwner, owner.Name)
 	}
-	req.Header.Set(HeaderRoute, routeLabel(rt.f.policy.Name(), n, owner, spillReason))
+	req.Header.Set(HeaderRoute, route)
+	if peek {
+		req.Header.Set(HeaderPeek, "1")
+	}
 	n.outstanding.Add(1)
 	f.inflightG.Add(1)
 	t0 := time.Now()
@@ -316,8 +345,14 @@ func routeLabel(policy string, n, owner *Node, spillReason string) string {
 
 // relay streams a backend response to the client, annotated with the
 // fleet headers.
-func (rt *Router) relay(w http.ResponseWriter, resp *http.Response, n, owner *Node, spillReason string) {
+func (rt *Router) relay(w http.ResponseWriter, resp *http.Response, n, owner *Node, route string) {
 	defer resp.Body.Close()
+	rt.relayHeaders(w, resp, n, owner, route)
+	w.WriteHeader(resp.StatusCode)
+	io.Copy(w, resp.Body)
+}
+
+func (rt *Router) relayHeaders(w http.ResponseWriter, resp *http.Response, n, owner *Node, route string) {
 	h := w.Header()
 	for _, name := range []string{"Content-Type", "Retry-After", "Content-Length"} {
 		if val := resp.Header.Get(name); val != "" {
@@ -328,9 +363,50 @@ func (rt *Router) relay(w http.ResponseWriter, resp *http.Response, n, owner *No
 	if owner != nil {
 		h.Set(HeaderOwner, owner.Name)
 	}
-	h.Set(HeaderRoute, routeLabel(rt.f.policy.Name(), n, owner, spillReason))
+	h.Set(HeaderRoute, route)
+}
+
+// relayReplicating relays a 200 solve response through a buffer so the
+// response bytes can also be handed to the replication queue (write-
+// behind: the client is answered first, replicas converge after).
+// Responses too large for the router's own body bound are relayed but
+// not replicated.
+func (rt *Router) relayReplicating(w http.ResponseWriter, resp *http.Response, n, owner *Node, route string, key uint64, reqBody []byte) {
+	defer resp.Body.Close()
+	buf, err := io.ReadAll(io.LimitReader(resp.Body, rt.f.cfg.MaxBody+1))
+	rt.relayHeaders(w, resp, n, owner, route)
 	w.WriteHeader(resp.StatusCode)
-	io.Copy(w, resp.Body)
+	w.Write(buf)
+	if err == nil && int64(len(buf)) <= rt.f.cfg.MaxBody {
+		rt.f.enqueueSolve(key, n.Name, reqBody, buf)
+	}
+}
+
+// peekReplicas asks the key's replicas (ring successors, owner
+// excluded) for a cached schedule before the caller admits a spillover
+// solve. A hit is relayed as X-Fleet-Route: replica-hit and ends the
+// request; a miss (204) falls through to solving.
+func (rt *Router) peekReplicas(w http.ResponseWriter, r *http.Request, v *view, key uint64, id string, body []byte, owner *Node) bool {
+	f := rt.f
+	for _, name := range v.ring.Sequence(key, f.cfg.Replication) {
+		n := v.byName[name]
+		if n == nil || n == owner || !n.Healthy() {
+			continue
+		}
+		f.replicaPeeks.Inc()
+		resp, err := rt.forward(r, n, "/v1/solve", id, body, owner, "replica-peek", true)
+		if err != nil {
+			continue
+		}
+		if resp.StatusCode == http.StatusOK {
+			f.replicaHits.Inc()
+			rt.relay(w, resp, n, owner, "replica-hit")
+			return true
+		}
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4<<10))
+		resp.Body.Close()
+	}
+	return false
 }
 
 // retryAfter reads a refusal's backoff hint (delay-seconds form; the
@@ -440,7 +516,8 @@ func (rt *Router) routeSubBatch(r *http.Request, key uint64, id string, sub *api
 	}
 	var lastErr error
 	for _, n := range order {
-		resp, err := rt.forward(r, n, "/v1/batch", id, body, owner, spillReason)
+		resp, err := rt.forward(r, n, "/v1/batch", id, body, owner,
+			routeLabel(f.policy.Name(), n, owner, spillReason), false)
 		if err != nil {
 			lastErr = err
 			if n == owner && spillReason == "" {
@@ -501,6 +578,7 @@ func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
 			Name:     n.Name,
 			URL:      n.URL,
 			Healthy:  n.Healthy(),
+			Warming:  n.Warming(),
 			InFlight: int(n.probedInFlight.Load()),
 		}
 		if fn.Healthy {

@@ -79,6 +79,7 @@ func startFleet(t *testing.T, n int, mutateSrv func(i int, cfg *server.Config), 
 	if err != nil {
 		t.Fatal(err)
 	}
+	t.Cleanup(f.Close)
 	router := httptest.NewServer(NewRouter(f))
 	t.Cleanup(router.Close)
 	return backends, f, router
@@ -508,14 +509,14 @@ func TestRouterHealthz(t *testing.T) {
 		t.Fatalf("health metadata: %+v", fh)
 	}
 
-	f.view.Load().byName[backends[0].name].ejected.Store(true)
+	f.view.Load().byName[backends[0].name].state.Store(nodeEjected)
 	status, fh = get()
 	if status != http.StatusOK || fh.Status != "degraded" || fh.HealthyNodes != 2 {
 		t.Fatalf("degraded: status %d, %+v", status, fh)
 	}
 
 	for _, b := range backends {
-		f.view.Load().byName[b.name].ejected.Store(true)
+		f.view.Load().byName[b.name].state.Store(nodeEjected)
 	}
 	status, fh = get()
 	if status != http.StatusServiceUnavailable || fh.Status != "down" {

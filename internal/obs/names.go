@@ -112,6 +112,32 @@ const (
 	MFleetForwardSeconds = "fleet_forward_seconds"      // histogram: single forward attempt latency
 	MFleetInflight       = "fleet_forward_inflight"     // gauge: forwards currently outstanding across all nodes
 
+	// internal/fleet — asynchronous cache replication (write-behind to
+	// ring successors), hinted handoff while a replica is ejected, and
+	// the warm transfer that runs before a readmitted node re-enters
+	// routing.
+	MFleetReplEnqueued  = "fleet_replicate_enqueued_total"    // replica writes accepted into the replication queue
+	MFleetReplSent      = "fleet_replicate_sent_total"        // replica writes delivered to their target node
+	MFleetReplErrors    = "fleet_replicate_errors_total"      // replica writes that failed in delivery (transport or non-200)
+	MFleetReplDropped   = "fleet_replicate_dropped_total"     // replica writes dropped by drop-oldest backpressure or shutdown
+	MFleetReplCoalesced = "fleet_replicate_coalesced_total"   // pending replica writes replaced by a newer payload for the same key+target
+	MFleetReplQueue     = "fleet_replicate_queue_depth"       // gauge: replica writes waiting in the queue
+	MFleetReplicaPeeks  = "fleet_replica_peek_total"          // replica cache peeks issued when the owner could not serve
+	MFleetReplicaHits   = "fleet_replica_hit_total"           // peeks answered from a replica's cache (no solve admitted)
+	MFleetHintWritten   = "fleet_hint_written_total"          // replica writes diverted to hinted handoff (target down or delivery failed)
+	MFleetHintDropped   = "fleet_hint_dropped_total"          // hints dropped by the per-node cap (drop-oldest)
+	MFleetHintReplayed  = "fleet_hint_replayed_total"         // hints delivered to their node during warming
+	MFleetHintEntries   = "fleet_hint_entries"                // gauge: hinted-handoff entries currently held
+	MFleetWarmTransfers = "fleet_warm_transfer_total"         // warm transfers run for readmitting nodes
+	MFleetWarmEntries   = "fleet_warm_transfer_entries_total" // entries shipped by warm transfers (hints + snapshot diff)
+	MFleetWarmErrors    = "fleet_warm_transfer_errors_total"  // warm transfers that failed (node readmitted cold)
+	MFleetWarmingNodes  = "fleet_warming_nodes"               // gauge: nodes currently in the warming state
+
+	// internal/server — the /v1/cache/entries replication receiver.
+	MCacheReplStored   = "cache_replica_stored_total"   // replicated entries accepted into the local cache
+	MCacheReplSkipped  = "cache_replica_skipped_total"  // replicated entries skipped (key already cached locally)
+	MCacheReplRejected = "cache_replica_rejected_total" // replicated entries rejected (key mismatch or failed validation)
+
 	// internal/server — SLO layer. All labeled route=solve|batch.
 	MSLOSeconds   = "slo_route_request_seconds" // histogram: per-route end-to-end latency
 	MSLOObjective = "slo_objective_ratio"       // gauge: configured success objective (e.g. 0.99)
@@ -173,12 +199,13 @@ func DeclareService(r *Registry) {
 	for _, n := range []string{
 		MCacheHits, MCacheMisses, MCacheEvictions, MCacheShared,
 		MCacheSnapshots, MCacheRestored, MCacheRestoreCorrupt,
+		MCacheReplStored, MCacheReplSkipped, MCacheReplRejected,
 		MServiceShed, MBatchDedup,
 		MFlightRecords, MTraceLogRecords, MTraceLogRotations, MTraceLogErrors,
 	} {
 		r.Counter(n)
 	}
-	for _, ep := range []string{"solve", "batch", "healthz"} {
+	for _, ep := range []string{"solve", "batch", "healthz", "entries"} {
 		r.CounterWith(MServiceRequests, "endpoint", ep)
 		r.CounterWith(MServiceErrors, "endpoint", ep)
 	}
@@ -207,6 +234,11 @@ func DeclareFleet(r *Registry) {
 	for _, n := range []string{
 		MFleetExhausted, MFleetEjects, MFleetReadmits,
 		MFleetProbeFails, MFleetRebuilds,
+		MFleetReplEnqueued, MFleetReplSent, MFleetReplErrors,
+		MFleetReplDropped, MFleetReplCoalesced,
+		MFleetReplicaPeeks, MFleetReplicaHits,
+		MFleetHintWritten, MFleetHintDropped, MFleetHintReplayed,
+		MFleetWarmTransfers, MFleetWarmEntries, MFleetWarmErrors,
 	} {
 		r.Counter(n)
 	}
@@ -219,6 +251,9 @@ func DeclareFleet(r *Registry) {
 	r.Gauge(MFleetNodes)
 	r.Gauge(MFleetHealthyNodes)
 	r.Gauge(MFleetInflight)
+	r.Gauge(MFleetReplQueue)
+	r.Gauge(MFleetHintEntries)
+	r.Gauge(MFleetWarmingNodes)
 	r.Histogram(MFleetForwardSeconds, nil)
 }
 
@@ -336,6 +371,27 @@ var helpText = map[string]string{
 	MFleetRebuilds:       "Atomic consistent-hash ring rebuilds.",
 	MFleetForwardSeconds: "Single forward attempt latency in seconds.",
 	MFleetInflight:       "Forwards currently outstanding across all nodes.",
+
+	MFleetReplEnqueued:  "Replica writes accepted into the replication queue.",
+	MFleetReplSent:      "Replica writes delivered to their target node.",
+	MFleetReplErrors:    "Replica writes that failed in delivery.",
+	MFleetReplDropped:   "Replica writes dropped by backpressure or shutdown.",
+	MFleetReplCoalesced: "Pending replica writes replaced by a newer same-key payload.",
+	MFleetReplQueue:     "Replica writes waiting in the replication queue.",
+	MFleetReplicaPeeks:  "Replica cache peeks issued when the owner could not serve.",
+	MFleetReplicaHits:   "Peeks answered from a replica's cache without a solve.",
+	MFleetHintWritten:   "Replica writes diverted to hinted handoff.",
+	MFleetHintDropped:   "Hinted-handoff entries dropped by the per-node cap.",
+	MFleetHintReplayed:  "Hinted-handoff entries delivered during warming.",
+	MFleetHintEntries:   "Hinted-handoff entries currently held.",
+	MFleetWarmTransfers: "Warm transfers run for readmitting nodes.",
+	MFleetWarmEntries:   "Entries shipped by warm transfers (hints plus snapshot diff).",
+	MFleetWarmErrors:    "Warm transfers that failed (node readmitted cold).",
+	MFleetWarmingNodes:  "Nodes currently in the warming state.",
+
+	MCacheReplStored:   "Replicated cache entries accepted into the local cache.",
+	MCacheReplSkipped:  "Replicated cache entries skipped: key already cached.",
+	MCacheReplRejected: "Replicated cache entries rejected by key or validation checks.",
 
 	MSLOSeconds:   "Per-route end-to-end request latency in seconds.",
 	MSLOObjective: "Configured SLO success objective, by route.",

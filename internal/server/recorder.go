@@ -211,8 +211,12 @@ func (*recShard) live(ring []Record, next int, full bool) []Record {
 
 // RecordFilter selects records in List. Zero fields match everything.
 type RecordFilter struct {
-	// Route / Outcome / Cache / Admission / Node match the same-named
-	// Record fields exactly when non-empty.
+	// Route matches the Record's Route (the endpoint) or its
+	// FleetRoute (the router's routing annotation): ?route=solve and
+	// ?route=replica-hit both work, so replication events are
+	// filterable for counterfactual RF analysis without a second query
+	// parameter. Outcome / Cache / Admission / Node match the
+	// same-named Record fields exactly when non-empty.
 	Route, Outcome, Cache, Admission, Node string
 	// Slow selects the top-K-by-latency retention instead of the main
 	// rings; Errors selects the error/shed tail retention.
@@ -243,7 +247,7 @@ func (r *Recorder) List(f RecordFilter) []Record {
 			set = s.live(s.ring, s.next, s.full)
 		}
 		for _, rec := range set {
-			if f.Route != "" && rec.Route != f.Route {
+			if f.Route != "" && rec.Route != f.Route && rec.FleetRoute != f.Route {
 				continue
 			}
 			if f.Outcome != "" && rec.Outcome != f.Outcome {

@@ -121,6 +121,12 @@ type Config struct {
 	// workload simulator injects a virtual clock here so decision
 	// records carry simulated timestamps; see internal/sim.
 	Clock Clock
+	// CacheTransferOpen allows non-loopback peers to call
+	// /v1/cache/entries (the fleet replication and warm-transfer
+	// surface, see entries.go). Off by default: the endpoint is
+	// auth-free, so a multi-host fleet must opt in explicitly (ised
+	// -cache-transfer-open).
+	CacheTransferOpen bool
 }
 
 func (c Config) withDefaults() Config {
@@ -187,8 +193,11 @@ type Server struct {
 	// Per-endpoint counter bindings, resolved once in New:
 	// Registry.CounterWith interns a label string per call, which is an
 	// allocation the request hot path must not pay.
-	reqSolve, reqBatch, reqHealthz *obs.Counter
-	errSolve, errBatch, errHealthz *obs.Counter
+	reqSolve, reqBatch, reqHealthz, reqEntries *obs.Counter
+	errSolve, errBatch, errHealthz, errEntries *obs.Counter
+
+	// Replication receiver counters (/v1/cache/entries inserts).
+	replStored, replSkipped, replRejected *obs.Counter
 
 	// luRefactors and faultCounters are the labeled series delta-sampled
 	// around leader solves to attribute LU refactorizations and injected
@@ -258,9 +267,15 @@ func New(cfg Config) *Server {
 		reqSolve:   cfg.Metrics.CounterWith(obs.MServiceRequests, "endpoint", "solve"),
 		reqBatch:   cfg.Metrics.CounterWith(obs.MServiceRequests, "endpoint", "batch"),
 		reqHealthz: cfg.Metrics.CounterWith(obs.MServiceRequests, "endpoint", "healthz"),
+		reqEntries: cfg.Metrics.CounterWith(obs.MServiceRequests, "endpoint", "entries"),
 		errSolve:   cfg.Metrics.CounterWith(obs.MServiceErrors, "endpoint", "solve"),
 		errBatch:   cfg.Metrics.CounterWith(obs.MServiceErrors, "endpoint", "batch"),
 		errHealthz: cfg.Metrics.CounterWith(obs.MServiceErrors, "endpoint", "healthz"),
+		errEntries: cfg.Metrics.CounterWith(obs.MServiceErrors, "endpoint", "entries"),
+
+		replStored:   cfg.Metrics.Counter(obs.MCacheReplStored),
+		replSkipped:  cfg.Metrics.Counter(obs.MCacheReplSkipped),
+		replRejected: cfg.Metrics.Counter(obs.MCacheReplRejected),
 	}
 	if s.solve == nil {
 		s.solve = s.defaultSolve
@@ -283,6 +298,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("/v1/solve", s.handleSolve)
 	s.mux.HandleFunc("/v1/batch", s.handleBatch)
 	s.mux.HandleFunc("/v1/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/v1/cache/entries", s.handleCacheEntries)
 	s.mux.HandleFunc("/debug/requests", s.handleDebugRequests)
 	s.mux.HandleFunc("/debug/requests/", s.handleDebugRequests)
 	return s
@@ -401,9 +417,17 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		ctx = context.WithValue(ctx, traceSpanKey{}, sp)
 		defer sp.End()
 	}
-	status, err := s.solveOne(ctx, inst, rs.req.SolveOptions, rs)
+	status, err := s.solveOne(ctx, inst, rs.req.SolveOptions, rs, r.Header.Get(HeaderPeek) != "")
 	if err != nil {
 		s.finish(w, rs, s.errSolve, status, err, arrival)
+		return
+	}
+	if status == http.StatusNoContent {
+		// Peek miss: an answer ("not cached here"), not an error — no
+		// body, no admission, no solver, and the 2xx keeps it out of the
+		// error counters and the SLO error budget.
+		w.WriteHeader(http.StatusNoContent)
+		s.emit(rs, arrival, http.StatusNoContent, "")
 		return
 	}
 	rs.resp.ElapsedMillis = float64(s.clock.Since(arrival).Microseconds()) / 1000
@@ -448,8 +472,9 @@ var errShed = errors.New("service saturated: admission control refused the solve
 // solveOne runs the full pipeline for a single instance, filling
 // rs.resp on success; otherwise it returns an HTTP status plus error.
 // Canonicalization runs in rs's arena, so the canonical form is only
-// valid within this call.
-func (s *Server) solveOne(ctx context.Context, inst *calib.Instance, o api.SolveOptions, rs *reqScratch) (int, error) {
+// valid within this call. peek (the HeaderPeek protocol) turns a cache
+// miss into a 204 answer instead of a solve.
+func (s *Server) solveOne(ctx context.Context, inst *calib.Instance, o api.SolveOptions, rs *reqScratch, peek bool) (int, error) {
 	rec := &rs.rec
 	if inst == nil {
 		return http.StatusBadRequest, errors.New("missing \"instance\"")
@@ -465,12 +490,23 @@ func (s *Server) solveOne(ctx context.Context, inst *calib.Instance, o api.Solve
 		rec.Admission = "bypass"
 		rec.Cache = cache.RoleHit.String()
 		rec.Warm = "cache"
+		if peek {
+			// A peek that hit is the fleet's replica-hit event; stamp it
+			// so ?route=replica-hit filters find it on the backend too.
+			rec.FleetRoute = "replica-hit"
+		}
 		rec.Rung, rec.Falls, rec.Degraded, rec.Exact = res.Rung, res.Falls, res.Degraded, res.Exact
 		status, err := s.respond(inst, c, res, true, &rs.resp)
 		if err == nil {
 			rec.Key = rs.resp.Key
 		}
 		return status, err
+	}
+	if peek {
+		rec.Admission = "bypass"
+		rec.Cache = "peek-miss"
+		rec.Key = keyString(c.Key)
+		return http.StatusNoContent, nil
 	}
 	admT := s.clock.Now()
 	admitted, queued := s.adm.acquireInfo(ctx)

@@ -15,10 +15,18 @@
 #      equivalence class once;
 #   5. under a stream of solves, SIGKILL the backend that owns the
 #      probe instance. The stream keeps succeeding, the router ejects
-#      the corpse (healthz degraded, fleet_eject_total=1), the probe
-#      instance is answered by a survivor with an X-Fleet-Route
-#      spillover label, and a key owned by a survivor still routes to
-#      that same survivor — the ring moved only the dead node's keys.
+#      the corpse (healthz degraded, fleet_eject_total=1), and a key
+#      owned by a survivor still routes to that same survivor — the
+#      ring moved only the dead node's keys;
+#   6. the probe instance — solved BEFORE the kill — is still a cache
+#      HIT: the router peeks the key's ring replica, which holds the
+#      write-behind copy, and answers "cached": true with
+#      X-Fleet-Route: replica-hit. The fleet never re-runs a solve it
+#      already paid for;
+#   7. restart the killed backend on its old address. The prober takes
+#      it through the warming state — hinted handoff + snapshot-diff
+#      warm transfer — and once healthy the probe instance routes back
+#      to its affinity owner and hits the owner's (restored) cache.
 #
 # Needs only curl, awk, and the go toolchain. Exits non-zero on the
 # first broken expectation.
@@ -90,10 +98,13 @@ EOF
 # --- router ----------------------------------------------------------
 # Aggressive probe/eject settings so the kill is detected within a
 # couple hundred milliseconds instead of the operator-friendly default.
+# Replication is pinned to its default (2) and hints spill to disk so
+# the readmit phase exercises the full durability path.
 "$WORK/isedfleet" -addr 127.0.0.1:0 -addr-file "$WORK/faddr" \
 	-roster "$WORK/roster.json" -roster-interval 200ms \
 	-probe-interval 100ms -probe-timeout 1s \
-	-fail-after 2 -readmit-after 1 2>"$WORK/fleet.log" &
+	-fail-after 2 -readmit-after 1 \
+	-replication 2 -hint-dir "$WORK/hints" 2>"$WORK/fleet.log" &
 PIDS="$PIDS $!"
 FADDR="$(wait_addr "$WORK/faddr")"
 BASE="http://$FADDR"
@@ -209,16 +220,19 @@ done
 curl -sf "$BASE/v1/healthz" >"$WORK/health2.json"
 grep -q '"healthy_nodes": 2' "$WORK/health2.json" || fail "degraded healthz: $(cat "$WORK/health2.json")"
 
-# The probe instance (owned by the corpse) is still answered — by a
-# survivor, labeled as spillover.
+# The probe instance (owned by the corpse, solved before the kill) is
+# still a cache HIT: the router peeks the key's ring replica — which
+# holds the asynchronous write-behind copy — and relays its cached
+# schedule without admitting a solve anywhere.
 curl -sf -D "$WORK/h4" -d @"$WORK/req.json" "$BASE/v1/solve" >"$WORK/solve4.json"
 grep -q '"schedule"' "$WORK/solve4.json" || fail "post-kill solve has no schedule"
+grep -q '"cached": true' "$WORK/solve4.json" ||
+	fail "pre-kill key re-solved after the owner died: the replica write never landed"
 DETOUR="$(header "$WORK/h4" x-fleet-node)"
 [ -n "$DETOUR" ] && [ "$DETOUR" != "$OWNER" ] || fail "post-kill solve served by '$DETOUR'"
-case "$(header "$WORK/h4" x-fleet-route)" in
-spillover:*) ;;
-*) fail "post-kill route = '$(header "$WORK/h4" x-fleet-route)', want spillover:*" ;;
-esac
+[ "$(header "$WORK/h4" x-fleet-route)" = "replica-hit" ] ||
+	fail "post-kill route = '$(header "$WORK/h4" x-fleet-route)', want replica-hit"
+echo "fleet_smoke: pre-kill key served from replica cache ($DETOUR, no re-solve)"
 
 # Survivors keep their own keys: the survivor-owned instance still
 # routes to the same node it did before the kill.
@@ -228,11 +242,58 @@ grep -q '"cached": true' "$WORK/solve5.json" || fail "survivor-owned re-solve mi
 	fail "survivor key moved: $(header "$WORK/h5" x-fleet-node) != $SURV_NODE"
 echo "fleet_smoke: survivors kept affinity ($SURV_NODE still owns its key)"
 
-# The ejection and the detours are visible on the router's /metrics.
+# The ejection, the detours, and the replication layer's work are all
+# visible on the router's /metrics.
 curl -sf "$BASE/metrics" >"$WORK/fmetrics.txt"
 awk '$1 == "fleet_eject_total" && $2 >= 1 { ok = 1 } END { exit !ok }' "$WORK/fmetrics.txt" ||
 	fail "fleet_eject_total not incremented"
 awk '/^fleet_spillover_total\{/ { s += $2 } END { exit !(s > 0) }' "$WORK/fmetrics.txt" ||
 	fail "no fleet_spillover_total counted across the kill"
+awk '$1 == "fleet_replicate_sent_total" && $2 >= 1 { ok = 1 } END { exit !ok }' "$WORK/fmetrics.txt" ||
+	fail "fleet_replicate_sent_total not incremented: write-behind never delivered"
+awk '$1 == "fleet_replica_hit_total" && $2 >= 1 { ok = 1 } END { exit !ok }' "$WORK/fmetrics.txt" ||
+	fail "fleet_replica_hit_total not incremented"
+
+# --- readmit with warm transfer --------------------------------------
+# Restart the killed backend on its old address: the prober must take
+# it through warming (hint replay + snapshot-diff transfer) and back to
+# healthy, after which the probe key routes to its affinity owner again
+# and hits the restored cache.
+case "$OWNER" in
+n1) OADDR="$B1" ;;
+n2) OADDR="$B2" ;;
+n3) OADDR="$B3" ;;
+esac
+"$WORK/ised" -addr "$OADDR" -addr-file "$WORK/baddr-re" \
+	-timeout 10s 2>"$WORK/ised-re.log" &
+PIDS="$PIDS $!"
+wait_addr "$WORK/baddr-re" >/dev/null
+echo "fleet_smoke: restarted $OWNER on $OADDR"
+
+i=0
+until curl -sf "$BASE/v1/healthz" | grep -q '"healthy_nodes": 3'; do
+	i=$((i + 1))
+	[ "$i" -le 150 ] || fail "router never readmitted the restarted backend"
+	sleep 0.1
+done
+curl -sf "$BASE/v1/healthz" | grep -q '"status": "ok"' || fail "healthz degraded after readmit"
+
+curl -sf "$BASE/metrics" >"$WORK/fmetrics2.txt"
+awk '$1 == "fleet_warm_transfer_total" && $2 >= 1 { ok = 1 } END { exit !ok }' "$WORK/fmetrics2.txt" ||
+	fail "fleet_warm_transfer_total not incremented on readmit"
+awk '$1 == "fleet_warm_transfer_entries_total" && $2 >= 1 { ok = 1 } END { exit !ok }' "$WORK/fmetrics2.txt" ||
+	fail "warm transfer shipped no entries"
+
+# The probe key is back on its owner — and the owner, freshly
+# restarted with an empty cache of its own, answers from the entries
+# the warm transfer restored.
+curl -sf -D "$WORK/h6" -d @"$WORK/req.json" "$BASE/v1/solve" >"$WORK/solve6.json"
+grep -q '"cached": true' "$WORK/solve6.json" ||
+	fail "post-readmit solve missed: warm transfer did not restore the key"
+[ "$(header "$WORK/h6" x-fleet-node)" = "$OWNER" ] ||
+	fail "post-readmit solve served by '$(header "$WORK/h6" x-fleet-node)', want $OWNER"
+[ "$(header "$WORK/h6" x-fleet-route)" = "affinity" ] ||
+	fail "post-readmit route = '$(header "$WORK/h6" x-fleet-route)', want affinity"
+echo "fleet_smoke: warm transfer restored $OWNER's cache (affinity hit after readmit)"
 
 echo "fleet_smoke: OK"
